@@ -1,0 +1,99 @@
+// Command xfbench regenerates the tables and figures of the paper's
+// evaluation (§6). Each experiment prints its measured series; the shapes
+// — who wins, by roughly what factor, where crossovers fall — are the
+// reproduction target (absolute times depend on the host).
+//
+// Usage:
+//
+//	xfbench -exp fig6a                # one experiment at the default scale
+//	xfbench -exp all -scale smoke     # everything, fast sanity pass
+//	xfbench -exp fig7 -scale full     # paper scale (millions of XPEs)
+//	xfbench -list                     # list experiment ids
+//	xfbench -stats                    # print workload statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"predfilter/internal/bench"
+	"predfilter/internal/dtd"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale   = flag.String("scale", "default", "scale: smoke, default or full")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		stats   = flag.Bool("stats", false, "print workload statistics and exit")
+		verbose = flag.Bool("v", true, "print per-point progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	s, err := bench.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		printStats(s)
+		return
+	}
+
+	var exps []bench.Experiment
+	if *expID == "all" {
+		exps = bench.Experiments
+	} else {
+		e, err := bench.ExperimentByID(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	progress := os.Stderr
+	if !*verbose {
+		progress = nil
+	}
+	for _, e := range exps {
+		fmt.Printf("== %s [scale %s: %d docs, expression factor %.2f]\n", e.Title, s.Name, s.Docs, s.Factor)
+		t0 := time.Now()
+		points, err := e.Run(s, progress)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		bench.PrintPoints(os.Stdout, points)
+		fmt.Printf("-- %s done in %v\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func printStats(s bench.Scale) {
+	for _, d := range []*dtd.DTD{dtd.NITF(), dtd.PSD()} {
+		cfg := bench.DefaultWorkloadConfig(1000)
+		cfg.Docs = s.Docs
+		w, err := bench.NewWorkload(d, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := w.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-5s docs=%d avg-tags=%.0f avg-bytes=%.0f avg-paths=%.0f\n",
+			d.Name, st.Docs, st.AvgTags, st.AvgBytes, st.AvgPaths)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xfbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command xfgen generates synthetic filtering workloads — XML documents
+// and XPath expression sets — from the built-in NITF and PSD schemas, for
+// experimentation with xfilter/xfserve or external tools.
+//
+// Usage:
+//
+//	xfgen -schema nitf -docs 10 -out docs/            # docs/doc-0000.xml ...
+//	xfgen -schema psd -exprs 5000 -distinct > subs.txt
+//	xfgen -schema nitf -exprs 1000 -w 0.3 -do 0.1 -filters 2 -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"predfilter"
+	"predfilter/workload"
+)
+
+func main() {
+	var (
+		schema   = flag.String("schema", "nitf", "schema: nitf or psd")
+		docs     = flag.Int("docs", 0, "number of documents to generate")
+		exprs    = flag.Int("exprs", 0, "number of expressions to generate")
+		outDir   = flag.String("out", "", "directory for generated documents (default: stdout)")
+		maxLvl   = flag.Int("levels", 6, "maximum document nesting levels")
+		maxLen   = flag.Int("l", 6, "L: maximum expression length")
+		wildcard = flag.Float64("w", 0.2, "W: wildcard probability per step")
+		desc     = flag.Float64("do", 0.2, "DO: descendant probability per step")
+		distinct = flag.Bool("distinct", false, "D: discard duplicate expressions")
+		filters  = flag.Int("filters", 0, "attribute filters per expression")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		explain  = flag.Bool("explain", false, "print each expression's predicate encoding")
+	)
+	flag.Parse()
+
+	var s workload.Schema
+	switch *schema {
+	case "nitf":
+		s = workload.NITF()
+	case "psd":
+		s = workload.PSD()
+	default:
+		fatal(fmt.Errorf("unknown schema %q (nitf, psd)", *schema))
+	}
+	if *docs == 0 && *exprs == 0 {
+		fatal(fmt.Errorf("nothing to do; pass -docs and/or -exprs"))
+	}
+
+	if *docs > 0 {
+		generated := workload.Documents(s, *docs, workload.DocumentConfig{MaxLevels: *maxLvl, Seed: *seed})
+		for i, d := range generated {
+			if *outDir == "" {
+				os.Stdout.Write(d)
+				fmt.Println()
+				continue
+			}
+			name := filepath.Join(*outDir, fmt.Sprintf("%s-%04d.xml", *schema, i))
+			if err := os.WriteFile(name, d, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if *outDir != "" {
+			fmt.Fprintf(os.Stderr, "xfgen: wrote %d documents to %s\n", *docs, *outDir)
+		}
+	}
+
+	if *exprs > 0 {
+		xpes, err := workload.Expressions(s, *exprs, workload.ExpressionConfig{
+			MaxLength:  *maxLen,
+			Wildcard:   *wildcard,
+			Descendant: *desc,
+			Distinct:   *distinct,
+			Filters:    *filters,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, x := range xpes {
+			if *explain {
+				enc, err := predfilter.Explain(x)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%-40s %s\n", x, enc)
+			} else {
+				fmt.Println(x)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xfgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command xfilter filters XML documents against a set of XPath
+// expressions, printing for each document the expressions it matches.
+//
+// Expressions come from -e flags and/or an expression file (one per line,
+// '#' comments); documents are file arguments or stdin.
+//
+// Usage:
+//
+//	xfilter -e '/nitf/body//p' -e '//keyword[@key=storm]' doc1.xml doc2.xml
+//	xfilter -f subscriptions.txt < doc.xml
+//	xfilter -f subs.txt -org basic -attrs postponed -count docs/*.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"predfilter"
+)
+
+type exprList []string
+
+func (e *exprList) String() string     { return strings.Join(*e, ", ") }
+func (e *exprList) Set(s string) error { *e = append(*e, s); return nil }
+
+func main() {
+	var (
+		exprs     exprList
+		exprFile  = flag.String("f", "", "file with one XPath expression per line")
+		org       = flag.String("org", "pc-ap", "expression organization: basic, pc, pc-ap")
+		attrs     = flag.String("attrs", "inline", "attribute filter evaluation: inline, postponed")
+		countOnly = flag.Bool("count", false, "print match counts only")
+		allMode   = flag.Bool("all", false, "report the number of match combinations per expression (all-matches mode)")
+		timing    = flag.Bool("t", false, "print per-document filter time")
+	)
+	flag.Var(&exprs, "e", "XPath expression (repeatable)")
+	flag.Parse()
+
+	cfg := predfilter.Config{}
+	switch *org {
+	case "basic":
+		cfg.Organization = predfilter.Basic
+	case "pc":
+		cfg.Organization = predfilter.PrefixCover
+	case "pc-ap", "":
+		cfg.Organization = predfilter.PrefixCoverAP
+	default:
+		fatal(fmt.Errorf("unknown -org %q", *org))
+	}
+	switch *attrs {
+	case "inline", "":
+		cfg.AttributeMode = predfilter.InlineAttributes
+	case "postponed":
+		cfg.AttributeMode = predfilter.PostponedAttributes
+	default:
+		fatal(fmt.Errorf("unknown -attrs %q", *attrs))
+	}
+
+	all := []string(exprs)
+	if *exprFile != "" {
+		fromFile, err := readExprFile(*exprFile)
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, fromFile...)
+	}
+	if len(all) == 0 {
+		fatal(fmt.Errorf("no expressions; use -e or -f"))
+	}
+
+	eng := predfilter.New(cfg)
+	bySID := make(map[predfilter.SID]string, len(all))
+	for _, s := range all {
+		sid, err := eng.Add(s)
+		if err != nil {
+			fatal(err)
+		}
+		bySID[sid] = s
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "xfilter: %d expressions (%d distinct, %d distinct predicates)\n",
+		st.Expressions, st.DistinctExpressions, st.DistinctPredicates)
+
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	for _, name := range files {
+		var data []byte
+		var err error
+		if name == "-" {
+			data, err = io.ReadAll(os.Stdin)
+			name = "<stdin>"
+		} else {
+			data, err = os.ReadFile(name)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		var sids []predfilter.SID
+		var counts map[predfilter.SID]int
+		var err2 error
+		if *allMode {
+			counts, err2 = eng.MatchCounts(data)
+			for sid := range counts {
+				sids = append(sids, sid)
+			}
+		} else {
+			sids, err2 = eng.Match(data)
+		}
+		took := time.Since(t0)
+		if err2 != nil {
+			fatal(fmt.Errorf("%s: %w", name, err2))
+		}
+		fmt.Printf("%s: %d matches", name, len(sids))
+		if !*countOnly {
+			for _, sid := range sids {
+				if *allMode {
+					fmt.Printf("\n  %s (%d combinations)", bySID[sid], counts[sid])
+				} else {
+					fmt.Printf("\n  %s", bySID[sid])
+				}
+			}
+		}
+		if *timing {
+			fmt.Printf("  (%v)", took)
+		}
+		fmt.Println()
+	}
+}
+
+func readExprFile(name string) ([]string, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xfilter:", err)
+	os.Exit(1)
+}

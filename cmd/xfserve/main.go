@@ -1,0 +1,70 @@
+// Command xfserve runs the content-based dissemination service: an HTTP
+// API over the filtering engine (see internal/server for the endpoints).
+//
+//	xfserve -addr :8080
+//	curl -X POST localhost:8080/subscriptions -d '{"expression":"/feed/alert"}'
+//	curl -X POST localhost:8080/publish --data-binary @doc.xml
+//	curl 'localhost:8080/deliveries/0?max=5'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"predfilter"
+	"predfilter/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		queue     = flag.Int("queue", 128, "per-subscription delivery queue limit")
+		maxDoc    = flag.Int64("max-doc", 1<<20, "maximum published document size in bytes")
+		postponed = flag.Bool("postponed", false, "use selection-postponed attribute evaluation")
+		subsFile  = flag.String("subs", "", "file with one subscription expression per line to preload")
+	)
+	flag.Parse()
+
+	cfg := server.Config{QueueLimit: *queue, MaxDocumentBytes: *maxDoc}
+	if *postponed {
+		cfg.Engine.AttributeMode = predfilter.PostponedAttributes
+	}
+	srv := server.New(cfg)
+	if *subsFile != "" {
+		xpes, err := readLines(*subsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids, err := srv.Preload(xpes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("xfserve: preloaded %d subscriptions from %s", len(ids), *subsFile)
+	}
+	log.Printf("xfserve listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// readLines reads one expression per line, skipping blanks and '#'
+// comments.
+func readLines(name string) ([]string, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}

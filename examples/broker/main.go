@@ -1,0 +1,195 @@
+// Broker: a tiny TCP publish/subscribe broker built on the filtering
+// engine — the content-based message routing scenario of the paper's
+// introduction. Clients speak a line protocol:
+//
+//	SUB <xpath-expression>\n        → OK <id>
+//	PUB <single-line-xml>\n         → OK <n> (n subscribers notified)
+//
+// Every subscriber connection receives "MATCH <id> <xml>" lines for the
+// documents matching its subscriptions. The demo starts a broker on a
+// loopback port, connects three subscriber clients and a publisher, and
+// routes a few documents.
+//
+//	go run ./examples/broker
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"predfilter"
+)
+
+// broker routes published documents to matching subscribers.
+type broker struct {
+	eng *predfilter.Engine
+
+	mu   sync.Mutex
+	subs map[predfilter.SID]*subscriber
+}
+
+type subscriber struct {
+	conn net.Conn
+	mu   sync.Mutex
+}
+
+func (s *subscriber) send(line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintln(s.conn, line)
+}
+
+func newBroker() *broker {
+	return &broker{
+		eng:  predfilter.New(predfilter.Config{}),
+		subs: make(map[predfilter.SID]*subscriber),
+	}
+}
+
+func (b *broker) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go b.handle(conn)
+	}
+}
+
+func (b *broker) handle(conn net.Conn) {
+	defer conn.Close()
+	sub := &subscriber{conn: conn}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "SUB "):
+			xpe := strings.TrimSpace(line[4:])
+			b.mu.Lock()
+			sid, err := b.eng.Add(xpe)
+			if err == nil {
+				b.subs[sid] = sub
+			}
+			b.mu.Unlock()
+			if err != nil {
+				sub.send("ERR " + err.Error())
+				continue
+			}
+			sub.send(fmt.Sprintf("OK %d", sid))
+		case strings.HasPrefix(line, "PUB "):
+			doc := line[4:]
+			b.mu.Lock()
+			sids, err := b.eng.Match([]byte(doc))
+			var targets []struct {
+				sid predfilter.SID
+				s   *subscriber
+			}
+			if err == nil {
+				for _, sid := range sids {
+					if s, ok := b.subs[sid]; ok {
+						targets = append(targets, struct {
+							sid predfilter.SID
+							s   *subscriber
+						}{sid, s})
+					}
+				}
+			}
+			b.mu.Unlock()
+			if err != nil {
+				sub.send("ERR " + err.Error())
+				continue
+			}
+			for _, t := range targets {
+				t.s.send(fmt.Sprintf("MATCH %d %s", t.sid, doc))
+			}
+			sub.send(fmt.Sprintf("OK %d", len(targets)))
+		case line == "QUIT":
+			return
+		default:
+			sub.send("ERR unknown command")
+		}
+	}
+}
+
+// client is a minimal demo client.
+type client struct {
+	name string
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+func dial(addr, name string) *client {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &client{name: name, conn: conn, rd: bufio.NewReader(conn)}
+}
+
+func (c *client) cmd(line string) string {
+	fmt.Fprintln(c.conn, line)
+	resp, err := c.rd.ReadString('\n')
+	if err != nil {
+		log.Fatalf("%s: %v", c.name, err)
+	}
+	return strings.TrimSpace(resp)
+}
+
+// drain prints pushed MATCH lines until the deadline passes.
+func (c *client) drain(d time.Duration) int {
+	n := 0
+	deadline := time.Now().Add(d)
+	for {
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return n
+		}
+		line, err := c.rd.ReadString('\n')
+		if err != nil {
+			return n
+		}
+		fmt.Printf("  %s received: %s\n", c.name, strings.TrimSpace(line))
+		n++
+	}
+}
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := newBroker()
+	go b.serve(ln)
+	addr := ln.Addr().String()
+	fmt.Printf("broker listening on %s\n\n", addr)
+
+	weather := dial(addr, "weather-svc")
+	fmt.Printf("weather-svc subscribes: %s\n", weather.cmd("SUB //alert[@kind=weather]"))
+	trades := dial(addr, "trade-svc")
+	fmt.Printf("trade-svc subscribes:   %s\n", trades.cmd("SUB /feed/trade[@sym=ACME]//px"))
+	audit := dial(addr, "audit-svc")
+	fmt.Printf("audit-svc subscribes:   %s\n\n", audit.cmd("SUB /feed/*"))
+
+	pub := dial(addr, "publisher")
+	docs := []string{
+		`<feed><alert kind="weather"><msg>storm warning</msg></alert></feed>`,
+		`<feed><trade sym="ACME"><px>101</px></trade></feed>`,
+		`<feed><trade sym="OTHER"><px>7</px></trade></feed>`,
+		`<note>not a feed at all</note>`,
+	}
+	for _, d := range docs {
+		fmt.Printf("publish %s → %s\n", d, pub.cmd("PUB "+d))
+	}
+	fmt.Println()
+
+	total := 0
+	for _, c := range []*client{weather, trades, audit} {
+		total += c.drain(200 * time.Millisecond)
+	}
+	fmt.Printf("\n%d notifications delivered\n", total)
+}

@@ -1,0 +1,60 @@
+// Quickstart: register a handful of XPath expressions and filter one XML
+// document through them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predfilter"
+)
+
+const doc = `
+<order status="open">
+  <customer tier="gold">
+    <name>Ada</name>
+    <address><city>Toronto</city></address>
+  </customer>
+  <items>
+    <item sku="17" qty="2"><price currency="cad">19</price></item>
+    <item sku="42" qty="1"><price currency="usd">350</price></item>
+  </items>
+</order>`
+
+func main() {
+	eng := predfilter.New(predfilter.Config{})
+
+	subscriptions := []string{
+		"/order/items/item",               // any order line
+		"/order/customer[@tier=gold]",     // gold customers
+		"//price[@currency=usd]",          // anything priced in USD
+		"/order/items/item[@qty>=3]",      // bulk lines (won't match)
+		"/order/*/address//city",          // city anywhere under an address
+		"/order[customer/address]//price", // nested path filter
+		"/order/customer[@tier=silver]",   // silver customers (won't match)
+	}
+
+	bySID := make(map[predfilter.SID]string)
+	for _, s := range subscriptions {
+		sid, err := eng.Add(s)
+		if err != nil {
+			log.Fatalf("register %q: %v", s, err)
+		}
+		bySID[sid] = s
+	}
+
+	st := eng.Stats()
+	fmt.Printf("registered %d expressions (%d distinct predicates shared)\n\n",
+		st.Expressions, st.DistinctPredicates)
+
+	matches, err := eng.Match([]byte(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document matched %d of %d expressions:\n", len(matches), len(subscriptions))
+	for _, sid := range matches {
+		fmt.Printf("  %s\n", bySID[sid])
+	}
+}

@@ -1,0 +1,3 @@
+module predfilter
+
+go 1.22

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"testing"
+
+	"predfilter/internal/dtd"
+	"predfilter/internal/matcher"
+	"predfilter/internal/predicate"
+)
+
+// TestWorkloadCalibration checks the synthetic DTDs land in the paper's
+// workload regimes: NITF documents ≈140 tags / ≈9 KB with a low matched
+// percentage (paper: ~6%), PSD with a high matched percentage (paper:
+// ~75%). The bands here are deliberately generous — the point is the
+// qualitative contrast that drives every §6 trade-off, not a particular
+// decimal.
+func TestWorkloadCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload calibration is a slow statistics test")
+	}
+	nitfCfg := DefaultWorkloadConfig(2000)
+	nitfCfg.Docs = 60
+	nitf := MustWorkload(dtd.NITF(), nitfCfg)
+	st, err := nitf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("NITF docs: %+v", st)
+	if st.AvgTags < 80 || st.AvgTags > 250 {
+		t.Errorf("NITF avg tags = %.0f, want ≈140 (80..250)", st.AvgTags)
+	}
+	if st.AvgBytes < 2500 || st.AvgBytes > 20000 {
+		t.Errorf("NITF avg bytes = %.0f, want ≈9000 (2.5k..20k)", st.AvgBytes)
+	}
+
+	rn, err := RunPredicate(matcher.PrefixCoverAP, predicate.Inline, nitf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("NITF: %s", rn)
+	if rn.MatchedFrac > 0.2 {
+		t.Errorf("NITF matched fraction = %.2f, want low (<0.2, paper ~0.06)", rn.MatchedFrac)
+	}
+
+	psdCfg := DefaultWorkloadConfig(1000)
+	psdCfg.Docs = 60
+	psd := MustWorkload(dtd.PSD(), psdCfg)
+	rp, err := RunPredicate(matcher.PrefixCoverAP, predicate.Inline, psd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("PSD: %s", rp)
+	if rp.MatchedFrac < 0.45 {
+		t.Errorf("PSD matched fraction = %.2f, want high (>0.45)", rp.MatchedFrac)
+	}
+	if rp.MatchedFrac < rn.MatchedFrac*3 {
+		t.Errorf("PSD match %% (%.2f) should dominate NITF match %% (%.2f)", rp.MatchedFrac, rn.MatchedFrac)
+	}
+}
+
+// TestEnginesAgreeOnWorkload cross-checks all engines report identical
+// match counts on a generated workload (structural only, so Index-Filter
+// can participate).
+func TestEnginesAgreeOnWorkload(t *testing.T) {
+	for _, d := range []interface{ Name() string }{} {
+		_ = d
+	}
+	for _, schema := range []string{"nitf", "psd"} {
+		var w *Workload
+		cfg := DefaultWorkloadConfig(300)
+		cfg.Docs = 15
+		if schema == "nitf" {
+			w = MustWorkload(dtd.NITF(), cfg)
+		} else {
+			w = MustWorkload(dtd.PSD(), cfg)
+		}
+		var fracs []float64
+		for _, a := range []Algorithm{AlgoBasic, AlgoPC, AlgoPCAP, AlgoYFilter, AlgoIndexFilter, AlgoXFilterFSM, AlgoXTrie} {
+			r, err := Run(a, w)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", schema, a, err)
+			}
+			fracs = append(fracs, r.MatchedFrac)
+		}
+		for i := 1; i < len(fracs); i++ {
+			if fracs[i] != fracs[0] {
+				t.Errorf("%s: engines disagree on matched fraction: %v", schema, fracs)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestExperimentRegistry checks ids resolve and are unique.
+func TestExperimentRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ExperimentByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ExperimentByID(%q) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Error("ExperimentByID accepted an unknown id")
+	}
+	// Every figure and table of §6 must be covered.
+	for _, id := range []string{"table1", "fig6a", "fig6b", "fig7", "fig8w", "fig8do", "fig9a", "fig9b", "fig10", "parse"} {
+		if !seen[id] {
+			t.Errorf("experiment %q missing from the registry", id)
+		}
+	}
+}
+
+// TestExperimentsSmoke runs every experiment end-to-end at the smoke
+// scale: each must produce points (table1 produces text instead) and all
+// timings must be positive.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke-running all experiments is slow")
+	}
+	tiny := Scale{Name: "smoke", Docs: 4, Factor: 0.001}
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			points, err := e.Run(tiny, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.ID == "table1" {
+				if len(points) != 0 {
+					t.Fatalf("table1 produced %d points", len(points))
+				}
+				return
+			}
+			if len(points) == 0 {
+				t.Fatal("no points")
+			}
+			for _, p := range points {
+				if p.Series == "" {
+					t.Errorf("point without series: %+v", p)
+				}
+				if p.R.Filter <= 0 {
+					t.Errorf("%s: non-positive filter time %v", p.Series, p.R.Filter)
+				}
+			}
+		})
+	}
+}
+
+// TestScaleByName covers the scale presets.
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"smoke", "default", "full", ""} {
+		s, err := ScaleByName(name)
+		if err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+		if s.Docs <= 0 || s.Factor <= 0 {
+			t.Errorf("ScaleByName(%q) = %+v", name, s)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("ScaleByName accepted an unknown scale")
+	}
+}
+
+// TestTable1Text checks the rendered table contains the paper's rows.
+func TestTable1Text(t *testing.T) {
+	text := Table1Text()
+	for _, want := range []string{
+		"(d(p_a, p_b), >=, 1)", "(1,1), (1,2), (2,2)",
+		"(d(p_b, p_c), =, 1)", "(1,1), (2,2)",
+		"(d(p_c, p_b), >=, 1)", "(1,2)",
+		"(d(p_b, p_a), >=, 1)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table1Text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestPrintPoints covers the renderer.
+func TestPrintPoints(t *testing.T) {
+	var sb strings.Builder
+	PrintPoints(&sb, []Point{
+		{Series: "b", X: 2, XLabel: "expressions", R: Result{Filter: 5}},
+		{Series: "a", X: 1, XLabel: "expressions", R: Result{Filter: 3}},
+		{Series: "b", X: 1, XLabel: "expressions", R: Result{Filter: 4}},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "b:") || !strings.Contains(out, "a:") {
+		t.Errorf("missing series headers:\n%s", out)
+	}
+	if strings.Index(out, "b:") > strings.Index(out, "a:") {
+		t.Errorf("series not in first-seen order:\n%s", out)
+	}
+	PrintPoints(&sb, nil) // must not panic
+}

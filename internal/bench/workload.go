@@ -1,0 +1,130 @@
+// Package bench assembles workloads and runs the paper's experiments: it
+// pairs the DTD-driven document and expression generators, runs each
+// filtering engine over a document set, and reports the timing series of
+// every table and figure in §6 (see DESIGN.md for the experiment index).
+package bench
+
+import (
+	"fmt"
+
+	"predfilter/internal/dtd"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xmlgen"
+	"predfilter/internal/xpgen"
+)
+
+// Workload is one experiment input: a document set plus an expression set.
+type Workload struct {
+	DTD  *dtd.DTD
+	Docs [][]byte // serialized documents (each engine parses its own way)
+	XPEs []string
+}
+
+// WorkloadConfig describes a workload in the paper's terms.
+type WorkloadConfig struct {
+	// Docs is the number of generated documents (paper: 500 per DTD).
+	Docs int
+	// MaxLevels is the document nesting bound (paper: 6–10, set
+	// consistently with MaxLength).
+	MaxLevels int
+	// Exprs is N: the number of expressions.
+	Exprs int
+	// MaxLength is L (paper default 6).
+	MaxLength int
+	// Wildcard is W (paper default 0.2).
+	Wildcard float64
+	// Descendant is DO (paper default 0.2).
+	Descendant float64
+	// Distinct is D.
+	Distinct bool
+	// Filters is the number of attribute filters per expression.
+	Filters int
+	// Seed controls both generators.
+	Seed int64
+}
+
+// DefaultWorkloadConfig returns the paper's §6.2 defaults at the given
+// expression count.
+func DefaultWorkloadConfig(exprs int) WorkloadConfig {
+	return WorkloadConfig{
+		Docs:       500,
+		MaxLevels:  6,
+		Exprs:      exprs,
+		MaxLength:  6,
+		Wildcard:   0.2,
+		Descendant: 0.2,
+		Distinct:   true,
+		Seed:       42,
+	}
+}
+
+// NewWorkload generates a workload.
+func NewWorkload(d *dtd.DTD, cfg WorkloadConfig) (*Workload, error) {
+	gen := xmlgen.New(d, xmlgen.Config{MaxLevels: cfg.MaxLevels, Seed: cfg.Seed})
+	docs := gen.GenerateN(cfg.Docs)
+	xpes, err := xpgen.Generate(d, xpgen.Config{
+		Count:      cfg.Exprs,
+		MaxLength:  cfg.MaxLength,
+		Wildcard:   cfg.Wildcard,
+		Descendant: cfg.Descendant,
+		Distinct:   cfg.Distinct,
+		Filters:    cfg.Filters,
+		Seed:       cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return &Workload{DTD: d, Docs: docs, XPEs: xpes}, nil
+}
+
+// MustWorkload is NewWorkload that panics on error.
+func MustWorkload(d *dtd.DTD, cfg WorkloadConfig) *Workload {
+	w, err := NewWorkload(d, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// ParseDocs parses every document with the path-decomposing parser (used
+// by the predicate engine and by statistics).
+func (w *Workload) ParseDocs() ([]*xmldoc.Document, error) {
+	out := make([]*xmldoc.Document, len(w.Docs))
+	for i, d := range w.Docs {
+		doc, err := xmldoc.Parse(d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = doc
+	}
+	return out, nil
+}
+
+// DocStats summarizes a document set.
+type DocStats struct {
+	Docs     int
+	AvgTags  float64
+	AvgBytes float64
+	AvgPaths float64
+}
+
+// Stats computes document-set statistics (the paper reports ≈140 tags and
+// ≈8.77 KB per document).
+func (w *Workload) Stats() (DocStats, error) {
+	var st DocStats
+	st.Docs = len(w.Docs)
+	for _, raw := range w.Docs {
+		st.AvgBytes += float64(len(raw))
+		doc, err := xmldoc.Parse(raw)
+		if err != nil {
+			return st, err
+		}
+		st.AvgTags += float64(doc.Elements)
+		st.AvgPaths += float64(len(doc.Paths))
+	}
+	n := float64(st.Docs)
+	st.AvgTags /= n
+	st.AvgBytes /= n
+	st.AvgPaths /= n
+	return st, nil
+}

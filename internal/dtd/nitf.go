@@ -1,0 +1,203 @@
+package dtd
+
+// NITF returns the synthetic News Industry Text Format schema: a large
+// (~110 element types), deep and irregular vocabulary with attribute-rich
+// elements. Documents instantiate only a small random subset of the many
+// optional branches, so randomly generated expressions are highly
+// selective — the paper reports ~6% matched expressions on this workload.
+func NITF() *DTD {
+	b := newBuilder("nitf", "nitf")
+
+	b.el("nitf", "head", "body").
+		attr("version", true, "3.0", "3.1", "3.2").
+		attr("change.date", false, nums(1, 28)...)
+	b.el("head", "title", "meta*", "tobject?", "docdata", "pubdata*", "revision-history*").
+		attr("id", false, nums(1, 9)...)
+	b.el("title")
+	b.el("meta").
+		attr("name", true, "origin", "urgency", "slug", "channel").
+		attr("content", true, nums(1, 12)...)
+	b.el("tobject", "tobject.property*", "tobject.subject*").
+		attr("tobject.type", true, "news", "feature", "analysis", "background")
+	b.el("tobject.property").
+		attr("tobject.property.type", true, "current", "interview", "obituary", "poll", "profile", "summary")
+	b.el("tobject.subject").
+		attr("tobject.subject.code", true, nums(1, 17)...).
+		attr("tobject.subject.type", false, "politics", "sport", "finance", "weather", "science")
+	b.el("docdata", "correction?", "evloc?", "doc-id", "del-list?", "urgency?", "fixture?",
+		"date.issue", "date.release?", "date.expire?", "doc-scope*", "series?", "ed-msg?",
+		"du-key?", "doc.copyright?", "key-list?", "identified-content?")
+	b.el("correction").attr("info", true, "regret", "correction-date")
+	b.el("evloc").
+		attr("iso-cc", true, "us", "ca", "de", "fr", "jp", "uk", "cn").
+		attr("city", false, "nyc", "toronto", "berlin", "paris", "tokyo", "london")
+	b.el("doc-id").
+		attr("id-string", true, nums(1000, 1023)...).
+		attr("regsrc", false, "ap", "reuters", "afp", "dpa")
+	b.el("del-list", "from-src*")
+	b.el("from-src").attr("src-name", true, "wire", "desk", "stringer")
+	b.el("urgency").attr("ed-urg", true, nums(1, 8)...)
+	b.el("fixture").attr("fix-id", true, nums(1, 6)...)
+	b.el("date.issue").attr("norm", true, nums(20240101, 20240112)...)
+	b.el("date.release").attr("norm", true, nums(20240101, 20240112)...)
+	b.el("date.expire").attr("norm", true, nums(20240101, 20240112)...)
+	b.el("doc-scope").attr("scope", true, "national", "regional", "local", "international")
+	b.el("series").
+		attr("series.name", true, "election", "olympics", "markets").
+		attr("series.part", false, nums(1, 9)...)
+	b.el("ed-msg").attr("info", true, "embargo", "advisory", "update")
+	b.el("du-key", "key-list?").attr("version", false, nums(1, 5)...)
+	b.el("doc.copyright").
+		attr("year", true, nums(2020, 2026)...).
+		attr("holder", false, "ap", "reuters", "afp")
+	b.el("key-list", "keyword*")
+	b.el("keyword").attr("key", true, "election", "merger", "storm", "cup", "trial", "strike", "launch", "summit")
+	b.el("identified-content", "person*", "org*", "location*", "event*", "function*",
+		"object.title*", "virtloc*", "classifier*")
+	b.el("pubdata").
+		attr("type", true, "print", "web", "broadcast").
+		attr("item-length", false, nums(100, 111)...).
+		attr("unit-of-measure", false, "word", "character", "inch")
+	b.el("revision-history").
+		attr("name", true, "ed1", "ed2", "desk").
+		attr("function", false, "update", "correct", "expand").
+		attr("norm", false, nums(20240101, 20240112)...)
+
+	b.el("body", "body.head?", "body.content+", "body.end?")
+	b.el("body.head", "hedline?", "note*", "rights?", "byline*", "distributor?", "dateline*", "abstract*", "series?")
+	b.el("hedline", "hl1", "hl2*")
+	b.el("hl1")
+	b.el("hl2")
+	b.el("note", "body.content?").
+		attr("noteclass", true, "cpyrt", "end", "hd", "editorsnote").
+		attr("type", false, "std", "pa", "npa")
+	b.el("rights", "rights.owner?", "rights.startdate?", "rights.enddate?", "rights.agent?")
+	b.el("rights.owner")
+	b.el("rights.startdate").attr("norm", true, nums(20240101, 20240112)...)
+	b.el("rights.enddate").attr("norm", true, nums(20240101, 20240112)...)
+	b.el("rights.agent")
+	b.el("byline", "person?", "byttl?", "location?", "virtloc?")
+	b.el("byttl", "org?")
+	b.el("distributor", "org?")
+	b.el("dateline", "location?", "story.date?")
+	b.el("story.date").attr("norm", true, nums(20240101, 20240112)...)
+	b.el("abstract", "p*")
+
+	b.el("body.content", "p+", "block*", "table*", "media*", "ol*", "ul*", "dl*", "bq*", "fn*", "hr?")
+	b.el("block", "tobject.subject?", "p*", "media?", "table?", "bq?", "fn?").
+		attr("id", false, nums(1, 30)...)
+	b.el("p", "em*", "q*", "a*", "br*", "person?", "location?", "org?", "chron?", "num?", "money?", "copyrite?").
+		attr("lede", false, "true", "false").
+		attr("summary", false, "true", "false").
+		attr("optional-text", false, "true", "false")
+	b.el("em", "q?")
+	b.el("q", "em?")
+	b.el("a").
+		attr("href", false, nums(1, 40)...).
+		attr("name", false, nums(1, 40)...)
+	b.el("br")
+	b.el("chron").attr("norm", true, nums(20240101, 20240112)...)
+	b.el("num", "frac?", "sub?", "sup?")
+	b.el("frac", "frac-num?", "frac-sep?", "frac-den?")
+	b.el("frac-num")
+	b.el("frac-sep")
+	b.el("frac-den")
+	b.el("sub")
+	b.el("sup")
+	b.el("money").attr("unit", true, "usd", "eur", "gbp", "jpy", "cad")
+	b.el("copyrite", "copyrite.year?", "copyrite.holder?")
+	b.el("copyrite.year")
+	b.el("copyrite.holder")
+
+	b.el("media", "media-reference+", "media-metadata*", "media-caption*", "media-producer?").
+		attr("media-type", true, "image", "video", "audio", "data")
+	b.el("media-reference").
+		attr("source", true, nums(1, 24)...).
+		attr("mime-type", true, "image-jpeg", "image-png", "video-mp4", "audio-mp3").
+		attr("height", false, nums(240, 251)...).
+		attr("width", false, nums(320, 331)...)
+	b.el("media-metadata").
+		attr("name", true, "camera", "lens", "iso", "shutter").
+		attr("value", true, nums(1, 16)...)
+	b.el("media-caption", "p*")
+	b.el("media-producer", "person?", "org?")
+
+	b.el("table", "nitf-table-metadata?", "tr*").
+		attr("width", false, nums(1, 12)...).
+		attr("border", false, "0", "1")
+	b.el("nitf-table-metadata", "nitf-table-summary?", "nitf-col*").
+		attr("class", false, "data", "layout")
+	b.el("nitf-table-summary", "p?")
+	b.el("nitf-col").
+		attr("value", true, nums(1, 12)...).
+		attr("occurrences", false, nums(1, 6)...)
+	b.el("tr", "th*", "td*")
+	b.el("th", "p?")
+	b.el("td", "p?", "ul?", "ol?")
+
+	b.el("ol", "li*").attr("seqnum", false, nums(1, 9)...)
+	b.el("ul", "li*")
+	b.el("li", "p?", "ul?", "ol?")
+	b.el("dl", "dt*", "dd*")
+	b.el("dt")
+	b.el("dd", "p?")
+	b.el("bq", "block?", "credit?").attr("quote-source", false, "speech", "statement", "report")
+	b.el("credit", "person?", "org?")
+	b.el("fn", "p*")
+	b.el("hr")
+
+	b.el("body.end", "tagline?", "bibliography?")
+	b.el("tagline", "a?")
+	b.el("bibliography")
+
+	b.el("person", "name.given?", "name.family?", "function?", "alt-code*").
+		attr("idsrc", false, "staff", "wire", "guest")
+	b.el("name.given")
+	b.el("name.family")
+	b.el("function").attr("role", false, "reporter", "editor", "analyst", "minister", "ceo", "coach")
+	b.el("org", "org.id?", "alt-code*").
+		attr("idsrc", false, "ticker", "registry").
+		attr("value", false, nums(1, 40)...)
+	b.el("org.id").attr("id-value", true, nums(1, 40)...)
+	b.el("alt-code").
+		attr("idsrc", true, "iptc", "local").
+		attr("value", true, nums(1, 40)...)
+	b.el("location", "sublocation?", "city?", "state?", "region?", "country?")
+	b.el("sublocation")
+	b.el("city").attr("city-code", false, nums(1, 24)...)
+	b.el("state").attr("state-code", false, "ny", "ca", "tx", "on", "bc")
+	b.el("region").attr("region-code", false, "na", "eu", "apac", "latam")
+	b.el("country").attr("iso-cc", false, "us", "ca", "de", "fr", "jp", "uk", "cn")
+	b.el("event", "classifier*").
+		attr("start-date", false, nums(20240101, 20240112)...).
+		attr("end-date", false, nums(20240101, 20240112)...)
+	b.el("object.title")
+	b.el("virtloc").attr("idsrc", false, "uri", "doi")
+	b.el("classifier").
+		attr("type", false, "category", "genre", "priority").
+		attr("value", false, nums(1, 20)...)
+
+	// The real NITF DTD makes virtually every child optional (head?,
+	// title?, docdata?, body.content*, ...); only the body is required.
+	// Mirror that: demote One→Optional and Plus→Star everywhere except
+	// nitf→body. This is what makes randomly generated expressions so
+	// selective on NITF documents.
+	for _, el := range b.d.Elements {
+		for i := range el.Children {
+			if el.Name == "nitf" && el.Children[i].Name == "body" {
+				continue
+			}
+			switch el.Children[i].Repeat {
+			case One:
+				el.Children[i].Repeat = Optional
+			case Plus:
+				el.Children[i].Repeat = Star
+			}
+		}
+	}
+
+	if err := b.d.Validate(); err != nil {
+		panic(err)
+	}
+	return b.d
+}

@@ -1,0 +1,70 @@
+package dtd
+
+// PSD returns the synthetic Protein Sequence Database schema: a small
+// (~40 element types), highly regular record structure with few
+// attributes. Almost every document instantiates almost every declared
+// path, so most schema-valid expressions match most documents — the paper
+// reports ~75% matched expressions on this workload.
+func PSD() *DTD {
+	b := newBuilder("psd", "ProteinDatabase")
+
+	b.el("ProteinDatabase", "ProteinEntry+")
+	b.el("ProteinEntry", "header", "protein", "organism", "reference+", "genetics?",
+		"classification", "keywords", "feature+", "summary", "sequence").
+		attr("id", true, nums(1, 40)...)
+	b.el("header", "uid", "accession+", "created_date", "seq-rev_date", "txt-rev_date")
+	b.el("uid")
+	b.el("accession").attr("ref", false, nums(1, 12)...)
+	b.el("created_date")
+	b.el("seq-rev_date")
+	b.el("txt-rev_date")
+	b.el("protein", "name", "source", "function?")
+	b.el("name")
+	b.el("source")
+	b.el("function")
+	b.el("organism", "formal", "common", "variety?")
+	b.el("formal")
+	b.el("common")
+	b.el("variety")
+	b.el("reference", "refinfo", "accinfo*")
+	b.el("refinfo", "authors", "citation", "title", "year", "pages", "xrefs").
+		attr("refid", false, nums(1, 20)...)
+	b.el("authors", "author+")
+	b.el("author")
+	b.el("citation", "volume", "note?").attr("type", false, "journal", "book", "submission")
+	b.el("volume")
+	b.el("note")
+	b.el("title")
+	b.el("year")
+	b.el("pages")
+	b.el("xrefs", "xref+")
+	b.el("xref", "db", "id")
+	b.el("db")
+	b.el("id")
+	b.el("accinfo", "mol-type", "seq-spec?").
+		attr("acc", false, nums(1, 12)...)
+	b.el("mol-type")
+	b.el("seq-spec")
+	b.el("genetics", "gene", "gene-map?", "codon-start?", "introns?", "note?")
+	b.el("gene")
+	b.el("gene-map")
+	b.el("codon-start").attr("pos", false, nums(1, 3)...)
+	b.el("introns")
+	b.el("classification", "superfamily")
+	b.el("superfamily")
+	b.el("keywords", "keyword+")
+	b.el("keyword")
+	b.el("feature", "feature-type", "description", "seq-spec?").
+		attr("label", false, nums(1, 16)...)
+	b.el("feature-type")
+	b.el("description")
+	b.el("summary", "length", "type")
+	b.el("length")
+	b.el("type")
+	b.el("sequence")
+
+	if err := b.d.Validate(); err != nil {
+		panic(err)
+	}
+	return b.d
+}

@@ -1,0 +1,281 @@
+// Package fsmfilter reimplements XFilter (Altinel & Franklin, VLDB 2000),
+// the earliest automaton-based XML filtering system and the system the
+// paper's related-work section contrasts against: "XFilter treats each
+// XPE as a finite state machine. This approach is not able to adequately
+// handle overlap, especially, prefix overlap between expressions."
+//
+// Each expression runs as its own state machine. A query index keyed by
+// element name holds the currently active states (XFilter's candidate
+// lists); document events advance them — a start element activates the
+// successors of every satisfied state, an end element retracts the
+// activations made in its scope. Because nothing is shared between
+// expressions, workloads with heavy overlap pay per expression; the
+// benchmark suite uses this engine to quantify exactly the sharing that
+// YFilter's shared NFA and the predicate engine's shared predicate index
+// provide.
+//
+// Duplicate expressions are deduplicated (as in the other engines here),
+// which is itself charitable to XFilter on duplicate-heavy workloads.
+package fsmfilter
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"predfilter/internal/xpath"
+)
+
+// SID identifies one registered expression.
+type SID int32
+
+// wildcardKey indexes activations whose next step is a wildcard.
+const wildcardKey = "*"
+
+// step is one compiled location step.
+type step struct {
+	name     string // "" for wildcard
+	wildcard bool
+	desc     bool // reached via the descendant axis
+	attrs    []xpath.AttrFilter
+}
+
+// query is one distinct compiled expression.
+type query struct {
+	id    int
+	steps []step
+	sids  []SID
+}
+
+// Engine is an XFilter instance.
+type Engine struct {
+	queries []*query
+	byKey   map[string]*query
+	nsids   int
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{byKey: make(map[string]*query)}
+}
+
+// Add registers an expression. Nested path filters are not supported
+// (XFilter's published system predates them in this form).
+func (e *Engine) Add(s string) (SID, error) {
+	p, err := xpath.Parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return e.AddPath(p)
+}
+
+// AddPath registers a parsed expression.
+func (e *Engine) AddPath(p *xpath.Path) (SID, error) {
+	if !p.IsSinglePath() {
+		return 0, fmt.Errorf("fsmfilter: nested path filters are not supported: %q", p)
+	}
+	key := canonKey(p)
+	q := e.byKey[key]
+	if q == nil {
+		q = compile(p)
+		q.id = len(e.queries)
+		e.queries = append(e.queries, q)
+		e.byKey[key] = q
+	}
+	sid := SID(e.nsids)
+	e.nsids++
+	q.sids = append(q.sids, sid)
+	return sid, nil
+}
+
+func canonKey(p *xpath.Path) string {
+	if p.Absolute {
+		return p.String()
+	}
+	return "//" + p.String()
+}
+
+func compile(p *xpath.Path) *query {
+	q := &query{steps: make([]step, len(p.Steps))}
+	for i, s := range p.Steps {
+		st := step{name: s.Name, wildcard: s.Wildcard, attrs: s.Attrs}
+		if s.Axis == xpath.Descendant || (i == 0 && !p.Absolute) {
+			// A relative expression may start anywhere: its first state
+			// behaves as if reached by a descendant axis.
+			st.desc = true
+		}
+		q.steps[i] = st
+	}
+	return q
+}
+
+// Stats summarizes engine state.
+type Stats struct {
+	DistinctExpressions int
+	SIDs                int
+}
+
+// Stats returns engine statistics.
+func (e *Engine) Stats() Stats {
+	return Stats{DistinctExpressions: len(e.queries), SIDs: e.nsids}
+}
+
+// activation is one live state of one query's machine: the query is
+// waiting for step idx at the given level (exact, or minimum when the
+// step is reached via the descendant axis).
+type activation struct {
+	q     *query
+	idx   int32
+	level int32 // required level (exact) or minimum level (minLvl)
+	min   bool
+}
+
+// runtime is the per-document evaluation state.
+type runtime struct {
+	lists    map[string][]activation
+	undo     [][]undoEntry // per-depth truncation log
+	matched  []bool
+	nmatched int
+}
+
+type undoEntry struct {
+	key    string
+	oldLen int
+}
+
+// Filter parses the document and returns the SIDs of all matching
+// expressions.
+func (e *Engine) Filter(doc []byte) ([]SID, error) {
+	return e.FilterReader(bytes.NewReader(doc))
+}
+
+// FilterReader is Filter over a stream.
+func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
+	rt := &runtime{
+		lists:   make(map[string][]activation),
+		matched: make([]bool, len(e.queries)),
+	}
+	// Initial activations: every query's first step, at depth 0 (never
+	// retracted).
+	for _, q := range e.queries {
+		first := q.steps[0]
+		rt.add(first, activation{q: q, idx: 0, level: 1, min: first.desc})
+	}
+
+	dec := xml.NewDecoder(r)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fsmfilter: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			rt.undo = append(rt.undo, nil)
+			rt.startElement(t, depth)
+		case xml.EndElement:
+			if len(rt.undo) == 0 {
+				return nil, fmt.Errorf("fsmfilter: unbalanced end element <%s>", t.Name.Local)
+			}
+			// Roll back in reverse: a list appended to more than once in
+			// this scope must end at its earliest recorded length.
+			frame := rt.undo[len(rt.undo)-1]
+			for i := len(frame) - 1; i >= 0; i-- {
+				rt.lists[frame[i].key] = rt.lists[frame[i].key][:frame[i].oldLen]
+			}
+			rt.undo = rt.undo[:len(rt.undo)-1]
+			depth--
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("fsmfilter: unexpected EOF with %d open elements", depth)
+	}
+
+	out := make([]SID, 0, rt.nmatched)
+	for id, ok := range rt.matched {
+		if ok {
+			out = append(out, e.queries[id].sids...)
+		}
+	}
+	return out, nil
+}
+
+// add appends an activation to the list its step is indexed under.
+func (rt *runtime) add(st step, a activation) {
+	key := st.name
+	if st.wildcard {
+		key = wildcardKey
+	}
+	rt.lists[key] = append(rt.lists[key], a)
+}
+
+// addScoped is add with retraction when the current element closes.
+func (rt *runtime) addScoped(st step, a activation) {
+	key := st.name
+	if st.wildcard {
+		key = wildcardKey
+	}
+	d := len(rt.undo) - 1
+	rt.undo[d] = append(rt.undo[d], undoEntry{key: key, oldLen: len(rt.lists[key])})
+	rt.lists[key] = append(rt.lists[key], a)
+}
+
+// startElement advances every activation satisfied by this element.
+func (rt *runtime) startElement(t xml.StartElement, level int) {
+	rt.advance(rt.lists[t.Name.Local], t, level)
+	rt.advance(rt.lists[wildcardKey], t, level)
+}
+
+func (rt *runtime) advance(acts []activation, t xml.StartElement, level int) {
+	// The slice may grow while iterating (an activation for the same key
+	// added by an earlier activation must not fire on this same element);
+	// iterate over the snapshot length.
+	for i := 0; i < len(acts); i++ {
+		a := acts[i]
+		st := &a.q.steps[a.idx]
+		if a.min {
+			if int32(level) < a.level {
+				continue
+			}
+		} else if int32(level) != a.level {
+			continue
+		}
+		if !attrsOK(st.attrs, t.Attr) {
+			continue
+		}
+		if int(a.idx) == len(a.q.steps)-1 {
+			if !rt.matched[a.q.id] {
+				rt.matched[a.q.id] = true
+				rt.nmatched++
+			}
+			continue
+		}
+		next := a.q.steps[a.idx+1]
+		na := activation{q: a.q, idx: a.idx + 1, level: int32(level) + 1, min: next.desc}
+		rt.addScoped(next, na)
+	}
+}
+
+func attrsOK(filters []xpath.AttrFilter, attrs []xml.Attr) bool {
+	for _, f := range filters {
+		ok := false
+		for _, a := range attrs {
+			if a.Name.Local != f.Name {
+				continue
+			}
+			if f.Eval(a.Value) {
+				ok = true
+			}
+			break
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package fsmfilter
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"predfilter/internal/refmatch"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+var tags = []string{"a", "b", "c", "d", "e"}
+
+func randXPE(rng *rand.Rand, withAttrs bool) string {
+	n := 1 + rng.Intn(4)
+	var b strings.Builder
+	if rng.Intn(2) == 0 {
+		b.WriteString("/")
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if rng.Intn(5) == 0 {
+				b.WriteString("//")
+			} else {
+				b.WriteString("/")
+			}
+		} else if b.Len() == 1 && rng.Intn(6) == 0 {
+			b.Reset()
+			b.WriteString("//")
+		}
+		if rng.Intn(4) == 0 {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(tags[rng.Intn(len(tags))])
+		if withAttrs && rng.Intn(3) == 0 {
+			ops := []string{"=", ">=", "<=", "!=", ">", "<"}
+			fmt.Fprintf(&b, "[@%s%s%d]", []string{"x", "y"}[rng.Intn(2)], ops[rng.Intn(len(ops))], 1+rng.Intn(3))
+		}
+	}
+	return b.String()
+}
+
+func randXML(rng *rand.Rand, withAttrs bool) []byte {
+	var b strings.Builder
+	var build func(depth int)
+	build = func(depth int) {
+		tag := tags[rng.Intn(len(tags))]
+		b.WriteString("<" + tag)
+		if withAttrs && rng.Intn(3) == 0 {
+			fmt.Fprintf(&b, ` %s="%d"`, []string{"x", "y"}[rng.Intn(2)], 1+rng.Intn(3))
+		}
+		b.WriteString(">")
+		if depth < 5 {
+			for k := rng.Intn(3); k > 0; k-- {
+				build(depth + 1)
+			}
+		}
+		b.WriteString("</" + tag + ">")
+	}
+	build(1)
+	return []byte(b.String())
+}
+
+func TestExamples(t *testing.T) {
+	e := New()
+	xpes := []string{"/a/b/c", "/a/b/d", "a//c", "b/c", "/b", "/*/*/*", "/a/*/c", "//b/c", "c", "/a//c", "b//b"}
+	want := map[string]bool{"/a/b/c": true, "a//c": true, "b/c": true, "/*/*/*": true, "/a/*/c": true, "//b/c": true, "c": true, "/a//c": true}
+	sids := make([]SID, len(xpes))
+	for i, s := range xpes {
+		sid, err := e.Add(s)
+		if err != nil {
+			t.Fatalf("Add(%q): %v", s, err)
+		}
+		sids[i] = sid
+	}
+	got, err := e.Filter([]byte("<a><b><c/></b><d/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[SID]bool)
+	for _, s := range got {
+		set[s] = true
+	}
+	for i, s := range xpes {
+		if set[sids[i]] != want[s] {
+			t.Errorf("%q: matched=%v, want %v", s, set[sids[i]], want[s])
+		}
+	}
+}
+
+// TestScoping: the classic XFilter trap — an activation created under one
+// element must not fire under a sibling.
+func TestScoping(t *testing.T) {
+	e := New()
+	sid, err := e.Add("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <r><a><x/></a><c><b/></c></r>: b exists at the right level but is
+	// not a child of a.
+	got, err := e.Filter([]byte("<r><a><x/></a><c><b/></c></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("a/b matched across sibling scopes: %v (sid %d)", got, sid)
+	}
+	// ... but matches when b really is under a.
+	got, err = e.Filter([]byte("<r><a><b/></a></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("a/b missed a genuine match: %v", got)
+	}
+}
+
+// TestRandomEquivalence cross-validates against the reference matcher,
+// with and without attribute filters.
+func TestRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for round := 0; round < 60; round++ {
+		withAttrs := round%2 == 1
+		e := New()
+		xpes := make([]string, 40)
+		sids := make([]SID, len(xpes))
+		for i := range xpes {
+			xpes[i] = randXPE(rng, withAttrs)
+			sid, err := e.Add(xpes[i])
+			if err != nil {
+				t.Fatalf("Add(%q): %v", xpes[i], err)
+			}
+			sids[i] = sid
+		}
+		for d := 0; d < 5; d++ {
+			xmlBytes := randXML(rng, withAttrs)
+			doc, err := xmldoc.Parse(xmlBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Filter(xmlBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := make(map[SID]bool)
+			for _, s := range got {
+				set[s] = true
+			}
+			for i, s := range xpes {
+				want := refmatch.Match(xpath.MustParse(s), doc)
+				if set[sids[i]] != want {
+					t.Fatalf("round %d: %q matched=%v, ref=%v on %s", round, s, set[sids[i]], want, xmlBytes)
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicatesAndStats(t *testing.T) {
+	e := New()
+	s1, _ := e.Add("/a")
+	s2, _ := e.Add("/a")
+	if st := e.Stats(); st.DistinctExpressions != 1 || st.SIDs != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	got, err := e.Filter([]byte("<a/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v, want both sids", got)
+	}
+	set := map[SID]bool{got[0]: true, got[1]: true}
+	if !set[s1] || !set[s2] {
+		t.Errorf("sids %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := New()
+	if _, err := e.Add("/a[b]"); err == nil {
+		t.Error("Add accepted a nested path filter")
+	}
+	if _, err := e.Add("]["); err == nil {
+		t.Error("Add accepted garbage")
+	}
+	if _, err := e.Add("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Filter([]byte("<a><b></a>")); err == nil {
+		t.Error("Filter accepted mismatched tags")
+	}
+	if _, err := e.Filter([]byte("<a>")); err == nil {
+		t.Error("Filter accepted a truncated document")
+	}
+}

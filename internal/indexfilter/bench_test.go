@@ -1,0 +1,28 @@
+package indexfilter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFilter measures prefix-tree evaluation over the per-document
+// index streams (engine construction excluded).
+func BenchmarkFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	for i := 0; i < 20000; i++ {
+		if _, err := e.Add(randXPE(rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	docs := make([][]byte, 8)
+	for i := range docs {
+		docs[i] = randXML(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Filter(docs[i%len(docs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package indexfilter reimplements the Index-Filter algorithm (Bruno et
+// al., "Navigation- vs. index-based XML multi-query processing", ICDE
+// 2003), the index-based baseline of the paper's evaluation. Queries are
+// kept in a prefix tree; for each document, per-tag index streams of
+// (start, end, level) element intervals are built, and the prefix tree is
+// evaluated by joining a node's candidate stream against its parent's
+// matched interval. As in the paper's comparison, the algorithm is
+// modified to stop at the first match per expression, and wildcards match
+// any element (which makes the wildcard node's index stream the stream of
+// all elements — the behavior §6.3 describes).
+package indexfilter
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"predfilter/internal/xpath"
+)
+
+// SID identifies one registered expression; duplicates share the prefix
+// tree but receive distinct SIDs.
+type SID int32
+
+// qnode is one prefix-tree node: a location step (axis + name test).
+type qnode struct {
+	desc     bool // descendant axis edge from the parent
+	wildcard bool
+	name     string
+	parent   *qnode
+	children []*qnode
+	exprs    []int32 // distinct-expression ids ending here
+	subtree  int     // number of distinct expressions in this subtree
+}
+
+func (n *qnode) findChild(desc, wildcard bool, name string) *qnode {
+	for _, c := range n.children {
+		if c.desc == desc && c.wildcard == wildcard && (wildcard || c.name == name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// expr is one distinct registered expression.
+type expr struct {
+	sids []SID
+}
+
+// Engine is an Index-Filter instance.
+type Engine struct {
+	root  *qnode
+	exprs []*expr
+	byKey map[string]*expr
+	nsids int
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{root: &qnode{}, byKey: make(map[string]*expr)}
+}
+
+// Add registers an expression. Attribute and nested path filters are
+// outside the fragment the paper benchmarks Index-Filter on and are
+// rejected.
+func (e *Engine) Add(s string) (SID, error) {
+	p, err := xpath.Parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return e.AddPath(p)
+}
+
+// AddPath registers a parsed expression.
+func (e *Engine) AddPath(p *xpath.Path) (SID, error) {
+	if !p.IsSinglePath() {
+		return 0, fmt.Errorf("indexfilter: nested path filters are not supported: %q", p)
+	}
+	if p.HasAttrFilters() {
+		return 0, fmt.Errorf("indexfilter: attribute filters are not supported: %q", p)
+	}
+	key := canonKey(p)
+	ex := e.byKey[key]
+	if ex == nil {
+		ex = &expr{}
+		id := int32(len(e.exprs))
+		e.exprs = append(e.exprs, ex)
+		e.byKey[key] = ex
+		e.insert(p, id)
+	}
+	sid := SID(e.nsids)
+	e.nsids++
+	ex.sids = append(ex.sids, sid)
+	return sid, nil
+}
+
+func canonKey(p *xpath.Path) string {
+	if p.Absolute {
+		return p.String()
+	}
+	return "//" + p.String()
+}
+
+func (e *Engine) insert(p *xpath.Path, id int32) {
+	cur := e.root
+	for i, s := range p.Steps {
+		desc := s.Axis == xpath.Descendant
+		if i == 0 && !p.Absolute {
+			desc = true // a relative expression may start anywhere
+		}
+		next := cur.findChild(desc, s.Wildcard, s.Name)
+		if next == nil {
+			next = &qnode{desc: desc, wildcard: s.Wildcard, name: s.Name, parent: cur}
+			cur.children = append(cur.children, next)
+		}
+		cur = next
+	}
+	cur.exprs = append(cur.exprs, id)
+	e.bumpSubtree(p)
+}
+
+// bumpSubtree recounts subtree expression totals along the inserted path.
+// (Recomputing the whole tree is avoided by incrementing along the walk.)
+func (e *Engine) bumpSubtree(p *xpath.Path) {
+	cur := e.root
+	cur.subtree++
+	for i, s := range p.Steps {
+		desc := s.Axis == xpath.Descendant
+		if i == 0 && !p.Absolute {
+			desc = true
+		}
+		cur = cur.findChild(desc, s.Wildcard, s.Name)
+		cur.subtree++
+	}
+}
+
+// elem is one document element in interval encoding.
+type elem struct {
+	start, end int32
+	level      int32
+}
+
+// docIndex holds the per-tag index streams of one document, each sorted by
+// start position (document order).
+type docIndex struct {
+	byTag map[string][]elem
+	all   []elem
+}
+
+// buildIndex parses the document into its index streams.
+func buildIndex(r io.Reader) (*docIndex, error) {
+	dec := xml.NewDecoder(r)
+	ix := &docIndex{byTag: make(map[string][]elem)}
+	type open struct {
+		tag   string
+		start int32
+		level int32
+	}
+	var stack []open
+	counter := int32(0)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("indexfilter: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			counter++
+			stack = append(stack, open{tag: t.Name.Local, start: counter, level: int32(len(stack) + 1)})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("indexfilter: unbalanced end element <%s>", t.Name.Local)
+			}
+			counter++
+			o := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			el := elem{start: o.start, end: counter, level: o.level}
+			ix.byTag[o.tag] = append(ix.byTag[o.tag], el)
+			ix.all = append(ix.all, el)
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("indexfilter: unexpected EOF with %d open elements", len(stack))
+	}
+	// End events close inner elements first; restore document order.
+	for _, s := range ix.byTag {
+		sort.Slice(s, func(i, j int) bool { return s[i].start < s[j].start })
+	}
+	sort.Slice(ix.all, func(i, j int) bool { return ix.all[i].start < ix.all[j].start })
+	return ix, nil
+}
+
+// stream returns the candidate index stream for a query node.
+func (ix *docIndex) stream(n *qnode) []elem {
+	if n.wildcard {
+		return ix.all
+	}
+	return ix.byTag[n.name]
+}
+
+// Filter parses the document and returns the SIDs of all matching
+// expressions.
+func (e *Engine) Filter(doc []byte) ([]SID, error) {
+	return e.FilterReader(bytes.NewReader(doc))
+}
+
+// FilterReader is Filter over a stream.
+func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
+	ix, err := buildIndex(r)
+	if err != nil {
+		return nil, err
+	}
+	run := &evaluation{e: e, ix: ix, matched: make([]bool, len(e.exprs)), done: make(map[*qnode]int)}
+	// The root context is the virtual document node enclosing everything.
+	root := elem{start: 0, end: int32(len(ix.all))*2 + 1, level: 0}
+	run.evalChildren(e.root, root)
+
+	out := make([]SID, 0, run.nmatched)
+	for id, ok := range run.matched {
+		if ok {
+			out = append(out, e.exprs[id].sids...)
+		}
+	}
+	return out, nil
+}
+
+// evaluation is per-document evaluation state.
+type evaluation struct {
+	e        *Engine
+	ix       *docIndex
+	matched  []bool
+	nmatched int
+	done     map[*qnode]int // per-node count of already-matched subtree expressions
+}
+
+// satisfied reports whether every expression in the node's subtree already
+// matched (the paper's first-match modification: such subtrees are
+// skipped).
+func (r *evaluation) satisfied(n *qnode) bool {
+	return r.done[n] >= n.subtree
+}
+
+// evalChildren joins every child node's index stream against the parent's
+// matched interval.
+func (r *evaluation) evalChildren(n *qnode, ctx elem) {
+	for _, c := range n.children {
+		if r.satisfied(c) {
+			continue
+		}
+		r.evalNode(c, ctx)
+	}
+}
+
+// evalNode scans the candidate stream of c for elements inside the
+// context interval with the right level relation.
+func (r *evaluation) evalNode(c *qnode, ctx elem) {
+	stream := r.ix.stream(c)
+	// Binary search: first candidate starting after the context start.
+	lo := sort.Search(len(stream), func(i int) bool { return stream[i].start > ctx.start })
+	for i := lo; i < len(stream) && stream[i].start < ctx.end; i++ {
+		el := stream[i]
+		if c.desc {
+			if el.level <= ctx.level {
+				continue
+			}
+		} else if el.level != ctx.level+1 {
+			continue
+		}
+		r.visit(c, el)
+		if r.satisfied(c) {
+			return
+		}
+	}
+}
+
+// visit handles one matched element for node c: record expression matches
+// and recurse into children.
+func (r *evaluation) visit(c *qnode, el elem) {
+	for _, id := range c.exprs {
+		if !r.matched[id] {
+			r.matched[id] = true
+			r.nmatched++
+			r.creditUp(c)
+		}
+	}
+	r.evalChildren(c, el)
+}
+
+// creditUp records that one more subtree expression of c — and of every
+// ancestor — is satisfied, so exhausted subtrees are pruned (the paper's
+// first-match modification).
+func (r *evaluation) creditUp(c *qnode) {
+	for n := c; n != nil; n = n.parent {
+		r.done[n]++
+	}
+}

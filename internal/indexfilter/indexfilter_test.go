@@ -1,0 +1,198 @@
+package indexfilter
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"predfilter/internal/refmatch"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+var tags = []string{"a", "b", "c", "d", "e"}
+
+func randXPE(rng *rand.Rand) string {
+	n := 1 + rng.Intn(4)
+	var b strings.Builder
+	if rng.Intn(2) == 0 {
+		b.WriteString("/")
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if rng.Intn(5) == 0 {
+				b.WriteString("//")
+			} else {
+				b.WriteString("/")
+			}
+		} else if b.Len() == 1 && rng.Intn(6) == 0 {
+			b.Reset()
+			b.WriteString("//")
+		}
+		if rng.Intn(4) == 0 {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(tags[rng.Intn(len(tags))])
+	}
+	return b.String()
+}
+
+func randXML(rng *rand.Rand) []byte {
+	var b strings.Builder
+	var build func(depth int)
+	build = func(depth int) {
+		tag := tags[rng.Intn(len(tags))]
+		b.WriteString("<" + tag + ">")
+		if depth < 5 {
+			for k := rng.Intn(3); k > 0; k-- {
+				build(depth + 1)
+			}
+		}
+		b.WriteString("</" + tag + ">")
+	}
+	build(1)
+	return []byte(b.String())
+}
+
+// TestExamples checks hand-verified matches.
+func TestExamples(t *testing.T) {
+	e := New()
+	xpes := []string{"/a/b/c", "/a/b/d", "a//c", "b/c", "/b", "/*/*/*", "/a/*/c", "//b/c", "c", "/a//c", "b//b", "c/*"}
+	want := map[string]bool{"/a/b/c": true, "a//c": true, "b/c": true, "/*/*/*": true, "/a/*/c": true, "//b/c": true, "c": true, "/a//c": true}
+	sids := make([]SID, len(xpes))
+	for i, s := range xpes {
+		sid, err := e.Add(s)
+		if err != nil {
+			t.Fatalf("Add(%q): %v", s, err)
+		}
+		sids[i] = sid
+	}
+	got, err := e.Filter([]byte("<a><b><c/></b><d/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[SID]bool)
+	for _, s := range got {
+		set[s] = true
+	}
+	for i, s := range xpes {
+		if set[sids[i]] != want[s] {
+			t.Errorf("%q: matched=%v, want %v", s, set[sids[i]], want[s])
+		}
+	}
+}
+
+// TestRandomEquivalence cross-validates against the reference matcher.
+func TestRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 60; round++ {
+		e := New()
+		xpes := make([]string, 40)
+		sids := make([]SID, len(xpes))
+		for i := range xpes {
+			xpes[i] = randXPE(rng)
+			sid, err := e.Add(xpes[i])
+			if err != nil {
+				t.Fatalf("Add(%q): %v", xpes[i], err)
+			}
+			sids[i] = sid
+		}
+		for d := 0; d < 5; d++ {
+			xmlBytes := randXML(rng)
+			doc, err := xmldoc.Parse(xmlBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Filter(xmlBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := make(map[SID]bool)
+			for _, s := range got {
+				set[s] = true
+			}
+			for i, s := range xpes {
+				want := refmatch.Match(xpath.MustParse(s), doc)
+				if set[sids[i]] != want {
+					t.Fatalf("round %d: %q matched=%v, ref=%v on %s", round, s, set[sids[i]], want, xmlBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestUnsupportedRejected documents the unsupported fragments.
+func TestUnsupportedRejected(t *testing.T) {
+	e := New()
+	if _, err := e.Add("/a[b]/c"); err == nil {
+		t.Error("Add accepted a nested path filter")
+	}
+	if _, err := e.Add("/a[@x=1]"); err == nil {
+		t.Error("Add accepted an attribute filter")
+	}
+}
+
+// TestPruning: once every expression in a subtree matched, evaluation
+// skips the subtree (observable only via correctness here; the cost effect
+// is exercised by benchmarks).
+func TestPruning(t *testing.T) {
+	e := New()
+	s1, _ := e.Add("/a/b")
+	s2, _ := e.Add("/a/b") // duplicate shares the node
+	got, err := e.Filter([]byte("<a><b/><b/><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v, want 2 sids", got)
+	}
+	set := map[SID]bool{got[0]: true, got[1]: true}
+	if !set[s1] || !set[s2] {
+		t.Errorf("sids %v, want %d and %d", got, s1, s2)
+	}
+}
+
+// TestInterval checks the interval encoding of buildIndex.
+func TestInterval(t *testing.T) {
+	ix, err := buildIndex(strings.NewReader("<a><b><c/></b><d/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.all) != 4 {
+		t.Fatalf("got %d elements, want 4", len(ix.all))
+	}
+	a := ix.byTag["a"][0]
+	b := ix.byTag["b"][0]
+	c := ix.byTag["c"][0]
+	d := ix.byTag["d"][0]
+	if a.level != 1 || b.level != 2 || c.level != 3 || d.level != 2 {
+		t.Errorf("levels: a=%d b=%d c=%d d=%d", a.level, b.level, c.level, d.level)
+	}
+	contains := func(outer, inner elem) bool {
+		return outer.start < inner.start && inner.end < outer.end
+	}
+	if !contains(a, b) || !contains(b, c) || !contains(a, d) || contains(b, d) {
+		t.Errorf("interval containment wrong: a=%v b=%v c=%v d=%v", a, b, c, d)
+	}
+	// Document order within the all stream.
+	for i := 1; i < len(ix.all); i++ {
+		if ix.all[i-1].start >= ix.all[i].start {
+			t.Errorf("all stream not in document order: %v", ix.all)
+		}
+	}
+}
+
+// TestMalformed checks malformed documents error cleanly.
+func TestMalformed(t *testing.T) {
+	e := New()
+	if _, err := e.Add("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Filter([]byte("<a><b></a>")); err == nil {
+		t.Error("Filter accepted mismatched tags")
+	}
+	if _, err := e.Filter([]byte("<a>")); err == nil {
+		t.Error("Filter accepted truncated document")
+	}
+}

@@ -1,0 +1,143 @@
+package matcher
+
+import (
+	"predfilter/internal/occur"
+	"predfilter/internal/xmldoc"
+)
+
+// MatchDocumentAll returns, for every matching expression, the number of
+// distinct occurrence-chain combinations across all document paths.
+//
+// The paper's filtering semantics needs only the first match per
+// expression (Algorithm 1 stops there; §2 notes the Index-Filter baseline
+// was modified accordingly). This method is the contrasting all-matches
+// capability: it keeps enumerating, which is what applications that need
+// every match site (the original Index-Filter problem statement) pay for.
+// Nested-path expressions report 1 when matched (their recombination is
+// defined on match existence, §5).
+//
+// Path deduplication remains sound here: structurally identical paths
+// contribute identical combination counts, so each distinct path's count
+// is multiplied by its multiplicity.
+func (m *Matcher) MatchDocumentAll(doc *xmldoc.Document) map[SID]int {
+	m.mu.RLock()
+	if m.dirty {
+		m.mu.RUnlock()
+		m.mu.Lock()
+		m.freeze()
+		m.mu.Unlock()
+		m.mu.RLock()
+	}
+	defer m.mu.RUnlock()
+
+	sc := m.getScratch()
+	defer m.pool.Put(sc)
+
+	dedup := len(m.nested) == 0 && !m.opts.DisablePathDedup
+	counts := make(map[int]int) // expr id → combination count
+	mult := make(map[string]int)
+
+	// First pass over paths: with dedup, count each distinct publication's
+	// multiplicity up front so one evaluation covers all copies.
+	if dedup {
+		for i := range doc.Paths {
+			sc.pub = &doc.Paths[i]
+			mult[sc.pubKey(sc.pub, m.attrSensitive)]++
+		}
+	}
+	seen := make(map[string]bool)
+
+	for i := range doc.Paths {
+		pub := &doc.Paths[i]
+		sc.pub = pub
+		sc.byTagOK = false
+		factor := 1
+		if dedup {
+			key := sc.pubKey(pub, m.attrSensitive)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			factor = mult[key]
+		}
+		sc.res.Reset(m.ix.Len())
+		m.ix.MatchPath(pub, sc.res)
+
+		// Covering and access-predicate shortcuts prove existence, not
+		// counts, so every unit is enumerated (with the cheap rejects).
+		for _, h := range m.ordered {
+			if !sc.res.Matched(h.first) {
+				continue
+			}
+			m.countUnit(sc, h.e, counts, factor)
+		}
+		for _, e := range m.nested {
+			e.root.collect(m, sc)
+		}
+	}
+
+	for _, e := range m.nested {
+		if e.root.resolveRoot(sc) {
+			counts[e.id] = 1
+		}
+	}
+	clear(sc.ncands)
+
+	out := make(map[SID]int, len(counts))
+	for id, n := range counts {
+		if id >= len(m.exprs) {
+			continue // group representative
+		}
+		for _, sid := range m.exprs[id].sids {
+			out[sid] = n
+		}
+	}
+	return out
+}
+
+// countUnit accumulates combination counts for one iteration unit (an
+// expression, or a structural group whose members are counted over the
+// filtered chains).
+func (m *Matcher) countUnit(sc *scratch, e *expr, counts map[int]int, factor int) {
+	chain := sc.chain[:0]
+	for _, pid := range e.pids {
+		r := sc.res.Get(pid)
+		if len(r) == 0 {
+			sc.chain = chain
+			return
+		}
+		chain = append(chain, r)
+	}
+	sc.chain = chain
+
+	enumerate := func(ch [][]occur.Pair) int {
+		n := 0
+		occur.Enumerate(ch, func([]occur.Pair) bool {
+			n++
+			return true
+		})
+		return n
+	}
+
+	if e.members == nil {
+		if n := enumerate(chain); n > 0 {
+			counts[e.id] += n * factor
+		}
+		return
+	}
+	for _, mem := range e.members {
+		if mem.post == nil {
+			if n := enumerate(chain); n > 0 {
+				counts[mem.id] += n * factor
+			}
+			continue
+		}
+		filtered, ok := m.filterChain(sc, mem, chain)
+		if !ok {
+			continue
+		}
+		if n := enumerate(filtered); n > 0 {
+			counts[mem.id] += n * factor
+		}
+	}
+}

@@ -1,0 +1,708 @@
+// Package matcher implements the paper's filtering engine: XPath
+// expressions are encoded as ordered sets of predicates (stored once in a
+// shared predicate index), XML documents arrive as sets of encoded paths,
+// and matching runs in the two stages of §4 — predicate matching followed
+// by expression matching via occurrence determination.
+//
+// Three expression organizations are provided (§4.2.2):
+//
+//   - Basic: every expression is evaluated independently per path.
+//   - PrefixCover (basic-pc): expressions are organized by shared
+//     predicate-chain prefixes; evaluating a long expression marks all of
+//     its prefix expressions matched without re-running occurrence
+//     determination.
+//   - PrefixCoverAP (basic-pc-ap): additionally clusters expressions by
+//     their first predicate (the access predicate); a cluster whose access
+//     predicate did not match is skipped wholesale.
+//
+// Attribute filters follow §5 in either Inline mode (filters ride on the
+// structural predicates) or Postponed mode (structural match first, filter
+// verification after). Nested path filters are decomposed per §5 and
+// recombined bottom-up over document node identities (see nested.go).
+package matcher
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"predfilter/internal/occur"
+	"predfilter/internal/predicate"
+	"predfilter/internal/predindex"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+// SID identifies one registered expression (subscription). Duplicate
+// expressions receive distinct SIDs but share all storage and evaluation.
+type SID int32
+
+// Variant selects the expression organization.
+type Variant int
+
+const (
+	// Basic is the unoptimized organization.
+	Basic Variant = iota
+	// PrefixCover adds prefix-covering (basic-pc).
+	PrefixCover
+	// PrefixCoverAP adds access-predicate clustering on top of prefix
+	// covering (basic-pc-ap).
+	PrefixCoverAP
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Basic:
+		return "basic"
+	case PrefixCover:
+		return "basic-pc"
+	case PrefixCoverAP:
+		return "basic-pc-ap"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Options configures a Matcher.
+type Options struct {
+	Variant  Variant
+	AttrMode predicate.AttrMode
+	// DisablePathDedup turns off per-document deduplication of
+	// structurally identical publications (kept for ablation benchmarks).
+	DisablePathDedup bool
+	// CoverMode selects the covering relations exploited by the pc
+	// variants (default: the paper's prefix covering).
+	CoverMode CoverMode
+	// ClusterBy selects the access predicate for PrefixCoverAP (default:
+	// the paper's first-predicate clustering).
+	ClusterBy ClusterBy
+}
+
+// Matcher is the filtering engine. It is safe for concurrent MatchDocument
+// calls; Add/Remove must not run concurrently with matching.
+type Matcher struct {
+	opts Options
+
+	mu       sync.RWMutex
+	ix       *predindex.Index
+	exprs    []*expr
+	byKey    map[string]*expr
+	sidOwner []*expr // sid → owning expression (nil after Remove)
+	nsids    int     // live sid count
+
+	dirty    bool
+	ordered  []hotExpr                   // iteration units, longest chain first
+	clusters map[predindex.PID][]hotExpr // access-predicate clusters, each longest first
+	nested   []*expr                     // expressions with nested path filters
+	// matchedSlots sizes the per-call matched array: expressions plus
+	// synthetic group representatives.
+	matchedSlots int
+
+	// attrSensitive is set once any registered predicate inspects
+	// attribute values; it forces publication dedup keys to include them.
+	attrSensitive bool
+
+	pool sync.Pool // *scratch
+}
+
+// hotExpr packs the fields the per-path rejection loop touches into a
+// flat slice entry: most expressions are rejected by their first or second
+// predicate, and chasing an *expr pointer for that wastes the cache.
+type hotExpr struct {
+	id     int32
+	first  predindex.PID
+	second predindex.PID // NoPID when the chain has one predicate
+	e      *expr
+}
+
+func hot(e *expr) hotExpr {
+	h := hotExpr{id: int32(e.id), first: e.pids[0], second: predindex.NoPID, e: e}
+	if len(e.pids) > 1 {
+		h.second = e.pids[1]
+	}
+	return h
+}
+
+// expr is one distinct registered expression.
+type expr struct {
+	id   int
+	key  string
+	sids []SID
+
+	// Single-path expressions:
+	pids []predindex.PID
+	post []predicate.SideAttrs // postponed attribute filters; nil if none
+	// covers are the registered strict-prefix expressions of this one
+	// (same pid chain and, in Postponed mode, same filter annotations).
+	covers []*expr
+	// fullCovers are suffix/infix-contained registered expressions,
+	// marked on a full match (Containment cover mode only).
+	fullCovers []*expr
+	// members is set on group representatives only (Postponed mode): the
+	// attribute-annotation variants sharing this bare structural chain.
+	// The representative itself is synthetic (no sids); its matched flag
+	// means "every member matched".
+	members []*expr
+
+	// Nested-path expressions:
+	root *nestedNode // non-nil iff the expression has nested path filters
+}
+
+// New returns an empty matcher with the given options.
+func New(opts Options) *Matcher {
+	m := &Matcher{
+		opts:  opts,
+		ix:    predindex.New(),
+		byKey: make(map[string]*expr),
+	}
+	m.pool.New = func() any { return &scratch{} }
+	return m
+}
+
+// Options returns the matcher's configuration.
+func (m *Matcher) Options() Options { return m.opts }
+
+// Add parses and registers an expression, returning its SID.
+func (m *Matcher) Add(s string) (SID, error) {
+	p, err := xpath.Parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return m.AddPath(p)
+}
+
+// AddPath registers a parsed expression, returning its SID. Registration
+// is constant-time in the number of stored expressions: predicates are
+// deduplicated in the predicate index and identical expressions share one
+// entry.
+func (m *Matcher) AddPath(p *xpath.Path) (SID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var e *expr
+	var err error
+	if p.IsSinglePath() {
+		e, err = m.registerSingle(p)
+	} else {
+		e, err = m.registerNested(p)
+	}
+	if err != nil {
+		return 0, err
+	}
+	sid := SID(len(m.sidOwner))
+	m.sidOwner = append(m.sidOwner, e)
+	e.sids = append(e.sids, sid)
+	m.nsids++
+	return sid, nil
+}
+
+// Remove unregisters a SID. The expression's predicates remain in the
+// index (the paper does not evaluate deletion; predicate garbage
+// collection is out of scope), but the SID stops being reported.
+func (m *Matcher) Remove(sid SID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(sid) >= len(m.sidOwner) || m.sidOwner[sid] == nil {
+		return fmt.Errorf("matcher: unknown sid %d", sid)
+	}
+	e := m.sidOwner[sid]
+	m.sidOwner[sid] = nil
+	for i, s := range e.sids {
+		if s == sid {
+			e.sids = append(e.sids[:i], e.sids[i+1:]...)
+			break
+		}
+	}
+	m.nsids--
+	return nil
+}
+
+// registerSingle encodes a single-path expression and either returns the
+// existing identical expression or creates a new entry.
+func (m *Matcher) registerSingle(p *xpath.Path) (*expr, error) {
+	enc, err := predicate.Encode(p, m.opts.AttrMode)
+	if err != nil {
+		return nil, err
+	}
+	pids := make([]predindex.PID, len(enc.Preds))
+	for i, pr := range enc.Preds {
+		pids[i] = m.ix.Insert(pr)
+	}
+	key := chainKey(pids, enc.PostAttrs)
+	if e, ok := m.byKey[key]; ok {
+		return e, nil
+	}
+	e := &expr{id: len(m.exprs), key: key, pids: pids}
+	if enc.HasPostAttrs() {
+		e.post = enc.PostAttrs
+		m.attrSensitive = true
+	}
+	for _, pr := range enc.Preds {
+		if pr.HasAttrs() {
+			m.attrSensitive = true
+		}
+	}
+	m.exprs = append(m.exprs, e)
+	m.byKey[key] = e
+	m.dirty = true
+	return e, nil
+}
+
+// chainKey canonically serializes a pid chain plus (postponed) filter
+// annotations; expressions with equal keys are semantically identical
+// under the paper's matching semantics.
+func chainKey(pids []predindex.PID, post []predicate.SideAttrs) string {
+	b := make([]byte, 0, 8*len(pids))
+	for i, pid := range pids {
+		b = append(b, byte(pid), byte(pid>>8), byte(pid>>16), byte(pid>>24))
+		for _, f := range post[i].Left {
+			b = append(b, 'L')
+			b = append(b, f.Name...)
+			b = append(b, byte(f.Op))
+			b = append(b, f.Value...)
+		}
+		for _, f := range post[i].Right {
+			b = append(b, 'R')
+			b = append(b, f.Name...)
+			b = append(b, byte(f.Op))
+			b = append(b, f.Value...)
+		}
+	}
+	return string(b)
+}
+
+// freeze rebuilds the derived organizations after additions.
+func (m *Matcher) freeze() {
+	if !m.dirty {
+		return
+	}
+	m.nested = m.nested[:0]
+	var singles []*expr
+	for _, e := range m.exprs {
+		if e.root != nil {
+			m.nested = append(m.nested, e)
+			continue
+		}
+		singles = append(singles, e)
+	}
+
+	// Prefix-cover bookkeeping: group by chain to find registered strict
+	// prefixes. A trie over (pid, annotation) levels; each node remembers
+	// the expression ending there.
+	type tnode struct {
+		children map[string]*tnode
+		e        *expr
+	}
+	root := &tnode{children: make(map[string]*tnode)}
+	insert := func(e *expr) {
+		n := root
+		var covers []*expr
+		for i, pid := range e.pids {
+			k := levelKey(pid, e.post, i)
+			c := n.children[k]
+			if c == nil {
+				c = &tnode{children: make(map[string]*tnode)}
+				n.children[k] = c
+			}
+			n = c
+			if n.e != nil && i < len(e.pids)-1 {
+				covers = append(covers, n.e)
+			}
+		}
+		n.e = e
+		e.covers = covers
+	}
+	// Insert shortest first so that when a long chain is inserted all of
+	// its prefix expressions are already present.
+	byLenAsc := append([]*expr(nil), singles...)
+	sort.SliceStable(byLenAsc, func(i, j int) bool {
+		return len(byLenAsc[i].pids) < len(byLenAsc[j].pids)
+	})
+	for _, e := range byLenAsc {
+		insert(e)
+	}
+
+	// Containment covering (extension; see extensions.go).
+	if m.opts.CoverMode == Containment {
+		m.buildContainmentCovers(singles)
+	}
+
+	// Iteration units. In Inline mode each expression is its own unit; in
+	// Postponed mode the attribute-annotation variants of one bare
+	// structural chain share a synthetic group representative, so the
+	// structural occurrence determination runs once per chain per path and
+	// only the attribute verification repeats per variant (§5).
+	m.ordered = m.ordered[:0]
+	m.matchedSlots = len(m.exprs)
+	if m.opts.AttrMode == predicate.Postponed {
+		bare := make([]predicate.SideAttrs, 8)
+		groups := make(map[string]*expr)
+		for _, e := range singles {
+			for len(bare) < len(e.pids) {
+				bare = append(bare, predicate.SideAttrs{})
+			}
+			sk := chainKey(e.pids, bare[:len(e.pids)])
+			rep := groups[sk]
+			if rep == nil {
+				rep = &expr{id: m.matchedSlots, pids: e.pids}
+				m.matchedSlots++
+				groups[sk] = rep
+				m.ordered = append(m.ordered, hot(rep))
+			}
+			rep.members = append(rep.members, e)
+		}
+	} else {
+		for _, e := range singles {
+			m.ordered = append(m.ordered, hot(e))
+		}
+	}
+	// Longest chains first: evaluating the most-covering expressions first
+	// is the paper's approximation of best covering order (§4.2.2).
+	sort.SliceStable(m.ordered, func(i, j int) bool {
+		return len(m.ordered[i].e.pids) > len(m.ordered[j].e.pids)
+	})
+
+	// Access-predicate clusters, keyed by the first pid (the paper's
+	// scheme) or by each expression's rarest pid (extension).
+	var refCount map[predindex.PID]int
+	if m.opts.ClusterBy == RarestPredicate {
+		refCount = make(map[predindex.PID]int)
+		for _, h := range m.ordered {
+			for _, pid := range h.e.pids {
+				refCount[pid]++
+			}
+		}
+	}
+	m.clusters = make(map[predindex.PID][]hotExpr)
+	for _, h := range m.ordered { // already longest-first
+		pid := m.clusterPid(h.e, refCount)
+		m.clusters[pid] = append(m.clusters[pid], h)
+	}
+	m.dirty = false
+}
+
+func levelKey(pid predindex.PID, post []predicate.SideAttrs, i int) string {
+	b := []byte{byte(pid), byte(pid >> 8), byte(pid >> 16), byte(pid >> 24)}
+	if post != nil {
+		for _, f := range post[i].Left {
+			b = append(b, 'L')
+			b = append(b, f.Name...)
+			b = append(b, byte(f.Op))
+			b = append(b, f.Value...)
+		}
+		for _, f := range post[i].Right {
+			b = append(b, 'R')
+			b = append(b, f.Name...)
+			b = append(b, byte(f.Op))
+			b = append(b, f.Value...)
+		}
+	}
+	return string(b)
+}
+
+// Stats summarizes engine state.
+type Stats struct {
+	SIDs                int // live registered expressions (with duplicates)
+	DistinctExpressions int
+	DistinctPredicates  int
+	NestedExpressions   int
+}
+
+// Stats returns engine statistics; the distinct-predicate count is the
+// quantity the paper tracks in Figure 10.
+func (m *Matcher) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	nested := 0
+	for _, e := range m.exprs {
+		if e.root != nil {
+			nested++
+		}
+	}
+	return Stats{
+		SIDs:                m.nsids,
+		DistinctExpressions: len(m.exprs),
+		DistinctPredicates:  m.ix.Len(),
+		NestedExpressions:   nested,
+	}
+}
+
+// Breakdown is the per-call cost split of Figure 10.
+type Breakdown struct {
+	PredMatch time.Duration // predicate matching stage
+	ExprMatch time.Duration // expression matching (occurrence determination)
+	Other     time.Duration // result collection and bookkeeping
+}
+
+// scratch is the per-call reusable working state.
+type scratch struct {
+	res     *predindex.Results
+	matched []bool
+	chain   [][]occur.Pair
+	filt    [][]occur.Pair
+	pairBuf []occur.Pair
+	byTag   map[string][]*xmldoc.Tuple
+	byTagOK bool
+	out     []SID
+	pub     *xmldoc.Publication
+	ncands  map[*nestedNode][]nestedCand
+	seen    map[string]bool // per-document distinct publication keys
+	keyBuf  []byte
+}
+
+func (m *Matcher) getScratch() *scratch {
+	sc := m.pool.Get().(*scratch)
+	n := m.ix.Len()
+	if sc.res == nil {
+		sc.res = predindex.NewResults(n)
+	}
+	slots := m.matchedSlots
+	if slots < len(m.exprs) {
+		slots = len(m.exprs)
+	}
+	if cap(sc.matched) < slots {
+		sc.matched = make([]bool, slots)
+	} else {
+		sc.matched = sc.matched[:slots]
+		for i := range sc.matched {
+			sc.matched[i] = false
+		}
+	}
+	if sc.byTag == nil {
+		sc.byTag = make(map[string][]*xmldoc.Tuple)
+	}
+	if sc.ncands == nil {
+		sc.ncands = make(map[*nestedNode][]nestedCand)
+	}
+	if sc.seen == nil {
+		sc.seen = make(map[string]bool)
+	}
+	clear(sc.seen)
+	sc.out = sc.out[:0]
+	return sc
+}
+
+// MatchDocument returns the SIDs of all expressions matched by the
+// document (paper semantics: an expression matches the document iff it
+// matches at least one of its root-to-leaf paths; nested-path expressions
+// recombine per-path results over the document tree).
+func (m *Matcher) MatchDocument(doc *xmldoc.Document) []SID {
+	sids, _ := m.MatchDocumentBreakdown(doc)
+	return sids
+}
+
+// MatchDocumentBreakdown is MatchDocument with the Figure-10 cost split.
+func (m *Matcher) MatchDocumentBreakdown(doc *xmldoc.Document) ([]SID, Breakdown) {
+	m.mu.RLock()
+	if m.dirty {
+		m.mu.RUnlock()
+		m.mu.Lock()
+		m.freeze()
+		m.mu.Unlock()
+		m.mu.RLock()
+	}
+	defer m.mu.RUnlock()
+
+	var bd Breakdown
+	sc := m.getScratch()
+	defer m.pool.Put(sc)
+
+	// Sibling subtrees repeat in real documents, and two structurally
+	// identical publications produce identical matching results: the
+	// predicate rules see only tags, positions and (for attribute-carrying
+	// predicates) attribute values. Deduplicate such paths per document.
+	// Node identity matters to nested-path recombination, so dedup is
+	// disabled when nested expressions are registered.
+	dedup := len(m.nested) == 0 && !m.opts.DisablePathDedup
+
+	for i := range doc.Paths {
+		pub := &doc.Paths[i]
+		sc.pub = pub
+		sc.byTagOK = false
+
+		t0 := time.Now()
+		if dedup {
+			key := sc.pubKey(pub, m.attrSensitive)
+			if sc.seen[key] {
+				bd.PredMatch += time.Since(t0)
+				continue
+			}
+			sc.seen[key] = true
+		}
+		sc.res.Reset(m.ix.Len())
+		m.ix.MatchPath(pub, sc.res)
+		t1 := time.Now()
+		bd.PredMatch += t1.Sub(t0)
+
+		switch m.opts.Variant {
+		case Basic, PrefixCover:
+			cover := m.opts.Variant == PrefixCover
+			for _, h := range m.ordered {
+				if sc.matched[h.id] || !sc.res.Matched(h.first) {
+					continue
+				}
+				if h.second != predindex.NoPID && !sc.res.Matched(h.second) {
+					continue
+				}
+				m.evalExpr(sc, h.e, cover)
+			}
+		case PrefixCoverAP:
+			// Access-predicate clustering: only clusters whose first
+			// predicate matched this path are visited at all; the matched
+			// predicates come straight from the predicate matching stage.
+			for _, pid := range sc.res.Touched() {
+				for _, h := range m.clusters[pid] {
+					if sc.matched[h.id] {
+						continue
+					}
+					if h.second != predindex.NoPID && !sc.res.Matched(h.second) {
+						continue
+					}
+					m.evalExpr(sc, h.e, true)
+				}
+			}
+		}
+		for _, e := range m.nested {
+			e.root.collect(m, sc)
+		}
+		bd.ExprMatch += time.Since(t1)
+	}
+
+	t2 := time.Now()
+	for _, e := range m.nested {
+		if e.root.resolveRoot(sc) {
+			sc.matched[e.id] = true
+		}
+	}
+	clear(sc.ncands)
+	for _, e := range m.exprs {
+		if sc.matched[e.id] {
+			sc.out = append(sc.out, e.sids...)
+		}
+	}
+	out := append([]SID(nil), sc.out...)
+	bd.Other = time.Since(t2)
+	return out, bd
+}
+
+// evalExpr evaluates one single-path expression against the current
+// publication's predicate results. With cover set (the pc variants), a
+// successful — or exhausted — occurrence determination marks the
+// expression's registered prefix expressions up to the reached depth.
+func (m *Matcher) evalExpr(sc *scratch, e *expr, cover bool) {
+	chain := sc.chain[:0]
+	for _, pid := range e.pids {
+		r := sc.res.Get(pid)
+		if len(r) == 0 {
+			sc.chain = chain
+			return
+		}
+		chain = append(chain, r)
+	}
+	sc.chain = chain
+
+	if e.members != nil {
+		m.evalGroup(sc, e, chain, cover)
+		return
+	}
+
+	ok, depth := occur.Determine(chain)
+	if ok {
+		sc.matched[e.id] = true
+		if len(e.fullCovers) > 0 {
+			m.markFullCovers(sc, e)
+		}
+	}
+	if cover {
+		m.markCovers(sc, e, depth)
+	}
+}
+
+// evalGroup evaluates one structural-chain group (Postponed mode): the
+// shared structural occurrence determination runs once; each member's
+// attribute filters are then verified over the filtered results (the
+// repeated determination §5 describes). The representative's matched flag
+// is set once every member matched, so later paths skip the group.
+func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover bool) {
+	ok, depth := occur.Determine(chain)
+	done := true
+	for _, mem := range rep.members {
+		if sc.matched[mem.id] {
+			continue
+		}
+		if mem.post == nil {
+			if ok {
+				sc.matched[mem.id] = true
+				if len(mem.fullCovers) > 0 {
+					m.markFullCovers(sc, mem)
+				}
+			} else {
+				done = false
+			}
+			if cover {
+				m.markCovers(sc, mem, depth)
+			}
+			continue
+		}
+		if !ok {
+			// Structural depth must not mark covers for filter-carrying
+			// members: their annotations were not applied.
+			done = false
+			continue
+		}
+		filtered, nonempty := m.filterChain(sc, mem, chain)
+		if !nonempty {
+			done = false
+			continue
+		}
+		fok, fdepth := occur.Determine(filtered)
+		if fok {
+			sc.matched[mem.id] = true
+			if len(mem.fullCovers) > 0 {
+				m.markFullCovers(sc, mem)
+			}
+		} else {
+			done = false
+		}
+		if cover {
+			m.markCovers(sc, mem, fdepth)
+		}
+	}
+	if done {
+		sc.matched[rep.id] = true
+	}
+}
+
+// pubKey builds the per-document dedup key of a publication: the tag
+// sequence, plus attribute names and values when any registered predicate
+// inspects attributes.
+func (sc *scratch) pubKey(pub *xmldoc.Publication, withAttrs bool) string {
+	b := sc.keyBuf[:0]
+	for i := range pub.Tuples {
+		t := &pub.Tuples[i]
+		b = append(b, t.Tag...)
+		if withAttrs {
+			for _, a := range t.Attrs {
+				b = append(b, 1)
+				b = append(b, a.Name...)
+				b = append(b, 2)
+				b = append(b, a.Value...)
+			}
+		}
+		b = append(b, 0)
+	}
+	sc.keyBuf = b
+	return string(b)
+}
+
+// markCovers marks every registered prefix expression whose chain length
+// is within the consistent depth reached by occurrence determination; a
+// consistent partial assignment of length k is a match of the length-k
+// prefix (§4.2.2).
+func (m *Matcher) markCovers(sc *scratch, e *expr, depth int) {
+	for _, c := range e.covers {
+		if len(c.pids) <= depth {
+			sc.matched[c.id] = true
+		}
+	}
+}

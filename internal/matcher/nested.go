@@ -1,0 +1,235 @@
+package matcher
+
+import (
+	"fmt"
+
+	"predfilter/internal/occur"
+	"predfilter/internal/predicate"
+	"predfilter/internal/predindex"
+	"predfilter/internal/xpath"
+)
+
+// Nested path filters (paper §5): an expression such as
+//
+//	/a[*/c[d]/e]//c[d]/e
+//
+// is decomposed into a tree of linear sub-expressions — a main
+// sub-expression plus, per nested filter, an extended sub-expression that
+// prepends the prefix up to the hosting step. Each extended sub-expression
+// records the branch position (the hosting step). After all document paths
+// are evaluated, results recombine bottom-up: an extended sub-expression
+// supports a main match only if both were matched through the same
+// document node at the branch position.
+//
+// The paper detects "same node" by comparing child-index vectors
+// <m1,...,mn> up to the branch position; two paths agreeing on the vector
+// prefix share exactly the position-v ancestor, so this implementation
+// uses document node identity directly (see DESIGN.md §6): every
+// sub-expression match contributes the node id at its branch position, and
+// witness sets are intersected bottom-up over the decomposition tree.
+
+// nestedNode is one sub-expression in the decomposition tree.
+type nestedNode struct {
+	path       *xpath.Path // linear (nested filters stripped)
+	enc        *predicate.Encoding
+	pids       []predindex.PID
+	post       []predicate.SideAttrs
+	branchStep int // 0-based hosting step index in the parent path; -1 at the root
+	children   []*nestedNode
+}
+
+// ExplainNested renders the decomposition of a nested-path expression:
+// each sub-expression with its branch position and predicate encoding, in
+// the paper's notation (§5, Figure 3).
+func ExplainNested(p *xpath.Path) (string, error) {
+	m := New(Options{})
+	root, err := m.buildNested(p)
+	if err != nil {
+		return "", err
+	}
+	var b []byte
+	var walk func(n *nestedNode, indent string)
+	walk = func(n *nestedNode, indent string) {
+		b = append(b, indent...)
+		if n.branchStep < 0 {
+			b = append(b, "main "...)
+		} else {
+			b = append(b, fmt.Sprintf("(pos, =, %d) ", n.branchStep+1)...)
+		}
+		b = append(b, n.path.String()...)
+		b = append(b, ": "...)
+		b = append(b, n.enc.String()...)
+		b = append(b, '\n')
+		for _, c := range n.children {
+			walk(c, indent+"  ")
+		}
+	}
+	walk(root, "")
+	return string(b), nil
+}
+
+// registerNested decomposes, encodes and stores a nested-path expression.
+func (m *Matcher) registerNested(p *xpath.Path) (*expr, error) {
+	key := "nested:" + p.String()
+	if e, ok := m.byKey[key]; ok {
+		return e, nil
+	}
+	root, err := m.buildNested(p)
+	if err != nil {
+		return nil, err
+	}
+	e := &expr{id: len(m.exprs), key: key, root: root}
+	m.exprs = append(m.exprs, e)
+	m.byKey[key] = e
+	m.dirty = true
+	return e, nil
+}
+
+// buildNested recursively decomposes p. The node's own path is p with all
+// top-level nested filters stripped; each nested filter [q] hosted at step
+// k becomes a child built from prefix(p, k+1) ++ q (which may itself
+// contain nested filters, handled by recursion).
+func (m *Matcher) buildNested(p *xpath.Path) (*nestedNode, error) {
+	n := &nestedNode{branchStep: -1}
+	main := &xpath.Path{Absolute: p.Absolute, Steps: make([]xpath.Step, len(p.Steps))}
+	for i, s := range p.Steps {
+		cs := s
+		cs.Nested = nil
+		main.Steps[i] = cs
+	}
+	n.path = main
+	for k, s := range p.Steps {
+		if len(s.Nested) == 0 {
+			continue
+		}
+		if s.Wildcard {
+			return nil, fmt.Errorf("matcher: nested path filter on wildcard step %d of %q is not supported", k+1, p)
+		}
+		for _, q := range s.Nested {
+			childPath := &xpath.Path{Absolute: p.Absolute}
+			childPath.Steps = append(childPath.Steps, main.Steps[:k+1]...)
+			childPath.Steps = append(childPath.Steps, q.Clone().Steps...)
+			child, err := m.buildNested(childPath)
+			if err != nil {
+				return nil, err
+			}
+			child.branchStep = k
+			n.children = append(n.children, child)
+		}
+	}
+	enc, err := predicate.Encode(n.path, m.opts.AttrMode)
+	if err != nil {
+		return nil, err
+	}
+	n.enc = enc
+	n.pids = make([]predindex.PID, len(enc.Preds))
+	for i, pr := range enc.Preds {
+		n.pids[i] = m.ix.Insert(pr)
+	}
+	if enc.HasPostAttrs() {
+		n.post = enc.PostAttrs
+	}
+	return n, nil
+}
+
+// nestedCand is one structural match of a sub-expression on one document
+// path: the node id at the node's own branch position (or -1 at the root)
+// plus the node ids at each child's branch position.
+type nestedCand struct {
+	own  int32
+	kids []int32
+}
+
+// collect enumerates this node's (and recursively its children's)
+// structural matches on the current publication and appends candidates to
+// the per-call scratch.
+func (n *nestedNode) collect(m *Matcher, sc *scratch) {
+	for _, c := range n.children {
+		c.collect(m, sc)
+	}
+	chain := sc.chain[:0]
+	for _, pid := range n.pids {
+		r := sc.res.Get(pid)
+		if len(r) == 0 {
+			sc.chain = chain
+			return
+		}
+		chain = append(chain, r)
+	}
+	sc.chain = chain
+	if n.post != nil {
+		ne := &expr{pids: n.pids, post: n.post}
+		filtered, ok := m.filterChain(sc, ne, chain)
+		if !ok {
+			return
+		}
+		chain = filtered
+	}
+	sc.buildByTag()
+	occur.Enumerate(chain, func(assign []occur.Pair) bool {
+		cand := nestedCand{own: -1}
+		if n.branchStep >= 0 {
+			cand.own = n.nodeIDAt(m, sc, assign, n.branchStep)
+		}
+		if len(n.children) > 0 {
+			cand.kids = make([]int32, len(n.children))
+			for i, c := range n.children {
+				cand.kids[i] = n.nodeIDAt(m, sc, assign, c.branchStep)
+			}
+		}
+		sc.ncands[n] = append(sc.ncands[n], cand)
+		return true
+	})
+}
+
+// nodeIDAt recovers the document node id matched by the given location
+// step under the occurrence assignment, via the step→predicate reference
+// map of the encoding.
+func (n *nestedNode) nodeIDAt(m *Matcher, sc *scratch, assign []occur.Pair, step int) int32 {
+	ref := n.enc.Refs[step]
+	pr := assign[ref.Pred]
+	p := m.ix.Pred(n.pids[ref.Pred])
+	var tag string
+	var o int32
+	if ref.Side == predicate.Left {
+		tag, o = p.Tag1, pr.A
+	} else {
+		tag, o = p.Tag2, pr.B
+	}
+	return int32(sc.byTag[tag][o-1].NodeID)
+}
+
+// resolveRoot reports whether the whole nested expression matched the
+// document, recombining candidates bottom-up.
+func (n *nestedNode) resolveRoot(sc *scratch) bool {
+	_, any := n.resolve(sc)
+	return any
+}
+
+// resolve returns the witness set (branch-position node ids of supported
+// matches) and whether any candidate was supported by all children.
+func (n *nestedNode) resolve(sc *scratch) (map[int32]bool, bool) {
+	kidW := make([]map[int32]bool, len(n.children))
+	for i, c := range n.children {
+		kidW[i], _ = c.resolve(sc)
+	}
+	w := make(map[int32]bool)
+	any := false
+	for _, cand := range sc.ncands[n] {
+		ok := true
+		for i, k := range cand.kids {
+			if !kidW[i][k] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		any = true
+		if cand.own >= 0 {
+			w[cand.own] = true
+		}
+	}
+	return w, any
+}

@@ -1,0 +1,71 @@
+package matcher
+
+import (
+	"predfilter/internal/occur"
+	"predfilter/internal/predicate"
+)
+
+// buildByTag lazily indexes the current publication's tuples by tag name
+// in path order, so that an occurrence number recovers its tuple in O(1).
+// Used by postponed attribute evaluation and nested-path recombination.
+func (sc *scratch) buildByTag() {
+	if sc.byTagOK {
+		return
+	}
+	clear(sc.byTag)
+	for i := range sc.pub.Tuples {
+		t := &sc.pub.Tuples[i]
+		sc.byTag[t.Tag] = append(sc.byTag[t.Tag], t)
+	}
+	sc.byTagOK = true
+}
+
+// filterChain applies the expression's postponed attribute filters to the
+// structural matching results, level by level (paper §5, "selection
+// postponed"): each occurrence pair survives only if the document tuples
+// it denotes satisfy the filters attached to the corresponding tag sides.
+// It reports the filtered chain and whether every level stayed non-empty.
+func (m *Matcher) filterChain(sc *scratch, e *expr, chain [][]occur.Pair) ([][]occur.Pair, bool) {
+	sc.buildByTag()
+	total := 0
+	for _, pairs := range chain {
+		total += len(pairs)
+	}
+	if cap(sc.pairBuf) < total {
+		sc.pairBuf = make([]occur.Pair, 0, 2*total)
+	}
+	buf := sc.pairBuf[:0]
+	filt := sc.filt[:0]
+	ok := true
+	for i, pairs := range chain {
+		pa := e.post[i]
+		if len(pa.Left) == 0 && len(pa.Right) == 0 {
+			filt = append(filt, pairs)
+			continue
+		}
+		pred := m.ix.Pred(e.pids[i])
+		start := len(buf)
+		for _, pr := range pairs {
+			if len(pa.Left) > 0 {
+				t := sc.byTag[pred.Tag1][pr.A-1]
+				if !predicate.EvalAttrs(pa.Left, t) {
+					continue
+				}
+			}
+			if len(pa.Right) > 0 {
+				t := sc.byTag[pred.Tag2][pr.B-1]
+				if !predicate.EvalAttrs(pa.Right, t) {
+					continue
+				}
+			}
+			buf = append(buf, pr)
+		}
+		if len(buf) == start {
+			ok = false
+		}
+		filt = append(filt, buf[start:len(buf):len(buf)])
+	}
+	sc.pairBuf = buf
+	sc.filt = filt
+	return filt, ok
+}

@@ -1,0 +1,50 @@
+package occur
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchChains(n, levels, pairs int) [][][]Pair {
+	rng := rand.New(rand.NewSource(9))
+	out := make([][][]Pair, n)
+	for i := range out {
+		chain := make([][]Pair, levels)
+		for j := range chain {
+			for k := 0; k < pairs; k++ {
+				chain[j] = append(chain[j], Pair{A: int32(1 + rng.Intn(4)), B: int32(1 + rng.Intn(4))})
+			}
+		}
+		out[i] = chain
+	}
+	return out
+}
+
+// BenchmarkDetermine measures the backtracking search at the chain shapes
+// the engine sees (short chains, a handful of pairs per level).
+func BenchmarkDetermine(b *testing.B) {
+	chains := benchChains(64, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Determine(chains[i%len(chains)])
+	}
+}
+
+// BenchmarkDetermineAlg1 measures the literal transcription of the
+// paper's Algorithm 1 on the same inputs.
+func BenchmarkDetermineAlg1(b *testing.B) {
+	chains := benchChains(64, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetermineAlg1(chains[i%len(chains)])
+	}
+}
+
+// BenchmarkEnumerate measures full combination enumeration.
+func BenchmarkEnumerate(b *testing.B) {
+	chains := benchChains(64, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Enumerate(chains[i%len(chains)], func([]Pair) bool { return true })
+	}
+}

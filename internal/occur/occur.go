@@ -1,0 +1,140 @@
+// Package occur implements the occurrence determination algorithm
+// (paper §4.2.1, Algorithm 1): given the ordered predicate matching
+// results R_1, ..., R_n of an expression — each R_i a set of occurrence
+// number pairs — decide whether a chained combination exists, i.e. pairs
+// (o1_i, o2_i) with o2_{i-1} = o1_i for every i.
+//
+// Determine is the production implementation (depth-first backtracking
+// with prefix-depth reporting, used by prefix covering); DetermineAlg1 is
+// a literal transcription of the paper's Algorithm 1, kept as an
+// executable specification and cross-checked against Determine in tests.
+package occur
+
+// Pair is one occurrence-number pair from a predicate matching result.
+// Single-tag predicates duplicate their occurrence number (A == B);
+// relative predicates carry the occurrence numbers of both tags.
+type Pair struct {
+	A, B int32
+}
+
+// Determine reports whether the chains admit a full match, and the length
+// of the longest consistent prefix found while searching (a consistent
+// partial assignment of length k is exactly a match of the length-k prefix
+// expression, which is what prefix covering consumes).
+//
+// An empty result set at position i caps the reachable depth at i; a nil
+// or empty results slice matches vacuously with depth 0.
+func Determine(results [][]Pair) (matched bool, maxDepth int) {
+	n := len(results)
+	if n == 0 {
+		return true, 0
+	}
+	maxDepth = 0
+	var dfs func(level int, need int32) bool
+	dfs = func(level int, need int32) bool {
+		if level == n {
+			return true
+		}
+		for _, pr := range results[level] {
+			if level > 0 && pr.A != need {
+				continue
+			}
+			if level+1 > maxDepth {
+				maxDepth = level + 1
+			}
+			if dfs(level+1, pr.B) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, 0), maxDepth
+}
+
+// Enumerate calls visit for every full chained combination, in
+// depth-first order. The assign slice is reused between calls; visit must
+// copy it if it retains it. Enumeration stops early when visit returns
+// false. It reports whether enumeration ran to completion (true) or was
+// stopped by visit (false).
+func Enumerate(results [][]Pair, visit func(assign []Pair) bool) bool {
+	n := len(results)
+	assign := make([]Pair, n)
+	var dfs func(level int, need int32) bool
+	dfs = func(level int, need int32) bool {
+		if level == n {
+			return visit(assign)
+		}
+		for _, pr := range results[level] {
+			if level > 0 && pr.A != need {
+				continue
+			}
+			assign[level] = pr
+			if !dfs(level+1, pr.B) {
+				return false
+			}
+		}
+		return true
+	}
+	return dfs(0, 0)
+}
+
+// DetermineAlg1 is a literal transcription of the paper's Algorithm 1,
+// including its explicit back/step bookkeeping. It returns match/noMatch
+// only. Production code uses Determine; this function exists as an
+// executable specification and is cross-validated in tests.
+func DetermineAlg1(results [][]Pair) bool {
+	n := len(results)
+	if n == 0 {
+		return true
+	}
+	// Line 2-6: immediately noMatch if any R_i is empty.
+	for _, r := range results {
+		if len(r) == 0 {
+			return false
+		}
+	}
+	// R'_i are the remaining candidate sets; p_i the currently selected
+	// pair per level.
+	remaining := make([][]Pair, n)
+	selected := make([]Pair, n)
+	// Line 7: R'_1 ← R_1, select one pair and delete it.
+	remaining[0] = append([]Pair(nil), results[0]...)
+	selected[0] = remaining[0][0]
+	remaining[0] = remaining[0][1:]
+	current := 0 // 0-based; the paper's "current = 1"
+	back := false
+	for {
+		if !back {
+			if current == n-1 {
+				return true // line 11
+			}
+			// Line 13: advance and build R'_{current} = R_current(o2).
+			o2 := selected[current].B
+			current++
+			remaining[current] = remaining[current][:0]
+			for _, pr := range results[current] {
+				if pr.A == o2 {
+					remaining[current] = append(remaining[current], pr)
+				}
+			}
+		}
+		if len(remaining[current]) > 0 {
+			// Line 17: select and remove one pair.
+			selected[current] = remaining[current][0]
+			remaining[current] = remaining[current][1:]
+			back = false
+		} else {
+			// Lines 19-27: backtrack to the deepest level with remaining
+			// candidates.
+			step := current - 1
+			for step >= 0 && len(remaining[step]) == 0 {
+				step--
+			}
+			if step < 0 {
+				return false // line 24 (step = 0 in 1-based numbering)
+			}
+			current = step
+			back = true
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package occur
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pairs(ps ...[2]int32) []Pair {
+	out := make([]Pair, len(ps))
+	for i, p := range ps {
+		out[i] = Pair{A: p[0], B: p[1]}
+	}
+	return out
+}
+
+func TestDetermineExamples(t *testing.T) {
+	cases := []struct {
+		name      string
+		results   [][]Pair
+		want      bool
+		wantDepth int
+	}{
+		{
+			// Example 2 / Table 1 of the paper: a//b/c over (a,b,c,a,b,c).
+			// R1 = {(1,1),(1,2),(2,2)}, R2 = {(1,1),(2,2)} — matched via
+			// (1,1),(1,1).
+			name: "paper-a//b/c",
+			results: [][]Pair{
+				pairs([2]int32{1, 1}, [2]int32{1, 2}, [2]int32{2, 2}),
+				pairs([2]int32{1, 1}, [2]int32{2, 2}),
+			},
+			want: true, wantDepth: 2,
+		},
+		{
+			// Example 2: c//b//a — R1 = {(1,2)}, R2 = {(1,2)}: the chain
+			// (1,2),(1,2) is discontinuous (2 != 1), so no match.
+			name: "paper-c//b//a",
+			results: [][]Pair{
+				pairs([2]int32{1, 2}),
+				pairs([2]int32{1, 2}),
+			},
+			want: false, wantDepth: 1,
+		},
+		{
+			name:    "single",
+			results: [][]Pair{pairs([2]int32{3, 3})},
+			want:    true, wantDepth: 1,
+		},
+		{
+			name:    "empty-first",
+			results: [][]Pair{nil, pairs([2]int32{1, 1})},
+			want:    false, wantDepth: 0,
+		},
+		{
+			name:    "empty-second",
+			results: [][]Pair{pairs([2]int32{1, 1}), nil},
+			want:    false, wantDepth: 1,
+		},
+		{
+			name:    "nil-chain",
+			results: nil,
+			want:    true, wantDepth: 0,
+		},
+		{
+			// Requires backtracking: first choice at level 0 dead-ends.
+			name: "backtrack",
+			results: [][]Pair{
+				pairs([2]int32{1, 1}, [2]int32{1, 2}),
+				pairs([2]int32{2, 3}),
+				pairs([2]int32{3, 1}),
+			},
+			want: true, wantDepth: 3,
+		},
+		{
+			// Deep backtracking across several levels.
+			name: "deep-backtrack",
+			results: [][]Pair{
+				pairs([2]int32{1, 1}, [2]int32{1, 2}, [2]int32{1, 3}),
+				pairs([2]int32{1, 5}, [2]int32{2, 5}, [2]int32{3, 4}),
+				pairs([2]int32{4, 9}),
+			},
+			want: true, wantDepth: 3,
+		},
+		{
+			name: "exhausts-without-match",
+			results: [][]Pair{
+				pairs([2]int32{1, 1}, [2]int32{2, 2}),
+				pairs([2]int32{1, 3}, [2]int32{2, 4}),
+				pairs([2]int32{5, 5}),
+			},
+			want: false, wantDepth: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, depth := Determine(tc.results)
+			if got != tc.want || depth != tc.wantDepth {
+				t.Errorf("Determine = (%v, %d), want (%v, %d)", got, depth, tc.want, tc.wantDepth)
+			}
+		})
+	}
+}
+
+// bruteForce enumerates every combination; the ground truth for small
+// inputs.
+func bruteForce(results [][]Pair) bool {
+	var rec func(level int, need int32) bool
+	rec = func(level int, need int32) bool {
+		if level == len(results) {
+			return true
+		}
+		for _, pr := range results[level] {
+			if level > 0 && pr.A != need {
+				continue
+			}
+			if rec(level+1, pr.B) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+func randomResults(rng *rand.Rand) [][]Pair {
+	n := 1 + rng.Intn(5)
+	results := make([][]Pair, n)
+	for i := range results {
+		k := rng.Intn(5) // may be empty
+		for j := 0; j < k; j++ {
+			results[i] = append(results[i], Pair{A: int32(1 + rng.Intn(3)), B: int32(1 + rng.Intn(3))})
+		}
+	}
+	return results
+}
+
+// TestDetermineAgainstBruteForce cross-checks the production search
+// against exhaustive enumeration on random instances.
+func TestDetermineAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		results := randomResults(rng)
+		want := bruteForce(results)
+		got, _ := Determine(results)
+		if got != want {
+			t.Fatalf("case %d: Determine = %v, brute force = %v, input %v", i, got, want, results)
+		}
+	}
+}
+
+// TestDetermineAgainstAlg1 cross-checks the production search against the
+// literal transcription of the paper's Algorithm 1.
+func TestDetermineAgainstAlg1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		results := randomResults(rng)
+		want := DetermineAlg1(results)
+		got, _ := Determine(results)
+		if got != want {
+			t.Fatalf("case %d: Determine = %v, Alg1 = %v, input %v", i, got, want, results)
+		}
+	}
+}
+
+// TestDetermineDepthSound checks with testing/quick that the reported
+// depth is achievable: there is a consistent chain of exactly that length,
+// and (when the search failed) no longer one.
+func TestDetermineDepthSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	deepest := func(results [][]Pair) int {
+		best := 0
+		var rec func(level int, need int32)
+		rec = func(level int, need int32) {
+			if level > best {
+				best = level
+			}
+			if level == len(results) {
+				return
+			}
+			for _, pr := range results[level] {
+				if level > 0 && pr.A != need {
+					continue
+				}
+				rec(level+1, pr.B)
+			}
+		}
+		rec(0, 0)
+		return best
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		results := randomResults(r)
+		ok, depth := Determine(results)
+		want := deepest(results)
+		if ok {
+			// Early exit: depth is at least the full length.
+			return depth == len(results)
+		}
+		return depth == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnumerate verifies all full combinations are produced exactly once
+// and that early stop works.
+func TestEnumerate(t *testing.T) {
+	results := [][]Pair{
+		pairs([2]int32{1, 1}, [2]int32{1, 2}),
+		pairs([2]int32{1, 1}, [2]int32{2, 2}, [2]int32{2, 1}),
+	}
+	var got [][]Pair
+	done := Enumerate(results, func(assign []Pair) bool {
+		got = append(got, append([]Pair(nil), assign...))
+		return true
+	})
+	if !done {
+		t.Error("Enumerate reported early stop without one")
+	}
+	want := [][]Pair{
+		{{A: 1, B: 1}, {A: 1, B: 1}},
+		{{A: 1, B: 2}, {A: 2, B: 2}},
+		{{A: 1, B: 2}, {A: 2, B: 1}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Enumerate produced %d combinations, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Errorf("combination %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	count := 0
+	done = Enumerate(results, func([]Pair) bool {
+		count++
+		return false
+	})
+	if done || count != 1 {
+		t.Errorf("early stop: done=%v count=%d, want false/1", done, count)
+	}
+}
+
+// TestEnumerateCountMatchesDetermine: Determine finds a match iff
+// Enumerate produces at least one combination.
+func TestEnumerateCountMatchesDetermine(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		results := randomResults(rng)
+		n := 0
+		Enumerate(results, func([]Pair) bool { n++; return true })
+		ok, _ := Determine(results)
+		if ok != (n > 0) {
+			t.Fatalf("case %d: Determine=%v but Enumerate found %d, input %v", i, ok, n, results)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package predicate
+
+import (
+	"testing"
+
+	"predfilter/internal/xpath"
+)
+
+// TestPaperEncodings checks the encoder against every worked example of
+// §3.2 of the paper (simple expressions s1–s3, wildcards s4–s11,
+// descendant operators s12–s15, and the order-sensitivity example).
+func TestPaperEncodings(t *testing.T) {
+	cases := []struct {
+		name string
+		xpe  string
+		want string
+	}{
+		{"s1", "/a/b/b", "(p_a, =, 1) ↦ (d(p_a, p_b), =, 1) ↦ (d(p_b, p_b), =, 1)"},
+		{"s2", "a", "(p_a, >=, 1)"},
+		{"s3", "a/a/b/c", "(d(p_a, p_a), =, 1) ↦ (d(p_a, p_b), =, 1) ↦ (d(p_b, p_c), =, 1)"},
+		{"s4", "/a/*/*/b", "(p_a, =, 1) ↦ (d(p_a, p_b), =, 3)"},
+		{"s5", "/a/b/*/*", "(p_a, =, 1) ↦ (d(p_a, p_b), =, 1) ↦ (p_b⊣, >=, 2)"},
+		{"s6", "/*/a/b", "(p_a, =, 2) ↦ (d(p_a, p_b), =, 1)"},
+		{"s7", "/*/*/*/*", "(length, >=, 4)"},
+		{"s8", "a/b/*/*", "(d(p_a, p_b), =, 1) ↦ (p_b⊣, >=, 2)"},
+		{"s9", "*/*/a/*/b", "(p_a, >=, 3) ↦ (d(p_a, p_b), =, 2)"},
+		{"s10", "a/*/*/b/c", "(d(p_a, p_b), =, 3) ↦ (d(p_b, p_c), =, 1)"},
+		{"s11", "*/*/*/*", "(length, >=, 4)"},
+		{"s12", "/a//b/c", "(p_a, =, 1) ↦ (d(p_a, p_b), >=, 1) ↦ (d(p_b, p_c), =, 1)"},
+		{"s13", "/*/b//c/*", "(p_b, =, 2) ↦ (d(p_b, p_c), >=, 1) ↦ (p_c⊣, >=, 1)"},
+		{"s14", "a/b//c", "(d(p_a, p_b), =, 1) ↦ (d(p_b, p_c), >=, 1)"},
+		{"s15", "*/a/*/b//c/*/*", "(p_a, >=, 2) ↦ (d(p_a, p_b), =, 2) ↦ (d(p_b, p_c), >=, 1) ↦ (p_c⊣, >=, 2)"},
+		// §3.2 order-sensitivity examples.
+		{"order1", "a/c/*/a//c", "(d(p_a, p_c), =, 1) ↦ (d(p_c, p_a), =, 2) ↦ (d(p_a, p_c), >=, 1)"},
+		{"order2", "a//c/*/a/c", "(d(p_a, p_c), >=, 1) ↦ (d(p_c, p_a), =, 2) ↦ (d(p_a, p_c), =, 1)"},
+		// §2 introduction example fragments.
+		{"intro1", "a/b/c/d", "(d(p_a, p_b), =, 1) ↦ (d(p_b, p_c), =, 1) ↦ (d(p_c, p_d), =, 1)"},
+		{"intro2", "b//b/c", "(d(p_b, p_b), >=, 1) ↦ (d(p_b, p_c), =, 1)"},
+		// Additional regression coverage for first-step edge cases.
+		{"desc-root", "//a/b", "(d(p_a, p_b), =, 1)"},
+		{"desc-root-single", "//a", "(p_a, >=, 1)"},
+		{"rel-trailing-only", "a/*", "(p_a⊣, >=, 1)"},
+		{"abs-trailing-only", "/a/*", "(p_a, =, 1) ↦ (p_a⊣, >=, 1)"},
+		{"wild-then-desc", "/*//a/b", "(p_a, >=, 2) ↦ (d(p_a, p_b), =, 1)"},
+		{"all-wild-desc", "/*//*", "(length, >=, 2)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := MustEncode(xpath.MustParse(tc.xpe), Inline)
+			if got := enc.String(); got != tc.want {
+				t.Errorf("Encode(%q):\n got  %s\n want %s", tc.xpe, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEncodingsShareCommonParts verifies the paper's central overlap
+// claim: the common fragment of two expressions maps to the identical
+// predicate value.
+func TestEncodingsShareCommonParts(t *testing.T) {
+	// a/b appears in both expressions at different offsets; both must
+	// produce the predicate (d(p_a, p_b), =, 1).
+	e1 := MustEncode(xpath.MustParse("/x/a/b"), Inline)
+	e2 := MustEncode(xpath.MustParse("a/b/y"), Inline)
+	want := Predicate{Kind: Relative, Op: EQ, Tag1: "a", Tag2: "b", Value: 1}
+	found := func(e *Encoding) bool {
+		for _, p := range e.Preds {
+			if p.Kind == want.Kind && p.Op == want.Op && p.Tag1 == want.Tag1 && p.Tag2 == want.Tag2 && p.Value == want.Value {
+				return true
+			}
+		}
+		return false
+	}
+	if !found(e1) || !found(e2) {
+		t.Errorf("common fragment a/b not encoded identically: %s vs %s", e1, e2)
+	}
+}
+
+// TestEncodeChainAdjacency checks the structural invariant the occurrence
+// determination algorithm relies on: adjacent predicates share the chained
+// tag (predicate i's second tag variable equals predicate i+1's first).
+func TestEncodeChainAdjacency(t *testing.T) {
+	xpes := []string{
+		"/a/b/c", "a//b/c", "*/a/*/b//c/*/*", "/a/*/*", "a/b", "/x//y//z/*",
+		"/a/b/b", "a/c/*/a//c", "b//b/c",
+	}
+	for _, s := range xpes {
+		enc := MustEncode(xpath.MustParse(s), Inline)
+		for i := 1; i < len(enc.Preds); i++ {
+			prev, cur := enc.Preds[i-1], enc.Preds[i]
+			prevTag := prev.Tag1
+			if prev.Kind == Relative {
+				prevTag = prev.Tag2
+			}
+			if cur.Tag1 != prevTag {
+				t.Errorf("%q: predicate %d (%s) does not chain on predicate %d (%s)", s, i, cur, i-1, prev)
+			}
+		}
+	}
+}
+
+// TestEncodeRefs verifies every non-wildcard step is referenced by exactly
+// one predicate side, and that the reference points at the right tag.
+func TestEncodeRefs(t *testing.T) {
+	xpes := []string{
+		"/a/b/c", "a//b/c", "*/a/*/b//c/*/*", "/a/*/*", "a/b", "a", "/a",
+		"a/*", "*/a/*", "/a/b/b", "a/c/*/a//c",
+	}
+	for _, s := range xpes {
+		p := xpath.MustParse(s)
+		enc := MustEncode(p, Inline)
+		for i, st := range p.Steps {
+			if st.Wildcard {
+				if _, ok := enc.Refs[i]; ok {
+					t.Errorf("%q: wildcard step %d has a reference", s, i)
+				}
+				continue
+			}
+			ref, ok := enc.Refs[i]
+			if !ok {
+				t.Errorf("%q: non-wildcard step %d has no reference", s, i)
+				continue
+			}
+			pr := enc.Preds[ref.Pred]
+			tag := pr.Tag1
+			if ref.Side == Right {
+				tag = pr.Tag2
+			}
+			if tag != st.Name {
+				t.Errorf("%q: step %d (%s) referenced by %s side %d with tag %s", s, i, st.Name, pr, ref.Side, tag)
+			}
+		}
+	}
+}
+
+// TestEncodeErrors checks the documented limitations are reported.
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(xpath.MustParse("/a[b]/c"), Inline); err == nil {
+		t.Error("Encode accepted nested path filter; want error")
+	}
+	if _, err := Encode(xpath.MustParse("/a/*[@x=3]/b"), Inline); err == nil {
+		t.Error("Encode accepted attribute filter on wildcard; want error")
+	}
+}
+
+// TestEncodeAttrModes checks inline filters ride on predicates while
+// postponed filters are recorded separately with bare predicates.
+func TestEncodeAttrModes(t *testing.T) {
+	p := xpath.MustParse(`/a[@x=3]/b[@y>=2]`)
+	in := MustEncode(p, Inline)
+	if len(in.Preds) != 2 {
+		t.Fatalf("inline: got %d predicates, want 2", len(in.Preds))
+	}
+	if len(in.Preds[0].Attrs1) != 1 || in.Preds[0].Attrs1[0].Name != "x" {
+		t.Errorf("inline: first predicate attrs = %v", in.Preds[0].Attrs1)
+	}
+	if len(in.Preds[1].Attrs2) != 1 || in.Preds[1].Attrs2[0].Name != "y" {
+		t.Errorf("inline: second predicate right attrs = %v", in.Preds[1].Attrs2)
+	}
+	if in.HasPostAttrs() {
+		t.Error("inline encoding reports postponed attrs")
+	}
+
+	po := MustEncode(p, Postponed)
+	for i, pr := range po.Preds {
+		if pr.HasAttrs() {
+			t.Errorf("postponed: predicate %d carries inline attrs: %s", i, pr)
+		}
+	}
+	if !po.HasPostAttrs() {
+		t.Fatal("postponed encoding lost the filters")
+	}
+	if len(po.PostAttrs[0].Left) != 1 || po.PostAttrs[0].Left[0].Name != "x" {
+		t.Errorf("postponed: PostAttrs[0].Left = %v", po.PostAttrs[0].Left)
+	}
+	if len(po.PostAttrs[1].Right) != 1 || po.PostAttrs[1].Right[0].Name != "y" {
+		t.Errorf("postponed: PostAttrs[1].Right = %v", po.PostAttrs[1].Right)
+	}
+}
+
+// TestAttrOnOmittedFirstPredicate exercises the case where the first-tag
+// predicate is omitted (relative expression, first step not wildcarded):
+// the step's filters must attach to the left side of the first relative
+// predicate instead.
+func TestAttrOnOmittedFirstPredicate(t *testing.T) {
+	enc := MustEncode(xpath.MustParse(`a[@k=1]/b`), Inline)
+	if len(enc.Preds) != 1 {
+		t.Fatalf("got %d predicates, want 1 (%s)", len(enc.Preds), enc)
+	}
+	if len(enc.Preds[0].Attrs1) != 1 || enc.Preds[0].Attrs1[0].Name != "k" {
+		t.Errorf("filters not carried to relative predicate: %s", enc)
+	}
+}

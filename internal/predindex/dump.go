@@ -1,0 +1,91 @@
+package predindex
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"predfilter/internal/predicate"
+)
+
+// Dump writes a human-readable rendering of the index structure — the
+// multi-stage hash tables and per-operator position arrays of the paper's
+// Figure 1 — for debugging and inspection.
+func (ix *Index) Dump(w io.Writer) {
+	fmt.Fprintf(w, "predicate index: %d distinct predicates\n", ix.Len())
+
+	dumpCells := func(indent string, cs cells) {
+		for v := range cs {
+			c := &cs[v]
+			if c.empty() {
+				continue
+			}
+			fmt.Fprintf(w, "%svalue %d:", indent, v)
+			if c.bare != NoPID {
+				fmt.Fprintf(w, " pid=%d", c.bare)
+			}
+			for _, pid := range c.vars {
+				fmt.Fprintf(w, " pid=%d%s", pid, attrNote(ix.preds[pid]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	dumpOps := func(indent string, a *opArrays) {
+		if hasAny(a.eq) {
+			fmt.Fprintf(w, "%sop =\n", indent)
+			dumpCells(indent+"  ", a.eq)
+		}
+		if hasAny(a.ge) {
+			fmt.Fprintf(w, "%sop >=\n", indent)
+			dumpCells(indent+"  ", a.ge)
+		}
+	}
+
+	fmt.Fprintln(w, "absolute predicates (p_t, op, v):")
+	for _, tag := range sortedKeys(ix.abs) {
+		fmt.Fprintf(w, "  tag %s\n", tag)
+		dumpOps("    ", ix.abs[tag])
+	}
+	fmt.Fprintln(w, "relative predicates (d(p_t1, p_t2), op, v):")
+	for _, t1 := range sortedKeys(ix.rel) {
+		second := ix.rel[t1]
+		for _, t2 := range sortedKeys(second) {
+			fmt.Fprintf(w, "  tags %s -> %s\n", t1, t2)
+			dumpOps("    ", second[t2])
+		}
+	}
+	fmt.Fprintln(w, "end-of-path predicates (p_t⊣, >=, v):")
+	for _, tag := range sortedKeys(ix.eop) {
+		fmt.Fprintf(w, "  tag %s\n", tag)
+		dumpCells("    ", *ix.eop[tag])
+	}
+	if hasAny(ix.length) {
+		fmt.Fprintln(w, "length-of-expression predicates (length, >=, v):")
+		dumpCells("  ", ix.length)
+	}
+}
+
+func attrNote(p predicate.Predicate) string {
+	if !p.HasAttrs() {
+		return ""
+	}
+	return "[filters:" + p.AttrKey() + "]"
+}
+
+func hasAny(cs cells) bool {
+	for i := range cs {
+		if !cs[i].empty() {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,42 @@
+package predindex
+
+import (
+	"strings"
+	"testing"
+
+	"predfilter/internal/predicate"
+	"predfilter/internal/xpath"
+)
+
+func TestDump(t *testing.T) {
+	ix := New()
+	for _, s := range []string{"/a/*/c", "*/a/*/c/*/*/*", "a//b", "/*/*", "x/*"} {
+		for _, p := range predicate.MustEncode(xpath.MustParse(s), predicate.Inline).Preds {
+			ix.Insert(p)
+		}
+	}
+	// One attribute twin.
+	ix.Insert(predicate.Predicate{
+		Kind: predicate.Absolute, Op: predicate.EQ, Tag1: "a", Value: 1,
+		Attrs1: []xpath.AttrFilter{{Name: "k", Op: xpath.AttrEQ, Value: "1"}},
+	})
+
+	var sb strings.Builder
+	ix.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"absolute predicates", "relative predicates", "end-of-path predicates",
+		"length-of-expression predicates",
+		"tags a -> c", // the shared (d(p_a,p_c),=,2) of the Figure 1 example
+		"tag a", "op =", "op >=", "[filters:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+	// The paper's Figure 1 point: /a/*/c and */a/*/c/*/*/* share the
+	// relative predicate — exactly one a->c entry with value 2.
+	if n := strings.Count(out, "tags a -> c"); n != 1 {
+		t.Errorf("a->c bucket appears %d times, want 1", n)
+	}
+}

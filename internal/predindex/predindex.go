@@ -1,0 +1,294 @@
+// Package predindex implements the predicate index of the paper
+// (§4.1.2, Figure 1): distinct predicates are stored exactly once and
+// managed through multi-stage hash tables — first by predicate type, then
+// by tag name(s) — that lead to per-operator arrays indexed by predicate
+// value. The index also implements the predicate matching stage (§4.1):
+// evaluating one publication (encoded document path) against all stored
+// predicates and recording occurrence-pair results per predicate.
+package predindex
+
+import (
+	"predfilter/internal/occur"
+	"predfilter/internal/predicate"
+	"predfilter/internal/xmldoc"
+)
+
+// PID identifies a distinct predicate within an Index.
+type PID int32
+
+// NoPID is the zero-value sentinel for "no predicate".
+const NoPID PID = -1
+
+// cell holds the predicates sharing one (type, tags, op, value) slot.
+// The common case is a single bare (filter-free) predicate; predicates
+// carrying inline attribute filters are structural twins kept in vars.
+type cell struct {
+	bare PID
+	vars []PID
+}
+
+func (c *cell) empty() bool { return c.bare == NoPID && len(c.vars) == 0 }
+
+// cells is a position-value-indexed array of cells (index 0 unused, since
+// predicate values are 1-based).
+type cells []cell
+
+func (cs *cells) at(v int) *cell {
+	for len(*cs) <= v {
+		*cs = append(*cs, cell{bare: NoPID})
+	}
+	return &(*cs)[v]
+}
+
+// opArrays is the pair of per-operator arrays hanging off a hash bucket.
+type opArrays struct {
+	eq cells
+	ge cells
+}
+
+func (a *opArrays) sel(op predicate.Op) *cells {
+	if op == predicate.EQ {
+		return &a.eq
+	}
+	return &a.ge
+}
+
+// Index is the predicate index. The zero value is not ready; use New.
+type Index struct {
+	preds  []predicate.Predicate
+	abs    map[string]*opArrays            // absolute: tag → arrays
+	rel    map[string]map[string]*opArrays // relative: tag1 → tag2 → arrays
+	eop    map[string]*cells               // end-of-path: tag → GE array
+	length cells                           // length-of-expression: GE array
+}
+
+// New returns an empty predicate index.
+func New() *Index {
+	return &Index{
+		abs: make(map[string]*opArrays),
+		rel: make(map[string]map[string]*opArrays),
+		eop: make(map[string]*cells),
+	}
+}
+
+// Len returns the number of distinct predicates stored.
+func (ix *Index) Len() int { return len(ix.preds) }
+
+// Pred returns the stored predicate for pid.
+func (ix *Index) Pred(pid PID) predicate.Predicate { return ix.preds[pid] }
+
+// Insert stores p if no identical predicate exists and returns its pid;
+// an identical predicate (same type, tags, operator, value and attribute
+// filters) is returned unchanged — this is where overlap across
+// expressions collapses into shared work.
+func (ix *Index) Insert(p predicate.Predicate) PID {
+	c := ix.cellFor(p)
+	if !p.HasAttrs() {
+		if c.bare != NoPID {
+			return c.bare
+		}
+		pid := ix.add(p)
+		c.bare = pid
+		return pid
+	}
+	key := p.AttrKey()
+	for _, pid := range c.vars {
+		if ix.preds[pid].AttrKey() == key {
+			return pid
+		}
+	}
+	pid := ix.add(p)
+	c.vars = append(c.vars, pid)
+	return pid
+}
+
+// Lookup returns the pid of a predicate identical to p, or NoPID.
+func (ix *Index) Lookup(p predicate.Predicate) PID {
+	c := ix.cellFor(p)
+	if !p.HasAttrs() {
+		return c.bare
+	}
+	key := p.AttrKey()
+	for _, pid := range c.vars {
+		if ix.preds[pid].AttrKey() == key {
+			return pid
+		}
+	}
+	return NoPID
+}
+
+func (ix *Index) add(p predicate.Predicate) PID {
+	pid := PID(len(ix.preds))
+	ix.preds = append(ix.preds, p)
+	return pid
+}
+
+func (ix *Index) cellFor(p predicate.Predicate) *cell {
+	switch p.Kind {
+	case predicate.Absolute:
+		a := ix.abs[p.Tag1]
+		if a == nil {
+			a = &opArrays{}
+			ix.abs[p.Tag1] = a
+		}
+		return a.sel(p.Op).at(p.Value)
+	case predicate.Relative:
+		m := ix.rel[p.Tag1]
+		if m == nil {
+			m = make(map[string]*opArrays)
+			ix.rel[p.Tag1] = m
+		}
+		a := m[p.Tag2]
+		if a == nil {
+			a = &opArrays{}
+			m[p.Tag2] = a
+		}
+		return a.sel(p.Op).at(p.Value)
+	case predicate.EndOfPath:
+		cs := ix.eop[p.Tag1]
+		if cs == nil {
+			cs = &cells{}
+			ix.eop[p.Tag1] = cs
+		}
+		return cs.at(p.Value)
+	default: // predicate.Length
+		return ix.length.at(p.Value)
+	}
+}
+
+// Results accumulates per-predicate occurrence-pair matching results for
+// one publication. It is reusable across publications via Reset (epoch
+// stamping avoids clearing the whole arrays each time).
+type Results struct {
+	pairs   [][]occur.Pair
+	stamp   []uint64
+	cur     uint64
+	touched []PID
+}
+
+// NewResults returns a result accumulator sized for the index's current
+// predicate count.
+func (ix *Index) NewResults() *Results { return NewResults(ix.Len()) }
+
+// NewResults returns a result accumulator sized for n predicates.
+func NewResults(n int) *Results {
+	return &Results{
+		pairs: make([][]occur.Pair, n),
+		stamp: make([]uint64, n),
+	}
+}
+
+// Reset prepares the accumulator for a new publication; n is the current
+// predicate count (the accumulator grows if predicates were added).
+func (r *Results) Reset(n int) {
+	for len(r.pairs) < n {
+		r.pairs = append(r.pairs, nil)
+		r.stamp = append(r.stamp, 0)
+	}
+	r.cur++
+	r.touched = r.touched[:0]
+}
+
+// Add records an occurrence pair for pid.
+func (r *Results) Add(pid PID, a, b int32) {
+	if r.stamp[pid] != r.cur {
+		r.stamp[pid] = r.cur
+		r.pairs[pid] = r.pairs[pid][:0]
+		r.touched = append(r.touched, pid)
+	}
+	r.pairs[pid] = append(r.pairs[pid], occur.Pair{A: a, B: b})
+}
+
+// Touched returns the pids that matched the current publication, in first
+// match order. The slice is owned by the accumulator and valid until the
+// next Reset.
+func (r *Results) Touched() []PID { return r.touched }
+
+// Get returns the occurrence pairs recorded for pid in the current
+// publication (nil if the predicate did not match).
+func (r *Results) Get(pid PID) []occur.Pair {
+	if int(pid) >= len(r.stamp) || r.stamp[pid] != r.cur {
+		return nil
+	}
+	return r.pairs[pid]
+}
+
+// Matched reports whether pid matched the current publication.
+func (r *Results) Matched(pid PID) bool {
+	return int(pid) < len(r.stamp) && r.stamp[pid] == r.cur && len(r.pairs[pid]) > 0
+}
+
+// MatchPath evaluates every stored predicate against the publication,
+// recording occurrence pairs into res (which must have been Reset for this
+// publication). This is the predicate matching stage of §4.1: absolute,
+// end-of-path and length predicates are evaluated per tuple; relative
+// predicates per ordered pair of tuples.
+func (ix *Index) MatchPath(pub *xmldoc.Publication, res *Results) {
+	l := pub.Length
+
+	// Length-of-expression predicates: (length, >=, v) matches iff v <= l.
+	for v := 1; v < len(ix.length) && v <= l; v++ {
+		ix.emit(&ix.length[v], nil, nil, 0, 0, res)
+	}
+
+	for i := range pub.Tuples {
+		t := &pub.Tuples[i]
+		occ := int32(t.Occ)
+
+		// Absolute predicates on t.Tag.
+		if a := ix.abs[t.Tag]; a != nil {
+			if v := t.Pos; v < len(a.eq) {
+				ix.emit(&a.eq[v], t, nil, occ, occ, res)
+			}
+			for v := 1; v < len(a.ge) && v <= t.Pos; v++ {
+				ix.emit(&a.ge[v], t, nil, occ, occ, res)
+			}
+		}
+
+		// End-of-path predicates: (p_t⊣, >=, v) matches iff l - pos >= v.
+		if cs := ix.eop[t.Tag]; cs != nil {
+			for v := 1; v < len(*cs) && v <= l-t.Pos; v++ {
+				ix.emit(&(*cs)[v], t, nil, occ, occ, res)
+			}
+		}
+
+		// Relative predicates with t as the first tag.
+		m := ix.rel[t.Tag]
+		if m == nil {
+			continue
+		}
+		for j := i + 1; j < len(pub.Tuples); j++ {
+			u := &pub.Tuples[j]
+			a := m[u.Tag]
+			if a == nil {
+				continue
+			}
+			d := u.Pos - t.Pos
+			if d < len(a.eq) {
+				ix.emit(&a.eq[d], t, u, occ, int32(u.Occ), res)
+			}
+			for v := 1; v < len(a.ge) && v <= d; v++ {
+				ix.emit(&a.ge[v], t, u, occ, int32(u.Occ), res)
+			}
+		}
+	}
+}
+
+// emit records cell matches, verifying inline attribute filters on the
+// attribute-carrying structural twins. t1/t2 may be nil for length
+// predicates.
+func (ix *Index) emit(c *cell, t1, t2 *xmldoc.Tuple, a, b int32, res *Results) {
+	if c.bare != NoPID {
+		res.Add(c.bare, a, b)
+	}
+	for _, pid := range c.vars {
+		p := &ix.preds[pid]
+		if t1 != nil && !predicate.EvalAttrs(p.Attrs1, t1) {
+			continue
+		}
+		if t2 != nil && !predicate.EvalAttrs(p.Attrs2, t2) {
+			continue
+		}
+		res.Add(pid, a, b)
+	}
+}

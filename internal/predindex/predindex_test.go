@@ -1,0 +1,283 @@
+package predindex
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"predfilter/internal/occur"
+	"predfilter/internal/predicate"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+// TestTable1 reproduces Table 1 of the paper: the individual predicate
+// matching results for the expressions a//b/c and c//b//a over the
+// document path (a, b, c, a, b, c).
+func TestTable1(t *testing.T) {
+	ix := New()
+	encode := func(s string) []PID {
+		enc := predicate.MustEncode(xpath.MustParse(s), predicate.Inline)
+		pids := make([]PID, len(enc.Preds))
+		for i, p := range enc.Preds {
+			pids[i] = ix.Insert(p)
+		}
+		return pids
+	}
+	e1 := encode("a//b/c")  // (d(p_a,p_b),>=,1) ↦ (d(p_b,p_c),=,1)
+	e2 := encode("c//b//a") // (d(p_c,p_b),>=,1) ↦ (d(p_b,p_a),>=,1)
+
+	doc := xmldoc.FromPaths([]string{"a", "b", "c", "a", "b", "c"})
+	res := NewResults(ix.Len())
+	res.Reset(ix.Len())
+	ix.MatchPath(&doc.Paths[0], res)
+
+	want := map[string][][2]int32{
+		// Table 1, row by row (occurrence-number pairs).
+		"(d(p_a, p_b), >=, 1)": {{1, 1}, {1, 2}, {2, 2}},
+		"(d(p_b, p_c), =, 1)":  {{1, 1}, {2, 2}},
+		"(d(p_c, p_b), >=, 1)": {{1, 2}},
+		"(d(p_b, p_a), >=, 1)": {{1, 2}},
+	}
+	check := func(pid PID) {
+		name := ix.Pred(pid).String()
+		exp, ok := want[name]
+		if !ok {
+			t.Fatalf("unexpected predicate %s", name)
+		}
+		got := res.Get(pid)
+		pairs := make([][2]int32, len(got))
+		for i, p := range got {
+			pairs[i] = [2]int32{p.A, p.B}
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		if fmt.Sprint(pairs) != fmt.Sprint(exp) {
+			t.Errorf("%s: matching results %v, want %v", name, pairs, exp)
+		}
+	}
+	for _, pid := range e1 {
+		check(pid)
+	}
+	for _, pid := range e2 {
+		check(pid)
+	}
+
+	// Example 2's conclusions: a//b/c has a true match, c//b//a does not.
+	chain := func(pids []PID) [][]occur.Pair {
+		out := make([][]occur.Pair, len(pids))
+		for i, pid := range pids {
+			out[i] = res.Get(pid)
+		}
+		return out
+	}
+	if ok, _ := occur.Determine(chain(e1)); !ok {
+		t.Error("a//b/c should match (a,b,c,a,b,c)")
+	}
+	if ok, _ := occur.Determine(chain(e2)); ok {
+		t.Error("c//b//a should not match (a,b,c,a,b,c)")
+	}
+}
+
+// TestInsertDedup checks that identical predicates share a pid and that
+// distinct ones (including attribute-filter structural twins) do not.
+func TestInsertDedup(t *testing.T) {
+	ix := New()
+	p1 := predicate.Predicate{Kind: predicate.Relative, Op: predicate.EQ, Tag1: "a", Tag2: "b", Value: 2}
+	p2 := predicate.Predicate{Kind: predicate.Relative, Op: predicate.EQ, Tag1: "a", Tag2: "b", Value: 2}
+	if ix.Insert(p1) != ix.Insert(p2) {
+		t.Error("identical relative predicates got different pids")
+	}
+	p3 := p1
+	p3.Op = predicate.GE
+	if ix.Insert(p3) == ix.Insert(p1) {
+		t.Error("different operators share a pid")
+	}
+	p4 := p1
+	p4.Value = 3
+	if ix.Insert(p4) == ix.Insert(p1) {
+		t.Error("different values share a pid")
+	}
+	p5 := p1
+	p5.Attrs1 = []xpath.AttrFilter{{Name: "x", Op: xpath.AttrEQ, Value: "1"}}
+	pid5 := ix.Insert(p5)
+	if pid5 == ix.Insert(p1) {
+		t.Error("attribute twin shares the bare pid")
+	}
+	if pid5 != ix.Insert(p5) {
+		t.Error("identical attribute twin got a new pid")
+	}
+	p6 := p5
+	p6.Attrs1 = []xpath.AttrFilter{{Name: "x", Op: xpath.AttrEQ, Value: "2"}}
+	if ix.Insert(p6) == pid5 {
+		t.Error("different attribute values share a pid")
+	}
+	if ix.Len() != 5 {
+		t.Errorf("index has %d predicates, want 5", ix.Len())
+	}
+}
+
+// TestLookup checks Lookup mirrors Insert without mutation.
+func TestLookup(t *testing.T) {
+	ix := New()
+	p := predicate.Predicate{Kind: predicate.Absolute, Op: predicate.EQ, Tag1: "a", Value: 1}
+	if got := ix.Lookup(p); got != NoPID {
+		t.Errorf("Lookup on empty index = %d, want NoPID", got)
+	}
+	pid := ix.Insert(p)
+	if got := ix.Lookup(p); got != pid {
+		t.Errorf("Lookup = %d, want %d", got, pid)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Lookup mutated the index: len %d", ix.Len())
+	}
+}
+
+// naiveMatch evaluates one predicate against a publication directly from
+// the §4.1.1 rules — the oracle for the index's matching stage.
+func naiveMatch(p predicate.Predicate, pub *xmldoc.Publication) [][2]int32 {
+	var out [][2]int32
+	cmp := func(op predicate.Op, got, want int) bool {
+		if op == predicate.EQ {
+			return got == want
+		}
+		return got >= want
+	}
+	switch p.Kind {
+	case predicate.Absolute:
+		for i := range pub.Tuples {
+			t := &pub.Tuples[i]
+			if t.Tag == p.Tag1 && cmp(p.Op, t.Pos, p.Value) && predicate.EvalAttrs(p.Attrs1, t) {
+				out = append(out, [2]int32{int32(t.Occ), int32(t.Occ)})
+			}
+		}
+	case predicate.Relative:
+		for i := range pub.Tuples {
+			for j := i + 1; j < len(pub.Tuples); j++ {
+				t1, t2 := &pub.Tuples[i], &pub.Tuples[j]
+				if t1.Tag == p.Tag1 && t2.Tag == p.Tag2 && cmp(p.Op, t2.Pos-t1.Pos, p.Value) &&
+					predicate.EvalAttrs(p.Attrs1, t1) && predicate.EvalAttrs(p.Attrs2, t2) {
+					out = append(out, [2]int32{int32(t1.Occ), int32(t2.Occ)})
+				}
+			}
+		}
+	case predicate.EndOfPath:
+		for i := range pub.Tuples {
+			t := &pub.Tuples[i]
+			if t.Tag == p.Tag1 && pub.Length-t.Pos >= p.Value && predicate.EvalAttrs(p.Attrs1, t) {
+				out = append(out, [2]int32{int32(t.Occ), int32(t.Occ)})
+			}
+		}
+	case predicate.Length:
+		if pub.Length >= p.Value {
+			out = append(out, [2]int32{0, 0})
+		}
+	}
+	return out
+}
+
+// TestMatchPathAgainstNaive fuzzes the index matching stage against the
+// direct evaluation rules.
+func TestMatchPathAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tags := []string{"a", "b", "c", "d"}
+	for round := 0; round < 300; round++ {
+		ix := New()
+		var preds []predicate.Predicate
+		for i := 0; i < 30; i++ {
+			var p predicate.Predicate
+			op := predicate.Op(rng.Intn(2))
+			switch rng.Intn(4) {
+			case 0:
+				p = predicate.Predicate{Kind: predicate.Absolute, Op: op, Tag1: tags[rng.Intn(len(tags))], Value: 1 + rng.Intn(6)}
+			case 1:
+				p = predicate.Predicate{Kind: predicate.Relative, Op: op, Tag1: tags[rng.Intn(len(tags))], Tag2: tags[rng.Intn(len(tags))], Value: 1 + rng.Intn(4)}
+			case 2:
+				p = predicate.Predicate{Kind: predicate.EndOfPath, Op: predicate.GE, Tag1: tags[rng.Intn(len(tags))], Value: 1 + rng.Intn(4)}
+			default:
+				p = predicate.Predicate{Kind: predicate.Length, Op: predicate.GE, Value: 1 + rng.Intn(8)}
+			}
+			ix.Insert(p)
+			preds = append(preds, p)
+		}
+		n := 1 + rng.Intn(8)
+		path := make([]string, n)
+		for i := range path {
+			path[i] = tags[rng.Intn(len(tags))]
+		}
+		doc := xmldoc.FromPaths(path)
+		res := NewResults(ix.Len())
+		res.Reset(ix.Len())
+		ix.MatchPath(&doc.Paths[0], res)
+		for _, p := range preds {
+			pid := ix.Lookup(p)
+			if pid == NoPID {
+				t.Fatalf("predicate %s not found after insert", p)
+			}
+			want := naiveMatch(p, &doc.Paths[0])
+			got := res.Get(pid)
+			if len(got) != len(want) {
+				t.Fatalf("round %d path %v: %s matched %v, want %v", round, path, p, got, want)
+			}
+			sort.Slice(got, func(i, j int) bool {
+				if got[i].A != got[j].A {
+					return got[i].A < got[j].A
+				}
+				return got[i].B < got[j].B
+			})
+			sort.Slice(want, func(i, j int) bool {
+				if want[i][0] != want[j][0] {
+					return want[i][0] < want[j][0]
+				}
+				return want[i][1] < want[j][1]
+			})
+			for i := range want {
+				if got[i].A != want[i][0] || got[i].B != want[i][1] {
+					t.Fatalf("round %d path %v: %s matched %v, want %v", round, path, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestResultsEpoch checks stale results do not leak between publications.
+func TestResultsEpoch(t *testing.T) {
+	ix := New()
+	pid := ix.Insert(predicate.Predicate{Kind: predicate.Absolute, Op: predicate.EQ, Tag1: "a", Value: 1})
+	res := NewResults(ix.Len())
+
+	doc := xmldoc.FromPaths([]string{"a", "b"}, []string{"b", "a"})
+	res.Reset(ix.Len())
+	ix.MatchPath(&doc.Paths[0], res)
+	if !res.Matched(pid) {
+		t.Fatal("(p_a,=,1) should match path a/b")
+	}
+	res.Reset(ix.Len())
+	ix.MatchPath(&doc.Paths[1], res)
+	if res.Matched(pid) {
+		t.Fatal("(p_a,=,1) result leaked into path b/a")
+	}
+	if got := res.Get(pid); got != nil {
+		t.Fatalf("Get returned stale pairs %v", got)
+	}
+}
+
+// TestResultsGrowth checks the accumulator accommodates predicates added
+// after its creation.
+func TestResultsGrowth(t *testing.T) {
+	ix := New()
+	res := NewResults(ix.Len())
+	ix.Insert(predicate.Predicate{Kind: predicate.Absolute, Op: predicate.EQ, Tag1: "a", Value: 1})
+	pid2 := ix.Insert(predicate.Predicate{Kind: predicate.Absolute, Op: predicate.GE, Tag1: "b", Value: 1})
+	doc := xmldoc.FromPaths([]string{"a", "b"})
+	res.Reset(ix.Len())
+	ix.MatchPath(&doc.Paths[0], res)
+	if !res.Matched(pid2) {
+		t.Error("grown accumulator lost results for new pid")
+	}
+}

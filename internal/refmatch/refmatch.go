@@ -1,0 +1,121 @@
+// Package refmatch is a direct, deliberately simple XPath matcher used as
+// the test oracle for the predicate-based engine (and for the YFilter and
+// Index-Filter baselines). It evaluates the paper's matching semantics —
+// an expression matches a document iff its evaluation over the document is
+// a non-empty node set — by explicit placement search over the document's
+// root-to-leaf paths, with node-identity checks for nested path filters.
+//
+// Nothing here is optimized; correctness by inspection is the point.
+package refmatch
+
+import (
+	"predfilter/internal/predicate"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+// Match reports whether the expression matches the document. Single-path
+// expressions match iff they match any root-to-leaf path; nested path
+// filters are evaluated against the document tree via node identity.
+func Match(p *xpath.Path, doc *xmldoc.Document) bool {
+	m := matcher{doc: doc}
+	for i := range doc.Paths {
+		if m.matchPub(p, &doc.Paths[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchPath reports whether a single-path expression matches one document
+// path in isolation. It must not be called with nested path filters
+// (those need the whole document); see Match.
+func MatchPath(p *xpath.Path, pub *xmldoc.Publication) bool {
+	if !p.IsSinglePath() {
+		panic("refmatch: MatchPath on nested-path expression")
+	}
+	m := matcher{}
+	return m.matchPub(p, pub)
+}
+
+type matcher struct {
+	doc *xmldoc.Document
+}
+
+// matchPub tries every admissible starting position for the first step.
+// An absolute expression whose first step uses the child axis is anchored
+// at position 1; everything else (leading descendant axis, or a relative
+// expression under the paper's semantics) may start anywhere.
+func (m *matcher) matchPub(p *xpath.Path, pub *xmldoc.Publication) bool {
+	if len(p.Steps) == 0 {
+		return false
+	}
+	if p.Absolute && p.Steps[0].Axis == xpath.Child {
+		return m.placed(p.Steps, 0, pub, 1)
+	}
+	for pos := 1; pos <= pub.Length; pos++ {
+		if m.placed(p.Steps, 0, pub, pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// placed reports whether steps[i:] can be placed in pub with steps[i] at
+// exactly position pos.
+func (m *matcher) placed(steps []xpath.Step, i int, pub *xmldoc.Publication, pos int) bool {
+	if pos > pub.Length {
+		return false
+	}
+	t := &pub.Tuples[pos-1]
+	s := &steps[i]
+	if !s.Wildcard && t.Tag != s.Name {
+		return false
+	}
+	if !predicate.EvalAttrs(s.Attrs, t) {
+		return false
+	}
+	for _, q := range s.Nested {
+		if !m.nested(q, t.NodeID, pos) {
+			return false
+		}
+	}
+	if i == len(steps)-1 {
+		return true
+	}
+	if steps[i+1].Axis == xpath.Child {
+		return m.placed(steps, i+1, pub, pos+1)
+	}
+	for p2 := pos + 1; p2 <= pub.Length; p2++ {
+		if m.placed(steps, i+1, pub, p2) {
+			return true
+		}
+	}
+	return false
+}
+
+// nested reports whether the nested path q matches below the context node
+// (identified by nodeID at path position pos). A nested path is relative
+// to its context node: a leading child axis means a direct child, a
+// leading descendant axis any strict descendant.
+func (m *matcher) nested(q *xpath.Path, nodeID, pos int) bool {
+	if m.doc == nil {
+		panic("refmatch: nested path filter requires document context")
+	}
+	for i := range m.doc.Paths {
+		pub := &m.doc.Paths[i]
+		if pos > pub.Length || pub.Tuples[pos-1].NodeID != nodeID {
+			continue
+		}
+		if q.Steps[0].Axis == xpath.Descendant {
+			for p2 := pos + 1; p2 <= pub.Length; p2++ {
+				if m.placed(q.Steps, 0, pub, p2) {
+					return true
+				}
+			}
+		} else if m.placed(q.Steps, 0, pub, pos+1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package refmatch
+
+import (
+	"testing"
+
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+// The reference matcher is itself the oracle for every engine, so its own
+// tests are exhaustive hand-checked cases.
+func TestMatchPath(t *testing.T) {
+	path := []string{"a", "b", "c", "a", "b", "c"}
+	cases := []struct {
+		xpe  string
+		want bool
+	}{
+		// Anchored absolute.
+		{"/a", true},
+		{"/b", false},
+		{"/a/b/c", true},
+		{"/a/b/c/a/b/c", true},
+		{"/a/b/c/a/b/c/a", false},
+		{"/a/c", false},
+		// Relative: anywhere.
+		{"b/c", true},
+		{"c/a", true},
+		{"c/c", false},
+		{"b/c/a/b", true},
+		// Wildcards.
+		{"/*/b", true},
+		{"/*/*/*/*/*/*", true},
+		{"/*/*/*/*/*/*/*", false},
+		{"*/*/*", true},
+		{"/a/*/c", true},
+		{"/a/*/b", false},
+		// Descendant.
+		{"/a//c", true},
+		{"a//a", true},
+		{"c//b", true},
+		{"c//c", true},
+		{"//c//a", true},
+		{"/c//a", false},
+		// Paper Example 2.
+		{"a//b/c", true},
+		{"c//b//a", false},
+		// Trailing wildcards need room.
+		{"/a/b/c/a/b/*", true},
+		{"/a/b/c/a/b/c/*", false},
+		{"c/*/*", true},
+		{"c/*/*/*/*", false},
+	}
+	doc := xmldoc.FromPaths(path)
+	for _, tc := range cases {
+		if got := MatchPath(xpath.MustParse(tc.xpe), &doc.Paths[0]); got != tc.want {
+			t.Errorf("MatchPath(%q, %v) = %v, want %v", tc.xpe, path, got, tc.want)
+		}
+	}
+}
+
+func TestMatchDocument(t *testing.T) {
+	doc, err := xmldoc.Parse([]byte(`<r><a><b/><c k="2"/></a><a><c k="5"/></a></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		xpe  string
+		want bool
+	}{
+		{"/r/a/b", true},
+		{"/r/a/c", true},
+		{"/r/b", false},
+		{"/r/a[b]/c", true},        // the first a has both b and c
+		{"/r/a[b][c]", true},       //
+		{"/r/a[b]/c[@k=5]", false}, // k=5 is on the other a's c
+		{"/r/a[b]/c[@k=2]", true},
+		{"/r/a[c[@k=5]]", true},
+		{"/r[a/b]//c", true},
+		{"a[//c]", true},
+		{"a[//b]", true},
+		{"c[//b]", false}, // c has no descendants
+	}
+	for _, tc := range cases {
+		if got := Match(xpath.MustParse(tc.xpe), doc); got != tc.want {
+			t.Errorf("Match(%q) = %v, want %v", tc.xpe, got, tc.want)
+		}
+	}
+}
+
+func TestAttrOps(t *testing.T) {
+	doc, err := xmldoc.Parse([]byte(`<a x="5" s="hello"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		xpe  string
+		want bool
+	}{
+		{"/a[@x]", true},
+		{"/a[@y]", false},
+		{"/a[@x=5]", true},
+		{"/a[@x=4]", false},
+		{"/a[@x!=4]", true},
+		{"/a[@x>=5]", true},
+		{"/a[@x>5]", false},
+		{"/a[@x<=5]", true},
+		{"/a[@x<5]", false},
+		{"/a[@x>=4.5]", true}, // numeric, not lexicographic
+		{"/a[@s=hello]", true},
+		{"/a[@s>hell]", true}, // lexicographic fallback
+	}
+	for _, tc := range cases {
+		if got := Match(xpath.MustParse(tc.xpe), doc); got != tc.want {
+			t.Errorf("Match(%q) = %v, want %v", tc.xpe, got, tc.want)
+		}
+	}
+}
+
+func TestMatchPathPanicsOnNested(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatchPath accepted a nested-path expression")
+		}
+	}()
+	doc := xmldoc.FromPaths([]string{"a"})
+	MatchPath(xpath.MustParse("a[b]"), &doc.Paths[0])
+}

@@ -1,0 +1,262 @@
+// Package server implements a content-based dissemination service over
+// the filtering engine: the selective information dissemination scenario
+// the paper's introduction motivates, as an HTTP API. Clients register
+// XPath subscriptions, publishers POST XML documents, and the service
+// fans each document out to the matching subscriptions' delivery queues.
+//
+// The API (all JSON except the published XML body):
+//
+//	POST   /subscriptions        {"expression": "/nitf//p"}  → {"id": 7}
+//	DELETE /subscriptions/{id}                               → 204
+//	GET    /subscriptions/{id}                               → subscription info
+//	POST   /publish              <xml body>                  → {"matches": n, "ids": [...]}
+//	GET    /deliveries/{id}?max=k                            → drained documents for one subscription
+//	GET    /stats                                            → engine statistics
+//
+// Deliveries are held in bounded per-subscription queues; a slow consumer
+// loses oldest-first (counted in the subscription info) rather than
+// blocking the publish path.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"predfilter"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine configures the underlying filter engine.
+	Engine predfilter.Config
+	// QueueLimit bounds each subscription's delivery queue (default 128).
+	QueueLimit int
+	// MaxDocumentBytes bounds published documents (default 1 MiB).
+	MaxDocumentBytes int64
+}
+
+// Server is the dissemination service. Create with New; it implements
+// http.Handler.
+type Server struct {
+	eng *predfilter.Engine
+	mux *http.ServeMux
+	cfg Config
+
+	mu   sync.Mutex
+	subs map[predfilter.SID]*subscription
+}
+
+// subscription holds one registered expression and its delivery queue.
+type subscription struct {
+	Expression string `json:"expression"`
+	Delivered  int    `json:"delivered"`
+	Dropped    int    `json:"dropped"`
+	Pending    int    `json:"pending"`
+
+	queue [][]byte
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 128
+	}
+	if cfg.MaxDocumentBytes <= 0 {
+		cfg.MaxDocumentBytes = 1 << 20
+	}
+	s := &Server{
+		eng:  predfilter.New(cfg.Engine),
+		mux:  http.NewServeMux(),
+		cfg:  cfg,
+		subs: make(map[predfilter.SID]*subscription),
+	}
+	s.mux.HandleFunc("POST /subscriptions", s.handleSubscribe)
+	s.mux.HandleFunc("GET /subscriptions/{id}", s.handleGetSubscription)
+	s.mux.HandleFunc("DELETE /subscriptions/{id}", s.handleUnsubscribe)
+	s.mux.HandleFunc("POST /publish", s.handlePublish)
+	s.mux.HandleFunc("GET /deliveries/{id}", s.handleDeliveries)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Preload registers a batch of subscriptions before serving (for example
+// from a saved subscription file); it returns the assigned ids in order.
+func (s *Server) Preload(xpes []string) ([]predfilter.SID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]predfilter.SID, 0, len(xpes))
+	for _, x := range xpes {
+		sid, err := s.eng.Add(x)
+		if err != nil {
+			return ids, fmt.Errorf("server: preload %q: %w", x, err)
+		}
+		s.subs[sid] = &subscription{Expression: x}
+		ids = append(ids, sid)
+	}
+	return ids, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Expression string `json:"expression"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<10)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Expression) == "" {
+		writeError(w, http.StatusBadRequest, "expression is required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sid, err := s.eng.Add(req.Expression)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.subs[sid] = &subscription{Expression: req.Expression}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": sid})
+}
+
+func (s *Server) sidFromPath(w http.ResponseWriter, r *http.Request) (predfilter.SID, *subscription, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid subscription id %q", r.PathValue("id"))
+		return 0, nil, false
+	}
+	sub := s.subs[predfilter.SID(id)]
+	if sub == nil {
+		writeError(w, http.StatusNotFound, "unknown subscription %d", id)
+		return 0, nil, false
+	}
+	return predfilter.SID(id), sub, true
+}
+
+func (s *Server) handleGetSubscription(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, sub, ok := s.sidFromPath(w, r)
+	if !ok {
+		return
+	}
+	info := *sub
+	info.Pending = len(sub.queue)
+	info.queue = nil
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sid, _, ok := s.sidFromPath(w, r)
+	if !ok {
+		return
+	}
+	if err := s.eng.Remove(sid); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	delete(s.subs, sid)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	doc, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxDocumentBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(doc)) > s.cfg.MaxDocumentBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "document exceeds %d bytes", s.cfg.MaxDocumentBytes)
+		return
+	}
+	// Match without the registry lock: the engine is safe for concurrent
+	// matching, and subscriptions added mid-publish simply miss this
+	// document.
+	sids, err := s.eng.Match(doc)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "invalid document: %v", err)
+		return
+	}
+	s.mu.Lock()
+	delivered := make([]predfilter.SID, 0, len(sids))
+	for _, sid := range sids {
+		sub := s.subs[sid]
+		if sub == nil {
+			continue // removed concurrently
+		}
+		if len(sub.queue) >= s.cfg.QueueLimit {
+			sub.queue = sub.queue[1:]
+			sub.Dropped++
+		}
+		sub.queue = append(sub.queue, doc)
+		sub.Delivered++
+		delivered = append(delivered, sid)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"matches": len(delivered), "ids": delivered})
+}
+
+func (s *Server) handleDeliveries(w http.ResponseWriter, r *http.Request) {
+	max := 10
+	if q := r.URL.Query().Get("max"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid max %q", q)
+			return
+		}
+		max = v
+	}
+	s.mu.Lock()
+	_, sub, ok := s.sidFromPath(w, r)
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	n := len(sub.queue)
+	if n > max {
+		n = max
+	}
+	docs := sub.queue[:n]
+	sub.queue = sub.queue[n:]
+	s.mu.Unlock()
+
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		out[i] = string(d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"documents": out, "remaining": len(sub.queue)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	s.mu.Lock()
+	subs := len(s.subs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"subscriptions":        subs,
+		"expressions":          st.Expressions,
+		"distinct_expressions": st.DistinctExpressions,
+		"distinct_predicates":  st.DistinctPredicates,
+		"nested_expressions":   st.NestedExpressions,
+	})
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"predfilter"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return out
+}
+
+func subscribe(t *testing.T, ts *httptest.Server, xpe string) int {
+	t.Helper()
+	resp, body := postJSON(t, ts.URL+"/subscriptions", map[string]string{"expression": xpe})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("subscribe %q: status %d body %v", xpe, resp.StatusCode, body)
+	}
+	return int(body["id"].(float64))
+}
+
+func publish(t *testing.T, ts *httptest.Server, doc string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/publish", "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body := decodeBody(t, resp)
+		t.Fatalf("publish: status %d body %v", resp.StatusCode, body)
+	}
+	return decodeBody(t, resp)
+}
+
+func TestSubscribePublishDeliver(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	alerts := subscribe(t, ts, "//alert[@kind=weather]")
+	trades := subscribe(t, ts, "/feed/trade[@sym=ACME]")
+	all := subscribe(t, ts, "/feed/*")
+
+	out := publish(t, ts, `<feed><alert kind="weather"><msg/></alert></feed>`)
+	if out["matches"].(float64) != 2 {
+		t.Fatalf("matches = %v, want 2", out["matches"])
+	}
+	out = publish(t, ts, `<feed><trade sym="ACME"><px/></trade></feed>`)
+	if out["matches"].(float64) != 2 {
+		t.Fatalf("matches = %v, want 2", out["matches"])
+	}
+	out = publish(t, ts, `<note/>`)
+	if out["matches"].(float64) != 0 {
+		t.Fatalf("matches = %v, want 0", out["matches"])
+	}
+
+	// Drain deliveries.
+	drain := func(id int) []any {
+		resp, err := http.Get(fmt.Sprintf("%s/deliveries/%d?max=10", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("deliveries: status %d", resp.StatusCode)
+		}
+		return decodeBody(t, resp)["documents"].([]any)
+	}
+	if docs := drain(alerts); len(docs) != 1 || !strings.Contains(docs[0].(string), "alert") {
+		t.Errorf("alerts deliveries = %v", docs)
+	}
+	if docs := drain(trades); len(docs) != 1 || !strings.Contains(docs[0].(string), "trade") {
+		t.Errorf("trades deliveries = %v", docs)
+	}
+	if docs := drain(all); len(docs) != 2 {
+		t.Errorf("all deliveries = %d, want 2", len(docs))
+	}
+	// Drained: second read is empty.
+	if docs := drain(all); len(docs) != 0 {
+		t.Errorf("second drain = %d, want 0", len(docs))
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	id := subscribe(t, ts, "/a")
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/subscriptions/%d", ts.URL, id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	out := publish(t, ts, `<a/>`)
+	if out["matches"].(float64) != 0 {
+		t.Errorf("matches after unsubscribe = %v", out["matches"])
+	}
+	// Deleting again is a 404.
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("second delete: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestSubscriptionInfoAndStats(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	id := subscribe(t, ts, "/a/b")
+	subscribe(t, ts, "/a/b") // duplicate shares the engine entry
+	publish(t, ts, `<a><b/></a>`)
+
+	resp, err := http.Get(fmt.Sprintf("%s/subscriptions/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decodeBody(t, resp)
+	if info["expression"] != "/a/b" || info["delivered"].(float64) != 1 || info["pending"].(float64) != 1 {
+		t.Errorf("info = %v", info)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decodeBody(t, resp)
+	if stats["subscriptions"].(float64) != 2 {
+		t.Errorf("stats subscriptions = %v", stats["subscriptions"])
+	}
+	if stats["distinct_expressions"].(float64) != 1 {
+		t.Errorf("stats distinct_expressions = %v", stats["distinct_expressions"])
+	}
+}
+
+func TestQueueOverflowDropsOldest(t *testing.T) {
+	ts := newTestServer(t, Config{QueueLimit: 2})
+	id := subscribe(t, ts, "/m")
+	publish(t, ts, `<m v="1"/>`)
+	publish(t, ts, `<m v="2"/>`)
+	publish(t, ts, `<m v="3"/>`)
+
+	resp, err := http.Get(fmt.Sprintf("%s/deliveries/%d?max=10", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decodeBody(t, resp)
+	docs := body["documents"].([]any)
+	if len(docs) != 2 {
+		t.Fatalf("kept %d documents, want 2", len(docs))
+	}
+	if !strings.Contains(docs[0].(string), `v="2"`) || !strings.Contains(docs[1].(string), `v="3"`) {
+		t.Errorf("oldest not dropped: %v", docs)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/subscriptions/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decodeBody(t, resp)
+	if info["dropped"].(float64) != 1 {
+		t.Errorf("dropped = %v, want 1", info["dropped"])
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{MaxDocumentBytes: 64})
+	cases := []struct {
+		name string
+		do   func() *http.Response
+		want int
+	}{
+		{"bad-json", func() *http.Response {
+			resp, _ := http.Post(ts.URL+"/subscriptions", "application/json", strings.NewReader("{"))
+			return resp
+		}, http.StatusBadRequest},
+		{"empty-expression", func() *http.Response {
+			resp, _ := postJSONResp(ts.URL+"/subscriptions", map[string]string{"expression": "  "})
+			return resp
+		}, http.StatusBadRequest},
+		{"bad-expression", func() *http.Response {
+			resp, _ := postJSONResp(ts.URL+"/subscriptions", map[string]string{"expression": "]["})
+			return resp
+		}, http.StatusUnprocessableEntity},
+		{"bad-xml", func() *http.Response {
+			resp, _ := http.Post(ts.URL+"/publish", "application/xml", strings.NewReader("<a><b></a>"))
+			return resp
+		}, http.StatusUnprocessableEntity},
+		{"too-large", func() *http.Response {
+			resp, _ := http.Post(ts.URL+"/publish", "application/xml", strings.NewReader("<a>"+strings.Repeat("x", 100)+"</a>"))
+			return resp
+		}, http.StatusRequestEntityTooLarge},
+		{"unknown-subscription", func() *http.Response {
+			resp, _ := http.Get(ts.URL + "/deliveries/999")
+			return resp
+		}, http.StatusNotFound},
+		{"bad-id", func() *http.Response {
+			resp, _ := http.Get(ts.URL + "/deliveries/xyz")
+			return resp
+		}, http.StatusBadRequest},
+		{"bad-max", func() *http.Response {
+			id := subscribe(t, ts, "/q")
+			resp, _ := http.Get(fmt.Sprintf("%s/deliveries/%d?max=-1", ts.URL, id))
+			return resp
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := tc.do()
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+func postJSONResp(url string, body any) (*http.Response, error) {
+	data, _ := json.Marshal(body)
+	return http.Post(url, "application/json", bytes.NewReader(data))
+}
+
+// TestConcurrentPublish hammers publish from several goroutines while
+// subscriptions are added; counts must be coherent.
+func TestConcurrentPublish(t *testing.T) {
+	ts := newTestServer(t, Config{QueueLimit: 10000, Engine: predfilter.Config{}})
+	id := subscribe(t, ts, "/doc")
+	const (
+		workers = 8
+		per     = 20
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := http.Post(ts.URL+"/publish", "application/xml", strings.NewReader("<doc/>"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	resp, err := http.Get(fmt.Sprintf("%s/subscriptions/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decodeBody(t, resp)
+	if got := info["delivered"].(float64); got != workers*per {
+		t.Errorf("delivered = %v, want %d", got, workers*per)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	srv := New(Config{})
+	ids, err := srv.Preload([]string{"/a/b", "//c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	out := publish(t, ts, `<a><b/><c/></a>`)
+	if out["matches"].(float64) != 2 {
+		t.Errorf("matches = %v, want 2", out["matches"])
+	}
+	if _, err := srv.Preload([]string{"]["}); err == nil {
+		t.Error("Preload accepted garbage")
+	}
+}

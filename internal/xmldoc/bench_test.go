@@ -1,0 +1,26 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkParse measures SAX path extraction and publication encoding on
+// a repetitive ~10 KB document (the per-document cost the paper reports
+// as negligible).
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 60; i++ {
+		sb.WriteString(`<rec id="1"><k>x</k><v a="2"><w/><w/></v></rec>`)
+	}
+	sb.WriteString("</root>")
+	data := []byte(sb.String())
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package xmldoc
+
+import "testing"
+
+// FuzzParse: malformed input must error cleanly, and accepted documents
+// must satisfy the encoding invariants (positions 1..Length, correct
+// occurrence counting, path count = leaf count).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"<a/>", "<a><b/></a>", "<a><b><c/></b><d/></a>", `<a x="1">t</a>`,
+		"<a><b></a>", "<a>", "", "plain", "<a><a><a/></a></a>",
+		"<?xml version=\"1.0\"?><r><!-- c --><x/></r>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := Parse([]byte(input))
+		if err != nil {
+			return
+		}
+		for _, p := range doc.Paths {
+			if p.Length != len(p.Tuples) || p.Length == 0 {
+				t.Fatalf("bad path length %d/%d for %q", p.Length, len(p.Tuples), input)
+			}
+			occ := map[string]int{}
+			for i, tu := range p.Tuples {
+				if tu.Pos != i+1 {
+					t.Fatalf("position %d at index %d for %q", tu.Pos, i, input)
+				}
+				occ[tu.Tag]++
+				if tu.Occ != occ[tu.Tag] {
+					t.Fatalf("occurrence %d (want %d) for %q", tu.Occ, occ[tu.Tag], input)
+				}
+			}
+		}
+	})
+}

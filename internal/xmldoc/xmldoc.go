@@ -1,0 +1,224 @@
+// Package xmldoc decomposes XML documents into root-to-leaf paths and
+// encodes each path as a "publication": the set of (attribute, value)
+// tuples defined in §3.3 of the paper — a (length, n) tuple plus one
+// (tag, position) tuple per location step, annotated with per-path tag
+// occurrence numbers, element attributes, per-document node identifiers
+// and child indices (the <m1,...,mn> structure tuples of §5).
+//
+// Parsing is streaming (SAX style) on top of encoding/xml: only a stack of
+// open elements is retained, and a path is emitted each time a leaf element
+// closes.
+package xmldoc
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Attr is an attribute name/value pair attached to an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Tuple is one (tag, position) pair of a publication. Pos is the 1-based
+// position of the tag in the path; Occ is the tag's occurrence number
+// within the path (1-based: the k-th time this tag name appears in the
+// path); NodeID identifies the element within its document so that nested
+// path recombination can detect shared ancestors; ChildIdx says this
+// element is the ChildIdx-th child element of its parent (1 for the root).
+type Tuple struct {
+	Tag      string
+	Pos      int
+	Occ      int
+	NodeID   int
+	ChildIdx int
+	Attrs    []Attr
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (t *Tuple) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Publication is the encoding of a single document path
+// {(length, n), (t1, 1), ..., (tn, n)}.
+type Publication struct {
+	Length int
+	Tuples []Tuple
+}
+
+// Tags returns the tag names of the path in order.
+func (p *Publication) Tags() []string {
+	tags := make([]string, len(p.Tuples))
+	for i, t := range p.Tuples {
+		tags[i] = t.Tag
+	}
+	return tags
+}
+
+// String renders the path as /t1/t2/.../tn.
+func (p *Publication) String() string {
+	var b strings.Builder
+	for _, t := range p.Tuples {
+		b.WriteByte('/')
+		b.WriteString(t.Tag)
+	}
+	return b.String()
+}
+
+// Document is the path-decomposed form of one XML document.
+type Document struct {
+	Paths    []Publication
+	Elements int // total number of elements in the document
+}
+
+// Parse decomposes the XML document in data.
+func Parse(data []byte) (*Document, error) {
+	return ParseReader(bytes.NewReader(data))
+}
+
+// ParseReader decomposes the XML document read from r. Input with more
+// than one top-level element is rejected; use ParseStream for
+// concatenated documents.
+func ParseReader(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	doc, err := parseOne(dec)
+	if err == io.EOF {
+		return nil, fmt.Errorf("xmldoc: no document element")
+	}
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return doc, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement, xml.EndElement:
+			return nil, fmt.Errorf("xmldoc: content after the document root; use ParseStream for concatenated documents")
+		}
+	}
+}
+
+// ParseStream reads a sequence of concatenated XML documents from r
+// (optionally separated by whitespace), invoking fn for each. It stops at
+// the first parse error or when fn returns an error, and reports the
+// number of complete documents processed.
+func ParseStream(r io.Reader, fn func(*Document) error) (int, error) {
+	dec := xml.NewDecoder(r)
+	n := 0
+	for {
+		doc, err := parseOne(dec)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := fn(doc); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// parseOne decodes a single document's element tree from an open decoder.
+// It returns io.EOF when no further document starts.
+func parseOne(dec *xml.Decoder) (*Document, error) {
+	doc := &Document{}
+	type frame struct {
+		tag      string
+		attrs    []Attr
+		nodeID   int
+		childIdx int
+		children int
+	}
+	var stack []frame
+	nextID := 0
+	started := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			if !started {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("xmldoc: unexpected EOF with %d open elements", len(stack))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			started = true
+			childIdx := 1
+			if n := len(stack); n > 0 {
+				stack[n-1].children++
+				childIdx = stack[n-1].children
+			}
+			var attrs []Attr
+			if len(t.Attr) > 0 {
+				attrs = make([]Attr, len(t.Attr))
+				for i, a := range t.Attr {
+					attrs[i] = Attr{Name: a.Name.Local, Value: a.Value}
+				}
+			}
+			stack = append(stack, frame{tag: t.Name.Local, attrs: attrs, nodeID: nextID, childIdx: childIdx})
+			nextID++
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldoc: unbalanced end element <%s>", t.Name.Local)
+			}
+			if stack[len(stack)-1].children == 0 {
+				pub := Publication{Length: len(stack), Tuples: make([]Tuple, len(stack))}
+				occ := make(map[string]int, len(stack))
+				for i, f := range stack {
+					occ[f.tag]++
+					pub.Tuples[i] = Tuple{
+						Tag: f.tag, Pos: i + 1, Occ: occ[f.tag],
+						NodeID: f.nodeID, ChildIdx: f.childIdx, Attrs: f.attrs,
+					}
+				}
+				doc.Paths = append(doc.Paths, pub)
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				doc.Elements = nextID
+				return doc, nil
+			}
+		}
+	}
+}
+
+// FromPaths builds a Document directly from tag-name paths, computing
+// occurrence numbers. It is intended for tests and synthetic workloads
+// where no serialized XML exists. Node ids are unique per tuple (paths are
+// treated as disjoint except for nothing), and child indices are all 1.
+func FromPaths(paths ...[]string) *Document {
+	doc := &Document{}
+	nextID := 0
+	for _, tags := range paths {
+		pub := Publication{Length: len(tags), Tuples: make([]Tuple, len(tags))}
+		occ := make(map[string]int, len(tags))
+		for i, tag := range tags {
+			occ[tag]++
+			pub.Tuples[i] = Tuple{Tag: tag, Pos: i + 1, Occ: occ[tag], NodeID: nextID, ChildIdx: 1}
+			nextID++
+		}
+		doc.Paths = append(doc.Paths, pub)
+		doc.Elements += len(tags)
+	}
+	return doc
+}

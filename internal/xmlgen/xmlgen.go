@@ -1,0 +1,192 @@
+// Package xmlgen generates synthetic XML documents from a DTD content
+// model. It stands in for the IBM XML Generator the paper used (the
+// original is a closed binary release): the controls the paper varies are
+// reproduced — maximum nesting levels (6–10) and default-ish everything
+// else — and the default configuration targets the paper's document scale
+// (~140 tags, ~9 KB per document).
+package xmlgen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"predfilter/internal/dtd"
+)
+
+// Config controls document generation.
+type Config struct {
+	// MaxLevels caps element nesting depth (the paper varies 6–10).
+	MaxLevels int
+	// TargetTags is a soft budget for the number of elements; expansion
+	// stops queueing children once reached.
+	TargetTags int
+	// MaxRepeats caps the instance count of * and + particles.
+	MaxRepeats int
+	// EdgeProb is the probability that an optional (? or *) parent→child
+	// edge is active in a given document. The choice is made once per
+	// document, not per element instance: a document uses a consistent
+	// subset of the schema's optional markup (as real corpora do), so
+	// repeated elements do not gradually cover every optional branch.
+	// This is what separates the selective NITF regime from the
+	// high-match PSD regime (PSD has few optional edges).
+	EdgeProb float64
+	// OptionalProb is the probability an instance of an active optional
+	// (?) child is emitted.
+	OptionalProb float64
+	// StarProb is the probability an instance of an active * particle is
+	// emitted at all.
+	StarProb float64
+	// AttrProb is the probability an optional attribute is emitted.
+	AttrProb float64
+	// TextProb is the probability a leaf element receives text content.
+	TextProb float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's setup (default generator parameters,
+// documents averaging ≈140 tags / ≈9 KB).
+func DefaultConfig() Config {
+	return Config{
+		MaxLevels:    8,
+		TargetTags:   340,
+		MaxRepeats:   16,
+		EdgeProb:     0.45,
+		OptionalProb: 0.8,
+		StarProb:     0.95,
+		AttrProb:     0.5,
+		TextProb:     0.7,
+	}
+}
+
+// Generator produces documents from one DTD.
+type Generator struct {
+	d   *dtd.DTD
+	cfg Config
+	rng *rand.Rand
+}
+
+// New returns a generator; zero config fields are filled from
+// DefaultConfig.
+func New(d *dtd.DTD, cfg Config) *Generator {
+	def := DefaultConfig()
+	if cfg.MaxLevels == 0 {
+		cfg.MaxLevels = def.MaxLevels
+	}
+	if cfg.TargetTags == 0 {
+		cfg.TargetTags = def.TargetTags
+	}
+	if cfg.MaxRepeats == 0 {
+		cfg.MaxRepeats = def.MaxRepeats
+	}
+	if cfg.EdgeProb == 0 {
+		cfg.EdgeProb = def.EdgeProb
+	}
+	if cfg.OptionalProb == 0 {
+		cfg.OptionalProb = def.OptionalProb
+	}
+	if cfg.StarProb == 0 {
+		cfg.StarProb = def.StarProb
+	}
+	if cfg.AttrProb == 0 {
+		cfg.AttrProb = def.AttrProb
+	}
+	if cfg.TextProb == 0 {
+		cfg.TextProb = def.TextProb
+	}
+	return &Generator{d: d, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+var words = []string{
+	"market", "protein", "update", "report", "sample", "series", "signal",
+	"region", "detail", "source", "record", "factor", "result", "survey",
+}
+
+// Generate produces one document.
+func (g *Generator) Generate() []byte {
+	var buf bytes.Buffer
+	tags := 0
+	// Per-document profile of active optional edges (see Config.EdgeProb).
+	edges := make(map[[2]string]bool)
+	active := func(parent, child string) bool {
+		key := [2]string{parent, child}
+		v, ok := edges[key]
+		if !ok {
+			v = g.rng.Float64() < g.cfg.EdgeProb
+			edges[key] = v
+		}
+		return v
+	}
+	var emit func(name string, depth int)
+	emit = func(name string, depth int) {
+		tags++
+		el := g.d.Element(name)
+		buf.WriteByte('<')
+		buf.WriteString(name)
+		for _, a := range el.Attrs {
+			if !a.Required && g.rng.Float64() >= g.cfg.AttrProb {
+				continue
+			}
+			fmt.Fprintf(&buf, ` %s="%s"`, a.Name, a.Values[g.rng.Intn(len(a.Values))])
+		}
+		buf.WriteByte('>')
+		children := 0
+		if depth < g.cfg.MaxLevels {
+			for _, c := range el.Children {
+				if tags >= g.cfg.TargetTags {
+					break
+				}
+				if (c.Repeat == dtd.Optional || c.Repeat == dtd.Star) && !active(name, c.Name) {
+					continue
+				}
+				for i := 0; i < g.count(c.Repeat); i++ {
+					if tags >= g.cfg.TargetTags {
+						break
+					}
+					emit(c.Name, depth+1)
+					children++
+				}
+			}
+		}
+		if children == 0 && g.rng.Float64() < g.cfg.TextProb {
+			buf.WriteString(words[g.rng.Intn(len(words))])
+			buf.WriteByte(' ')
+			buf.WriteString(words[g.rng.Intn(len(words))])
+		}
+		buf.WriteString("</")
+		buf.WriteString(name)
+		buf.WriteByte('>')
+	}
+	emit(g.d.Root, 1)
+	return buf.Bytes()
+}
+
+// count draws the instance count for one child particle.
+func (g *Generator) count(r dtd.Repeat) int {
+	switch r {
+	case dtd.One:
+		return 1
+	case dtd.Optional:
+		if g.rng.Float64() < g.cfg.OptionalProb {
+			return 1
+		}
+		return 0
+	case dtd.Star:
+		if g.rng.Float64() < g.cfg.StarProb {
+			return 1 + g.rng.Intn(g.cfg.MaxRepeats)
+		}
+		return 0
+	default: // dtd.Plus
+		return 1 + g.rng.Intn(g.cfg.MaxRepeats)
+	}
+}
+
+// GenerateN produces n documents.
+func (g *Generator) GenerateN(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = g.Generate()
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package xmlgen
+
+import (
+	"bytes"
+	"testing"
+
+	"predfilter/internal/dtd"
+	"predfilter/internal/xmldoc"
+)
+
+func TestGeneratesWellFormed(t *testing.T) {
+	for _, d := range []*dtd.DTD{dtd.NITF(), dtd.PSD()} {
+		g := New(d, Config{Seed: 1})
+		for i := 0; i < 25; i++ {
+			raw := g.Generate()
+			doc, err := xmldoc.Parse(raw)
+			if err != nil {
+				t.Fatalf("%s doc %d: %v\n%s", d.Name, i, err, raw)
+			}
+			if doc.Elements == 0 {
+				t.Fatalf("%s doc %d: empty document", d.Name, i)
+			}
+			if doc.Paths[0].Tuples[0].Tag != d.Root {
+				t.Errorf("%s doc %d: root = %s", d.Name, i, doc.Paths[0].Tuples[0].Tag)
+			}
+		}
+	}
+}
+
+func TestMaxLevelsRespected(t *testing.T) {
+	for _, levels := range []int{6, 8, 10} {
+		g := New(dtd.NITF(), Config{MaxLevels: levels, Seed: 2})
+		for i := 0; i < 20; i++ {
+			doc, err := xmldoc.Parse(g.Generate())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range doc.Paths {
+				if p.Length > levels {
+					t.Fatalf("MaxLevels=%d but path of length %d: %s", levels, p.Length, p.String())
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := New(dtd.PSD(), Config{Seed: 7}).GenerateN(5)
+	b := New(dtd.PSD(), Config{Seed: 7}).GenerateN(5)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("doc %d differs across runs with the same seed", i)
+		}
+	}
+	c := New(dtd.PSD(), Config{Seed: 8}).Generate()
+	if bytes.Equal(a[0], c) {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestSchemaValid(t *testing.T) {
+	// Every generated parent→child edge must be declared by the DTD.
+	for _, d := range []*dtd.DTD{dtd.NITF(), dtd.PSD()} {
+		g := New(d, Config{Seed: 3})
+		for i := 0; i < 10; i++ {
+			doc, err := xmldoc.Parse(g.Generate())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range doc.Paths {
+				for j := 1; j < len(p.Tuples); j++ {
+					parent := d.Element(p.Tuples[j-1].Tag)
+					if parent == nil {
+						t.Fatalf("%s: undeclared element %s", d.Name, p.Tuples[j-1].Tag)
+					}
+					found := false
+					for _, c := range parent.Children {
+						if c.Name == p.Tuples[j].Tag {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%s: edge %s→%s not in schema", d.Name, p.Tuples[j-1].Tag, p.Tuples[j].Tag)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAttributesDeclared(t *testing.T) {
+	g := New(dtd.NITF(), Config{Seed: 4})
+	d := dtd.NITF()
+	doc, err := xmldoc.Parse(g.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawAttr := false
+	for _, p := range doc.Paths {
+		for _, tu := range p.Tuples {
+			el := d.Element(tu.Tag)
+			for _, a := range tu.Attrs {
+				sawAttr = true
+				ok := false
+				for _, decl := range el.Attrs {
+					if decl.Name == a.Name {
+						ok = true
+						for _, v := range decl.Values {
+							if v == a.Value {
+								goto next
+							}
+						}
+						t.Fatalf("%s@%s=%q not among declared values", tu.Tag, a.Name, a.Value)
+					}
+				}
+				if !ok {
+					t.Fatalf("%s@%s not declared", tu.Tag, a.Name)
+				}
+			next:
+			}
+		}
+	}
+	if !sawAttr {
+		t.Error("NITF document generated without any attributes")
+	}
+}
+
+func TestTargetTagsBudget(t *testing.T) {
+	g := New(dtd.PSD(), Config{TargetTags: 40, Seed: 5})
+	for i := 0; i < 10; i++ {
+		doc, err := xmldoc.Parse(g.Generate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The budget is soft (the element being expanded may finish its
+		// current child), but should not be blown past wildly.
+		if doc.Elements > 80 {
+			t.Errorf("TargetTags=40 produced %d elements", doc.Elements)
+		}
+	}
+}
+
+func TestRequiredChildrenAlwaysPresent(t *testing.T) {
+	// PSD: every ProteinEntry must contain its required children
+	// regardless of the per-document edge profile.
+	g := New(dtd.PSD(), Config{Seed: 6, TargetTags: 100000})
+	doc, err := xmldoc.Parse(g.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := map[string]bool{}
+	for _, p := range doc.Paths {
+		for _, tu := range p.Tuples {
+			tags[tu.Tag] = true
+		}
+	}
+	for _, must := range []string{"ProteinDatabase", "ProteinEntry", "header", "uid", "protein", "name", "sequence"} {
+		if !tags[must] {
+			t.Errorf("required element %s missing from generated PSD document", must)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package xpath
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Eval reports whether an attribute value satisfies the filter.
+// Comparison is numeric when both the filter value and the attribute
+// value parse as floating point numbers, and lexicographic otherwise;
+// AttrExists is satisfied by any present value. This is the single source
+// of truth for attribute comparison across all engines.
+func (f AttrFilter) Eval(value string) bool {
+	if f.Op == AttrExists {
+		return true
+	}
+	if fn, err1 := strconv.ParseFloat(f.Value, 64); err1 == nil {
+		if vn, err2 := strconv.ParseFloat(value, 64); err2 == nil {
+			return f.cmpOK(compareFloat(vn, fn))
+		}
+	}
+	return f.cmpOK(strings.Compare(value, f.Value))
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func (f AttrFilter) cmpOK(c int) bool {
+	switch f.Op {
+	case AttrEQ:
+		return c == 0
+	case AttrNE:
+		return c != 0
+	case AttrLT:
+		return c < 0
+	case AttrLE:
+		return c <= 0
+	case AttrGT:
+		return c > 0
+	case AttrGE:
+		return c >= 0
+	}
+	return true
+}

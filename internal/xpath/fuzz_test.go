@@ -1,0 +1,29 @@
+package xpath
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/a/b/c", "a//b", "*/a/*/b//c/*/*", "/a[@x=3]/b", "/a[*/c[d]/e]//c[d]/e",
+		"//a", "/*/*/*", "a[@k]", `a[@k="v v"]`, "a[b[c]]", "[", "]", "a[",
+		"a[@", "///", "a[@x!=]", "a/*[", "", " ", "/a /b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("accepted %q but its String %q does not re-parse: %v", input, s, err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip changed %q: %q vs %q", input, s, q)
+		}
+	})
+}

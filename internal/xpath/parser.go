@@ -1,0 +1,282 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError describes a syntax error with its byte offset in the input.
+type ParseError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xpath: parse %q: at offset %d: %s", e.Input, e.Pos, e.Msg)
+}
+
+// Parse parses an XPath expression in the fragment supported by the paper.
+//
+// Grammar (whitespace allowed around operators and brackets):
+//
+//	path    := axis? step (axis step)*
+//	axis    := "/" | "//"
+//	step    := nametest filter*
+//	nametest:= NAME | "*"
+//	filter  := "[" "@" NAME (op value)? "]" | "[" path "]"
+//	op      := "=" | "!=" | "<" | "<=" | ">" | ">="
+//	value   := NUMBER | '"' ... '"' | "'" ... "'" | NAME
+//
+// A leading axis makes the path absolute. Nested paths inside filters are
+// relative to their enclosing step.
+func Parse(input string) (*Path, error) {
+	p := &parser{input: input}
+	path, err := p.parsePath(false)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, p.errorf("unexpected %q", p.rest())
+	}
+	return path, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and constant
+// expression tables.
+func MustParse(input string) *Path {
+	path, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return path
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Input: p.input, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) rest() string {
+	const max = 12
+	r := p.input[p.pos:]
+	if len(r) > max {
+		r = r[:max] + "..."
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+// consumeAxis consumes "/" or "//" and reports which, or ok=false if the
+// next token is not an axis.
+func (p *parser) consumeAxis() (Axis, bool) {
+	p.skipSpace()
+	if p.peek() != '/' {
+		return Child, false
+	}
+	p.pos++
+	if p.peek() == '/' {
+		p.pos++
+		return Descendant, true
+	}
+	return Child, true
+}
+
+// parsePath parses a (possibly absolute) path. nested is true when
+// parsing a nested path filter, which is always relative to its context
+// node: a leading "//" there selects descendants of the context node
+// rather than making the path absolute (a leading "/" is rejected).
+func (p *parser) parsePath(nested bool) (*Path, error) {
+	path := &Path{}
+	axis, leading := p.consumeAxis()
+	switch {
+	case leading && nested:
+		if axis == Child {
+			return nil, p.errorf("nested path filter must be relative")
+		}
+		// leading "//" in a filter: descendant of the context node.
+	case leading:
+		path.Absolute = true
+	default:
+		axis = Child
+	}
+	for {
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		save := p.pos
+		next, ok := p.consumeAxis()
+		if !ok {
+			p.pos = save
+			break
+		}
+		axis = next
+	}
+	if len(path.Steps) == 0 {
+		return nil, p.errorf("empty path")
+	}
+	_ = nested
+	return path, nil
+}
+
+func (p *parser) parseStep(axis Axis) (Step, error) {
+	p.skipSpace()
+	step := Step{Axis: axis}
+	switch {
+	case p.peek() == '*':
+		p.pos++
+		step.Wildcard = true
+	default:
+		name := p.scanName()
+		if name == "" {
+			return step, p.errorf("expected tag name or '*', found %q", p.rest())
+		}
+		step.Name = name
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '[' {
+			return step, nil
+		}
+		p.pos++
+		p.skipSpace()
+		if p.peek() == '@' {
+			p.pos++
+			f, err := p.parseAttrFilter()
+			if err != nil {
+				return step, err
+			}
+			step.Attrs = append(step.Attrs, f)
+		} else {
+			sub, err := p.parsePath(true)
+			if err != nil {
+				return step, err
+			}
+			step.Nested = append(step.Nested, sub)
+		}
+		p.skipSpace()
+		if p.peek() != ']' {
+			return step, p.errorf("expected ']', found %q", p.rest())
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseAttrFilter() (AttrFilter, error) {
+	name := p.scanName()
+	if name == "" {
+		return AttrFilter{}, p.errorf("expected attribute name, found %q", p.rest())
+	}
+	f := AttrFilter{Name: name, Op: AttrExists}
+	p.skipSpace()
+	switch p.peek() {
+	case '=':
+		p.pos++
+		f.Op = AttrEQ
+	case '!':
+		p.pos++
+		if p.peek() != '=' {
+			return f, p.errorf("expected '=' after '!'")
+		}
+		p.pos++
+		f.Op = AttrNE
+	case '<':
+		p.pos++
+		f.Op = AttrLT
+		if p.peek() == '=' {
+			p.pos++
+			f.Op = AttrLE
+		}
+	case '>':
+		p.pos++
+		f.Op = AttrGT
+		if p.peek() == '=' {
+			p.pos++
+			f.Op = AttrGE
+		}
+	default:
+		return f, nil // existence filter [@a]
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return f, err
+	}
+	f.Value = val
+	return f, nil
+}
+
+func (p *parser) parseValue() (string, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '"' || c == '\'':
+		quote := c
+		p.pos++
+		var b strings.Builder
+		for p.pos < len(p.input) && p.input[p.pos] != quote {
+			if p.input[p.pos] == '\\' && p.pos+1 < len(p.input) {
+				p.pos++ // backslash escapes the next byte literally
+			}
+			b.WriteByte(p.input[p.pos])
+			p.pos++
+		}
+		if p.pos == len(p.input) {
+			return "", p.errorf("unterminated string literal")
+		}
+		p.pos++
+		return b.String(), nil
+	default:
+		start := p.pos
+		for p.pos < len(p.input) && isValueChar(p.input[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return "", p.errorf("expected value, found %q", p.rest())
+		}
+		return p.input[start:p.pos], nil
+	}
+}
+
+// scanName scans a tag or attribute name (an approximation of an XML
+// NCName: a letter or underscore followed by letters, digits, '_', '-',
+// '.' or ':').
+func (p *parser) scanName() string {
+	start := p.pos
+	if p.pos < len(p.input) && isNameStart(p.input[p.pos]) {
+		p.pos++
+		for p.pos < len(p.input) && isNameChar(p.input[p.pos]) {
+			p.pos++
+		}
+	}
+	return p.input[start:p.pos]
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.' || c == ':'
+}
+
+func isValueChar(c byte) bool {
+	return isNameChar(c)
+}

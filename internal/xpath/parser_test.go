@@ -1,0 +1,229 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		abs  bool
+		n    int
+		want string // canonical form; "" means same as input
+	}{
+		{"/a/b/c", true, 3, ""},
+		{"a/b/c", false, 3, ""},
+		{"/a//b", true, 2, ""},
+		{"//a", true, 1, ""},
+		{"*", false, 1, ""},
+		{"/*/*/*", true, 3, ""},
+		{"a/*/b//c", false, 4, ""},
+		{"/a[@x=3]/b", true, 2, ""},
+		{"/a[@x]/b", true, 2, ""},
+		{"/a[@x!=3]", true, 1, ""},
+		{"/a[@x>=3][@y<=2]", true, 1, ""},
+		{"/a[@x>1][@y<9]", true, 1, ""},
+		{"/a[b/c]/d", true, 2, ""},
+		{"/a[b][c]", true, 1, ""},
+		{"a[b[c]]", false, 1, ""},
+		{"/a[*/c[d]/e]//c[d]/e", true, 3, ""},
+		{" /a / b ", true, 2, "/a/b"},
+		{`/a[@x="hello world"]`, true, 1, `/a[@x="hello world"]`},
+		{`/a[@x='v1']`, true, 1, "/a[@x=v1]"},
+		{"/ns:tag/sub-tag/t.2", true, 3, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			p, err := Parse(tc.in)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.in, err)
+			}
+			if p.Absolute != tc.abs {
+				t.Errorf("Absolute = %v, want %v", p.Absolute, tc.abs)
+			}
+			if len(p.Steps) != tc.n {
+				t.Errorf("len(Steps) = %d, want %d", len(p.Steps), tc.n)
+			}
+			want := tc.want
+			if want == "" {
+				want = tc.in
+			}
+			if got := p.String(); got != want {
+				t.Errorf("String() = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	p := MustParse("/a//b[@x=3]/*[c//d]")
+	if !p.Absolute {
+		t.Error("not absolute")
+	}
+	if p.Steps[0].Axis != Child || p.Steps[0].Name != "a" {
+		t.Errorf("step 0 = %+v", p.Steps[0])
+	}
+	if p.Steps[1].Axis != Descendant || p.Steps[1].Name != "b" {
+		t.Errorf("step 1 = %+v", p.Steps[1])
+	}
+	if len(p.Steps[1].Attrs) != 1 || p.Steps[1].Attrs[0] != (AttrFilter{Name: "x", Op: AttrEQ, Value: "3"}) {
+		t.Errorf("step 1 attrs = %+v", p.Steps[1].Attrs)
+	}
+	if !p.Steps[2].Wildcard {
+		t.Error("step 2 not wildcard")
+	}
+	if len(p.Steps[2].Nested) != 1 {
+		t.Fatalf("step 2 nested = %v", p.Steps[2].Nested)
+	}
+	q := p.Steps[2].Nested[0]
+	if q.Absolute || len(q.Steps) != 2 || q.Steps[1].Axis != Descendant {
+		t.Errorf("nested = %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "/", "//", "a//", "/a/", "a[", "a[]", "a[@]", "a[@x=]", "a[@x!3]",
+		"a]b", "a[b", `a[@x="unterminated]`, "a[/b]", "a b", "/a/&", "a[@x=<]",
+		"a$", "[b]",
+	}
+	for _, in := range bad {
+		if p, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %q, want error", in, p)
+		}
+	}
+	var pe *ParseError
+	_, err := Parse("/a/&")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var ok bool
+	pe, ok = err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Pos != 3 || !strings.Contains(pe.Error(), "offset 3") {
+		t.Errorf("ParseError = %+v (%s)", pe, pe)
+	}
+}
+
+// randPath builds a random valid Path directly (not via text) for
+// round-trip testing.
+func randPath(rng *rand.Rand, depth int) *Path {
+	tags := []string{"a", "bb", "c-1", "d.x", "e:f"}
+	p := &Path{Absolute: rng.Intn(2) == 0}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		s := Step{Axis: Child}
+		if rng.Intn(4) == 0 && (i > 0 || p.Absolute) {
+			s.Axis = Descendant
+		}
+		if rng.Intn(5) == 0 {
+			s.Wildcard = true
+		} else {
+			s.Name = tags[rng.Intn(len(tags))]
+			if rng.Intn(4) == 0 {
+				s.Attrs = append(s.Attrs, AttrFilter{
+					Name:  "k",
+					Op:    AttrOp(1 + rng.Intn(6)),
+					Value: "v1",
+				})
+			}
+			if depth < 2 && rng.Intn(5) == 0 {
+				s.Nested = append(s.Nested, randPath(rng, depth+1))
+			}
+		}
+		p.Steps = append(p.Steps, s)
+	}
+	// Nested paths must be relative.
+	fixNested(p)
+	return p
+}
+
+func fixNested(p *Path) {
+	for i := range p.Steps {
+		for _, q := range p.Steps[i].Nested {
+			q.Absolute = false
+			if q.Steps[0].Axis == Descendant {
+				// keep: [//x] is legal (descendant of the context node)
+				_ = q
+			}
+			fixNested(q)
+		}
+	}
+}
+
+// TestRoundTrip: Parse(p.String()) must equal p, for random paths.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		p := randPath(r, 0)
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", p.String(), err)
+			return false
+		}
+		return p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripTexts: String of a parsed string re-parses to an equal AST.
+func TestRoundTripTexts(t *testing.T) {
+	inputs := []string{
+		"/a/b/b", "a", "a/a/b/c", "/a/*/*/b", "/a/b/*/*", "/*/a/b", "/*/*/*/*",
+		"a/b/*/*", "*/*/a/*/b", "a/*/*/b/c", "*/*/*/*", "/a//b/c", "/*/b//c/*",
+		"a/b//c", "*/a/*/b//c/*/*", "/a[*/c[d]/e]//c[d]/e",
+		`//x[@a=1][@b>=2]/y[z//w]`,
+	}
+	for _, in := range inputs {
+		p := MustParse(in)
+		q := MustParse(p.String())
+		if !p.Equal(q) {
+			t.Errorf("round trip of %q: %q != %q", in, p, q)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := MustParse("/a[@x=1]/b[c/d]")
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q.Steps[0].Attrs[0].Value = "2"
+	q.Steps[1].Nested[0].Steps[0].Name = "z"
+	if p.Steps[0].Attrs[0].Value != "1" {
+		t.Error("clone shares attribute storage")
+	}
+	if p.Steps[1].Nested[0].Steps[0].Name != "c" {
+		t.Error("clone shares nested storage")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if !MustParse("/a/b").IsSinglePath() {
+		t.Error("IsSinglePath(/a/b) = false")
+	}
+	if MustParse("/a[b]").IsSinglePath() {
+		t.Error("IsSinglePath(/a[b]) = true")
+	}
+	if !MustParse("/a[b[@x=1]]").HasAttrFilters() {
+		t.Error("HasAttrFilters missed a nested filter")
+	}
+	if MustParse("/a[b]/c").HasAttrFilters() {
+		t.Error("HasAttrFilters false positive")
+	}
+	if got := MustParse("/a//b").Len(); got != 2 {
+		t.Errorf("Len = %d", got)
+	}
+	if got := (Step{Wildcard: true}).Test(); got != "*" {
+		t.Errorf("Test() = %q", got)
+	}
+}

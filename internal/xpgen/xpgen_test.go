@@ -1,0 +1,185 @@
+package xpgen
+
+import (
+	"reflect"
+	"testing"
+
+	"predfilter/internal/dtd"
+	"predfilter/internal/xpath"
+)
+
+func TestGeneratesParsable(t *testing.T) {
+	for _, d := range []*dtd.DTD{dtd.NITF(), dtd.PSD()} {
+		xpes := MustGenerate(d, Config{Count: 500, MaxLength: 6, Wildcard: 0.2, Descendant: 0.2, Seed: 1})
+		if len(xpes) != 500 {
+			t.Fatalf("%s: got %d expressions", d.Name, len(xpes))
+		}
+		for _, s := range xpes {
+			p, err := xpath.Parse(s)
+			if err != nil {
+				t.Fatalf("%s: generated unparsable %q: %v", d.Name, s, err)
+			}
+			if len(p.Steps) > 6 {
+				t.Errorf("%s: %q longer than L=6", d.Name, s)
+			}
+			if !p.Absolute {
+				t.Errorf("%s: %q is relative; the generator emits absolute expressions", d.Name, s)
+			}
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	xpes := MustGenerate(dtd.NITF(), Config{Count: 2000, MaxLength: 6, Wildcard: 0.2, Descendant: 0.2, Distinct: true, Seed: 2})
+	seen := map[string]bool{}
+	for _, s := range xpes {
+		if seen[s] {
+			t.Fatalf("duplicate %q in distinct workload", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestNonDistinctHasDuplicates(t *testing.T) {
+	xpes := MustGenerate(dtd.PSD(), Config{Count: 20000, MaxLength: 6, Wildcard: 0.2, Descendant: 0.2, Seed: 3})
+	seen := map[string]bool{}
+	for _, s := range xpes {
+		seen[s] = true
+	}
+	if len(seen) == len(xpes) {
+		t.Error("20k PSD expressions with no duplicates; duplicate workloads should repeat")
+	}
+	// The paper observes PSD saturates around 10k distinct expressions.
+	if len(seen) > 15000 {
+		t.Errorf("PSD distinct count %d; expected saturation well below the total", len(seen))
+	}
+}
+
+func TestSaturationError(t *testing.T) {
+	// With L=1, W=0 and DO=0 the only expression is /ProteinDatabase, so
+	// asking for 1000 distinct ones must fail loudly.
+	out, err := Generate(dtd.PSD(), Config{Count: 1000, MaxLength: 1, Wildcard: 0, Descendant: 0, Distinct: true, Seed: 4})
+	if err == nil {
+		t.Error("Generate produced 1000 distinct expressions from a saturated configuration")
+	}
+	if len(out) != 1 {
+		t.Errorf("reachable distinct expressions = %d, want 1", len(out))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := MustGenerate(dtd.NITF(), Config{Count: 200, MaxLength: 6, Wildcard: 0.3, Descendant: 0.3, Seed: 5})
+	b := MustGenerate(dtd.NITF(), Config{Count: 200, MaxLength: 6, Wildcard: 0.3, Descendant: 0.3, Seed: 5})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different workloads")
+	}
+}
+
+func TestWildcardProbability(t *testing.T) {
+	count := func(w float64) float64 {
+		xpes := MustGenerate(dtd.NITF(), Config{Count: 2000, MaxLength: 6, Wildcard: w, Descendant: 0.2, Seed: 6})
+		wild, steps := 0, 0
+		for _, s := range xpes {
+			p := xpath.MustParse(s)
+			for _, st := range p.Steps {
+				steps++
+				if st.Wildcard {
+					wild++
+				}
+			}
+		}
+		return float64(wild) / float64(steps)
+	}
+	if f := count(0); f != 0 {
+		t.Errorf("W=0 produced wildcard fraction %.2f", f)
+	}
+	f5 := count(0.5)
+	if f5 < 0.4 || f5 > 0.6 {
+		t.Errorf("W=0.5 produced wildcard fraction %.2f", f5)
+	}
+	if f9 := count(0.9); f9 <= f5 {
+		t.Errorf("wildcard fraction not increasing: %.2f at 0.9 vs %.2f at 0.5", f9, f5)
+	}
+}
+
+func TestDescendantProbability(t *testing.T) {
+	frac := func(do float64) float64 {
+		xpes := MustGenerate(dtd.NITF(), Config{Count: 2000, MaxLength: 6, Wildcard: 0.2, Descendant: do, Seed: 7})
+		desc, steps := 0, 0
+		for _, s := range xpes {
+			p := xpath.MustParse(s)
+			for _, st := range p.Steps {
+				steps++
+				if st.Axis == xpath.Descendant {
+					desc++
+				}
+			}
+		}
+		return float64(desc) / float64(steps)
+	}
+	if f := frac(0); f != 0 {
+		t.Errorf("DO=0 produced descendant fraction %.2f", f)
+	}
+	if f := frac(0.6); f < 0.45 || f > 0.75 {
+		t.Errorf("DO=0.6 produced descendant fraction %.2f", f)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	xpes := MustGenerate(dtd.NITF(), Config{Count: 500, MaxLength: 6, Wildcard: 0.2, Descendant: 0.2, Filters: 2, Seed: 8})
+	withFilters := 0
+	for _, s := range xpes {
+		p, err := xpath.Parse(s)
+		if err != nil {
+			t.Fatalf("unparsable %q: %v", s, err)
+		}
+		n := 0
+		for _, st := range p.Steps {
+			n += len(st.Attrs)
+			if st.Wildcard && len(st.Attrs) > 0 {
+				t.Errorf("%q: filter on wildcard step", s)
+			}
+		}
+		if n > 0 {
+			withFilters++
+		}
+		if n > 2 {
+			t.Errorf("%q has %d filters, want <= 2", s, n)
+		}
+	}
+	if float64(withFilters) < 0.7*float64(len(xpes)) {
+		t.Errorf("only %d/%d expressions carry filters", withFilters, len(xpes))
+	}
+}
+
+// TestSchemaValidWalks: with W=0 and DO=0 every generated expression is a
+// literal schema path from the root.
+func TestSchemaValidWalks(t *testing.T) {
+	d := dtd.PSD()
+	xpes := MustGenerate(d, Config{Count: 300, MaxLength: 6, Seed: 9})
+	for _, s := range xpes {
+		p := xpath.MustParse(s)
+		cur := ""
+		for i, st := range p.Steps {
+			if i == 0 {
+				if st.Name != d.Root {
+					t.Fatalf("%q does not start at the root", s)
+				}
+				cur = st.Name
+				continue
+			}
+			parent := d.Element(cur)
+			ok := false
+			for _, c := range parent.Children {
+				if c.Name == st.Name {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("%q: %s is not a declared child of %s", s, st.Name, cur)
+			}
+			cur = st.Name
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package xtrie
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFilter measures substring-trie evaluation (engine construction
+// and link building excluded).
+func BenchmarkFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	for i := 0; i < 20000; i++ {
+		if _, err := e.Add(randXPE(rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	docs := make([][]byte, 8)
+	for i := range docs {
+		docs[i] = randXML(rng)
+	}
+	if _, err := e.Filter(docs[0]); err != nil { // freeze links
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Filter(docs[i%len(docs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

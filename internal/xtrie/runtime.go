@@ -1,0 +1,240 @@
+package xtrie
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// runtime is the per-document evaluation state. Runtimes are pooled on
+// the engine and all per-query storage is epoch-stamped, so filtering a
+// document costs no allocation proportional to the number of registered
+// expressions.
+type runtime struct {
+	e      *Engine
+	states []*tnode // trie state per open-element depth; states[0] = root
+
+	// rec[slot] holds the end levels at which a substring-table row
+	// matched on the current path (slot = query.recBase + row index);
+	// entries are retracted when the element that produced them closes.
+	// Stale slots (stamp != epoch) read as empty.
+	rec   [][]int32
+	stamp []uint64
+
+	matchedStamp []uint64
+	epoch        uint64
+	nmatched     int
+	matchedIDs   []int32
+
+	// pending holds subtree-depth requirements from trailing wildcards.
+	pending []pendingReq
+	// undo logs per-depth retraction entries.
+	undo [][]undoEntry
+}
+
+type pendingReq struct {
+	q   *query
+	req int32
+}
+
+type undoEntry struct {
+	slot   int32 // -1 marks a pending-list truncation
+	oldLen int32
+}
+
+func (rt *runtime) reset(e *Engine) {
+	rt.e = e
+	rt.states = append(rt.states[:0], e.root)
+	for len(rt.rec) < e.recSlots {
+		rt.rec = append(rt.rec, nil)
+		rt.stamp = append(rt.stamp, 0)
+	}
+	for len(rt.matchedStamp) < len(e.queries) {
+		rt.matchedStamp = append(rt.matchedStamp, 0)
+	}
+	rt.epoch++
+	rt.nmatched = 0
+	rt.matchedIDs = rt.matchedIDs[:0]
+	rt.pending = rt.pending[:0]
+	rt.undo = rt.undo[:0]
+}
+
+func (rt *runtime) isMatched(q *query) bool {
+	return rt.matchedStamp[q.id] == rt.epoch
+}
+
+func (rt *runtime) mark(q *query) {
+	if rt.matchedStamp[q.id] != rt.epoch {
+		rt.matchedStamp[q.id] = rt.epoch
+		rt.nmatched++
+		rt.matchedIDs = append(rt.matchedIDs, int32(q.id))
+	}
+}
+
+// slotPairs returns the live entries of a slot (empty when stale).
+func (rt *runtime) slot(slot int32) []int32 {
+	if rt.stamp[slot] != rt.epoch {
+		return nil
+	}
+	return rt.rec[slot]
+}
+
+// Filter parses the document and returns the SIDs of all matching
+// expressions.
+func (e *Engine) Filter(doc []byte) ([]SID, error) {
+	return e.FilterReader(bytes.NewReader(doc))
+}
+
+// FilterReader is Filter over a stream.
+func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
+	e.freeze()
+	rt, _ := e.pool.Get().(*runtime)
+	if rt == nil {
+		rt = &runtime{}
+	}
+	rt.reset(e)
+	defer e.pool.Put(rt)
+
+	dec := xml.NewDecoder(r)
+	level := int32(0)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xtrie: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			level++
+			rt.undo = append(rt.undo, nil)
+			rt.startElement(t.Name.Local, level)
+		case xml.EndElement:
+			if len(rt.undo) == 0 {
+				return nil, fmt.Errorf("xtrie: unbalanced end element <%s>", t.Name.Local)
+			}
+			frame := rt.undo[len(rt.undo)-1]
+			for i := len(frame) - 1; i >= 0; i-- {
+				u := frame[i]
+				if u.slot < 0 {
+					rt.pending = rt.pending[:u.oldLen]
+				} else {
+					rt.rec[u.slot] = rt.rec[u.slot][:u.oldLen]
+				}
+			}
+			rt.undo = rt.undo[:len(rt.undo)-1]
+			rt.states = rt.states[:len(rt.states)-1]
+			level--
+		}
+	}
+	if level != 0 {
+		return nil, fmt.Errorf("xtrie: unexpected EOF with %d open elements", level)
+	}
+
+	out := make([]SID, 0, rt.nmatched)
+	for _, id := range rt.matchedIDs {
+		out = append(out, e.queries[id].sids...)
+	}
+	return out, nil
+}
+
+// startElement advances the trie state, satisfies pending depth
+// requirements, and processes every substring ending at this element.
+func (rt *runtime) startElement(tag string, level int32) {
+	// Depth requirements: trailing-wildcard pendings and wildcard-only
+	// expressions.
+	for _, p := range rt.pending {
+		if level >= p.req {
+			rt.mark(p.q)
+		}
+	}
+	for _, q := range rt.e.depthOnly {
+		if level >= q.depthReq {
+			rt.mark(q)
+		}
+	}
+
+	// Aho–Corasick advance from the parent's state.
+	n := rt.states[len(rt.states)-1]
+	for n != nil && n.children[tag] == nil {
+		n = n.fail
+	}
+	if n == nil {
+		n = rt.e.root
+	} else {
+		n = n.children[tag]
+	}
+	rt.states = append(rt.states, n)
+
+	// Outputs: every substring ending at this element, via the dictionary
+	// suffix chain.
+	for m := n; m != nil; m = m.outLink {
+		for _, sub := range m.out {
+			rt.substringMatched(sub, level)
+		}
+	}
+}
+
+// substringMatched processes one substring occurrence ending at level.
+func (rt *runtime) substringMatched(sub, level int32) {
+	start := level - rt.e.subLen[sub] + 1
+	for _, row := range rt.e.subRows[sub] {
+		q := row.q
+		if rt.isMatched(q) {
+			continue
+		}
+		g := q.gaps[row.idx]
+		ok := false
+		if row.idx == 0 {
+			if g.exact {
+				ok = start == g.dist
+			} else {
+				ok = start >= g.dist
+			}
+		} else {
+			for _, parentEnd := range rt.slot(q.recBase + row.idx - 1) {
+				if g.exact {
+					if start-parentEnd == g.dist {
+						ok = true
+						break
+					}
+				} else if start-parentEnd >= g.dist {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if int(row.idx) == len(q.subs)-1 {
+			if q.trailing == 0 {
+				rt.mark(q)
+			} else {
+				rt.addPending(pendingReq{q: q, req: level + q.trailing})
+			}
+			continue
+		}
+		rt.record(q.recBase+row.idx, level)
+	}
+}
+
+// record notes that a row slot matched ending at level, retractable when
+// the current element closes.
+func (rt *runtime) record(slot, level int32) {
+	if rt.stamp[slot] != rt.epoch {
+		rt.stamp[slot] = rt.epoch
+		rt.rec[slot] = rt.rec[slot][:0]
+	}
+	d := len(rt.undo) - 1
+	rt.undo[d] = append(rt.undo[d], undoEntry{slot: slot, oldLen: int32(len(rt.rec[slot]))})
+	rt.rec[slot] = append(rt.rec[slot], level)
+}
+
+func (rt *runtime) addPending(p pendingReq) {
+	d := len(rt.undo) - 1
+	rt.undo[d] = append(rt.undo[d], undoEntry{slot: -1, oldLen: int32(len(rt.pending))})
+	rt.pending = append(rt.pending, p)
+}

@@ -1,0 +1,294 @@
+// Package xtrie reimplements the XTrie filtering engine (Chan, Felber,
+// Garofalakis & Rastogi, "Efficient filtering of XML documents with XPath
+// expressions", ICDE 2002) — the trie-based system of the paper's related
+// work: "XTrie proposes a trie-based index structure, which decomposes
+// the XPEs to substrings that only contain parent-child operators. As a
+// result, the processing of these common substrings among queries can be
+// shared."
+//
+// Expressions are decomposed into substrings — maximal runs of tags
+// joined only by the child axis — broken at descendant operators and
+// wildcards, which become gap constraints between consecutive substrings.
+// All substrings live in one shared trie with Aho–Corasick failure and
+// output links; while SAX-parsing a document the engine advances one trie
+// state per open element, so every substring ending at the current
+// element is found incrementally. A substring table per expression then
+// checks the gap constraints against the levels where the expression's
+// earlier substrings matched on the current path.
+//
+// The original XTrie does not define wildcard handling (the paper notes
+// this for Index-Filter too); here wildcards contribute to gap distances,
+// wildcard-only expressions become document-depth constraints, and
+// trailing wildcards become subtree-depth constraints — preserving the
+// same matching semantics as every other engine in this repository.
+package xtrie
+
+import (
+	"fmt"
+	"sync"
+
+	"predfilter/internal/xpath"
+)
+
+// SID identifies one registered expression.
+type SID int32
+
+// gap constrains the distance between the end level of the previous
+// substring (or the virtual document root for the first) and the start
+// level of this one.
+type gap struct {
+	dist  int32
+	exact bool
+}
+
+// row is one substring-table row: the expression's i-th substring and its
+// gap constraint to the predecessor.
+type row struct {
+	q   *query
+	idx int32
+}
+
+// query is one distinct compiled expression.
+type query struct {
+	id       int
+	subs     []int32 // substring ids, in order
+	gaps     []gap   // gaps[i] constrains subs[i] against subs[i-1]
+	lens     []int32 // substring lengths
+	trailing int32   // trailing wildcard count (0 = none)
+	depthReq int32   // wildcard-only expression: required document depth
+	recBase  int32   // first per-row record slot (assigned at freeze)
+	sids     []SID
+}
+
+// tnode is one trie node.
+type tnode struct {
+	children map[string]*tnode
+	fail     *tnode
+	// out lists substring ids ending exactly at this node; outLink points
+	// to the nearest failure ancestor that has output (dictionary suffix
+	// link), so all substrings ending at the current path position are
+	// enumerable in output-size time.
+	out     []int32
+	outLink *tnode
+	depth   int32
+}
+
+// Engine is an XTrie instance.
+type Engine struct {
+	root      *tnode
+	nodes     []*tnode // all nodes, for link construction
+	subLen    []int32
+	subRows   [][]row // substring id → table rows referencing it
+	byNode    map[*tnode]int32
+	queries   []*query
+	depthOnly []*query // wildcard-only expressions (document-depth checks)
+	byKey     map[string]*query
+	nsids     int
+	dirty     bool
+	recSlots  int
+	pool      sync.Pool // *runtime
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	e := &Engine{
+		root:   &tnode{children: make(map[string]*tnode)},
+		byNode: make(map[*tnode]int32),
+		byKey:  make(map[string]*query),
+	}
+	e.nodes = append(e.nodes, e.root)
+	return e
+}
+
+// Add registers an expression. Nested path filters and attribute filters
+// are outside XTrie's published fragment and are rejected.
+func (e *Engine) Add(s string) (SID, error) {
+	p, err := xpath.Parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return e.AddPath(p)
+}
+
+// AddPath registers a parsed expression.
+func (e *Engine) AddPath(p *xpath.Path) (SID, error) {
+	if !p.IsSinglePath() {
+		return 0, fmt.Errorf("xtrie: nested path filters are not supported: %q", p)
+	}
+	if p.HasAttrFilters() {
+		return 0, fmt.Errorf("xtrie: attribute filters are not supported: %q", p)
+	}
+	key := canonKey(p)
+	q := e.byKey[key]
+	if q == nil {
+		q = e.compile(p)
+		q.id = len(e.queries)
+		e.queries = append(e.queries, q)
+		e.byKey[key] = q
+		e.dirty = true
+	}
+	sid := SID(e.nsids)
+	e.nsids++
+	q.sids = append(q.sids, sid)
+	return sid, nil
+}
+
+func canonKey(p *xpath.Path) string {
+	if p.Absolute {
+		return p.String()
+	}
+	return "//" + p.String()
+}
+
+// compile decomposes the expression into substrings with gap constraints.
+func (e *Engine) compile(p *xpath.Path) *query {
+	q := &query{}
+
+	// Split steps into substring runs (consecutive child-axis tag steps).
+	var cur []string
+	pendingGap := gap{dist: 1, exact: p.Absolute}
+	wilds := int32(0)
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		id := e.internSubstring(cur)
+		q.subs = append(q.subs, id)
+		q.gaps = append(q.gaps, pendingGap)
+		q.lens = append(q.lens, int32(len(cur)))
+		cur = nil
+		pendingGap = gap{dist: 1, exact: true}
+		wilds = 0
+	}
+	for i, s := range p.Steps {
+		desc := s.Axis == xpath.Descendant || (i == 0 && !p.Absolute)
+		if desc || s.Wildcard {
+			// The run (if any) ends before this step.
+			flush()
+			if desc {
+				pendingGap.exact = false
+			}
+			if s.Wildcard {
+				wilds++
+				pendingGap.dist = wilds + 1
+				continue
+			}
+			// A descendant-axis tag step starts a new run.
+			pendingGap.dist = wilds + 1
+			cur = append(cur, s.Name)
+			continue
+		}
+		cur = append(cur, s.Name)
+	}
+	switch {
+	case len(cur) > 0:
+		flush()
+	case len(q.subs) > 0:
+		// Trailing wildcards after the last substring: the matched
+		// element must have a descendant chain at least this deep.
+		q.trailing = wilds
+	default:
+		// Wildcard-only expression: a document-depth requirement.
+		q.depthReq = wilds
+	}
+	return q
+}
+
+// internSubstring inserts the tag run into the trie and returns its
+// substring id (shared across expressions — XTrie's sharing).
+func (e *Engine) internSubstring(tags []string) int32 {
+	n := e.root
+	for _, tag := range tags {
+		c := n.children[tag]
+		if c == nil {
+			c = &tnode{children: make(map[string]*tnode), depth: n.depth + 1}
+			n.children[tag] = c
+			e.nodes = append(e.nodes, c)
+			e.dirty = true
+		}
+		n = c
+	}
+	if id, ok := e.byNode[n]; ok {
+		return id
+	}
+	id := int32(len(e.subLen))
+	e.byNode[n] = id
+	e.subLen = append(e.subLen, int32(len(tags)))
+	e.subRows = append(e.subRows, nil)
+	n.out = append(n.out, id)
+	return id
+}
+
+// freeze (re)builds the Aho–Corasick failure and output links and the
+// substring table after registrations.
+func (e *Engine) freeze() {
+	if !e.dirty {
+		return
+	}
+	// BFS failure links.
+	queue := make([]*tnode, 0, len(e.nodes))
+	e.root.fail = nil
+	e.root.outLink = nil
+	for _, c := range e.root.children {
+		c.fail = e.root
+		c.outLink = nil
+		queue = append(queue, c)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for tag, c := range n.children {
+			f := n.fail
+			for f != nil && f.children[tag] == nil {
+				f = f.fail
+			}
+			if f == nil {
+				c.fail = e.root
+			} else {
+				c.fail = f.children[tag]
+			}
+			if len(c.fail.out) > 0 {
+				c.outLink = c.fail
+			} else {
+				c.outLink = c.fail.outLink
+			}
+			queue = append(queue, c)
+		}
+	}
+	// Substring table.
+	for i := range e.subRows {
+		e.subRows[i] = e.subRows[i][:0]
+	}
+	e.depthOnly = e.depthOnly[:0]
+	e.recSlots = 0
+	for _, q := range e.queries {
+		if len(q.subs) == 0 {
+			e.depthOnly = append(e.depthOnly, q)
+			continue
+		}
+		q.recBase = int32(e.recSlots)
+		e.recSlots += len(q.subs)
+		for i, sub := range q.subs {
+			e.subRows[sub] = append(e.subRows[sub], row{q: q, idx: int32(i)})
+		}
+	}
+	e.dirty = false
+}
+
+// Stats summarizes engine state.
+type Stats struct {
+	DistinctExpressions int
+	Substrings          int
+	TrieNodes           int
+	SIDs                int
+}
+
+// Stats returns engine statistics.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		DistinctExpressions: len(e.queries),
+		Substrings:          len(e.subLen),
+		TrieNodes:           len(e.nodes),
+		SIDs:                e.nsids,
+	}
+}

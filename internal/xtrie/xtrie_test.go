@@ -1,0 +1,225 @@
+package xtrie
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"predfilter/internal/refmatch"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+var tags = []string{"a", "b", "c", "d", "e"}
+
+func randXPE(rng *rand.Rand) string {
+	n := 1 + rng.Intn(4)
+	var b strings.Builder
+	if rng.Intn(2) == 0 {
+		b.WriteString("/")
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if rng.Intn(5) == 0 {
+				b.WriteString("//")
+			} else {
+				b.WriteString("/")
+			}
+		} else if b.Len() == 1 && rng.Intn(6) == 0 {
+			b.Reset()
+			b.WriteString("//")
+		}
+		if rng.Intn(4) == 0 {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(tags[rng.Intn(len(tags))])
+	}
+	return b.String()
+}
+
+func randXML(rng *rand.Rand) []byte {
+	var b strings.Builder
+	var build func(depth int)
+	build = func(depth int) {
+		tag := tags[rng.Intn(len(tags))]
+		b.WriteString("<" + tag + ">")
+		if depth < 5 {
+			for k := rng.Intn(3); k > 0; k-- {
+				build(depth + 1)
+			}
+		}
+		b.WriteString("</" + tag + ">")
+	}
+	build(1)
+	return []byte(b.String())
+}
+
+func TestExamples(t *testing.T) {
+	e := New()
+	xpes := []string{
+		"/a/b/c", "/a/b/d", "a//c", "b/c", "/b", "/*/*/*", "/a/*/c",
+		"//b/c", "c", "/a//c", "b//b", "c/*", "/a/b/*", "a/*/*",
+	}
+	want := map[string]bool{
+		"/a/b/c": true, "a//c": true, "b/c": true, "/*/*/*": true,
+		"/a/*/c": true, "//b/c": true, "c": true, "/a//c": true,
+		"/a/b/*": true, "a/*/*": true,
+	}
+	sids := make([]SID, len(xpes))
+	for i, s := range xpes {
+		sid, err := e.Add(s)
+		if err != nil {
+			t.Fatalf("Add(%q): %v", s, err)
+		}
+		sids[i] = sid
+	}
+	got, err := e.Filter([]byte("<a><b><c/></b><d/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[SID]bool)
+	for _, s := range got {
+		set[s] = true
+	}
+	for i, s := range xpes {
+		if set[sids[i]] != want[s] {
+			t.Errorf("%q: matched=%v, want %v", s, set[sids[i]], want[s])
+		}
+	}
+}
+
+// TestSubstringSharing: XTrie's point — common substrings are stored once.
+func TestSubstringSharing(t *testing.T) {
+	e := New()
+	// a/b appears in both expressions (as a substring run).
+	if _, err := e.Add("/a/b//x"); err != nil {
+		t.Fatal(err)
+	}
+	st1 := e.Stats()
+	if _, err := e.Add("//a/b/y"); err != nil {
+		t.Fatal(err)
+	}
+	// The a/b run is shared; only x's and y's nodes are new... the second
+	// expression's substring is a/b/y (one run), which extends the a/b
+	// branch. Either way, the trie must not duplicate the a/b prefix.
+	st2 := e.Stats()
+	if st2.TrieNodes-st1.TrieNodes > 1 {
+		t.Errorf("adding //a/b/y grew the trie by %d nodes, want <= 1 (shared a/b prefix)", st2.TrieNodes-st1.TrieNodes)
+	}
+}
+
+// TestAhoCorasickOverlap: overlapping occurrences on repetitive paths.
+func TestAhoCorasickOverlap(t *testing.T) {
+	e := New()
+	sid, err := e.Add("a/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path a/a/a/b: the run a/a/b must be found ending at the b even
+	// though the walk passes through a longer a-chain (failure links).
+	got, err := e.Filter([]byte("<a><a><a><b/></a></a></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != sid {
+		t.Errorf("a/a/b on a/a/a/b: got %v", got)
+	}
+}
+
+// TestScoping: recorded substring matches die with their scope.
+func TestScoping(t *testing.T) {
+	e := New()
+	sid, err := e.Add("a//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b in disjoint subtrees: no match.
+	got, err := e.Filter([]byte("<r><x><a/></x><y><b/></y></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("a//b matched across scopes: %v (sid %d)", got, sid)
+	}
+}
+
+// TestRandomEquivalence cross-validates against the reference matcher.
+func TestRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for round := 0; round < 80; round++ {
+		e := New()
+		xpes := make([]string, 40)
+		sids := make([]SID, len(xpes))
+		for i := range xpes {
+			xpes[i] = randXPE(rng)
+			sid, err := e.Add(xpes[i])
+			if err != nil {
+				t.Fatalf("Add(%q): %v", xpes[i], err)
+			}
+			sids[i] = sid
+		}
+		for d := 0; d < 5; d++ {
+			xmlBytes := randXML(rng)
+			doc, err := xmldoc.Parse(xmlBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Filter(xmlBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := make(map[SID]bool)
+			for _, s := range got {
+				set[s] = true
+			}
+			for i, s := range xpes {
+				want := refmatch.Match(xpath.MustParse(s), doc)
+				if set[sids[i]] != want {
+					t.Fatalf("round %d: %q matched=%v, ref=%v on %s", round, s, set[sids[i]], want, xmlBytes)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalAdd(t *testing.T) {
+	// Adding after filtering must rebuild links correctly.
+	e := New()
+	if _, err := e.Add("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Filter([]byte("<a><b/></a>")); err != nil {
+		t.Fatal(err)
+	}
+	sid2, err := e.Add("b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Filter([]byte("<x><b><c/></b></x>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != sid2 {
+		t.Errorf("post-filter add: got %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := New()
+	if _, err := e.Add("/a[b]"); err == nil {
+		t.Error("Add accepted a nested path filter")
+	}
+	if _, err := e.Add("/a[@x=1]"); err == nil {
+		t.Error("Add accepted an attribute filter")
+	}
+	if _, err := e.Add("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Filter([]byte("<a><b></a>")); err == nil {
+		t.Error("Filter accepted mismatched tags")
+	}
+	if _, err := e.Filter([]byte("<a>")); err == nil {
+		t.Error("Filter accepted a truncated document")
+	}
+}

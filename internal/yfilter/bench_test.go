@@ -1,0 +1,44 @@
+package yfilter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFilter measures NFA execution on a synthetic overlap-heavy
+// workload (engine construction excluded).
+func BenchmarkFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	for i := 0; i < 20000; i++ {
+		if _, err := e.Add(randXPE(rng, false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	docs := make([][]byte, 8)
+	for i := range docs {
+		docs[i] = randXML(rng, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Filter(docs[i%len(docs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdd measures automaton construction throughput.
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	xpes := make([]string, 10000)
+	for i := range xpes {
+		xpes[i] = randXPE(rng, false)
+	}
+	e := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Add(xpes[i%len(xpes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package yfilter reimplements the YFilter engine (Diao et al., "Path
+// sharing and predicate evaluation for high-performance XML filtering"),
+// the automaton-based baseline of the paper's evaluation: all expressions
+// are combined into a single non-deterministic finite automaton whose
+// transitions are triggered by document tags. Common expression prefixes
+// share states; execution keeps a runtime stack of active state sets and
+// does not stop at the first accepting state, so all matching expressions
+// are found in one pass over the document's events.
+//
+// The descendant operator is modeled in the standard YFilter way: an
+// ε-transition into a state with a *-self-loop. Attribute filters are
+// evaluated selection-postponed (the configuration the YFilter paper
+// recommends and the one benchmarked here): when an expression's accepting
+// state is reached, its filters are verified directly against the current
+// element stack.
+package yfilter
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"predfilter/internal/xpath"
+)
+
+// SID identifies one registered expression; duplicates share the
+// automaton but receive distinct SIDs.
+type SID int32
+
+const noState = int32(-1)
+
+// state is one NFA state.
+type state struct {
+	child    map[string]int32 // tag-labeled child-axis transitions
+	star     int32            // '*' child-axis transition
+	dslash   int32            // ε-transition into the //-self-loop state
+	selfLoop bool             // set on //-states: remains active on any tag
+	accept   []int32          // expression ids accepting here
+}
+
+// expr is one distinct expression.
+type expr struct {
+	sids []SID
+	path *xpath.Path // retained only when attribute filters must be
+	// verified after structural acceptance
+	attrs bool
+}
+
+// Engine is a YFilter instance.
+type Engine struct {
+	states []state
+	exprs  []*expr
+	byKey  map[string]*expr
+	nsids  int
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	e := &Engine{byKey: make(map[string]*expr)}
+	e.newState() // state 0 is the root
+	return e
+}
+
+func (e *Engine) newState() int32 {
+	e.states = append(e.states, state{star: noState, dslash: noState})
+	return int32(len(e.states) - 1)
+}
+
+// Add registers an expression. Nested path filters are outside YFilter's
+// benchmarked fragment here and are rejected.
+func (e *Engine) Add(s string) (SID, error) {
+	p, err := xpath.Parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return e.AddPath(p)
+}
+
+// AddPath registers a parsed expression.
+func (e *Engine) AddPath(p *xpath.Path) (SID, error) {
+	if !p.IsSinglePath() {
+		return 0, fmt.Errorf("yfilter: nested path filters are not supported: %q", p)
+	}
+	key := canonKey(p)
+	ex := e.byKey[key]
+	if ex == nil {
+		ex = &expr{attrs: p.HasAttrFilters()}
+		if ex.attrs {
+			ex.path = p.Clone()
+		}
+		id := int32(len(e.exprs))
+		e.exprs = append(e.exprs, ex)
+		e.byKey[key] = ex
+		e.insert(p, id)
+	}
+	sid := SID(e.nsids)
+	e.nsids++
+	ex.sids = append(ex.sids, sid)
+	return sid, nil
+}
+
+// canonKey renders the expression with a normalized leading axis: a
+// relative expression is equivalent to the same expression anchored by a
+// leading descendant axis.
+func canonKey(p *xpath.Path) string {
+	if p.Absolute {
+		return p.String()
+	}
+	return "//" + p.String()
+}
+
+// insert threads the expression through the automaton, sharing prefixes.
+func (e *Engine) insert(p *xpath.Path, id int32) {
+	cur := int32(0)
+	for i, s := range p.Steps {
+		axis := s.Axis
+		if i == 0 && !p.Absolute {
+			// A relative expression may start anywhere: leading //.
+			axis = xpath.Descendant
+		}
+		if axis == xpath.Descendant {
+			if e.states[cur].dslash == noState {
+				d := e.newState()
+				e.states[d].selfLoop = true
+				e.states[cur].dslash = d
+			}
+			cur = e.states[cur].dslash
+		}
+		if s.Wildcard {
+			if e.states[cur].star == noState {
+				n := e.newState()
+				e.states[cur].star = n
+			}
+			cur = e.states[cur].star
+			continue
+		}
+		st := &e.states[cur]
+		if st.child == nil {
+			st.child = make(map[string]int32)
+		}
+		next, ok := st.child[s.Name]
+		if !ok {
+			next = e.newState()
+			e.states[cur].child[s.Name] = next
+		}
+		cur = next
+	}
+	e.states[cur].accept = append(e.states[cur].accept, id)
+}
+
+// Stats summarizes automaton size.
+type Stats struct {
+	States              int
+	DistinctExpressions int
+	SIDs                int
+}
+
+// Stats returns engine statistics.
+func (e *Engine) Stats() Stats {
+	return Stats{States: len(e.states), DistinctExpressions: len(e.exprs), SIDs: e.nsids}
+}
+
+// pathElem is one open element on the runtime stack (for postponed
+// attribute verification).
+type pathElem struct {
+	tag   string
+	attrs []xml.Attr
+}
+
+// Filter parses the document and returns the SIDs of all matching
+// expressions.
+func (e *Engine) Filter(doc []byte) ([]SID, error) {
+	return e.FilterReader(bytes.NewReader(doc))
+}
+
+// FilterReader is Filter over a stream.
+func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
+	dec := xml.NewDecoder(r)
+	matched := make([]bool, len(e.exprs))
+	nmatched := 0
+
+	// The runtime stack of active state sets. Sets are flat slices; the
+	// stack records the length boundaries so sets can live in one arena.
+	arena := make([]int32, 0, 256)
+	bounds := make([]int, 1, 64)
+	var path []pathElem
+
+	// push adds a state and its ε-closure (the //-state) to the set under
+	// construction and processes acceptance.
+	push := func(s int32, elemDepth int) {
+		arena = append(arena, s)
+		st := &e.states[s]
+		if st.dslash != noState {
+			arena = append(arena, st.dslash)
+		}
+		for _, id := range st.accept {
+			if matched[id] {
+				continue
+			}
+			ex := e.exprs[id]
+			if ex.attrs && !checkAttrs(ex.path, path) {
+				continue
+			}
+			matched[id] = true
+			nmatched++
+		}
+		_ = elemDepth
+	}
+
+	// Initial set: the root state and its closure.
+	push(0, 0)
+	bounds = append(bounds, len(arena))
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("yfilter: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			path = append(path, pathElem{tag: t.Name.Local, attrs: t.Attr})
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			for i := lo; i < hi; i++ {
+				st := &e.states[arena[i]]
+				if st.child != nil {
+					if next, ok := st.child[t.Name.Local]; ok {
+						push(next, len(path))
+					}
+				}
+				if st.star != noState {
+					push(st.star, len(path))
+				}
+				if st.selfLoop {
+					push(arena[i], len(path))
+				}
+			}
+			bounds = append(bounds, len(arena))
+		case xml.EndElement:
+			if len(bounds) < 3 {
+				return nil, fmt.Errorf("yfilter: unbalanced end element <%s>", t.Name.Local)
+			}
+			bounds = bounds[:len(bounds)-1]
+			arena = arena[:bounds[len(bounds)-1]]
+			path = path[:len(path)-1]
+		}
+	}
+
+	out := make([]SID, 0, nmatched)
+	for id, ok := range matched {
+		if ok {
+			out = append(out, e.exprs[id].sids...)
+		}
+	}
+	return out, nil
+}
+
+// checkAttrs verifies the expression (structure and attribute filters)
+// directly against the current element stack: this is the
+// selection-postponed evaluation — it only runs for expressions that
+// already matched structurally.
+func checkAttrs(p *xpath.Path, path []pathElem) bool {
+	var place func(i, pos int) bool
+	place = func(i, pos int) bool {
+		if pos > len(path) {
+			return false
+		}
+		el := &path[pos-1]
+		s := &p.Steps[i]
+		if !s.Wildcard && s.Name != el.tag {
+			return false
+		}
+		for _, f := range s.Attrs {
+			if !evalAttr(f, el.attrs) {
+				return false
+			}
+		}
+		if i == len(p.Steps)-1 {
+			return true
+		}
+		if p.Steps[i+1].Axis == xpath.Child {
+			return place(i+1, pos+1)
+		}
+		for q := pos + 1; q <= len(path); q++ {
+			if place(i+1, q) {
+				return true
+			}
+		}
+		return false
+	}
+	if p.Absolute && p.Steps[0].Axis == xpath.Child {
+		return place(0, 1)
+	}
+	for pos := 1; pos <= len(path); pos++ {
+		if place(0, pos) {
+			return true
+		}
+	}
+	return false
+}
+
+func evalAttr(f xpath.AttrFilter, attrs []xml.Attr) bool {
+	for _, a := range attrs {
+		if a.Name.Local == f.Name {
+			return f.Eval(a.Value)
+		}
+	}
+	return false
+}

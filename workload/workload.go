@@ -1,0 +1,81 @@
+// Package workload generates synthetic XML documents and XPath expression
+// sets for exercising the predfilter engine at scale. It wraps the
+// generators used by this repository's reproduction of the paper's
+// evaluation: two built-in schemas (NITF-like news markup, whose random
+// expressions are highly selective, and PSD-like protein records, where
+// most schema-valid expressions match), a DTD-driven document generator,
+// and a random-walk expression generator with the paper's D/L/W/DO
+// parameters.
+package workload
+
+import (
+	"predfilter/internal/dtd"
+	"predfilter/internal/xmlgen"
+	"predfilter/internal/xpgen"
+)
+
+// Schema is a document type usable by both generators.
+type Schema struct {
+	d *dtd.DTD
+}
+
+// Name returns the schema's name ("nitf" or "psd" for the built-ins).
+func (s Schema) Name() string { return s.d.Name }
+
+// NITF returns the news-markup schema: a large, irregular, attribute-rich
+// vocabulary. Randomly generated expressions are highly selective against
+// its documents.
+func NITF() Schema { return Schema{d: dtd.NITF()} }
+
+// PSD returns the protein-record schema: small and regular, so most
+// schema-valid expressions match most documents.
+func PSD() Schema { return Schema{d: dtd.PSD()} }
+
+// DocumentConfig controls document generation. The zero value uses
+// defaults matching the paper's document scale (~140 tags per NITF
+// document).
+type DocumentConfig struct {
+	// MaxLevels caps nesting depth (default 8; the paper varies 6-10).
+	MaxLevels int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Documents generates n serialized documents.
+func Documents(s Schema, n int, cfg DocumentConfig) [][]byte {
+	g := xmlgen.New(s.d, xmlgen.Config{MaxLevels: cfg.MaxLevels, Seed: cfg.Seed})
+	return g.GenerateN(n)
+}
+
+// ExpressionConfig controls expression generation, in the paper's
+// vocabulary.
+type ExpressionConfig struct {
+	// MaxLength is L, the maximum location-step count (default 6).
+	MaxLength int
+	// Wildcard is W, the per-step probability of "*" (paper default 0.2).
+	Wildcard float64
+	// Descendant is DO, the per-step probability of "//" (paper default
+	// 0.2).
+	Descendant float64
+	// Distinct is D: discard duplicates until the requested count of
+	// distinct expressions is reached.
+	Distinct bool
+	// Filters is the number of attribute filters attached per expression.
+	Filters int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Expressions generates n expressions. With Distinct set it fails loudly
+// when the schema cannot yield that many distinct expressions.
+func Expressions(s Schema, n int, cfg ExpressionConfig) ([]string, error) {
+	return xpgen.Generate(s.d, xpgen.Config{
+		Count:      n,
+		MaxLength:  cfg.MaxLength,
+		Wildcard:   cfg.Wildcard,
+		Descendant: cfg.Descendant,
+		Distinct:   cfg.Distinct,
+		Filters:    cfg.Filters,
+		Seed:       cfg.Seed,
+	})
+}

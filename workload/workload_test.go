@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"predfilter"
+)
+
+func TestSchemas(t *testing.T) {
+	if NITF().Name() != "nitf" {
+		t.Errorf("NITF name = %q", NITF().Name())
+	}
+	if PSD().Name() != "psd" {
+		t.Errorf("PSD name = %q", PSD().Name())
+	}
+}
+
+func TestDocumentsDeterministic(t *testing.T) {
+	a := Documents(NITF(), 3, DocumentConfig{Seed: 9})
+	b := Documents(NITF(), 3, DocumentConfig{Seed: 9})
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("document %d differs for same seed", i)
+		}
+	}
+	c := Documents(NITF(), 1, DocumentConfig{Seed: 10})
+	if bytes.Equal(a[0], c[0]) {
+		t.Error("different seeds produced identical documents")
+	}
+	for i, d := range a {
+		if _, err := predfilter.ParseDocument(d); err != nil {
+			t.Errorf("document %d is not well-formed: %v", i, err)
+		}
+	}
+}
+
+func TestExpressionsDeterministic(t *testing.T) {
+	cfg := ExpressionConfig{Wildcard: 0.2, Descendant: 0.2, Seed: 9}
+	a, err := Expressions(PSD(), 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expressions(PSD(), 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different expressions")
+	}
+	eng := predfilter.New(predfilter.Config{})
+	if _, err := eng.AddAll(a); err != nil {
+		t.Fatalf("generated expression rejected by the engine: %v", err)
+	}
+}
+
+func TestExpressionsSaturation(t *testing.T) {
+	if _, err := Expressions(PSD(), 1000, ExpressionConfig{MaxLength: 1, Distinct: true}); err == nil {
+		t.Error("saturated configuration did not error")
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	docs := Documents(PSD(), 5, DocumentConfig{MaxLevels: 4, Seed: 2})
+	for _, d := range docs {
+		doc, err := predfilter.ParseDocument(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Elements() == 0 {
+			t.Error("empty document")
+		}
+	}
+	// Deep expressions cannot match shallow documents.
+	eng := predfilter.New(predfilter.Config{})
+	sid, err := eng.Add("/*/*/*/*/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		sids, err := eng.Match(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sids {
+			if s == sid {
+				t.Error("length-5 expression matched a MaxLevels=4 document")
+			}
+		}
+	}
+}
