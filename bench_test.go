@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"predfilter"
 	"predfilter/internal/bench"
 	"predfilter/internal/dtd"
 	"predfilter/internal/fsmfilter"
@@ -380,6 +381,36 @@ func BenchmarkParallelMatch(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkMatchStream measures batch filtering throughput through the
+// worker pipeline (parse + match per document, results in input order).
+// One iteration filters one document.
+func BenchmarkMatchStream(b *testing.B) {
+	w := benchWorkload(b, dtd.NITF(), 25000, nil)
+	eng := predfilter.New(predfilter.Config{})
+	for _, s := range w.XPEs {
+		if _, err := eng.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm (freeze the organizations outside the timed loop).
+	if _, err := eng.Match(w.Docs[0]); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += len(w.Docs) {
+				for _, r := range eng.MatchBatch(w.Docs, workers) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMatchCounts compares the filtering semantics (first match per

@@ -8,14 +8,18 @@
 //	xfbench -exp fig6a                # one experiment at the default scale
 //	xfbench -exp all -scale smoke     # everything, fast sanity pass
 //	xfbench -exp fig7 -scale full     # paper scale (millions of XPEs)
+//	xfbench -exp pipeline -workers 1,2,4   # streaming throughput → BENCH_pipeline.json
 //	xfbench -list                     # list experiment ids
 //	xfbench -stats                    # print workload statistics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"predfilter/internal/bench"
@@ -26,6 +30,8 @@ func main() {
 	var (
 		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		scale   = flag.String("scale", "default", "scale: smoke, default or full")
+		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for -exp pipeline")
+		jsonOut = flag.String("json", "", "write results as JSON to this file (pipeline default: BENCH_pipeline.json)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		stats   = flag.Bool("stats", false, "print workload statistics and exit")
 		verbose = flag.Bool("v", true, "print per-point progress")
@@ -49,6 +55,35 @@ func main() {
 		return
 	}
 
+	progress := os.Stderr
+	if !*verbose {
+		progress = nil
+	}
+
+	// The pipeline experiment has its own report shape (docs/sec and
+	// allocs/doc rather than a timing series), so -exp pipeline takes the
+	// dedicated path and writes the JSON report.
+	if *expID == "pipeline" {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_pipeline.json"
+		}
+		fmt.Printf("== streaming pipeline throughput [scale %s, workers %v]\n", s.Name, ws)
+		rep, err := bench.RunPipeline(s, ws, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSON(out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- wrote %s\n", out)
+		return
+	}
+
 	var exps []bench.Experiment
 	if *expID == "all" {
 		exps = bench.Experiments
@@ -60,10 +95,7 @@ func main() {
 		exps = []bench.Experiment{e}
 	}
 
-	progress := os.Stderr
-	if !*verbose {
-		progress = nil
-	}
+	var allPoints []bench.Point
 	for _, e := range exps {
 		fmt.Printf("== %s [scale %s: %d docs, expression factor %.2f]\n", e.Title, s.Name, s.Docs, s.Factor)
 		t0 := time.Now()
@@ -73,7 +105,34 @@ func main() {
 		}
 		bench.PrintPoints(os.Stdout, points)
 		fmt.Printf("-- %s done in %v\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		allPoints = append(allPoints, points...)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, allPoints); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- wrote %s\n", *jsonOut)
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers element %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func writeJSON(name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(name, append(data, '\n'), 0o644)
 }
 
 func printStats(s bench.Scale) {

@@ -9,6 +9,7 @@
 //	xfilter -e '/nitf/body//p' -e '//keyword[@key=storm]' doc1.xml doc2.xml
 //	xfilter -f subscriptions.txt < doc.xml
 //	xfilter -f subs.txt -org basic -attrs postponed -count docs/*.xml
+//	xfilter -f subs.txt -workers 4 -count docs/*.xml
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		countOnly = flag.Bool("count", false, "print match counts only")
 		allMode   = flag.Bool("all", false, "report the number of match combinations per expression (all-matches mode)")
 		timing    = flag.Bool("t", false, "print per-document filter time")
+		workers   = flag.Int("workers", 1, "filter documents concurrently with this many workers (ignored with -all)")
 	)
 	flag.Var(&exprs, "e", "XPath expression (repeatable)")
 	flag.Parse()
@@ -90,6 +92,47 @@ func main() {
 	if len(files) == 0 {
 		files = []string{"-"}
 	}
+
+	// With -workers, documents go through the batch pipeline; results come
+	// back in input order, so the output is identical to the sequential
+	// loop below.
+	if *workers > 1 && !*allMode {
+		names := make([]string, len(files))
+		docs := make([][]byte, len(files))
+		for i, name := range files {
+			var err error
+			if name == "-" {
+				docs[i], err = io.ReadAll(os.Stdin)
+				name = "<stdin>"
+			} else {
+				docs[i], err = os.ReadFile(name)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			names[i] = name
+		}
+		t0 := time.Now()
+		results := eng.MatchBatch(docs, *workers)
+		took := time.Since(t0)
+		for i, r := range results {
+			if r.Err != nil {
+				fatal(fmt.Errorf("%s: %w", names[i], r.Err))
+			}
+			fmt.Printf("%s: %d matches", names[i], len(r.SIDs))
+			if !*countOnly {
+				for _, sid := range r.SIDs {
+					fmt.Printf("\n  %s", bySID[sid])
+				}
+			}
+			fmt.Println()
+		}
+		if *timing {
+			fmt.Printf("filtered %d documents in %v (%d workers)\n", len(files), took, *workers)
+		}
+		return
+	}
+
 	for _, name := range files {
 		var data []byte
 		var err error

@@ -26,10 +26,12 @@ func main() {
 		maxDoc    = flag.Int64("max-doc", 1<<20, "maximum published document size in bytes")
 		postponed = flag.Bool("postponed", false, "use selection-postponed attribute evaluation")
 		subsFile  = flag.String("subs", "", "file with one subscription expression per line to preload")
+		workers   = flag.Int("workers", 0, "worker count for batch publishes (0 = GOMAXPROCS)")
+		debug     = flag.Bool("debug", false, "expose /debug/pprof/ and /debug/vars")
 	)
 	flag.Parse()
 
-	cfg := server.Config{QueueLimit: *queue, MaxDocumentBytes: *maxDoc}
+	cfg := server.Config{QueueLimit: *queue, MaxDocumentBytes: *maxDoc, Workers: *workers, Debug: *debug}
 	if *postponed {
 		cfg.Engine.AttributeMode = predfilter.PostponedAttributes
 	}

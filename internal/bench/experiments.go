@@ -94,6 +94,7 @@ var Experiments = []Experiment{
 	{ID: "parse", Title: "§6.5: document parsing time is negligible (paper: 314/355 µs)", Run: runParse},
 	{ID: "sharing", Title: "Extension: what sharing buys — per-expression FSMs (XFilter) vs shared NFA (YFilter) vs shared predicates", Run: runSharing},
 	{ID: "space", Title: "Extension: the whole solution space — predicate engine vs YFilter, XTrie, Index-Filter and XFilter", Run: runSpace},
+	{ID: "pipeline", Title: "Extension: streaming pipeline throughput — sequential Match vs MatchBatch worker pool", Run: runPipeline},
 }
 
 // ExperimentByID resolves an experiment.

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"predfilter/internal/dtd"
+	"predfilter/internal/matcher"
+	"predfilter/internal/predicate"
+)
+
+func equalSIDs(a, b []matcher.SID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[matcher.SID]int, len(a))
+	for _, s := range a {
+		seen[s]++
+	}
+	for _, s := range b {
+		if seen[s] == 0 {
+			return false
+		}
+		seen[s]--
+	}
+	return true
+}
+
+// TestParallelEquivalence is the property check for the sharded matching
+// path: the same DTD-generated workload, with attribute filters, must
+// produce identical SID sets through MatchDocument and
+// MatchDocumentParallel under every organization, attribute mode and
+// extension combination.
+func TestParallelEquivalence(t *testing.T) {
+	for _, d := range []*dtd.DTD{dtd.NITF(), dtd.PSD()} {
+		cfg := DefaultWorkloadConfig(300)
+		cfg.Docs = 6
+		cfg.Filters = 1
+		w, err := NewWorkload(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs, err := w.ParseDocs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []matcher.Variant{matcher.Basic, matcher.PrefixCover, matcher.PrefixCoverAP} {
+			for _, mode := range []predicate.AttrMode{predicate.Inline, predicate.Postponed} {
+				for _, cm := range []matcher.CoverMode{matcher.PrefixOnly, matcher.Containment} {
+					for _, cb := range []matcher.ClusterBy{matcher.FirstPredicate, matcher.RarestPredicate} {
+						name := fmt.Sprintf("%s/%v/attr=%d/cover=%d/cluster=%d", d.Name, v, mode, cm, cb)
+						t.Run(name, func(t *testing.T) {
+							m := matcher.New(matcher.Options{Variant: v, AttrMode: mode, CoverMode: cm, ClusterBy: cb})
+							for _, s := range w.XPEs {
+								if _, err := m.Add(s); err != nil {
+									t.Fatal(err)
+								}
+							}
+							for i, doc := range docs {
+								want := m.MatchDocument(doc)
+								for _, workers := range []int{2, 5} {
+									got := m.MatchDocumentParallel(doc, workers)
+									if !equalSIDs(want, got) {
+										t.Fatalf("doc %d workers %d: sequential %d sids, parallel %d sids",
+											i, workers, len(want), len(got))
+									}
+								}
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunPipeline smoke-tests the throughput report at the smallest scale.
+func TestRunPipeline(t *testing.T) {
+	s := Scale{Name: "test", Docs: 5, Factor: 0.002}
+	rep, err := RunPipeline(s, []int{2}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sequential.DocsPerSec <= 0 {
+		t.Fatalf("sequential docs/sec %v", rep.Sequential.DocsPerSec)
+	}
+	if len(rep.Stream) != 1 || rep.Stream[0].Workers != 2 {
+		t.Fatalf("stream points %+v", rep.Stream)
+	}
+	if rep.Stream[0].DocsPerSec <= 0 || rep.Stream[0].Speedup <= 0 {
+		t.Fatalf("stream point %+v", rep.Stream[0])
+	}
+	if rep.GOMAXPROCS < 1 || rep.Exprs < 100 {
+		t.Fatalf("report metadata %+v", rep)
+	}
+}

@@ -20,32 +20,24 @@ import (
 // contribute identical combination counts, so each distinct path's count
 // is multiplied by its multiplicity.
 func (m *Matcher) MatchDocumentAll(doc *xmldoc.Document) map[SID]int {
-	m.mu.RLock()
-	if m.dirty {
-		m.mu.RUnlock()
-		m.mu.Lock()
-		m.freeze()
-		m.mu.Unlock()
-		m.mu.RLock()
-	}
+	m.ensureFrozen()
 	defer m.mu.RUnlock()
 
 	sc := m.getScratch()
 	defer m.pool.Put(sc)
 
-	dedup := len(m.nested) == 0 && !m.opts.DisablePathDedup
+	dedup := m.pathDedup()
 	counts := make(map[int]int) // expr id → combination count
-	mult := make(map[string]int)
+	mult := make(map[uint64]int)
 
 	// First pass over paths: with dedup, count each distinct publication's
 	// multiplicity up front so one evaluation covers all copies.
 	if dedup {
 		for i := range doc.Paths {
-			sc.pub = &doc.Paths[i]
-			mult[sc.pubKey(sc.pub, m.attrSensitive)]++
+			mult[pubHash(&doc.Paths[i], m.attrSensitive)]++
 		}
 	}
-	seen := make(map[string]bool)
+	seen := make(map[uint64]bool)
 
 	for i := range doc.Paths {
 		pub := &doc.Paths[i]
@@ -53,7 +45,7 @@ func (m *Matcher) MatchDocumentAll(doc *xmldoc.Document) map[SID]int {
 		sc.byTagOK = false
 		factor := 1
 		if dedup {
-			key := sc.pubKey(pub, m.attrSensitive)
+			key := pubHash(pub, m.attrSensitive)
 			if seen[key] {
 				continue
 			}

@@ -58,7 +58,7 @@ func (m *Matcher) buildContainmentCovers(singles []*expr) {
 		n := len(e.pids)
 		for i := 1; i < n; i++ { // i = 0 is the prefix family, handled by e.covers
 			for j := i + 1; j <= n; j++ {
-				key := chainKey(e.pids[i:j], subAttrs(e.post, i, j))
+				key := chainHash(e.pids[i:j], subAttrs(e.post, i, j))
 				if c, ok := m.byKey[key]; ok && c != e {
 					e.fullCovers = append(e.fullCovers, c)
 				}
@@ -67,11 +67,11 @@ func (m *Matcher) buildContainmentCovers(singles []*expr) {
 	}
 }
 
-// subAttrs slices the postponed annotations, tolerating the nil (no
-// filters anywhere) representation.
+// subAttrs slices the postponed annotations; nil (no filters anywhere)
+// hashes identically to all-empty annotations, so it passes through.
 func subAttrs(post []predicate.SideAttrs, i, j int) []predicate.SideAttrs {
 	if post == nil {
-		return make([]predicate.SideAttrs, j-i)
+		return nil
 	}
 	return post[i:j]
 }

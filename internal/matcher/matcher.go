@@ -87,9 +87,9 @@ type Matcher struct {
 	mu       sync.RWMutex
 	ix       *predindex.Index
 	exprs    []*expr
-	byKey    map[string]*expr
-	sidOwner []*expr // sid → owning expression (nil after Remove)
-	nsids    int     // live sid count
+	byKey    map[uint64]*expr // chainHash → expression
+	sidOwner []*expr          // sid → owning expression (nil after Remove)
+	nsids    int              // live sid count
 
 	dirty    bool
 	ordered  []hotExpr                   // iteration units, longest chain first
@@ -127,7 +127,6 @@ func hot(e *expr) hotExpr {
 // expr is one distinct registered expression.
 type expr struct {
 	id   int
-	key  string
 	sids []SID
 
 	// Single-path expressions:
@@ -154,7 +153,7 @@ func New(opts Options) *Matcher {
 	m := &Matcher{
 		opts:  opts,
 		ix:    predindex.New(),
-		byKey: make(map[string]*expr),
+		byKey: make(map[uint64]*expr),
 	}
 	m.pool.New = func() any { return &scratch{} }
 	return m
@@ -228,11 +227,11 @@ func (m *Matcher) registerSingle(p *xpath.Path) (*expr, error) {
 	for i, pr := range enc.Preds {
 		pids[i] = m.ix.Insert(pr)
 	}
-	key := chainKey(pids, enc.PostAttrs)
+	key := chainHash(pids, enc.PostAttrs)
 	if e, ok := m.byKey[key]; ok {
 		return e, nil
 	}
-	e := &expr{id: len(m.exprs), key: key, pids: pids}
+	e := &expr{id: len(m.exprs), pids: pids}
 	if enc.HasPostAttrs() {
 		e.post = enc.PostAttrs
 		m.attrSensitive = true
@@ -248,30 +247,8 @@ func (m *Matcher) registerSingle(p *xpath.Path) (*expr, error) {
 	return e, nil
 }
 
-// chainKey canonically serializes a pid chain plus (postponed) filter
-// annotations; expressions with equal keys are semantically identical
-// under the paper's matching semantics.
-func chainKey(pids []predindex.PID, post []predicate.SideAttrs) string {
-	b := make([]byte, 0, 8*len(pids))
-	for i, pid := range pids {
-		b = append(b, byte(pid), byte(pid>>8), byte(pid>>16), byte(pid>>24))
-		for _, f := range post[i].Left {
-			b = append(b, 'L')
-			b = append(b, f.Name...)
-			b = append(b, byte(f.Op))
-			b = append(b, f.Value...)
-		}
-		for _, f := range post[i].Right {
-			b = append(b, 'R')
-			b = append(b, f.Name...)
-			b = append(b, byte(f.Op))
-			b = append(b, f.Value...)
-		}
-	}
-	return string(b)
-}
-
-// freeze rebuilds the derived organizations after additions.
+// freeze rebuilds the derived organizations after additions. It must run
+// under the write lock; it is an idempotent no-op when nothing changed.
 func (m *Matcher) freeze() {
 	if !m.dirty {
 		return
@@ -290,18 +267,18 @@ func (m *Matcher) freeze() {
 	// prefixes. A trie over (pid, annotation) levels; each node remembers
 	// the expression ending there.
 	type tnode struct {
-		children map[string]*tnode
+		children map[uint64]*tnode
 		e        *expr
 	}
-	root := &tnode{children: make(map[string]*tnode)}
+	root := &tnode{children: make(map[uint64]*tnode)}
 	insert := func(e *expr) {
 		n := root
 		var covers []*expr
 		for i, pid := range e.pids {
-			k := levelKey(pid, e.post, i)
+			k := levelHash(pid, e.post, i)
 			c := n.children[k]
 			if c == nil {
-				c = &tnode{children: make(map[string]*tnode)}
+				c = &tnode{children: make(map[uint64]*tnode)}
 				n.children[k] = c
 			}
 			n = c
@@ -335,13 +312,9 @@ func (m *Matcher) freeze() {
 	m.ordered = m.ordered[:0]
 	m.matchedSlots = len(m.exprs)
 	if m.opts.AttrMode == predicate.Postponed {
-		bare := make([]predicate.SideAttrs, 8)
-		groups := make(map[string]*expr)
+		groups := make(map[uint64]*expr)
 		for _, e := range singles {
-			for len(bare) < len(e.pids) {
-				bare = append(bare, predicate.SideAttrs{})
-			}
-			sk := chainKey(e.pids, bare[:len(e.pids)])
+			sk := chainHash(e.pids, nil) // bare structural identity
 			rep := groups[sk]
 			if rep == nil {
 				rep = &expr{id: m.matchedSlots, pids: e.pids}
@@ -379,25 +352,6 @@ func (m *Matcher) freeze() {
 		m.clusters[pid] = append(m.clusters[pid], h)
 	}
 	m.dirty = false
-}
-
-func levelKey(pid predindex.PID, post []predicate.SideAttrs, i int) string {
-	b := []byte{byte(pid), byte(pid >> 8), byte(pid >> 16), byte(pid >> 24)}
-	if post != nil {
-		for _, f := range post[i].Left {
-			b = append(b, 'L')
-			b = append(b, f.Name...)
-			b = append(b, byte(f.Op))
-			b = append(b, f.Value...)
-		}
-		for _, f := range post[i].Right {
-			b = append(b, 'R')
-			b = append(b, f.Name...)
-			b = append(b, byte(f.Op))
-			b = append(b, f.Value...)
-		}
-	}
-	return string(b)
 }
 
 // Stats summarizes engine state.
@@ -446,8 +400,7 @@ type scratch struct {
 	out     []SID
 	pub     *xmldoc.Publication
 	ncands  map[*nestedNode][]nestedCand
-	seen    map[string]bool // per-document distinct publication keys
-	keyBuf  []byte
+	seen    map[uint64]struct{} // per-document distinct publication hashes
 }
 
 func (m *Matcher) getScratch() *scratch {
@@ -475,7 +428,7 @@ func (m *Matcher) getScratch() *scratch {
 		sc.ncands = make(map[*nestedNode][]nestedCand)
 	}
 	if sc.seen == nil {
-		sc.seen = make(map[string]bool)
+		sc.seen = make(map[uint64]struct{})
 	}
 	clear(sc.seen)
 	sc.out = sc.out[:0]
@@ -491,81 +444,113 @@ func (m *Matcher) MatchDocument(doc *xmldoc.Document) []SID {
 	return sids
 }
 
-// MatchDocumentBreakdown is MatchDocument with the Figure-10 cost split.
-func (m *Matcher) MatchDocumentBreakdown(doc *xmldoc.Document) ([]SID, Breakdown) {
+// ensureFrozen returns with the read lock held and the derived
+// organizations up to date. The read lock cannot be upgraded atomically,
+// so after concurrent Adds several matchers may race through the
+// RUnlock→Lock window; freeze is an idempotent no-op once the first one
+// rebuilt, and dirty is re-checked after every downgrade so a
+// registration that slipped into the window is frozen too rather than
+// matched against a stale organization (whose synthetic group ids could
+// collide with the new expression ids).
+func (m *Matcher) ensureFrozen() {
 	m.mu.RLock()
-	if m.dirty {
+	for m.dirty {
 		m.mu.RUnlock()
 		m.mu.Lock()
 		m.freeze()
 		m.mu.Unlock()
 		m.mu.RLock()
 	}
+}
+
+// matchPath runs the two matching stages for one publication, folding
+// results into sc. bd, when non-nil, accumulates the Figure-10 stage
+// timings (the parallel path passes nil to keep clock calls off the
+// workers). Callers must hold the read lock with organizations frozen.
+func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd *Breakdown) {
+	sc.pub = pub
+	sc.byTagOK = false
+
+	var t0 time.Time
+	if bd != nil {
+		t0 = time.Now()
+	}
+	if dedup {
+		key := pubHash(pub, m.attrSensitive)
+		if _, ok := sc.seen[key]; ok {
+			if bd != nil {
+				bd.PredMatch += time.Since(t0)
+			}
+			return
+		}
+		sc.seen[key] = struct{}{}
+	}
+	sc.res.Reset(m.ix.Len())
+	m.ix.MatchPath(pub, sc.res)
+	var t1 time.Time
+	if bd != nil {
+		t1 = time.Now()
+		bd.PredMatch += t1.Sub(t0)
+	}
+
+	switch m.opts.Variant {
+	case Basic, PrefixCover:
+		cover := m.opts.Variant == PrefixCover
+		for _, h := range m.ordered {
+			if sc.matched[h.id] || !sc.res.Matched(h.first) {
+				continue
+			}
+			if h.second != predindex.NoPID && !sc.res.Matched(h.second) {
+				continue
+			}
+			m.evalExpr(sc, h.e, cover)
+		}
+	case PrefixCoverAP:
+		// Access-predicate clustering: only clusters whose first
+		// predicate matched this path are visited at all; the matched
+		// predicates come straight from the predicate matching stage.
+		for _, pid := range sc.res.Touched() {
+			for _, h := range m.clusters[pid] {
+				if sc.matched[h.id] {
+					continue
+				}
+				if h.second != predindex.NoPID && !sc.res.Matched(h.second) {
+					continue
+				}
+				m.evalExpr(sc, h.e, true)
+			}
+		}
+	}
+	for _, e := range m.nested {
+		e.root.collect(m, sc)
+	}
+	if bd != nil {
+		bd.ExprMatch += time.Since(t1)
+	}
+}
+
+// pathDedup reports whether per-document path deduplication is active.
+// Structurally identical publications produce identical matching results
+// (the predicate rules see only tags, positions and, for attribute-
+// carrying predicates, attribute values), but node identity matters to
+// nested-path recombination, so dedup is disabled when nested expressions
+// are registered.
+func (m *Matcher) pathDedup() bool {
+	return len(m.nested) == 0 && !m.opts.DisablePathDedup
+}
+
+// MatchDocumentBreakdown is MatchDocument with the Figure-10 cost split.
+func (m *Matcher) MatchDocumentBreakdown(doc *xmldoc.Document) ([]SID, Breakdown) {
+	m.ensureFrozen()
 	defer m.mu.RUnlock()
 
 	var bd Breakdown
 	sc := m.getScratch()
 	defer m.pool.Put(sc)
 
-	// Sibling subtrees repeat in real documents, and two structurally
-	// identical publications produce identical matching results: the
-	// predicate rules see only tags, positions and (for attribute-carrying
-	// predicates) attribute values. Deduplicate such paths per document.
-	// Node identity matters to nested-path recombination, so dedup is
-	// disabled when nested expressions are registered.
-	dedup := len(m.nested) == 0 && !m.opts.DisablePathDedup
-
+	dedup := m.pathDedup()
 	for i := range doc.Paths {
-		pub := &doc.Paths[i]
-		sc.pub = pub
-		sc.byTagOK = false
-
-		t0 := time.Now()
-		if dedup {
-			key := sc.pubKey(pub, m.attrSensitive)
-			if sc.seen[key] {
-				bd.PredMatch += time.Since(t0)
-				continue
-			}
-			sc.seen[key] = true
-		}
-		sc.res.Reset(m.ix.Len())
-		m.ix.MatchPath(pub, sc.res)
-		t1 := time.Now()
-		bd.PredMatch += t1.Sub(t0)
-
-		switch m.opts.Variant {
-		case Basic, PrefixCover:
-			cover := m.opts.Variant == PrefixCover
-			for _, h := range m.ordered {
-				if sc.matched[h.id] || !sc.res.Matched(h.first) {
-					continue
-				}
-				if h.second != predindex.NoPID && !sc.res.Matched(h.second) {
-					continue
-				}
-				m.evalExpr(sc, h.e, cover)
-			}
-		case PrefixCoverAP:
-			// Access-predicate clustering: only clusters whose first
-			// predicate matched this path are visited at all; the matched
-			// predicates come straight from the predicate matching stage.
-			for _, pid := range sc.res.Touched() {
-				for _, h := range m.clusters[pid] {
-					if sc.matched[h.id] {
-						continue
-					}
-					if h.second != predindex.NoPID && !sc.res.Matched(h.second) {
-						continue
-					}
-					m.evalExpr(sc, h.e, true)
-				}
-			}
-		}
-		for _, e := range m.nested {
-			e.root.collect(m, sc)
-		}
-		bd.ExprMatch += time.Since(t1)
+		m.matchPath(sc, &doc.Paths[i], dedup, &bd)
 	}
 
 	t2 := time.Now()
@@ -671,28 +656,6 @@ func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover 
 	if done {
 		sc.matched[rep.id] = true
 	}
-}
-
-// pubKey builds the per-document dedup key of a publication: the tag
-// sequence, plus attribute names and values when any registered predicate
-// inspects attributes.
-func (sc *scratch) pubKey(pub *xmldoc.Publication, withAttrs bool) string {
-	b := sc.keyBuf[:0]
-	for i := range pub.Tuples {
-		t := &pub.Tuples[i]
-		b = append(b, t.Tag...)
-		if withAttrs {
-			for _, a := range t.Attrs {
-				b = append(b, 1)
-				b = append(b, a.Name...)
-				b = append(b, 2)
-				b = append(b, a.Value...)
-			}
-		}
-		b = append(b, 0)
-	}
-	sc.keyBuf = b
-	return string(b)
 }
 
 // markCovers marks every registered prefix expression whose chain length

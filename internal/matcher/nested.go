@@ -69,8 +69,11 @@ func ExplainNested(p *xpath.Path) (string, error) {
 }
 
 // registerNested decomposes, encodes and stores a nested-path expression.
+// Nested expressions dedup on their canonical source text (prefixed so the
+// hash space cannot collide with chain hashes by construction of the
+// input, and astronomically unlikely to otherwise).
 func (m *Matcher) registerNested(p *xpath.Path) (*expr, error) {
-	key := "nested:" + p.String()
+	key := fnvString(fnvOffset64, "nested:"+p.String())
 	if e, ok := m.byKey[key]; ok {
 		return e, nil
 	}
@@ -78,7 +81,7 @@ func (m *Matcher) registerNested(p *xpath.Path) (*expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &expr{id: len(m.exprs), key: key, root: root}
+	e := &expr{id: len(m.exprs), root: root}
 	m.exprs = append(m.exprs, e)
 	m.byKey[key] = e
 	m.dirty = true

@@ -1,0 +1,117 @@
+package matcher
+
+import (
+	"runtime"
+	"sync"
+
+	"predfilter/internal/xmldoc"
+)
+
+// MatchDocumentParallel is MatchDocument with the document's root-to-leaf
+// paths sharded across worker goroutines. Each worker owns a pooled
+// scratch (its own predicate-result accumulator, matched flags and
+// occurrence buffers) and runs the identical per-path matching code;
+// per-expression results are then merged.
+//
+// The merge is sound because every per-path effect is monotone: an
+// expression matches the document iff it matches at least one path, a
+// cover mark witnesses a consistent partial assignment on some path, and
+// nested-path candidates are enumerated per path — so the union of
+// per-shard results over any partition of the paths equals the sequential
+// result (the equivalence is asserted across all engine configurations in
+// internal/bench). Per-worker state that exists only to skip work — the
+// path-dedup set, the matched flags consulted by covering/cluster skips —
+// loses some cross-shard sharing, costing duplicated evaluation but never
+// correctness.
+//
+// workers ≤ 0 selects GOMAXPROCS (more workers than cores cannot help:
+// the work is CPU-bound); an explicit count is honored as given, clamped
+// only to the path count. With one worker (or one path) it falls back to
+// the sequential path. The matcher stays safe for concurrent calls of any
+// matching method.
+func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(doc.Paths) {
+		workers = len(doc.Paths)
+	}
+	if workers <= 1 {
+		return m.MatchDocument(doc)
+	}
+
+	m.ensureFrozen()
+	defer m.mu.RUnlock()
+
+	dedup := m.pathDedup()
+	scratches := make([]*scratch, workers)
+	var wg sync.WaitGroup
+	// Contiguous shards: sibling subtrees emit adjacent paths, so
+	// contiguity keeps structurally identical paths in one shard where the
+	// per-worker dedup set still catches them.
+	per := (len(doc.Paths) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(doc.Paths) {
+			hi = len(doc.Paths)
+		}
+		sc := m.getScratch()
+		scratches[w] = sc
+		wg.Add(1)
+		go func(sc *scratch, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				m.matchPath(sc, &doc.Paths[i], dedup, nil)
+			}
+		}(sc, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge: OR the per-shard matched flags and pool the nested-path
+	// candidates into the first scratch.
+	sc := scratches[0]
+	for _, other := range scratches[1:] {
+		for id, ok := range other.matched {
+			if ok {
+				sc.matched[id] = true
+			}
+		}
+		for n, cands := range other.ncands {
+			sc.ncands[n] = append(sc.ncands[n], cands...)
+		}
+		clear(other.ncands)
+		m.pool.Put(other)
+	}
+
+	// Covering is monotone, so the OR already carries every per-shard
+	// cover mark; re-applying the full-match covers here keeps the merged
+	// flags closed under the covering relations by construction rather
+	// than by that argument.
+	for _, e := range m.exprs {
+		if !sc.matched[e.id] {
+			continue
+		}
+		for _, c := range e.covers {
+			sc.matched[c.id] = true
+		}
+		for _, c := range e.fullCovers {
+			sc.matched[c.id] = true
+		}
+	}
+
+	for _, e := range m.nested {
+		if e.root.resolveRoot(sc) {
+			sc.matched[e.id] = true
+		}
+	}
+	clear(sc.ncands)
+	for _, e := range m.exprs {
+		if sc.matched[e.id] {
+			sc.out = append(sc.out, e.sids...)
+		}
+	}
+	out := append([]SID(nil), sc.out...)
+	m.pool.Put(sc)
+	return out
+}

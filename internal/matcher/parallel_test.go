@@ -1,0 +1,172 @@
+package matcher
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"predfilter/internal/predicate"
+	"predfilter/internal/xmldoc"
+)
+
+func sortedSIDs(s []SID) []SID {
+	out := append([]SID(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSIDs(a, b []SID) bool {
+	a, b = sortedSIDs(a), sortedSIDs(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSequential checks MatchDocumentParallel against
+// MatchDocument on the micro workload across every organization, attribute
+// mode and extension combination (the DTD-driven property test lives in
+// internal/bench).
+func TestParallelMatchesSequential(t *testing.T) {
+	xpes, docs := microWorkload(3000)
+	for _, v := range []Variant{Basic, PrefixCover, PrefixCoverAP} {
+		for _, mode := range []predicate.AttrMode{predicate.Inline, predicate.Postponed} {
+			for _, cm := range []CoverMode{PrefixOnly, Containment} {
+				for _, cb := range []ClusterBy{FirstPredicate, RarestPredicate} {
+					opts := Options{Variant: v, AttrMode: mode, CoverMode: cm, ClusterBy: cb}
+					name := fmt.Sprintf("%v/attr=%d/cover=%d/cluster=%d", v, mode, cm, cb)
+					t.Run(name, func(t *testing.T) {
+						m := New(opts)
+						for _, s := range xpes {
+							if _, err := m.Add(s); err != nil {
+								t.Fatal(err)
+							}
+						}
+						for i, doc := range docs {
+							want := m.MatchDocument(doc)
+							for _, workers := range []int{2, 3, 8} {
+								got := m.MatchDocumentParallel(doc, workers)
+								if !equalSIDs(want, got) {
+									t.Fatalf("doc %d workers %d: sequential %d sids, parallel %d sids",
+										i, workers, len(want), len(got))
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelNested checks that nested-path candidate merging across
+// shards recombines exactly like the sequential pass.
+func TestParallelNested(t *testing.T) {
+	m := New(Options{Variant: PrefixCoverAP})
+	exprs := []string{
+		"/a[b/c]/d",
+		"/a[b]/d/e",
+		"//a[x]/d",
+		"/a/b/c",
+	}
+	for _, s := range exprs {
+		if _, err := m.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc, err := xmldoc.Parse([]byte(
+		`<a><b><c/></b><d><e/></d><d/><b/><q/><q/><q/><q/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.MatchDocument(doc)
+	if len(want) == 0 {
+		t.Fatal("expected nested matches sequentially")
+	}
+	for _, workers := range []int{2, 3, 4} {
+		got := m.MatchDocumentParallel(doc, workers)
+		if !equalSIDs(want, got) {
+			t.Fatalf("workers %d: parallel %v != sequential %v", workers, got, want)
+		}
+	}
+}
+
+// TestConcurrentAddAndMatch is the freeze-race regression: concurrent
+// Add and Match (sequential and parallel) used to race through the
+// RUnlock→Lock freeze window; an Add slipping in between could leave a
+// matcher running against a stale organization whose synthetic group ids
+// collide with new expression ids. Run under -race.
+func TestConcurrentAddAndMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var exprs []string
+	tags := []string{"a", "b", "c", "d"}
+	for i := 0; i < 400; i++ {
+		var b strings.Builder
+		b.WriteString("/a")
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			b.WriteString("/" + tags[rng.Intn(len(tags))])
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(&b, "[@k=%d]", rng.Intn(3))
+			}
+		}
+		exprs = append(exprs, b.String())
+	}
+	doc, err := xmldoc.Parse([]byte(
+		`<a><b k="1"><c/><d k="2"/></b><c><d/></c><b/><d k="0"/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Postponed mode exercises the synthetic group representatives whose
+	// ids are the ones a stale organization could confuse.
+	m := New(Options{Variant: PrefixCoverAP, AttrMode: predicate.Postponed})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(exprs); i += 4 {
+				if _, err := m.Add(exprs[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var sids []SID
+				if w%2 == 0 {
+					sids = m.MatchDocument(doc)
+				} else {
+					sids = m.MatchDocumentParallel(doc, 2)
+				}
+				for _, sid := range sids {
+					if sid < 0 || int(sid) >= len(exprs) {
+						t.Errorf("matched sid %d outside the %d registered expressions", sid, len(exprs))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// After the dust settles, all expressions are registered and matching
+	// must be deterministic again.
+	want := m.MatchDocument(doc)
+	if got := m.MatchDocumentParallel(doc, 4); !equalSIDs(want, got) {
+		t.Fatalf("post-settle parallel %v != sequential %v", got, want)
+	}
+}

@@ -181,9 +181,9 @@ func NewResults(n int) *Results {
 // Reset prepares the accumulator for a new publication; n is the current
 // predicate count (the accumulator grows if predicates were added).
 func (r *Results) Reset(n int) {
-	for len(r.pairs) < n {
-		r.pairs = append(r.pairs, nil)
-		r.stamp = append(r.stamp, 0)
+	if len(r.pairs) < n {
+		r.pairs = append(r.pairs, make([][]occur.Pair, n-len(r.pairs))...)
+		r.stamp = append(r.stamp, make([]uint64, n-len(r.stamp))...)
 	}
 	r.cur++
 	r.touched = r.touched[:0]
@@ -226,9 +226,14 @@ func (r *Results) Matched(pid PID) bool {
 func (ix *Index) MatchPath(pub *xmldoc.Publication, res *Results) {
 	l := pub.Length
 
+	// The value-indexed arrays are dense, so most cells visited below are
+	// empty; the inlinable empty() guard keeps those off the emit call.
+
 	// Length-of-expression predicates: (length, >=, v) matches iff v <= l.
 	for v := 1; v < len(ix.length) && v <= l; v++ {
-		ix.emit(&ix.length[v], nil, nil, 0, 0, res)
+		if c := &ix.length[v]; !c.empty() {
+			ix.emit(c, nil, nil, 0, 0, res)
+		}
 	}
 
 	for i := range pub.Tuples {
@@ -238,17 +243,23 @@ func (ix *Index) MatchPath(pub *xmldoc.Publication, res *Results) {
 		// Absolute predicates on t.Tag.
 		if a := ix.abs[t.Tag]; a != nil {
 			if v := t.Pos; v < len(a.eq) {
-				ix.emit(&a.eq[v], t, nil, occ, occ, res)
+				if c := &a.eq[v]; !c.empty() {
+					ix.emit(c, t, nil, occ, occ, res)
+				}
 			}
 			for v := 1; v < len(a.ge) && v <= t.Pos; v++ {
-				ix.emit(&a.ge[v], t, nil, occ, occ, res)
+				if c := &a.ge[v]; !c.empty() {
+					ix.emit(c, t, nil, occ, occ, res)
+				}
 			}
 		}
 
 		// End-of-path predicates: (p_t⊣, >=, v) matches iff l - pos >= v.
 		if cs := ix.eop[t.Tag]; cs != nil {
 			for v := 1; v < len(*cs) && v <= l-t.Pos; v++ {
-				ix.emit(&(*cs)[v], t, nil, occ, occ, res)
+				if c := &(*cs)[v]; !c.empty() {
+					ix.emit(c, t, nil, occ, occ, res)
+				}
 			}
 		}
 
@@ -265,10 +276,14 @@ func (ix *Index) MatchPath(pub *xmldoc.Publication, res *Results) {
 			}
 			d := u.Pos - t.Pos
 			if d < len(a.eq) {
-				ix.emit(&a.eq[d], t, u, occ, int32(u.Occ), res)
+				if c := &a.eq[d]; !c.empty() {
+					ix.emit(c, t, u, occ, int32(u.Occ), res)
+				}
 			}
 			for v := 1; v < len(a.ge) && v <= d; v++ {
-				ix.emit(&a.ge[v], t, u, occ, int32(u.Occ), res)
+				if c := &a.ge[v]; !c.empty() {
+					ix.emit(c, t, u, occ, int32(u.Occ), res)
+				}
 			}
 		}
 	}

@@ -10,12 +10,21 @@
 //	DELETE /subscriptions/{id}                               → 204
 //	GET    /subscriptions/{id}                               → subscription info
 //	POST   /publish              <xml body>                  → {"matches": n, "ids": [...]}
+//	POST   /publish/batch        {"documents": [<xml>, ...]} → {"results": [...]}
 //	GET    /deliveries/{id}?max=k                            → drained documents for one subscription
 //	GET    /stats                                            → engine statistics
+//
+// Batch publishes run through the engine's parallel matching pipeline
+// (Engine.MatchStream), overlapping parsing and matching across the batch
+// while preserving input order in the response.
 //
 // Deliveries are held in bounded per-subscription queues; a slow consumer
 // loses oldest-first (counted in the subscription info) rather than
 // blocking the publish path.
+//
+// With Config.Debug set, the server additionally exposes net/http/pprof
+// under /debug/pprof/ and publish-path throughput and allocation counters
+// under /debug/vars, so the matching pipeline can be profiled in place.
 package server
 
 import (
@@ -23,9 +32,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"predfilter"
 )
@@ -38,6 +51,11 @@ type Config struct {
 	QueueLimit int
 	// MaxDocumentBytes bounds published documents (default 1 MiB).
 	MaxDocumentBytes int64
+	// Workers sizes the batch-publish matching pipeline (default
+	// GOMAXPROCS).
+	Workers int
+	// Debug exposes /debug/pprof/ and /debug/vars.
+	Debug bool
 }
 
 // Server is the dissemination service. Create with New; it implements
@@ -46,6 +64,13 @@ type Server struct {
 	eng *predfilter.Engine
 	mux *http.ServeMux
 	cfg Config
+
+	// Publish-path counters (atomic: the publish paths run outside mu).
+	docsPublished  atomic.Int64 // documents accepted by /publish and /publish/batch
+	docsRejected   atomic.Int64 // documents that failed to parse
+	matchesTotal   atomic.Int64 // sum of per-document match counts
+	publishNanos   atomic.Int64 // wall time spent matching (per-request, so batch time counts once)
+	batchDocsTotal atomic.Int64 // documents that arrived via /publish/batch
 
 	mu   sync.Mutex
 	subs map[predfilter.SID]*subscription
@@ -79,8 +104,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /subscriptions/{id}", s.handleGetSubscription)
 	s.mux.HandleFunc("DELETE /subscriptions/{id}", s.handleUnsubscribe)
 	s.mux.HandleFunc("POST /publish", s.handlePublish)
+	s.mux.HandleFunc("POST /publish/batch", s.handlePublishBatch)
 	s.mux.HandleFunc("GET /deliveries/{id}", s.handleDeliveries)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	if cfg.Debug {
+		s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -192,12 +226,25 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	// Match without the registry lock: the engine is safe for concurrent
 	// matching, and subscriptions added mid-publish simply miss this
 	// document.
+	t0 := time.Now()
 	sids, err := s.eng.Match(doc)
+	s.publishNanos.Add(time.Since(t0).Nanoseconds())
 	if err != nil {
+		s.docsRejected.Add(1)
 		writeError(w, http.StatusUnprocessableEntity, "invalid document: %v", err)
 		return
 	}
+	s.docsPublished.Add(1)
+	s.matchesTotal.Add(int64(len(sids)))
+	delivered := s.deliver(doc, sids)
+	writeJSON(w, http.StatusOK, map[string]any{"matches": len(delivered), "ids": delivered})
+}
+
+// deliver enqueues doc for every matched, still-registered subscription
+// and returns the ids actually delivered to.
+func (s *Server) deliver(doc []byte, sids []predfilter.SID) []predfilter.SID {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	delivered := make([]predfilter.SID, 0, len(sids))
 	for _, sid := range sids {
 		sub := s.subs[sid]
@@ -212,8 +259,85 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		sub.Delivered++
 		delivered = append(delivered, sid)
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"matches": len(delivered), "ids": delivered})
+	return delivered
+}
+
+// handlePublishBatch publishes a batch of documents through the parallel
+// matching pipeline. Per-document failures are reported per result; the
+// batch itself succeeds.
+func (s *Server) handlePublishBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Documents []string `json:"documents"`
+	}
+	limit := 64 * s.cfg.MaxDocumentBytes
+	if err := json.NewDecoder(io.LimitReader(r.Body, limit)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Documents) == 0 {
+		writeError(w, http.StatusBadRequest, "documents is required")
+		return
+	}
+	docs := make([][]byte, len(req.Documents))
+	for i, d := range req.Documents {
+		if int64(len(d)) > s.cfg.MaxDocumentBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, "document %d exceeds %d bytes", i, s.cfg.MaxDocumentBytes)
+			return
+		}
+		docs[i] = []byte(d)
+	}
+
+	type item struct {
+		Matches int              `json:"matches"`
+		IDs     []predfilter.SID `json:"ids,omitempty"`
+		Error   string           `json:"error,omitempty"`
+	}
+	results := make([]item, 0, len(docs))
+	published := 0
+	t0 := time.Now()
+	for _, res := range s.eng.MatchBatch(docs, s.cfg.Workers) {
+		if res.Err != nil {
+			s.docsRejected.Add(1)
+			results = append(results, item{Error: res.Err.Error()})
+			continue
+		}
+		s.docsPublished.Add(1)
+		s.matchesTotal.Add(int64(len(res.SIDs)))
+		published++
+		delivered := s.deliver(res.Doc, res.SIDs)
+		results = append(results, item{Matches: len(delivered), IDs: delivered})
+	}
+	s.publishNanos.Add(time.Since(t0).Nanoseconds())
+	s.batchDocsTotal.Add(int64(len(docs)))
+	writeJSON(w, http.StatusOK, map[string]any{"published": published, "results": results})
+}
+
+// handleDebugVars reports publish-path throughput counters and allocation
+// statistics (a /debug/vars-style snapshot for profiling the pipeline).
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	docs := s.docsPublished.Load()
+	nanos := s.publishNanos.Load()
+	var docsPerSec float64
+	if nanos > 0 {
+		docsPerSec = float64(docs) / (float64(nanos) / 1e9)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"docs_published":       docs,
+		"docs_rejected":        s.docsRejected.Load(),
+		"batch_docs":           s.batchDocsTotal.Load(),
+		"matches_total":        s.matchesTotal.Load(),
+		"publish_ns":           nanos,
+		"publish_docs_per_sec": docsPerSec,
+		"workers":              s.cfg.Workers,
+		"gomaxprocs":           runtime.GOMAXPROCS(0),
+		"goroutines":           runtime.NumGoroutine(),
+		"mem_total_alloc":      ms.TotalAlloc,
+		"mem_mallocs":          ms.Mallocs,
+		"mem_heap_alloc":       ms.HeapAlloc,
+		"num_gc":               ms.NumGC,
+	})
 }
 
 func (s *Server) handleDeliveries(w http.ResponseWriter, r *http.Request) {

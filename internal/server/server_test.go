@@ -306,3 +306,107 @@ func TestPreload(t *testing.T) {
 		t.Error("Preload accepted garbage")
 	}
 }
+
+func TestPublishBatch(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	alerts := subscribe(t, ts, "//alert")
+	subscribe(t, ts, "/feed/trade")
+
+	resp, body := postJSON(t, ts.URL+"/publish/batch", map[string]any{
+		"documents": []string{
+			`<feed><alert/></feed>`,
+			`<unclosed>`,
+			`<feed><trade/><alert/></feed>`,
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d body %v", resp.StatusCode, body)
+	}
+	if body["published"].(float64) != 2 {
+		t.Fatalf("published = %v, want 2", body["published"])
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	r0 := results[0].(map[string]any)
+	r1 := results[1].(map[string]any)
+	r2 := results[2].(map[string]any)
+	if r0["matches"].(float64) != 1 || r2["matches"].(float64) != 2 {
+		t.Fatalf("matches = %v / %v, want 1 / 2", r0["matches"], r2["matches"])
+	}
+	if r1["error"] == nil || r1["error"].(string) == "" {
+		t.Fatalf("malformed document did not report an error: %v", r1)
+	}
+
+	// Matched documents were queued for delivery, in batch order.
+	resp, err := http.Get(fmt.Sprintf("%s/deliveries/%d?max=10", ts.URL, alerts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := decodeBody(t, resp)["documents"].([]any)
+	if len(docs) != 2 {
+		t.Fatalf("alert deliveries = %d, want 2", len(docs))
+	}
+	if !strings.Contains(docs[1].(string), "trade") {
+		t.Fatalf("deliveries out of batch order: %v", docs)
+	}
+}
+
+func TestPublishBatchValidation(t *testing.T) {
+	ts := newTestServer(t, Config{MaxDocumentBytes: 32})
+	resp, _ := postJSON(t, ts.URL+"/publish/batch", map[string]any{"documents": []string{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/publish/batch", map[string]any{
+		"documents": []string{"<a>" + strings.Repeat("x", 64) + "</a>"},
+	})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized document: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	// Off by default: the debug surface must not leak into production.
+	ts := newTestServer(t, Config{})
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without Debug: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	dbg := newTestServer(t, Config{Debug: true})
+	subscribe(t, dbg, "//alert")
+	publish(t, dbg, `<feed><alert/></feed>`)
+	resp, err := http.Get(dbg.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", resp.StatusCode)
+	}
+	vars := decodeBody(t, resp)
+	if vars["docs_published"].(float64) != 1 {
+		t.Fatalf("docs_published = %v, want 1", vars["docs_published"])
+	}
+	if vars["matches_total"].(float64) != 1 {
+		t.Fatalf("matches_total = %v, want 1", vars["matches_total"])
+	}
+	if vars["gomaxprocs"].(float64) < 1 {
+		t.Fatalf("gomaxprocs = %v", vars["gomaxprocs"])
+	}
+	resp, err = http.Get(dbg.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", resp.StatusCode)
+	}
+}

@@ -183,11 +183,19 @@ func parseOne(dec *xml.Decoder) (*Document, error) {
 			}
 			if stack[len(stack)-1].children == 0 {
 				pub := Publication{Length: len(stack), Tuples: make([]Tuple, len(stack))}
-				occ := make(map[string]int, len(stack))
 				for i, f := range stack {
-					occ[f.tag]++
+					// Occurrence number by scanning the open ancestors:
+					// quadratic in the nesting depth, but depths are small
+					// and it beats a per-path map allocation on the parse
+					// hot path.
+					occ := 1
+					for j := 0; j < i; j++ {
+						if stack[j].tag == f.tag {
+							occ++
+						}
+					}
 					pub.Tuples[i] = Tuple{
-						Tag: f.tag, Pos: i + 1, Occ: occ[f.tag],
+						Tag: f.tag, Pos: i + 1, Occ: occ,
 						NodeID: f.nodeID, ChildIdx: f.childIdx, Attrs: f.attrs,
 					}
 				}

@@ -1,0 +1,154 @@
+package predfilter
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"predfilter/internal/xmldoc"
+)
+
+// Result is the outcome of matching one document of a stream or batch.
+type Result struct {
+	// Index is the document's ordinal in the input stream (0-based).
+	Index int
+	// Doc is the original document bytes, echoed back so consumers can
+	// fan the document out without tracking it separately.
+	Doc []byte
+	// SIDs are the matching expression identifiers; nil when Err is set.
+	SIDs []SID
+	// Err is the per-document parse error, if any. One bad document does
+	// not stop the stream.
+	Err error
+}
+
+// MatchStream filters a stream of XML documents through a worker pipeline:
+// each worker overlaps SAX path extraction with predicate matching for its
+// current document while the others do the same, so parsing and matching
+// of consecutive documents proceed concurrently. Results are delivered in
+// input order (Index is strictly increasing), one per input document.
+//
+// workers ≤ 0 selects GOMAXPROCS. The returned channel is closed after
+// the last result, or after ctx is cancelled (in which case trailing
+// documents are dropped). Registration may run concurrently; documents
+// matched before an Add simply miss the new expression.
+func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers int) <-chan Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		i   int
+		doc []byte
+	}
+	jobs := make(chan job, workers)
+	unordered := make(chan Result, workers)
+	out := make(chan Result, workers)
+
+	// Dispatcher: assign input ordinals.
+	go func() {
+		defer close(jobs)
+		i := 0
+		for {
+			select {
+			case doc, ok := <-docs:
+				if !ok {
+					return
+				}
+				select {
+				case jobs <- job{i, doc}:
+					i++
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: parse + match.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := Result{Index: j.i, Doc: j.doc}
+				d, err := xmldoc.Parse(j.doc)
+				if err != nil {
+					r.Err = err
+				} else {
+					r.SIDs = e.m.MatchDocument(d)
+				}
+				select {
+				case unordered <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(unordered)
+	}()
+
+	// Reorderer: restore input order.
+	go func() {
+		defer close(out)
+		pending := make(map[int]Result)
+		next := 0
+		for r := range unordered {
+			pending[r.Index] = r
+			for {
+				rr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case out <- rr:
+					next++
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// MatchBatch filters a slice of documents through the MatchStream pipeline
+// and returns one Result per document, in input order. Per-document parse
+// failures are reported in the corresponding Result, not as a batch
+// failure.
+func (e *Engine) MatchBatch(docs [][]byte, workers int) []Result {
+	in := make(chan []byte, len(docs))
+	for _, d := range docs {
+		in <- d
+	}
+	close(in)
+	out := make([]Result, 0, len(docs))
+	for r := range e.MatchStream(context.Background(), in, workers) {
+		out = append(out, r)
+	}
+	return out
+}
+
+// MatchParallel parses the document and matches it with its root-to-leaf
+// paths sharded across worker goroutines (workers ≤ 0 selects
+// GOMAXPROCS). Results are identical to Match; use it for single large
+// documents, and MatchStream/MatchBatch to parallelize across documents.
+func (e *Engine) MatchParallel(doc []byte, workers int) ([]SID, error) {
+	d, err := xmldoc.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	return e.m.MatchDocumentParallel(d, workers), nil
+}
+
+// MatchParsedParallel is MatchParallel for a pre-parsed document.
+func (e *Engine) MatchParsedParallel(d *Document, workers int) []SID {
+	return e.m.MatchDocumentParallel(d.doc, workers)
+}
