@@ -1,19 +1,32 @@
 // Command xfserve runs the content-based dissemination service: an HTTP
 // API over the filtering engine (see internal/server for the endpoints).
 //
-//	xfserve -addr :8080
+//	xfserve -addr :8080 -state /var/lib/xfserve
 //	curl -X POST localhost:8080/subscriptions -d '{"expression":"/feed/alert"}'
 //	curl -X POST localhost:8080/publish --data-binary @doc.xml
 //	curl 'localhost:8080/deliveries/0?max=5'
+//	curl -X POST localhost:8080/admin/snapshot
+//
+// With -state, subscriptions are durable: every add/remove is appended to
+// a checksummed write-ahead log before it is acknowledged, and restarting
+// with the same directory recovers them under their original ids — even
+// after a crash that tore the log mid-record. On SIGINT/SIGTERM the server
+// shuts down gracefully: in-flight requests drain, a final snapshot
+// compacts the log, and the store is closed.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"predfilter"
 	"predfilter/internal/server"
@@ -21,21 +34,41 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		queue     = flag.Int("queue", 128, "per-subscription delivery queue limit")
-		maxDoc    = flag.Int64("max-doc", 1<<20, "maximum published document size in bytes")
-		postponed = flag.Bool("postponed", false, "use selection-postponed attribute evaluation")
-		subsFile  = flag.String("subs", "", "file with one subscription expression per line to preload")
-		workers   = flag.Int("workers", 0, "worker count for batch publishes (0 = GOMAXPROCS)")
-		debug     = flag.Bool("debug", false, "expose /debug/pprof/ and /debug/vars")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		queue      = flag.Int("queue", 128, "per-subscription delivery queue limit")
+		maxDoc     = flag.Int64("max-doc", 1<<20, "maximum published document size in bytes")
+		postponed  = flag.Bool("postponed", false, "use selection-postponed attribute evaluation")
+		subsFile   = flag.String("subs", "", "file with one subscription expression per line to preload")
+		workers    = flag.Int("workers", 0, "worker count for batch publishes (0 = GOMAXPROCS)")
+		debug      = flag.Bool("debug", false, "expose /debug/pprof/ and /debug/vars")
+		state      = flag.String("state", "", "state directory for durable subscriptions (empty = in-memory)")
+		snapEvery  = flag.Int("snapshot-every", 0, "snapshot after this many logged operations (0 = default 8192, negative = disabled)")
+		snapPeriod = flag.Duration("snapshot-interval", 0, "additionally snapshot on this interval (0 = disabled)")
+		noSync     = flag.Bool("nosync", false, "skip fsync on the state directory (faster, loses power-failure durability)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
-	cfg := server.Config{QueueLimit: *queue, MaxDocumentBytes: *maxDoc, Workers: *workers, Debug: *debug}
+	cfg := server.Config{
+		QueueLimit:       *queue,
+		MaxDocumentBytes: *maxDoc,
+		Workers:          *workers,
+		Debug:            *debug,
+		StateDir:         *state,
+		SnapshotEvery:    *snapEvery,
+		SnapshotInterval: *snapPeriod,
+		NoSync:           *noSync,
+	}
 	if *postponed {
 		cfg.Engine.AttributeMode = predfilter.PostponedAttributes
 	}
-	srv := server.New(cfg)
+	srv, err := server.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *state != "" {
+		log.Printf("xfserve: durable state in %s", *state)
+	}
 	if *subsFile != "" {
 		xpes, err := readLines(*subsFile)
 		if err != nil {
@@ -47,8 +80,36 @@ func main() {
 		}
 		log.Printf("xfserve: preloaded %d subscriptions from %s", len(ids), *subsFile)
 	}
-	log.Printf("xfserve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("xfserve listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		// Listener failed before any signal; still close the store so the
+		// log is compacted.
+		srv.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("xfserve: shutting down (draining for up to %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("xfserve: drain: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("xfserve: close state: %v", err)
+	}
+	log.Printf("xfserve: bye")
 }
 
 // readLines reads one expression per line, skipping blanks and '#'

@@ -178,21 +178,68 @@ func (m *Matcher) Add(s string) (SID, error) {
 func (m *Matcher) AddPath(p *xpath.Path) (SID, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var e *expr
-	var err error
-	if p.IsSinglePath() {
-		e, err = m.registerSingle(p)
-	} else {
-		e, err = m.registerNested(p)
-	}
+	e, err := m.register(p)
 	if err != nil {
 		return 0, err
 	}
 	sid := SID(len(m.sidOwner))
-	m.sidOwner = append(m.sidOwner, e)
+	m.bind(e, sid)
+	return sid, nil
+}
+
+// AddWithSID parses and registers an expression under a caller-chosen SID.
+// It exists for durable stores replaying persisted subscriptions after a
+// restart: a subscription keeps the id it was acknowledged with, so ids
+// held by clients stay valid across recovery. The SID must not be live;
+// plain Add continues from past the highest SID ever bound, so reclaimed
+// and freshly assigned ids never collide.
+func (m *Matcher) AddWithSID(s string, sid SID) error {
+	p, err := xpath.Parse(s)
+	if err != nil {
+		return err
+	}
+	return m.AddPathWithSID(p, sid)
+}
+
+// AddPathWithSID is AddWithSID for a parsed expression.
+func (m *Matcher) AddPathWithSID(p *xpath.Path, sid SID) error {
+	if sid < 0 {
+		return fmt.Errorf("matcher: negative sid %d", sid)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(sid) < len(m.sidOwner) && m.sidOwner[sid] != nil {
+		return fmt.Errorf("matcher: sid %d is already registered", sid)
+	}
+	e, err := m.register(p)
+	if err != nil {
+		return err
+	}
+	for len(m.sidOwner) <= int(sid) {
+		m.sidOwner = append(m.sidOwner, nil)
+	}
+	m.bind(e, sid)
+	return nil
+}
+
+// register stores the expression (or finds its existing shared entry)
+// without binding a SID. Callers hold the write lock.
+func (m *Matcher) register(p *xpath.Path) (*expr, error) {
+	if p.IsSinglePath() {
+		return m.registerSingle(p)
+	}
+	return m.registerNested(p)
+}
+
+// bind attaches sid to e. Callers hold the write lock and guarantee the
+// slot at sid is allocated and free (or exactly one past the end).
+func (m *Matcher) bind(e *expr, sid SID) {
+	if int(sid) == len(m.sidOwner) {
+		m.sidOwner = append(m.sidOwner, nil)
+	}
+	m.sidOwner[sid] = e
 	e.sids = append(e.sids, sid)
 	m.nsids++
-	return sid, nil
 }
 
 // Remove unregisters a SID. The expression's predicates remain in the

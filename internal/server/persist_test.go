@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// doReq performs one request against the handler and decodes the JSON
+// response body into out (when non-nil).
+func doReq(t *testing.T, h http.Handler, method, path, body string, wantCode int, out any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != wantCode {
+		t.Fatalf("%s %s = %d (%s), want %d", method, path, rr.Code, rr.Body.String(), wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(rr.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode response: %v", method, path, err)
+		}
+	}
+}
+
+func publishIDs(t *testing.T, h http.Handler, doc string) []float64 {
+	t.Helper()
+	var resp struct {
+		IDs []float64 `json:"ids"`
+	}
+	doReq(t, h, "POST", "/publish", doc, http.StatusOK, &resp)
+	sort.Float64s(resp.IDs)
+	return resp.IDs
+}
+
+// TestServerRestartRoundTrip is the service-level acceptance check: the
+// subscription registry (engine and HTTP layer alike) survives a restart,
+// and documents match the same subscription ids afterwards.
+func TestServerRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir, NoSync: true, Debug: true}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exprs := []string{"/feed/alert", "//alert[@level=red]", "/feed/news", "/feed/alert"}
+	var ids []float64
+	for _, x := range exprs {
+		var resp struct {
+			ID float64 `json:"id"`
+		}
+		doReq(t, s, "POST", "/subscriptions", `{"expression":"`+x+`"}`, http.StatusCreated, &resp)
+		ids = append(ids, resp.ID)
+	}
+	// Remove one subscription; its id must stay dead after restart.
+	doReq(t, s, "DELETE", "/subscriptions/2", "", http.StatusNoContent, nil)
+
+	doc := `<feed><alert level="red">a</alert><news>n</news></feed>`
+	want := publishIDs(t, s, doc)
+	if len(want) != 3 { // sids 0, 1, 3 (news was removed)
+		t.Fatalf("pre-restart matches = %v, want 3 ids", want)
+	}
+
+	// Stats carry the store counters.
+	var stats map[string]any
+	doReq(t, s, "GET", "/stats", "", http.StatusOK, &stats)
+	store, ok := stats["store"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no store section: %v", stats)
+	}
+	if store["live"].(float64) != 3 || store["wal_records"].(float64) != 5 {
+		t.Fatalf("store counters = %v, want live=3 wal_records=5", store)
+	}
+	var vars map[string]any
+	doReq(t, s, "GET", "/debug/vars", "", http.StatusOK, &vars)
+	if _, ok := vars["store"].(map[string]any); !ok {
+		t.Fatalf("/debug/vars has no store section: %v", vars)
+	}
+
+	// Admin snapshot compacts the log.
+	var snapResp map[string]any
+	doReq(t, s, "POST", "/admin/snapshot", "", http.StatusOK, &snapResp)
+	if got := snapResp["store"].(map[string]any)["wal_records"].(float64); got != 0 {
+		t.Fatalf("wal_records after admin snapshot = %v, want 0", got)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Restart.
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+
+	if got := publishIDs(t, s2, doc); !reflect.DeepEqual(got, want) {
+		t.Fatalf("matches after restart = %v, want %v", got, want)
+	}
+	// The HTTP registry recovered too: surviving ids resolve, the removed
+	// one does not, and its expression round-tripped.
+	var info struct {
+		Expression string `json:"expression"`
+	}
+	doReq(t, s2, "GET", "/subscriptions/1", "", http.StatusOK, &info)
+	if info.Expression != "//alert[@level=red]" {
+		t.Fatalf("recovered expression = %q", info.Expression)
+	}
+	doReq(t, s2, "GET", "/subscriptions/2", "", http.StatusNotFound, nil)
+
+	// New subscriptions continue past the recovered id space.
+	var resp struct {
+		ID float64 `json:"id"`
+	}
+	doReq(t, s2, "POST", "/subscriptions", `{"expression":"/feed/extra"}`, http.StatusCreated, &resp)
+	if resp.ID != 4 {
+		t.Fatalf("post-restart id = %v, want 4", resp.ID)
+	}
+}
+
+// TestAdminSnapshotWithoutPersistence rejects the admin endpoint on an
+// in-memory server instead of pretending to have compacted something.
+func TestAdminSnapshotWithoutPersistence(t *testing.T) {
+	s := New(Config{})
+	doReq(t, s, "POST", "/admin/snapshot", "", http.StatusConflict, nil)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close of in-memory server: %v", err)
+	}
+	// And /stats has no store section.
+	var stats map[string]any
+	doReq(t, s, "GET", "/stats", "", http.StatusOK, &stats)
+	if _, ok := stats["store"]; ok {
+		t.Fatalf("in-memory /stats grew a store section: %v", stats)
+	}
+}
+
+// TestServerPreloadPersists routes -subs preloading through the log as
+// well, so a preloaded server restarted *without* the subs file still
+// serves its subscriptions.
+func TestServerPreloadPersists(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir, NoSync: true}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Preload([]string{"/a//b", "//c"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var stats map[string]any
+	doReq(t, s2, "GET", "/stats", "", http.StatusOK, &stats)
+	if got := stats["subscriptions"].(float64); got != 2 {
+		t.Fatalf("recovered subscriptions = %v, want 2", got)
+	}
+}

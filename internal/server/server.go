@@ -12,7 +12,14 @@
 //	POST   /publish              <xml body>                  → {"matches": n, "ids": [...]}
 //	POST   /publish/batch        {"documents": [<xml>, ...]} → {"results": [...]}
 //	GET    /deliveries/{id}?max=k                            → drained documents for one subscription
-//	GET    /stats                                            → engine statistics
+//	GET    /stats                                            → engine (and store) statistics
+//	POST   /admin/snapshot                                   → compact the durable store now
+//
+// With Config.StateDir set (server.Open), the subscription set is durable:
+// adds and removes are written to a checksummed write-ahead log before
+// they are acknowledged, and a restart recovers every subscription under
+// its original id (internal/store has the file formats and crash-recovery
+// guarantees). Delivery queues are intentionally volatile.
 //
 // Batch publishes run through the engine's parallel matching pipeline
 // (Engine.MatchStream), overlapping parsing and matching across the batch
@@ -56,12 +63,29 @@ type Config struct {
 	Workers int
 	// Debug exposes /debug/pprof/ and /debug/vars.
 	Debug bool
+
+	// StateDir, when non-empty, makes the subscription set durable: every
+	// add/remove is written to a write-ahead log in this directory before
+	// it is acknowledged, and restarts recover the subscriptions under
+	// their original ids (use Open, which can report recovery errors).
+	// Delivery queues are in-memory only and do not survive restarts.
+	StateDir string
+	// SnapshotEvery compacts the log after this many operations
+	// (0 = engine default, negative disables); see predfilter.PersistentConfig.
+	SnapshotEvery int
+	// SnapshotInterval additionally compacts on a timer (0 disables).
+	SnapshotInterval time.Duration
+	// NoSync disables fsync on the persistent store (tests/benchmarks).
+	NoSync bool
 }
 
-// Server is the dissemination service. Create with New; it implements
-// http.Handler.
+// Server is the dissemination service. Create with New or, when
+// persistence is configured, Open; it implements http.Handler.
 type Server struct {
 	eng *predfilter.Engine
+	// pe is the persistent engine when Config.StateDir is set (eng is then
+	// pe's embedded in-memory engine); nil for a purely in-memory server.
+	pe  *predfilter.PersistentEngine
 	mux *http.ServeMux
 	cfg Config
 
@@ -86,8 +110,21 @@ type subscription struct {
 	queue [][]byte
 }
 
-// New returns a ready-to-serve Server.
+// New returns a ready-to-serve Server. It panics if Config.StateDir is
+// set and opening the store fails; use Open to handle recovery errors.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open returns a ready-to-serve Server. With Config.StateDir set it opens
+// the durable subscription store, recovers the persisted subscriptions
+// (truncating a torn log tail if the last run crashed mid-write), and
+// re-registers them under their original ids.
+func Open(cfg Config) (*Server, error) {
 	if cfg.QueueLimit <= 0 {
 		cfg.QueueLimit = 128
 	}
@@ -95,12 +132,30 @@ func New(cfg Config) *Server {
 		cfg.MaxDocumentBytes = 1 << 20
 	}
 	s := &Server{
-		eng:  predfilter.New(cfg.Engine),
 		mux:  http.NewServeMux(),
 		cfg:  cfg,
 		subs: make(map[predfilter.SID]*subscription),
 	}
+	if cfg.StateDir != "" {
+		pe, err := predfilter.Open(cfg.StateDir, predfilter.PersistentConfig{
+			Engine:           cfg.Engine,
+			SnapshotEvery:    cfg.SnapshotEvery,
+			SnapshotInterval: cfg.SnapshotInterval,
+			NoSync:           cfg.NoSync,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.pe = pe
+		s.eng = pe.Engine
+		for _, sub := range pe.Subscriptions() {
+			s.subs[sub.ID] = &subscription{Expression: sub.Expression}
+		}
+	} else {
+		s.eng = predfilter.New(cfg.Engine)
+	}
 	s.mux.HandleFunc("POST /subscriptions", s.handleSubscribe)
+	s.mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
 	s.mux.HandleFunc("GET /subscriptions/{id}", s.handleGetSubscription)
 	s.mux.HandleFunc("DELETE /subscriptions/{id}", s.handleUnsubscribe)
 	s.mux.HandleFunc("POST /publish", s.handlePublish)
@@ -115,11 +170,41 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close shuts the server's engine down. With persistence enabled it takes
+// a final snapshot (so the next start recovers from the compacted
+// snapshot instead of replaying the whole log) and closes the store; for
+// an in-memory server it is a no-op. Call it after the HTTP listener has
+// drained (http.Server.Shutdown).
+func (s *Server) Close() error {
+	if s.pe == nil {
+		return nil
+	}
+	return s.pe.Close()
+}
+
+// addExpr registers an expression through the persistent engine when
+// persistence is on (logging it durably before acknowledging), or the
+// plain engine otherwise. Callers hold s.mu.
+func (s *Server) addExpr(xpe string) (predfilter.SID, error) {
+	if s.pe != nil {
+		return s.pe.Add(xpe)
+	}
+	return s.eng.Add(xpe)
+}
+
+// removeExpr is the removal counterpart of addExpr. Callers hold s.mu.
+func (s *Server) removeExpr(sid predfilter.SID) error {
+	if s.pe != nil {
+		return s.pe.Remove(sid)
+	}
+	return s.eng.Remove(sid)
+}
 
 // Preload registers a batch of subscriptions before serving (for example
 // from a saved subscription file); it returns the assigned ids in order.
@@ -128,7 +213,7 @@ func (s *Server) Preload(xpes []string) ([]predfilter.SID, error) {
 	defer s.mu.Unlock()
 	ids := make([]predfilter.SID, 0, len(xpes))
 	for _, x := range xpes {
-		sid, err := s.eng.Add(x)
+		sid, err := s.addExpr(x)
 		if err != nil {
 			return ids, fmt.Errorf("server: preload %q: %w", x, err)
 		}
@@ -162,7 +247,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sid, err := s.eng.Add(req.Expression)
+	sid, err := s.addExpr(req.Expression)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -205,7 +290,7 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.eng.Remove(sid); err != nil {
+	if err := s.removeExpr(sid); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -312,6 +397,46 @@ func (s *Server) handlePublishBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"published": published, "results": results})
 }
 
+// handleAdminSnapshot compacts the durable store's log into a fresh
+// snapshot on demand (e.g. before a planned restart, to make the next
+// recovery a pure snapshot load).
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.pe == nil {
+		writeError(w, http.StatusConflict, "persistence is not enabled (no -state directory)")
+		return
+	}
+	if err := s.pe.Snapshot(); err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"store": s.storeVars()})
+}
+
+// storeVars flattens the persistence counters for /stats, /debug/vars and
+// the admin snapshot response. Returns nil when persistence is off.
+func (s *Server) storeVars() map[string]any {
+	if s.pe == nil {
+		return nil
+	}
+	st := s.pe.StoreStats()
+	var last any
+	if !st.LastSnapshot.IsZero() {
+		last = st.LastSnapshot.UTC().Format(time.RFC3339Nano)
+	}
+	return map[string]any{
+		"live":             st.Live,
+		"next_sid":         st.NextSID,
+		"wal_records":      st.WALRecords,
+		"wal_bytes":        st.WALBytes,
+		"appends":          st.Appends,
+		"snapshots":        st.Snapshots,
+		"last_snapshot":    last,
+		"snapshot_entries": st.SnapshotEntries,
+		"replayed_records": st.ReplayedRecords,
+		"torn_bytes":       st.TornBytes,
+	}
+}
+
 // handleDebugVars reports publish-path throughput counters and allocation
 // statistics (a /debug/vars-style snapshot for profiling the pipeline).
 func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
@@ -323,7 +448,7 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	if nanos > 0 {
 		docsPerSec = float64(docs) / (float64(nanos) / 1e9)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	vars := map[string]any{
 		"docs_published":       docs,
 		"docs_rejected":        s.docsRejected.Load(),
 		"batch_docs":           s.batchDocsTotal.Load(),
@@ -337,7 +462,11 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		"mem_mallocs":          ms.Mallocs,
 		"mem_heap_alloc":       ms.HeapAlloc,
 		"num_gc":               ms.NumGC,
-	})
+	}
+	if sv := s.storeVars(); sv != nil {
+		vars["store"] = sv
+	}
+	writeJSON(w, http.StatusOK, vars)
 }
 
 func (s *Server) handleDeliveries(w http.ResponseWriter, r *http.Request) {
@@ -376,11 +505,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	subs := len(s.subs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"subscriptions":        subs,
 		"expressions":          st.Expressions,
 		"distinct_expressions": st.DistinctExpressions,
 		"distinct_predicates":  st.DistinctPredicates,
 		"nested_expressions":   st.NestedExpressions,
-	})
+	}
+	if sv := s.storeVars(); sv != nil {
+		stats["store"] = sv
+	}
+	writeJSON(w, http.StatusOK, stats)
 }

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot file layout:
+//
+//	[8]  magic "XFSNAP01"
+//	[4]  uint32 LE entry count
+//	[4]  uint32 LE next sid (preserves sid monotonicity across compaction:
+//	     the highest assigned sid may belong to a removed, compacted-away
+//	     subscription, and must never be reissued)
+//	[*]  one framed record per live subscription, same framing as the WAL,
+//	     payload [4]sid [n]expression, ordered by ascending sid
+//
+// The snapshot is only ever written to a temporary file in the same
+// directory, fsynced, and renamed over the previous one, so a crash during
+// snapshotting leaves the old snapshot untouched. Unlike the WAL, a
+// snapshot that fails validation is a hard error: rename is atomic, so a
+// bad snapshot means external damage, and silently dropping it would
+// silently drop compacted subscriptions.
+
+const snapMagic = "XFSNAP01"
+
+// Entry is one live subscription in the store.
+type Entry struct {
+	SID  uint32
+	Expr string
+}
+
+// writeSnapshot atomically replaces the snapshot at path with the given
+// live set. entries need not be sorted; the file is written sid-ascending.
+func writeSnapshot(path string, entries []Entry, nextSID uint32, sync bool) error {
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SID < sorted[j].SID })
+
+	buf := make([]byte, 0, 16+len(sorted)*32)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sorted)))
+	buf = binary.LittleEndian.AppendUint32(buf, nextSID)
+	payload := make([]byte, 0, 64)
+	for _, e := range sorted {
+		payload = payload[:0]
+		payload = binary.LittleEndian.AppendUint32(payload, e.SID)
+		payload = append(payload, e.Expr...)
+		buf = appendFrame(buf, payload)
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if sync {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+// readSnapshot loads the snapshot at path. A missing file is not an
+// error: it returns (nil, 0, false, nil).
+func readSnapshot(path string) (entries []Entry, nextSID uint32, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if len(data) < len(snapMagic)+8 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, false, fmt.Errorf("store: %s: not a subscription snapshot (bad magic)", path)
+	}
+	count := binary.LittleEndian.Uint32(data[len(snapMagic):])
+	nextSID = binary.LittleEndian.Uint32(data[len(snapMagic)+4:])
+	body := data[len(snapMagic)+8:]
+
+	off := 0
+	for i := uint32(0); i < count; i++ {
+		if len(body)-off < frameSize {
+			return nil, 0, false, fmt.Errorf("store: %s: truncated snapshot (%d of %d entries)", path, i, count)
+		}
+		n := int(binary.LittleEndian.Uint32(body[off:]))
+		sum := binary.LittleEndian.Uint32(body[off+4:])
+		if n > maxRecord || len(body)-off-frameSize < n {
+			return nil, 0, false, fmt.Errorf("store: %s: truncated snapshot (%d of %d entries)", path, i, count)
+		}
+		payload := body[off+frameSize : off+frameSize+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return nil, 0, false, fmt.Errorf("store: %s: snapshot entry %d fails checksum", path, i)
+		}
+		if len(payload) < 4 {
+			return nil, 0, false, fmt.Errorf("store: %s: snapshot entry %d malformed", path, i)
+		}
+		entries = append(entries, Entry{
+			SID:  binary.LittleEndian.Uint32(payload),
+			Expr: string(payload[4:]),
+		})
+		off += frameSize + n
+	}
+	return entries, nextSID, true, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,291 @@
+// Package store implements the durable subscription store behind the
+// filtering engine: an append-only, CRC32-C-checksummed write-ahead log of
+// subscription operations (add sid expression / remove sid) plus an
+// atomically-replaced snapshot file that compacts the log.
+//
+// The store exists to split the engine's lifecycle into a slow build phase
+// and a fast, restartable serving phase: subscriptions survive process
+// restarts, and recovery is a snapshot load plus a WAL replay instead of a
+// full re-registration of the workload.
+//
+// Durability contract:
+//
+//   - Every operation acknowledged by AppendAdd/AppendRemove is on disk
+//     (fsynced unless Options.NoSync) before the call returns.
+//   - A crash at any point leaves at most a torn WAL tail; recovery
+//     truncates the tail at the first corrupt record and keeps every
+//     acknowledged operation before it.
+//   - Snapshot replaces the snapshot file atomically (temp file + rename)
+//     and only then truncates the WAL. A crash between the two leaves old
+//     WAL records that replay idempotently over the new snapshot: an add
+//     of an already-live sid and a remove of an unknown sid are no-ops,
+//     and sids are never reissued, so replay converges to the same state.
+//
+// SID assignment is owned by the store: NextSID is strictly monotone,
+// persisted in the snapshot, and advanced by replay, so a subscription id
+// handed to a client remains valid — and is never reassigned to someone
+// else — across any number of restarts.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default file names inside a state directory.
+const (
+	walFile  = "wal.log"
+	snapFile = "snapshot.snap"
+)
+
+// Options configures a Store.
+type Options struct {
+	// NoSync disables fsync on WAL appends and snapshot writes. The store
+	// then survives process crashes (the page cache keeps the writes) but
+	// not OS crashes or power loss. Intended for tests and benchmarks.
+	NoSync bool
+}
+
+// Stats counts store activity. Recovery fields describe the last Open;
+// the remaining counters accumulate over the store's lifetime.
+type Stats struct {
+	// Live is the number of live subscriptions.
+	Live int
+	// NextSID is the next subscription id to be assigned.
+	NextSID uint32
+	// SnapshotEntries is the number of entries loaded from the snapshot at
+	// Open.
+	SnapshotEntries int
+	// ReplayedRecords is the number of intact WAL records replayed at Open.
+	ReplayedRecords int
+	// TornBytes is the number of torn-tail bytes truncated at Open.
+	TornBytes int64
+	// WALRecords is the number of records currently in the WAL (since the
+	// last snapshot), including replayed ones.
+	WALRecords int64
+	// WALBytes is the WAL body size in bytes (header excluded).
+	WALBytes int64
+	// Appends is the number of records appended through this handle.
+	Appends int64
+	// Snapshots is the number of snapshots written through this handle.
+	Snapshots int64
+	// LastSnapshot is the wall-clock time of the last snapshot written
+	// through this handle (zero if none).
+	LastSnapshot time.Time
+}
+
+// Store is a durable subscription store rooted at one state directory.
+// It is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	w       *wal
+	live    map[uint32]string
+	nextSID uint32
+	closed  bool
+
+	walRecords int64
+	stats      Stats
+}
+
+// Open opens (creating if necessary) the store in dir and recovers its
+// state: the latest snapshot is loaded, the WAL is replayed over it, and
+// any torn WAL tail is truncated at the first corrupt record.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, nextSID, _, err := readSnapshot(filepath.Join(dir, snapFile))
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		live:    make(map[uint32]string, len(entries)),
+		nextSID: nextSID,
+	}
+	for _, e := range entries {
+		s.live[e.SID] = e.Expr
+		if e.SID >= s.nextSID {
+			s.nextSID = e.SID + 1
+		}
+	}
+	s.stats.SnapshotEntries = len(entries)
+
+	w, recs, torn, err := openWAL(filepath.Join(dir, walFile), !opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	s.stats.TornBytes = torn
+	s.stats.ReplayedRecords = len(recs)
+	s.walRecords = int64(len(recs))
+	for _, r := range recs {
+		s.apply(r)
+	}
+	return s, nil
+}
+
+// apply folds one WAL record into the live set. Replay is deliberately
+// tolerant: after a crash between snapshot and WAL truncation the WAL
+// still holds records already compacted into the snapshot, so an add of a
+// live sid and a remove of an unknown sid are no-ops (sids are unique and
+// never reassigned, so "already live" can only mean "already applied").
+func (s *Store) apply(r rec) {
+	if r.remove {
+		delete(s.live, r.sid)
+		return
+	}
+	if _, ok := s.live[r.sid]; !ok {
+		s.live[r.sid] = r.expr
+	}
+	if r.sid >= s.nextSID {
+		s.nextSID = r.sid + 1
+	}
+}
+
+// NextSID returns the id the next AppendAdd will assign.
+func (s *Store) NextSID() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSID
+}
+
+// AppendAdd durably records the addition of a subscription and returns
+// once it is on disk. sid must be the store's NextSID: ids are assigned by
+// the store, in order, exactly once.
+func (s *Store) AppendAdd(sid uint32, expr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if sid != s.nextSID {
+		return fmt.Errorf("store: add sid %d out of order (next is %d)", sid, s.nextSID)
+	}
+	if len(expr) > maxRecord-5 {
+		return fmt.Errorf("store: expression of %d bytes exceeds record limit", len(expr))
+	}
+	payload := appendAddPayload(make([]byte, 0, 5+len(expr)), sid, expr)
+	if err := s.w.append(payload); err != nil {
+		return err
+	}
+	s.live[sid] = expr
+	s.nextSID = sid + 1
+	s.walRecords++
+	s.stats.Appends++
+	return nil
+}
+
+// AppendRemove durably records the removal of a live subscription.
+func (s *Store) AppendRemove(sid uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.live[sid]; !ok {
+		return fmt.Errorf("store: remove of unknown sid %d", sid)
+	}
+	payload := appendRemovePayload(make([]byte, 0, 5), sid)
+	if err := s.w.append(payload); err != nil {
+		return err
+	}
+	delete(s.live, sid)
+	s.walRecords++
+	s.stats.Appends++
+	return nil
+}
+
+// Entries returns the live subscriptions, ascending by sid. Ascending sid
+// order is chronological registration order, so replaying Entries into a
+// fresh engine reproduces the surviving registration sequence.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entriesLocked()
+}
+
+func (s *Store) entriesLocked() []Entry {
+	out := make([]Entry, 0, len(s.live))
+	for sid, expr := range s.live {
+		out = append(out, Entry{SID: sid, Expr: expr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SID < out[j].SID })
+	return out
+}
+
+// Expr returns the expression registered under a live sid.
+func (s *Store) Expr(sid uint32) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	expr, ok := s.live[sid]
+	return expr, ok
+}
+
+// Snapshot compacts the store: it atomically replaces the snapshot file
+// with the current live set and then truncates the WAL. Restart cost after
+// a snapshot is proportional to the live set, not to operation history.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	path := filepath.Join(s.dir, snapFile)
+	if err := writeSnapshot(path, s.entriesLocked(), s.nextSID, !s.opts.NoSync); err != nil {
+		return err
+	}
+	// The snapshot is durable; the WAL records it subsumes can go. A crash
+	// before this truncate only means those records replay (idempotently)
+	// on the next Open.
+	if err := s.w.reset(); err != nil {
+		return err
+	}
+	s.walRecords = 0
+	s.stats.Snapshots++
+	s.stats.LastSnapshot = time.Now()
+	return nil
+}
+
+// WALRecords returns the number of records accumulated in the WAL since
+// the last snapshot — the input to size-triggered snapshot policies.
+func (s *Store) WALRecords() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecords
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Live = len(s.live)
+	st.NextSID = s.nextSID
+	st.WALRecords = s.walRecords
+	st.WALBytes = s.w.bodySize()
+	return st
+}
+
+// Dir returns the store's state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close closes the store's files. It does not snapshot; callers that want
+// a compacted shutdown call Snapshot first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.w.close()
+}

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func mustAdd(t *testing.T, s *Store, expr string) uint32 {
+	t.Helper()
+	sid := s.NextSID()
+	if err := s.AppendAdd(sid, expr); err != nil {
+		t.Fatalf("AppendAdd(%d, %q): %v", sid, expr, err)
+	}
+	return sid
+}
+
+func wantEntries(t *testing.T, s *Store, want []Entry) {
+	t.Helper()
+	got := s.Entries()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Entries = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyStateDir(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	wantEntries(t, s, nil)
+	if got := s.NextSID(); got != 0 {
+		t.Fatalf("NextSID = %d, want 0", got)
+	}
+	st := s.Stats()
+	if st.SnapshotEntries != 0 || st.ReplayedRecords != 0 || st.TornBytes != 0 {
+		t.Fatalf("fresh store reports recovery activity: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening the (now header-only) directory is equally empty.
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	wantEntries(t, s2, nil)
+}
+
+func TestWALOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a := mustAdd(t, s, "/a/b")
+	b := mustAdd(t, s, "//c[@k=v]")
+	c := mustAdd(t, s, "/a/b") // duplicate expression, distinct sid
+	if err := s.AppendRemove(b); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	wantEntries(t, s2, []Entry{{a, "/a/b"}, {c, "/a/b"}})
+	if got := s2.NextSID(); got != 3 {
+		t.Fatalf("NextSID = %d, want 3", got)
+	}
+	if st := s2.Stats(); st.ReplayedRecords != 4 || st.SnapshotEntries != 0 {
+		t.Fatalf("recovery stats = %+v, want 4 replayed, 0 snapshot", st)
+	}
+}
+
+func TestSnapshotOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a := mustAdd(t, s, "/x")
+	b := mustAdd(t, s, "/y//z")
+	mustAdd(t, s, "/gone")
+	if err := s.AppendRemove(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WALRecords(); got != 0 {
+		t.Fatalf("WALRecords after snapshot = %d, want 0", got)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	wantEntries(t, s2, []Entry{{a, "/x"}, {b, "/y//z"}})
+	st := s2.Stats()
+	if st.SnapshotEntries != 2 || st.ReplayedRecords != 0 {
+		t.Fatalf("recovery stats = %+v, want 2 snapshot entries, 0 replayed", st)
+	}
+	// The removed sid 2 was compacted away, but its id must not be reissued.
+	if got := s2.NextSID(); got != 3 {
+		t.Fatalf("NextSID = %d, want 3 (removed sid must not be reissued)", got)
+	}
+}
+
+func TestSnapshotPlusWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a := mustAdd(t, s, "/pre")
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	post := mustAdd(t, s, "/post")
+	if err := s.AppendRemove(a); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	wantEntries(t, s2, []Entry{{post, "/post"}})
+	st := s2.Stats()
+	if st.SnapshotEntries != 1 || st.ReplayedRecords != 2 {
+		t.Fatalf("recovery stats = %+v, want 1 snapshot entry, 2 replayed", st)
+	}
+}
+
+func TestDoubleRecoveryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	mustAdd(t, s, "/a")
+	mustAdd(t, s, "/b")
+	s.AppendRemove(0)
+	s.Close()
+
+	s1 := mustOpen(t, dir)
+	first := s1.Entries()
+	next1 := s1.NextSID()
+	s1.Close()
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	if !reflect.DeepEqual(s2.Entries(), first) || s2.NextSID() != next1 {
+		t.Fatalf("second recovery diverged: %v/%d vs %v/%d",
+			s2.Entries(), s2.NextSID(), first, next1)
+	}
+	if st := s2.Stats(); st.TornBytes != 0 {
+		t.Fatalf("second recovery truncated %d bytes of an intact log", st.TornBytes)
+	}
+}
+
+func TestRemovedSIDNeverReissued(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	seen := map[uint32]bool{}
+	for i := 0; i < 5; i++ {
+		sid := mustAdd(t, s, "/a")
+		if seen[sid] {
+			t.Fatalf("sid %d issued twice", sid)
+		}
+		seen[sid] = true
+		if err := s.AppendRemove(sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Across a restart too.
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	sid := mustAdd(t, s2, "/a")
+	if seen[sid] {
+		t.Fatalf("sid %d reissued after restart", sid)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	if err := s.AppendAdd(7, "/a"); err == nil {
+		t.Fatal("out-of-order AppendAdd accepted")
+	}
+	if err := s.AppendRemove(0); err == nil {
+		t.Fatal("AppendRemove of unknown sid accepted")
+	}
+	mustAdd(t, s, "/a")
+	if err := s.AppendAdd(0, "/b"); err == nil {
+		t.Fatal("AppendAdd of already-assigned sid accepted")
+	}
+}
+
+// TestReplayIdempotentOverSnapshot simulates a crash in the window between
+// writing the snapshot and truncating the WAL: the WAL then still holds
+// every record the snapshot already compacted. Replay must converge to the
+// same state.
+func TestReplayIdempotentOverSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	mustAdd(t, s, "/a")
+	mustAdd(t, s, "/b")
+	s.AppendRemove(0)
+	mustAdd(t, s, "/c")
+
+	walPath := filepath.Join(dir, walFile)
+	pre := readFile(t, walPath)
+	if err := s.Snapshot(); err != nil { // truncates the WAL
+		t.Fatal(err)
+	}
+	want := s.Entries()
+	wantNext := s.NextSID()
+	s.Close()
+
+	// Put the pre-snapshot records back, as if the truncate never happened.
+	writeFile(t, walPath, pre)
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	if !reflect.DeepEqual(s2.Entries(), want) {
+		t.Fatalf("replay over snapshot diverged: %v, want %v", s2.Entries(), want)
+	}
+	if s2.NextSID() != wantNext {
+		t.Fatalf("NextSID = %d, want %d", s2.NextSID(), wantNext)
+	}
+}

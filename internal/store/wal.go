@@ -1,0 +1,216 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// WAL file layout:
+//
+//	[8]  magic "XFWAL001"
+//	[*]  records, each framed as
+//	       [4] uint32 LE payload length
+//	       [4] uint32 LE CRC32-C of the payload
+//	       [n] payload
+//
+// A record payload is one subscription operation:
+//
+//	'A' [4]sid [n]expression   — add sid with canonical expression
+//	'R' [4]sid                 — remove sid
+//
+// Appends are sequential and (unless Options.NoSync) fsynced before the
+// operation is acknowledged, so the only damage a crash can leave is a
+// torn tail: a record whose frame, payload, or checksum was not written
+// completely. Recovery scans from the header, stops at the first record
+// that fails the length/CRC/payload checks, and truncates the file there —
+// every acknowledged operation before the tear survives.
+
+const (
+	walMagic = "XFWAL001"
+	// maxRecord bounds a record payload; a larger length prefix cannot be a
+	// real record and is treated as corruption.
+	maxRecord = 1 << 20
+
+	opAdd    = 'A'
+	opRemove = 'R'
+
+	frameSize = 8 // length + checksum
+)
+
+// castagnoli is the CRC32-C table (hardware-accelerated on most targets).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// rec is one decoded WAL operation.
+type rec struct {
+	remove bool
+	sid    uint32
+	expr   string
+}
+
+// appendFrame frames payload into buf: length, CRC32-C, payload.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// appendAddPayload encodes an add operation.
+func appendAddPayload(buf []byte, sid uint32, expr string) []byte {
+	buf = append(buf, opAdd)
+	buf = binary.LittleEndian.AppendUint32(buf, sid)
+	return append(buf, expr...)
+}
+
+// appendRemovePayload encodes a remove operation.
+func appendRemovePayload(buf []byte, sid uint32) []byte {
+	buf = append(buf, opRemove)
+	return binary.LittleEndian.AppendUint32(buf, sid)
+}
+
+// decodePayload decodes one operation payload. It returns false on any
+// malformed payload (unknown op byte, short sid, trailing bytes on a
+// remove) — during recovery that means corruption, not a version skew.
+func decodePayload(p []byte) (rec, bool) {
+	if len(p) < 5 {
+		return rec{}, false
+	}
+	sid := binary.LittleEndian.Uint32(p[1:5])
+	switch p[0] {
+	case opAdd:
+		return rec{sid: sid, expr: string(p[5:])}, true
+	case opRemove:
+		if len(p) != 5 {
+			return rec{}, false
+		}
+		return rec{remove: true, sid: sid}, true
+	}
+	return rec{}, false
+}
+
+// scanRecords walks the framed records in data (the WAL body, after the
+// magic header) and returns the decoded records plus the byte offset of
+// the first tear — len(data) when the whole body is intact.
+func scanRecords(data []byte) (recs []rec, valid int) {
+	off := 0
+	for {
+		if len(data)-off < frameSize {
+			return recs, off
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecord || len(data)-off-frameSize < n {
+			return recs, off
+		}
+		payload := data[off+frameSize : off+frameSize+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off
+		}
+		r, ok := decodePayload(payload)
+		if !ok {
+			return recs, off
+		}
+		recs = append(recs, r)
+		off += frameSize + n
+	}
+}
+
+// wal is the open write-ahead log file, positioned for appends.
+type wal struct {
+	f    *os.File
+	size int64 // current file size; appends go here
+	sync bool
+	buf  []byte // reusable append buffer
+}
+
+// openWAL opens (creating if necessary) the WAL at path, recovers its
+// records, and truncates any torn tail so subsequent appends extend an
+// intact file. It returns the open log, the recovered records, and the
+// number of torn-tail bytes discarded.
+func openWAL(path string, sync bool) (*wal, []rec, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	w := &wal{f: f, sync: sync}
+
+	switch {
+	case len(data) == 0:
+		// Fresh log: write the header.
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		return w, nil, 0, nil
+	case len(data) < len(walMagic):
+		// A tear inside the header itself (crash during the very first
+		// write): no record can have been acknowledged, start over.
+		if err := w.reset(); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		return w, nil, int64(len(data)), nil
+	case string(data[:len(walMagic)]) != walMagic:
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("store: %s: not a subscription WAL (bad magic)", path)
+	}
+
+	recs, valid := scanRecords(data[len(walMagic):])
+	torn := int64(len(data)) - int64(len(walMagic)) - int64(valid)
+	w.size = int64(len(walMagic)) + int64(valid)
+	if torn > 0 {
+		if err := f.Truncate(w.size); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		if err := w.fsync(); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	return w, recs, torn, nil
+}
+
+func (w *wal) writeHeader() error {
+	if _, err := w.f.WriteAt([]byte(walMagic), 0); err != nil {
+		return err
+	}
+	w.size = int64(len(walMagic))
+	return w.fsync()
+}
+
+// reset empties the log back to a bare header.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	return w.writeHeader()
+}
+
+// append writes one framed payload at the tail and makes it durable.
+func (w *wal) append(payload []byte) error {
+	w.buf = appendFrame(w.buf[:0], payload)
+	if _, err := w.f.WriteAt(w.buf, w.size); err != nil {
+		return err
+	}
+	w.size += int64(len(w.buf))
+	return w.fsync()
+}
+
+// bodySize returns the record-body size in bytes (header excluded).
+func (w *wal) bodySize() int64 { return w.size - int64(len(walMagic)) }
+
+func (w *wal) fsync() error {
+	if !w.sync {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error { return w.f.Close() }

@@ -1,0 +1,241 @@
+package predfilter
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"predfilter/internal/store"
+	"predfilter/internal/xpath"
+)
+
+// PersistentConfig configures a persistent engine. The zero value is
+// ready to use: fsynced writes, size-triggered snapshots every 8192
+// operations, no periodic snapshots.
+type PersistentConfig struct {
+	// Engine configures the wrapped filtering engine.
+	Engine Config
+	// SnapshotEvery compacts the write-ahead log into a snapshot once it
+	// accumulates this many operations. 0 means the default (8192);
+	// negative disables size-triggered snapshots.
+	SnapshotEvery int
+	// SnapshotInterval additionally snapshots on a timer when the log is
+	// non-empty. 0 disables periodic snapshots.
+	SnapshotInterval time.Duration
+	// NoSync disables fsync on log appends and snapshot writes: the state
+	// then survives process crashes but not OS crashes or power loss.
+	NoSync bool
+}
+
+// StoreStats are the persistence counters of a persistent engine.
+type StoreStats = store.Stats
+
+// Subscription is one live persisted subscription.
+type Subscription struct {
+	ID SID
+	// Expression is the canonical form of the registered expression (the
+	// form persisted and replayed; Parse(canonical) ≡ the original).
+	Expression string
+}
+
+// PersistentEngine is an Engine whose subscription set survives restarts.
+// Every Add and Remove is appended to a checksummed write-ahead log before
+// it is acknowledged, and a snapshot file compacts the log (on policy
+// triggers, on Snapshot, and on Close). Open recovers the live set and
+// re-registers it under the original identifiers, so SIDs held by clients
+// remain valid across restarts.
+//
+// Matching methods are inherited from Engine and stay safe for concurrent
+// use. Registration must go through the PersistentEngine's Add/AddAll/
+// Remove — mutating the embedded Engine directly would bypass the log and
+// diverge from the durable state.
+type PersistentEngine struct {
+	*Engine
+	cfg PersistentConfig
+	st  *store.Store
+
+	// mu serializes mutations so the matcher and the store apply them in
+	// the same order; matching does not take it.
+	mu     sync.Mutex
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens (creating if necessary) the persistent engine state in dir
+// and recovers it: the latest snapshot is loaded, the log is replayed over
+// it — truncating a torn tail at the first corrupt record — and every
+// surviving subscription is re-registered under its original SID.
+func Open(dir string, cfg PersistentConfig) (*PersistentEngine, error) {
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 8192
+	}
+	st, err := store.Open(dir, store.Options{NoSync: cfg.NoSync})
+	if err != nil {
+		return nil, err
+	}
+	eng := New(cfg.Engine)
+	for _, e := range st.Entries() {
+		if err := eng.m.AddWithSID(e.Expr, SID(e.SID)); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("predfilter: replay sid %d (%q): %w", e.SID, e.Expr, err)
+		}
+	}
+	pe := &PersistentEngine{Engine: eng, cfg: cfg, st: st, done: make(chan struct{})}
+	if cfg.SnapshotInterval > 0 {
+		pe.wg.Add(1)
+		go pe.snapshotLoop()
+	}
+	return pe, nil
+}
+
+// Add registers an expression, durably logs it, and returns its SID. The
+// SID is acknowledged only after the operation is on disk.
+func (pe *PersistentEngine) Add(xpe string) (SID, error) {
+	p, err := xpath.Parse(xpe)
+	if err != nil {
+		return 0, err
+	}
+	canon := p.String()
+
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.closed {
+		return 0, fmt.Errorf("predfilter: engine is closed")
+	}
+	sid := SID(pe.st.NextSID())
+	// Apply to the matcher first: it is the component that can still
+	// reject the expression (unsupported fragment), and its effects are
+	// in-memory, hence cheap to roll back if the log append fails.
+	if err := pe.Engine.m.AddPathWithSID(p, sid); err != nil {
+		return 0, err
+	}
+	if err := pe.st.AppendAdd(uint32(sid), canon); err != nil {
+		_ = pe.Engine.m.Remove(sid)
+		return 0, err
+	}
+	pe.maybeSnapshotLocked()
+	return sid, nil
+}
+
+// AddAll registers a batch of expressions, returning their identifiers in
+// order. On error, the expressions before the failing one remain
+// registered (and logged).
+func (pe *PersistentEngine) AddAll(xpes []string) ([]SID, error) {
+	sids := make([]SID, 0, len(xpes))
+	for _, s := range xpes {
+		sid, err := pe.Add(s)
+		if err != nil {
+			return sids, err
+		}
+		sids = append(sids, sid)
+	}
+	return sids, nil
+}
+
+// Remove unregisters a SID and durably logs the removal.
+func (pe *PersistentEngine) Remove(sid SID) error {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.closed {
+		return fmt.Errorf("predfilter: engine is closed")
+	}
+	expr, ok := pe.st.Expr(uint32(sid))
+	if !ok {
+		return fmt.Errorf("predfilter: unknown sid %d", sid)
+	}
+	if err := pe.Engine.m.Remove(sid); err != nil {
+		return err
+	}
+	if err := pe.st.AppendRemove(uint32(sid)); err != nil {
+		_ = pe.Engine.m.AddWithSID(expr, sid)
+		return err
+	}
+	pe.maybeSnapshotLocked()
+	return nil
+}
+
+// Subscriptions returns the live persisted subscriptions, ascending by
+// SID (chronological registration order of the survivors).
+func (pe *PersistentEngine) Subscriptions() []Subscription {
+	entries := pe.st.Entries()
+	out := make([]Subscription, len(entries))
+	for i, e := range entries {
+		out[i] = Subscription{ID: SID(e.SID), Expression: e.Expr}
+	}
+	return out
+}
+
+// Snapshot compacts the log into a fresh snapshot now, regardless of
+// policy triggers.
+func (pe *PersistentEngine) Snapshot() error {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.closed {
+		return fmt.Errorf("predfilter: engine is closed")
+	}
+	return pe.st.Snapshot()
+}
+
+// StoreStats returns the persistence counters (log size, snapshot and
+// recovery activity).
+func (pe *PersistentEngine) StoreStats() StoreStats { return pe.st.Stats() }
+
+// maybeSnapshotLocked applies the size-triggered snapshot policy. Failure
+// is deliberately swallowed: the operation that triggered it is already
+// durable in the log, and a failed compaction only defers to the next
+// trigger (or to Close, which does surface the error).
+func (pe *PersistentEngine) maybeSnapshotLocked() {
+	if pe.cfg.SnapshotEvery > 0 && pe.st.WALRecords() >= int64(pe.cfg.SnapshotEvery) {
+		_ = pe.st.Snapshot()
+	}
+}
+
+// snapshotLoop is the periodic snapshot policy: compact whenever the log
+// is non-empty at the tick.
+func (pe *PersistentEngine) snapshotLoop() {
+	defer pe.wg.Done()
+	t := time.NewTicker(pe.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			pe.mu.Lock()
+			if !pe.closed && pe.st.WALRecords() > 0 {
+				_ = pe.st.Snapshot()
+			}
+			pe.mu.Unlock()
+		case <-pe.done:
+			return
+		}
+	}
+}
+
+// Close takes a final snapshot (when the log holds operations not yet
+// compacted) and closes the store. A PersistentEngine that was Closed
+// rejects further mutations; matching remains available on the in-memory
+// engine.
+func (pe *PersistentEngine) Close() error {
+	pe.mu.Lock()
+	if pe.closed {
+		pe.mu.Unlock()
+		return nil
+	}
+	pe.closed = true
+	pe.mu.Unlock()
+
+	close(pe.done)
+	pe.wg.Wait()
+
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	var err error
+	if pe.st.WALRecords() > 0 {
+		err = pe.st.Snapshot()
+	}
+	if cerr := pe.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,92 @@
+package predfilter
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestMatchStreamAfterRemove: once Remove returns, the removed SID must
+// not appear in any result of a subsequently started stream, across the
+// worker pipeline and with registrations churning concurrently (run under
+// -race in CI).
+func TestMatchStreamAfterRemove(t *testing.T) {
+	eng := New(Config{})
+	dead, err := eng.AddAll([]string{"/a/b", "/a/b"}) // duplicates share storage
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := eng.Add("//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte(`<a><b/></a>`)
+	// Freeze, then remove one duplicate.
+	if _, err := eng.Match(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Remove(dead[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	var churn sync.WaitGroup
+	stop := make(chan struct{})
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sid, err := eng.Add("/a/*")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := eng.Remove(sid); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const docs = 200
+	in := make(chan []byte, docs)
+	for i := 0; i < docs; i++ {
+		in <- doc
+	}
+	close(in)
+	n := 0
+	for r := range eng.MatchStream(context.Background(), in, 4) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		n++
+		foundKeep, foundDup := false, false
+		for _, sid := range r.SIDs {
+			if sid == dead[0] {
+				t.Fatalf("removed sid %d reappeared in stream result %d", dead[0], r.Index)
+			}
+			if sid == keep {
+				foundKeep = true
+			}
+			if sid == dead[1] {
+				foundDup = true
+			}
+		}
+		if !foundKeep || !foundDup {
+			t.Fatalf("result %d lost surviving sids: %v", r.Index, r.SIDs)
+		}
+	}
+	if n != docs {
+		t.Fatalf("stream returned %d results, want %d", n, docs)
+	}
+	close(stop)
+	churn.Wait()
+
+	if got := eng.Stats().Expressions; got != 2 {
+		t.Fatalf("Stats().Expressions = %d, want 2 live", got)
+	}
+}
