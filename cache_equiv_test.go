@@ -1,0 +1,169 @@
+package predfilter_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+
+	"predfilter"
+	"predfilter/workload"
+)
+
+// nestedVariant rewrites a plain generated path expression into a
+// nested-path-filter form ("/a/b/c" → "/a/b[c]") so the property test also
+// covers the value-dependent nested branch of the cache. It returns "" when
+// the expression has no safely liftable final step.
+func nestedVariant(xpe string) string {
+	if strings.ContainsAny(xpe, "[*") {
+		return ""
+	}
+	i := strings.LastIndex(xpe, "/")
+	if i <= 0 || xpe[i-1] == '/' || i == len(xpe)-1 {
+		return ""
+	}
+	return xpe[:i] + "[" + xpe[i+1:] + "]"
+}
+
+func sortedSIDs(sids []predfilter.SID) []predfilter.SID {
+	out := slices.Clone(sids)
+	slices.Sort(out)
+	return out
+}
+
+// TestCacheEquivalenceRandomized is the DTD-driven property test for the
+// structural path-signature cache: an engine with the cache enabled (plus
+// one with a tiny bound, to force evictions) must produce exactly the match
+// sets of a cache-disabled engine, across randomized interleavings of Add,
+// Remove (both invalidate the cache) and repeated matching (which serves
+// later documents from cache), through Match, MatchBatch and MatchStream.
+// The CI race leg runs this under -race, which also checks the shared
+// cache's synchronization in the worker pipeline.
+func TestCacheEquivalenceRandomized(t *testing.T) {
+	const trials = 6
+	for _, schema := range []workload.Schema{workload.NITF(), workload.PSD()} {
+		for trial := 0; trial < trials; trial++ {
+			t.Run(fmt.Sprintf("%s/%d", schema.Name(), trial), func(t *testing.T) {
+				seed := int64(1000*trial + 17)
+				rng := rand.New(rand.NewSource(seed))
+				docs := workload.Documents(schema, 6, workload.DocumentConfig{MaxLevels: 6, Seed: seed})
+				xpes, err := workload.Expressions(schema, 30, workload.ExpressionConfig{
+					MaxLength:  6,
+					Wildcard:   0.2,
+					Descendant: 0.2,
+					Filters:    trial % 2, // half the trials carry attribute filters
+					Seed:       seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, x := range xpes {
+					if nv := nestedVariant(x); nv != "" {
+						xpes = append(xpes, nv)
+						if len(xpes) >= 40 {
+							break
+						}
+					}
+				}
+
+				engines := []*predfilter.Engine{
+					predfilter.New(predfilter.Config{}),                        // default cache
+					predfilter.New(predfilter.Config{PathCacheBytes: 8 << 10}), // tiny: constant eviction pressure
+					predfilter.New(predfilter.Config{PathCacheBytes: -1}),      // disabled reference
+				}
+				add := func(x string) predfilter.SID {
+					var want predfilter.SID
+					for i, eng := range engines {
+						sid, err := eng.Add(x)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if i == 0 {
+							want = sid
+						} else if sid != want {
+							t.Fatalf("sid drift: engine %d assigned %d, want %d", i, sid, want)
+						}
+					}
+					return want
+				}
+				remove := func(sid predfilter.SID) {
+					for _, eng := range engines {
+						if err := eng.Remove(sid); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				compareDoc := func(doc []byte, step int) {
+					want, err := engines[len(engines)-1].Match(doc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ws := sortedSIDs(want)
+					for i, eng := range engines[:len(engines)-1] {
+						got, err := eng.Match(doc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !slices.Equal(sortedSIDs(got), ws) {
+							t.Fatalf("step %d engine %d: cached match %v != uncached %v", step, i, sortedSIDs(got), ws)
+						}
+					}
+				}
+
+				var live []predfilter.SID
+				next := 0
+				for step := 0; step < 60; step++ {
+					switch op := rng.Intn(10); {
+					case op < 3 && next < len(xpes): // add
+						live = append(live, add(xpes[next]))
+						next++
+					case op < 5 && len(live) > 0: // remove
+						i := rng.Intn(len(live))
+						remove(live[i])
+						live = append(live[:i], live[i+1:]...)
+					default: // match (repeats hit the cache)
+						compareDoc(docs[rng.Intn(len(docs))], step)
+					}
+				}
+
+				// Batch and stream through the worker pipeline, twice so the
+				// second pass is all cache hits on the shared cache.
+				for pass := 0; pass < 2; pass++ {
+					ref := engines[len(engines)-1].MatchBatch(docs, 3)
+					for i, eng := range engines[:len(engines)-1] {
+						in := make(chan []byte, len(docs))
+						for _, d := range docs {
+							in <- d
+						}
+						close(in)
+						j := 0
+						for r := range eng.MatchStream(context.Background(), in, 3) {
+							if r.Err != nil || ref[j].Err != nil {
+								t.Fatalf("stream errs %v / %v", r.Err, ref[j].Err)
+							}
+							if !slices.Equal(sortedSIDs(r.SIDs), sortedSIDs(ref[j].SIDs)) {
+								t.Fatalf("pass %d engine %d doc %d: stream %v != batch ref %v",
+									pass, i, j, sortedSIDs(r.SIDs), sortedSIDs(ref[j].SIDs))
+							}
+							j++
+						}
+						if j != len(docs) {
+							t.Fatalf("stream returned %d results, want %d", j, len(docs))
+						}
+					}
+				}
+
+				// The default-cache engine must actually have been serving
+				// hits, or the test proved nothing about the cached path.
+				if pc := engines[0].Stats().PathCache; !pc.Enabled || pc.Hits == 0 {
+					t.Fatalf("default cache saw no hits: %+v", pc)
+				}
+				if pc := engines[1].Stats().PathCache; pc.Evictions == 0 {
+					t.Fatalf("tiny cache saw no evictions: %+v", pc)
+				}
+			})
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	xfbench -exp all -scale smoke     # everything, fast sanity pass
 //	xfbench -exp fig7 -scale full     # paper scale (millions of XPEs)
 //	xfbench -exp pipeline -workers 1,2,4   # streaming throughput → BENCH_pipeline.json
+//	xfbench -exp cache -cache-kb 256,4096  # path-signature cache sweep → BENCH_cache.json
 //	xfbench -list                     # list experiment ids
 //	xfbench -stats                    # print workload statistics
 package main
@@ -31,6 +32,7 @@ func main() {
 		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		scale   = flag.String("scale", "default", "scale: smoke, default or full")
 		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for -exp pipeline")
+		cacheKB = flag.String("cache-kb", "", "comma-separated cache bounds in KiB for -exp cache (default 256,1024,4096,16384)")
 		jsonOut = flag.String("json", "", "write results as JSON to this file (pipeline default: BENCH_pipeline.json)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		stats   = flag.Bool("stats", false, "print workload statistics and exit")
@@ -74,6 +76,32 @@ func main() {
 		}
 		fmt.Printf("== streaming pipeline throughput [scale %s, workers %v]\n", s.Name, ws)
 		rep, err := bench.RunPipeline(s, ws, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSON(out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- wrote %s\n", out)
+		return
+	}
+
+	// Likewise -exp cache: its report (docs/sec cache-off vs cache-on over
+	// size bounds, with hit/miss/eviction counters) goes to BENCH_cache.json.
+	if *expID == "cache" {
+		sizes := bench.DefaultCacheSizesKB()
+		if *cacheKB != "" {
+			var err error
+			if sizes, err = parseWorkers(*cacheKB); err != nil {
+				fatal(fmt.Errorf("bad -cache-kb: %w", err))
+			}
+		}
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_cache.json"
+		}
+		fmt.Printf("== path-signature cache throughput [scale %s, sizes %v KiB]\n", s.Name, sizes)
+		rep, err := bench.RunCache(s, sizes, progress)
 		if err != nil {
 			fatal(err)
 		}

@@ -39,6 +39,7 @@ func main() {
 		allMode   = flag.Bool("all", false, "report the number of match combinations per expression (all-matches mode)")
 		timing    = flag.Bool("t", false, "print per-document filter time")
 		workers   = flag.Int("workers", 1, "filter documents concurrently with this many workers (ignored with -all)")
+		cacheMB   = flag.Int64("cache-mb", 0, "path-signature cache bound in MiB (0 = default 16, negative = disabled)")
 	)
 	flag.Var(&exprs, "e", "XPath expression (repeatable)")
 	flag.Parse()
@@ -61,6 +62,12 @@ func main() {
 		cfg.AttributeMode = predfilter.PostponedAttributes
 	default:
 		fatal(fmt.Errorf("unknown -attrs %q", *attrs))
+	}
+	switch {
+	case *cacheMB < 0:
+		cfg.PathCacheBytes = -1
+	case *cacheMB > 0:
+		cfg.PathCacheBytes = *cacheMB << 20
 	}
 
 	all := []string(exprs)

@@ -46,6 +46,7 @@ func main() {
 		snapPeriod = flag.Duration("snapshot-interval", 0, "additionally snapshot on this interval (0 = disabled)")
 		noSync     = flag.Bool("nosync", false, "skip fsync on the state directory (faster, loses power-failure durability)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		cacheMB    = flag.Int64("cache-mb", 0, "path-signature cache bound in MiB (0 = default 16, negative = disabled)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,12 @@ func main() {
 	}
 	if *postponed {
 		cfg.Engine.AttributeMode = predfilter.PostponedAttributes
+	}
+	switch {
+	case *cacheMB < 0:
+		cfg.Engine.PathCacheBytes = -1
+	case *cacheMB > 0:
+		cfg.Engine.PathCacheBytes = *cacheMB << 20
 	}
 	srv, err := server.Open(cfg)
 	if err != nil {

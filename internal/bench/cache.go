@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"predfilter"
+	"predfilter/internal/dtd"
+)
+
+// CachePoint is one measured cache configuration: matching throughput over
+// pre-parsed documents (so the cache's effect is not diluted by parsing)
+// plus the cache counters at the end of the measured interval.
+type CachePoint struct {
+	Config       string  `json:"config"` // "off", "256KB", ...
+	MaxBytes     int64   `json:"max_bytes"`
+	DocsPerSec   float64 `json:"docs_per_sec"`
+	Speedup      float64 `json:"speedup_vs_off"`
+	AllocsPerDoc float64 `json:"allocs_per_doc"`
+	HitRate      float64 `json:"hit_rate"`
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	Evictions    int64   `json:"evictions"`
+	Entries      int     `json:"entries"`
+	Bytes        int64   `json:"bytes"`
+}
+
+// CacheDTDReport is the cache sweep over one DTD's workload: a cache-off
+// baseline, the size sweep, and a streaming (shared-cache, multi-worker)
+// on/off pair.
+type CacheDTDReport struct {
+	DTD           string       `json:"dtd"`
+	Exprs         int          `json:"exprs"`
+	Docs          int          `json:"docs"`
+	Rounds        int          `json:"rounds"`
+	Off           CachePoint   `json:"off"`
+	Sizes         []CachePoint `json:"sizes"`
+	StreamWorkers int          `json:"stream_workers"`
+	StreamOff     CachePoint   `json:"stream_off"`
+	StreamOn      CachePoint   `json:"stream_on"`
+}
+
+// CacheReport is the -exp cache output (BENCH_cache.json).
+type CacheReport struct {
+	Scale      string           `json:"scale"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	DTDs       []CacheDTDReport `json:"dtds"`
+}
+
+// RunCache measures the structural path-signature cache: match-only
+// throughput (pre-parsed documents) with the cache disabled and at each
+// size in sizesKB, for the NITF and PSD workloads, plus a streaming
+// MatchBatch pair showing the shared cache under worker concurrency. Every
+// engine gets one warmup pass (freeze + cold misses) before measurement,
+// so the cached points report steady-state hit behavior — the repeated
+// same-DTD document stream the cache is built for.
+func RunCache(s Scale, sizesKB []int, progress io.Writer) (*CacheReport, error) {
+	rep := &CacheReport{
+		Scale:      s.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, spec := range []struct {
+		d     *dtd.DTD
+		exprs int
+	}{
+		{dtd.NITF(), 50000},
+		{dtd.PSD(), 10000},
+	} {
+		dr, err := runCacheDTD(s, spec.d, s.exprs(spec.exprs), sizesKB, progress)
+		if err != nil {
+			return nil, err
+		}
+		rep.DTDs = append(rep.DTDs, *dr)
+	}
+	return rep, nil
+}
+
+func runCacheDTD(s Scale, d *dtd.DTD, exprs int, sizesKB []int, progress io.Writer) (*CacheDTDReport, error) {
+	cfg := DefaultWorkloadConfig(exprs)
+	cfg.Docs = s.Docs
+	w, err := NewWorkload(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	parsed := make([]*predfilter.Document, len(w.Docs))
+	for i, raw := range w.Docs {
+		if parsed[i], err = predfilter.ParseDocument(raw); err != nil {
+			return nil, err
+		}
+	}
+
+	rounds := 1
+	for rounds*len(w.Docs) < 200 {
+		rounds++
+	}
+	total := rounds * len(w.Docs)
+
+	build := func(cacheBytes int64) (*predfilter.Engine, error) {
+		eng := predfilter.New(predfilter.Config{PathCacheBytes: cacheBytes})
+		for _, x := range w.XPEs {
+			if _, err := eng.Add(x); err != nil {
+				return nil, fmt.Errorf("bench: add %q: %w", x, err)
+			}
+		}
+		return eng, nil
+	}
+
+	// measure runs one warmup round, then rounds measured rounds of run.
+	measure := func(eng *predfilter.Engine, run func()) CachePoint {
+		run() // warmup: freeze, fill the cache
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			run()
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		pc := eng.Stats().PathCache
+		return CachePoint{
+			DocsPerSec:   float64(total) / elapsed.Seconds(),
+			AllocsPerDoc: float64(m1.Mallocs-m0.Mallocs) / float64(total),
+			HitRate:      pc.HitRate(),
+			Hits:         pc.Hits,
+			Misses:       pc.Misses,
+			Evictions:    pc.Evictions,
+			Entries:      pc.Entries,
+			Bytes:        pc.Bytes,
+		}
+	}
+	matchAll := func(eng *predfilter.Engine) func() {
+		return func() {
+			for _, doc := range parsed {
+				eng.MatchParsed(doc)
+			}
+		}
+	}
+
+	dr := &CacheDTDReport{DTD: d.Name, Exprs: len(w.XPEs), Docs: len(w.Docs), Rounds: rounds}
+
+	off, err := build(-1)
+	if err != nil {
+		return nil, err
+	}
+	dr.Off = measure(off, matchAll(off))
+	dr.Off.Config = "off"
+	dr.Off.MaxBytes = -1
+	dr.Off.Speedup = 1
+	progressf(progress, "  %-5s cache=off      %9.0f docs/sec  %6.0f allocs/doc\n",
+		d.Name, dr.Off.DocsPerSec, dr.Off.AllocsPerDoc)
+
+	for _, kb := range sizesKB {
+		eng, err := build(int64(kb) << 10)
+		if err != nil {
+			return nil, err
+		}
+		p := measure(eng, matchAll(eng))
+		p.Config = fmt.Sprintf("%dKB", kb)
+		p.MaxBytes = int64(kb) << 10
+		p.Speedup = p.DocsPerSec / dr.Off.DocsPerSec
+		dr.Sizes = append(dr.Sizes, p)
+		progressf(progress, "  %-5s cache=%-8s %9.0f docs/sec  %6.0f allocs/doc  %.2fx  hit=%.1f%% entries=%d evict=%d\n",
+			d.Name, p.Config, p.DocsPerSec, p.AllocsPerDoc, p.Speedup, 100*p.HitRate, p.Entries, p.Evictions)
+	}
+
+	// Streaming pair: all workers share one cache, so this measures the
+	// shard-lock contention against the saved matching work.
+	workers := rep2(runtime.NumCPU())
+	dr.StreamWorkers = workers
+	batchAll := func(eng *predfilter.Engine) func() {
+		return func() { eng.MatchBatch(w.Docs, workers) }
+	}
+	soff, err := build(-1)
+	if err != nil {
+		return nil, err
+	}
+	dr.StreamOff = measure(soff, batchAll(soff))
+	dr.StreamOff.Config = "stream-off"
+	dr.StreamOff.MaxBytes = -1
+	dr.StreamOff.Speedup = 1
+	son, err := build(0) // default bound
+	if err != nil {
+		return nil, err
+	}
+	dr.StreamOn = measure(son, batchAll(son))
+	dr.StreamOn.Config = "stream-on"
+	dr.StreamOn.MaxBytes = son.Stats().PathCache.MaxBytes
+	dr.StreamOn.Speedup = dr.StreamOn.DocsPerSec / dr.StreamOff.DocsPerSec
+	progressf(progress, "  %-5s stream w=%d     off %9.0f on %9.0f docs/sec  %.2fx  hit=%.1f%%\n",
+		d.Name, workers, dr.StreamOff.DocsPerSec, dr.StreamOn.DocsPerSec, dr.StreamOn.Speedup, 100*dr.StreamOn.HitRate)
+
+	return dr, nil
+}
+
+// rep2 clamps the streaming worker count to at least 2 so the shared-cache
+// point exercises concurrency even on single-CPU hosts.
+func rep2(n int) int {
+	if n < 2 {
+		return 2
+	}
+	return n
+}
+
+// DefaultCacheSizesKB is the -exp cache size sweep: from pressure-inducing
+// small bounds through the 16 MiB default.
+func DefaultCacheSizesKB() []int { return []int{256, 1024, 4096, 16384} }
+
+// runCache adapts RunCache to the experiment registry; the JSON report
+// form is produced by cmd/xfbench.
+func runCache(s Scale, progress io.Writer) ([]Point, error) {
+	rep, err := RunCache(s, DefaultCacheSizesKB(), progress)
+	if err != nil {
+		return nil, err
+	}
+	var points []Point
+	for _, dr := range rep.DTDs {
+		toResult := func(p CachePoint) Result {
+			return Result{
+				Algorithm: "cache",
+				Exprs:     dr.Exprs,
+				Filter:    time.Duration(float64(time.Second) / p.DocsPerSec),
+			}
+		}
+		points = append(points, Point{Series: dr.DTD + "/off", X: 0, XLabel: "cache KB", R: toResult(dr.Off)})
+		for _, p := range dr.Sizes {
+			points = append(points, Point{Series: dr.DTD + "/on", X: float64(p.MaxBytes) / 1024, XLabel: "cache KB", R: toResult(p)})
+		}
+	}
+	return points, nil
+}

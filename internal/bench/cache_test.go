@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunCache smoke-tests the cache report at the smallest scale: both
+// DTDs are present, the cached points actually hit (steady state after the
+// warmup round), and the disabled baseline records no cache activity.
+func TestRunCache(t *testing.T) {
+	s := Scale{Name: "test", Docs: 5, Factor: 0.002}
+	rep, err := RunCache(s, []int{64}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DTDs) != 2 || rep.DTDs[0].DTD != "nitf" || rep.DTDs[1].DTD != "psd" {
+		t.Fatalf("DTDs %+v", rep.DTDs)
+	}
+	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 {
+		t.Fatalf("report metadata %+v", rep)
+	}
+	for _, dr := range rep.DTDs {
+		if dr.Off.DocsPerSec <= 0 || dr.Off.Config != "off" {
+			t.Fatalf("%s off point %+v", dr.DTD, dr.Off)
+		}
+		if dr.Off.Hits != 0 || dr.Off.Misses != 0 {
+			t.Fatalf("%s disabled baseline has cache counters %+v", dr.DTD, dr.Off)
+		}
+		if len(dr.Sizes) != 1 {
+			t.Fatalf("%s sizes %+v", dr.DTD, dr.Sizes)
+		}
+		p := dr.Sizes[0]
+		if p.Config != "64KB" || p.DocsPerSec <= 0 || p.Speedup <= 0 {
+			t.Fatalf("%s cached point %+v", dr.DTD, p)
+		}
+		if p.Hits == 0 {
+			t.Fatalf("%s cached point saw no hits: %+v", dr.DTD, p)
+		}
+		if dr.StreamWorkers < 2 || dr.StreamOn.Hits == 0 {
+			t.Fatalf("%s stream pair %+v / %+v", dr.DTD, dr.StreamOff, dr.StreamOn)
+		}
+	}
+}

@@ -95,6 +95,7 @@ var Experiments = []Experiment{
 	{ID: "sharing", Title: "Extension: what sharing buys — per-expression FSMs (XFilter) vs shared NFA (YFilter) vs shared predicates", Run: runSharing},
 	{ID: "space", Title: "Extension: the whole solution space — predicate engine vs YFilter, XTrie, Index-Filter and XFilter", Run: runSpace},
 	{ID: "pipeline", Title: "Extension: streaming pipeline throughput — sequential Match vs MatchBatch worker pool", Run: runPipeline},
+	{ID: "cache", Title: "Extension: structural path-signature cache — match throughput cache-off vs cache-on across size bounds", Run: runCache},
 }
 
 // ExperimentByID resolves an experiment.

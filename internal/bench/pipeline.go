@@ -27,6 +27,7 @@ type PipelineReport struct {
 	Scale      string          `json:"scale"`
 	DTD        string          `json:"dtd"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
 	Exprs      int             `json:"exprs"`
 	Docs       int             `json:"docs"`
 	Rounds     int             `json:"rounds"`
@@ -78,9 +79,17 @@ func RunPipeline(s Scale, workers []int, progress io.Writer) (*PipelineReport, e
 		Scale:      s.Name,
 		DTD:        d.Name,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Exprs:      len(w.XPEs),
 		Docs:       len(w.Docs),
 		Rounds:     rounds,
+	}
+	for _, n := range workers {
+		if n > rep.GOMAXPROCS {
+			progressf(progress, "  warning: %d workers but GOMAXPROCS=%d (NumCPU=%d); worker counts above GOMAXPROCS measure scheduling overhead, not parallelism\n",
+				n, rep.GOMAXPROCS, rep.NumCPU)
+			break
+		}
 	}
 
 	seqDPS, seqAllocs, err := measure(func() error {

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
+	"strings"
 	"testing"
 
 	"predfilter/internal/dtd"
@@ -91,7 +94,27 @@ func TestRunPipeline(t *testing.T) {
 	if rep.Stream[0].DocsPerSec <= 0 || rep.Stream[0].Speedup <= 0 {
 		t.Fatalf("stream point %+v", rep.Stream[0])
 	}
-	if rep.GOMAXPROCS < 1 || rep.Exprs < 100 {
+	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 || rep.Exprs < 100 {
 		t.Fatalf("report metadata %+v", rep)
+	}
+}
+
+// TestRunPipelineOversubscriptionWarning checks the progress-stream warning
+// when a worker count exceeds GOMAXPROCS.
+func TestRunPipelineOversubscriptionWarning(t *testing.T) {
+	s := Scale{Name: "test", Docs: 5, Factor: 0.002}
+	var buf bytes.Buffer
+	if _, err := RunPipeline(s, []int{runtime.GOMAXPROCS(0) + 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "warning:") {
+		t.Fatalf("no oversubscription warning in progress output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if _, err := RunPipeline(s, []int{1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "warning:") {
+		t.Fatalf("unexpected warning for workers=1:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,67 @@
+//go:build !race
+
+// The race detector's instrumentation changes allocation behavior, so the
+// AllocsPerRun assertions only run in the regular test legs.
+
+package matcher
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"predfilter/internal/xmldoc"
+)
+
+// TestMatchDocumentCacheHitAllocs pins the steady-state allocation cost of
+// the cache-hit path: once the document's path signatures are resident,
+// MatchDocument performs zero per-path heap allocations — the only
+// allocation left is the caller's result slice, and none at all when
+// nothing matches. The document carries many paths so any per-path
+// allocation would blow well past the bounds.
+func TestMatchDocumentCacheHitAllocs(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<a>")
+	for i := 0; i < 20; i++ {
+		sb.WriteString(fmt.Sprintf("<b><c n=\"%d\"/></b><d/>", i))
+	}
+	sb.WriteString("</a>")
+	doc, err := xmldoc.Parse([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, v := range []Variant{Basic, PrefixCover, PrefixCoverAP} {
+		for _, tc := range []struct {
+			name  string
+			xpes  []string
+			bound float64 // allowed allocs per MatchDocument call
+		}{
+			// One allocation: the returned []SID.
+			{"matching", []string{"/a/b/c", "//d", "/a/*", "//b"}, 1},
+			// Nothing matches, so the result slice stays nil: zero allocs.
+			{"non-matching", []string{"/a/x", "//y/z", "/q"}, 0},
+		} {
+			t.Run(fmt.Sprintf("%v/%s", v, tc.name), func(t *testing.T) {
+				m := New(Options{Variant: v})
+				for _, x := range tc.xpes {
+					if _, err := m.Add(x); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Warm up: freeze, size the scratch buffers, fill the cache.
+				m.MatchDocument(doc)
+				if st, ok := m.PathCacheStats(); !ok || st.Misses == 0 {
+					t.Fatalf("cache not active after warmup: %+v ok=%v", st, ok)
+				}
+				allocs := testing.AllocsPerRun(50, func() { m.MatchDocument(doc) })
+				if allocs > tc.bound {
+					t.Fatalf("MatchDocument allocates %.1f per call on cache hits, want <= %.0f", allocs, tc.bound)
+				}
+				if st, _ := m.PathCacheStats(); st.Hits == 0 {
+					t.Fatalf("no cache hits recorded: %+v", st)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package matcher
+
+import (
+	"time"
+
+	"predfilter/internal/pathcache"
+	"predfilter/internal/predindex"
+	"predfilter/internal/xmldoc"
+)
+
+// Path-signature caching (the document-side dual of expression sharing;
+// see internal/pathcache). The four structural predicate types depend
+// only on tag names and positions, so for a given path *signature* — its
+// tag sequence plus per-path occurrence vector — the predicate stage and
+// the occurrence determination of every value-independent iteration unit
+// produce the same result on every document. The matcher therefore splits
+// its iteration units at freeze time:
+//
+//   - structural units: every chain predicate is bare (no attribute
+//     filters), the expression carries no postponed annotations, and —
+//     for Postponed group representatives — neither does any member.
+//     Their per-path mark set is a pure function of the signature and is
+//     cached as the entry's Outcome. This is sound because every
+//     expression a structural unit can mark (prefix covers, containment
+//     covers, group members) is itself bare and annotation-free, and mark
+//     contributions are monotone, so OR-ing a cached outcome into the
+//     document state is exactly the sequential evaluation (the same
+//     argument that justifies the parallel merge).
+//
+//   - live units: anything touching attribute values. These re-run on
+//     every path; on a cache hit their predicate results are rebuilt by
+//     replaying the recorded transcript, which re-verifies attribute
+//     filters against the live tuples. Nested-path expressions are live
+//     too (their recombination needs node identities).
+//
+// Cache misses evaluate structural units against a clean matched buffer
+// (sc.matched2) with mark logging on, so the cached outcome never absorbs
+// marks from earlier paths of the same document.
+
+// appendPubSig appends the path's structural signature: the tuple count
+// (little-endian, two bytes — paths deeper than 64k tags do not occur)
+// followed by each tuple's tag, a NUL separator, and its per-path
+// occurrence number. Everything the structural predicate rules consult —
+// tags, positions (implied by order), occurrences and path length — is
+// covered; attribute values, node ids and child indexes are deliberately
+// excluded (the value-dependent work re-runs live).
+func appendPubSig(b []byte, pub *xmldoc.Publication) []byte {
+	b = append(b, byte(pub.Length), byte(pub.Length>>8))
+	for i := range pub.Tuples {
+		t := &pub.Tuples[i]
+		b = append(b, t.Tag...)
+		b = append(b, 0, byte(t.Occ), byte(t.Occ>>8))
+	}
+	return b
+}
+
+// sigHash is the FNV-1a shard-selection hash of a signature. Collisions
+// are harmless: the cache compares full signature bytes.
+func sigHash(sig []byte) uint64 {
+	h := fnvOffset64
+	for _, c := range sig {
+		h = fnvByte(h, c)
+	}
+	return h
+}
+
+// unitValueDependent reports whether the iteration unit rooted at e does
+// any attribute-value work: an attribute-carrying chain predicate
+// (Inline mode), postponed annotations on the expression itself, or on
+// any member of its structural group (Postponed mode).
+func (m *Matcher) unitValueDependent(e *expr) bool {
+	for _, pid := range e.pids {
+		if m.ix.Pred(pid).HasAttrs() {
+			return true
+		}
+	}
+	if e.post != nil {
+		return true
+	}
+	for _, mem := range e.members {
+		if mem.post != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// splitUnits partitions the frozen iteration units into structural and
+// live halves, preserving the longest-first order within each (and the
+// per-cluster order for PrefixCoverAP). Callers hold the write lock.
+func (m *Matcher) splitUnits() {
+	m.structUnits = m.structUnits[:0]
+	m.liveUnits = m.liveUnits[:0]
+	for _, h := range m.ordered {
+		if m.unitValueDependent(h.e) {
+			m.liveUnits = append(m.liveUnits, h)
+		} else {
+			m.structUnits = append(m.structUnits, h)
+		}
+	}
+	m.structClusters = make(map[predindex.PID][]hotExpr, len(m.clusters))
+	m.liveClusters = make(map[predindex.PID][]hotExpr)
+	for pid, hs := range m.clusters {
+		for _, h := range hs {
+			if m.unitValueDependent(h.e) {
+				m.liveClusters[pid] = append(m.liveClusters[pid], h)
+			} else {
+				m.structClusters[pid] = append(m.structClusters[pid], h)
+			}
+		}
+	}
+	m.needRes = len(m.liveUnits) > 0 || len(m.nested) > 0
+}
+
+// invalidatePathCache bumps the cache generation so no stale outcome can
+// be served after a registration change. Callers hold the write lock, so
+// the bump cannot interleave with a matcher's Get/Put (matching holds the
+// read lock).
+func (m *Matcher) invalidatePathCache() {
+	if m.cache != nil {
+		m.cache.Invalidate()
+	}
+}
+
+// matchPathCached is the cache-enabled body of matchPath, entered after
+// the dedup check. Callers hold the read lock with organizations frozen.
+func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Breakdown, t0 time.Time) {
+	sc.sig = appendPubSig(sc.sig[:0], pub)
+	h := sigHash(sc.sig)
+
+	if ent, ok := m.cache.Get(h, sc.sig); ok {
+		if m.needRes {
+			sc.res.Reset(m.ix.Len())
+			m.ix.Replay(&ent.Rec, pub, sc.res)
+		}
+		var t1 time.Time
+		if bd != nil {
+			t1 = time.Now()
+			bd.PredMatch += t1.Sub(t0)
+		}
+		for _, id := range ent.Outcome {
+			sc.matched[id] = true
+		}
+		if m.needRes {
+			m.runUnits(sc, m.liveUnits, m.liveClusters)
+			for _, e := range m.nested {
+				e.root.collect(m, sc)
+			}
+		}
+		if bd != nil {
+			bd.ExprMatch += time.Since(t1)
+		}
+		return
+	}
+
+	// Miss: run the predicate stage once, recording the transcript when
+	// value-dependent work will need it replayed on later hits.
+	sc.res.Reset(m.ix.Len())
+	if m.needRes {
+		sc.rec.Reset()
+		m.ix.MatchPathRecord(pub, sc.res, &sc.rec)
+	} else {
+		m.ix.MatchPath(pub, sc.res)
+	}
+	var t1 time.Time
+	if bd != nil {
+		t1 = time.Now()
+		bd.PredMatch += t1.Sub(t0)
+	}
+
+	// Structural units evaluate against the clean buffer with logging on,
+	// so the logged mark set is a pure function of the signature.
+	sc.matched, sc.matched2 = sc.matched2, sc.matched
+	sc.log = sc.log[:0]
+	sc.logging = true
+	m.runUnits(sc, m.structUnits, m.structClusters)
+	sc.logging = false
+	sc.matched, sc.matched2 = sc.matched2, sc.matched
+	for _, id := range sc.log {
+		sc.matched[id] = true
+		sc.matched2[id] = false // restore the all-false invariant
+	}
+
+	ent := &pathcache.Entry{Outcome: append([]int32(nil), sc.log...)}
+	if m.needRes {
+		ent.Rec = sc.rec.Clone()
+	}
+	m.cache.Put(h, sc.sig, ent)
+
+	if m.needRes {
+		m.runUnits(sc, m.liveUnits, m.liveClusters)
+		for _, e := range m.nested {
+			e.root.collect(m, sc)
+		}
+	}
+	if bd != nil {
+		bd.ExprMatch += time.Since(t1)
+	}
+}
+
+// PathCacheStats returns the cache counters and whether the cache is
+// enabled.
+func (m *Matcher) PathCacheStats() (pathcache.Stats, bool) {
+	if m.cache == nil {
+		return pathcache.Stats{}, false
+	}
+	return m.cache.Stats(), true
+}

@@ -1,0 +1,288 @@
+package matcher
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"predfilter/internal/predicate"
+	"predfilter/internal/xmldoc"
+)
+
+// TestPathCacheHitsAndEquivalence matches the same document repeatedly
+// and checks that the second pass is served from the cache with identical
+// results, across variants and attribute modes.
+func TestPathCacheHitsAndEquivalence(t *testing.T) {
+	xpes := []string{
+		"/a/b/c", "a//c", "b/c", "/*/*/*", "/a/*/c", "//b/c",
+		`/a/b[@x=1]/c`, `//b[@y=2]`, "/a[b/c]//d",
+	}
+	doc, err := xmldoc.Parse([]byte(
+		`<a><b x="1" y="2"><c/><c/></b><b><c/></b><d/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range allVariants {
+		for mode := 0; mode < 2; mode++ {
+			t.Run(fmt.Sprintf("%v-%d", v, mode), func(t *testing.T) {
+				opts := Options{Variant: v, AttrMode: predAttrMode(mode)}
+				m := New(opts)
+				optsOff := opts
+				optsOff.PathCacheBytes = -1
+				off := New(optsOff)
+				mustAdd(t, m, xpes...)
+				mustAdd(t, off, xpes...)
+
+				want := matchSet(off, doc)
+				first := matchSet(m, doc)
+				second := matchSet(m, doc)
+				if !reflect.DeepEqual(first, want) || !reflect.DeepEqual(second, want) {
+					t.Fatalf("cache on %v/%v vs off %v", first, second, want)
+				}
+				st := m.Stats()
+				if !st.PathCacheEnabled {
+					t.Fatal("cache not enabled by default")
+				}
+				if st.PathCache.Hits == 0 {
+					t.Fatalf("no cache hits after repeat match: %+v", st.PathCache)
+				}
+				if ost := off.Stats(); ost.PathCacheEnabled {
+					t.Fatal("cache reported enabled with PathCacheBytes < 0")
+				}
+			})
+		}
+	}
+}
+
+// TestPathCacheInvalidatedOnAdd ensures a registration between matches
+// cannot leave a stale outcome in place: the newly added expression must
+// match documents seen before it was added.
+func TestPathCacheInvalidatedOnAdd(t *testing.T) {
+	doc := xmldoc.FromPaths([]string{"a", "b", "c"})
+	for _, v := range allVariants {
+		m := New(Options{Variant: v})
+		mustAdd(t, m, "/x/y") // unrelated; primes the cache with a miss
+		if got := m.MatchDocument(doc); len(got) != 0 {
+			t.Fatalf("unexpected match %v", got)
+		}
+		sids := mustAdd(t, m, "/a/b/c")
+		if got := matchSet(m, doc); !got[sids[0]] {
+			t.Fatalf("variant %v: expression added after caching not matched: %v", v, got)
+		}
+		if st := m.Stats(); st.PathCache.Invalidations == 0 {
+			t.Fatalf("variant %v: no invalidation recorded", v)
+		}
+	}
+}
+
+// TestPathCacheRemoveInvalidates mirrors the Add case for Remove.
+func TestPathCacheRemoveInvalidates(t *testing.T) {
+	doc := xmldoc.FromPaths([]string{"a", "b", "c"})
+	m := New(Options{})
+	sids := mustAdd(t, m, "/a/b/c", "a//c")
+	if got := matchSet(m, doc); !got[sids[0]] || !got[sids[1]] {
+		t.Fatalf("precondition: %v", got)
+	}
+	if err := m.Remove(sids[0]); err != nil {
+		t.Fatal(err)
+	}
+	got := matchSet(m, doc)
+	if got[sids[0]] || !got[sids[1]] {
+		t.Fatalf("after remove: %v", got)
+	}
+}
+
+// TestPathCacheAttrReplay hits the cache with a structurally identical
+// path whose attribute values differ; the recorded transcript must be
+// re-verified against the live tuples, in both attribute modes.
+func TestPathCacheAttrReplay(t *testing.T) {
+	match, err := xmldoc.Parse([]byte(`<a><b x="1"><c/></b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := xmldoc.Parse([]byte(`<a><b x="2"><c/></b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mode := 0; mode < 2; mode++ {
+		m := New(Options{AttrMode: predAttrMode(mode)})
+		sids := mustAdd(t, m, `/a/b[@x=1]/c`, "/a/b/c")
+		if got := matchSet(m, match); !got[sids[0]] || !got[sids[1]] {
+			t.Fatalf("mode %d: first doc %v", mode, got)
+		}
+		// Same signature, different attribute value: structural part from
+		// the cache, filter re-checked live.
+		if got := matchSet(m, miss); got[sids[0]] || !got[sids[1]] {
+			t.Fatalf("mode %d: second doc %v", mode, got)
+		}
+		if st := m.Stats(); st.PathCache.Hits == 0 {
+			t.Fatalf("mode %d: attr path bypassed the cache: %+v", mode, st.PathCache)
+		}
+	}
+}
+
+// TestPathCacheRandomizedEquivalence cross-checks cache-on vs cache-off
+// across random expression sets and documents for every variant/mode.
+func TestPathCacheRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tags := []string{"a", "b", "c", "d"}
+	randPath := func() string {
+		var b []byte
+		if rng.Intn(2) == 0 {
+			b = append(b, '/')
+		}
+		steps := 1 + rng.Intn(4)
+		for s := 0; s < steps; s++ {
+			if s > 0 {
+				b = append(b, '/')
+				if rng.Intn(3) == 0 {
+					b = append(b, '/')
+				}
+			}
+			if rng.Intn(6) == 0 {
+				b = append(b, '*')
+			} else {
+				b = append(b, tags[rng.Intn(len(tags))]...)
+				if rng.Intn(4) == 0 {
+					b = append(b, fmt.Sprintf("[@k=%d]", rng.Intn(2))...)
+				}
+			}
+		}
+		return string(b)
+	}
+	randDoc := func() *xmldoc.Document {
+		var b []byte
+		depth := 1 + rng.Intn(4)
+		var open []string
+		for d := 0; d < depth; d++ {
+			tag := tags[rng.Intn(len(tags))]
+			attr := ""
+			if rng.Intn(3) == 0 {
+				attr = fmt.Sprintf(` k="%d"`, rng.Intn(2))
+			}
+			kids := 1 + rng.Intn(2)
+			_ = kids
+			b = append(b, fmt.Sprintf("<%s%s>", tag, attr)...)
+			open = append(open, tag)
+		}
+		for d := depth - 1; d >= 0; d-- {
+			b = append(b, fmt.Sprintf("</%s>", open[d])...)
+		}
+		doc, err := xmldoc.Parse(b)
+		if err != nil {
+			panic(err)
+		}
+		return doc
+	}
+	for trial := 0; trial < 30; trial++ {
+		var xpes []string
+		for i := 0; i < 12; i++ {
+			xpes = append(xpes, randPath())
+		}
+		var docs []*xmldoc.Document
+		for i := 0; i < 6; i++ {
+			docs = append(docs, randDoc())
+		}
+		for _, v := range allVariants {
+			for mode := 0; mode < 2; mode++ {
+				opts := Options{Variant: v, AttrMode: predAttrMode(mode)}
+				on := New(opts)
+				opts.PathCacheBytes = -1
+				offm := New(opts)
+				for _, s := range xpes {
+					if _, err := on.Add(s); err != nil {
+						t.Fatalf("%q: %v", s, err)
+					}
+					if _, err := offm.Add(s); err != nil {
+						t.Fatalf("%q: %v", s, err)
+					}
+				}
+				for di, doc := range docs {
+					// Match twice so the second pass rides cache hits.
+					matchSet(on, doc)
+					got := matchSet(on, doc)
+					want := matchSet(offm, doc)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d doc %d %v/%d: cache on %v off %v",
+							trial, di, v, mode, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPathCacheContainmentCovering exercises the extension cover mode
+// with caching: containment covers of structural expressions are part of
+// the cached outcome.
+func TestPathCacheContainmentCovering(t *testing.T) {
+	doc := xmldoc.FromPaths([]string{"a", "b", "c", "d"})
+	opts := Options{Variant: PrefixCover, CoverMode: Containment}
+	on := New(opts)
+	opts.PathCacheBytes = -1
+	offm := New(opts)
+	xpes := []string{"/a/b/c/d", "b/c", "c/d", "/a/b"}
+	s1 := mustAdd(t, on, xpes...)
+	s2 := mustAdd(t, offm, xpes...)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("sid mismatch")
+	}
+	matchSet(on, doc)
+	got := matchSet(on, doc)
+	want := matchSet(offm, doc)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cache on %v off %v", got, want)
+	}
+	for _, sid := range s1 {
+		if !got[sid] {
+			t.Fatalf("sid %d not matched: %v", sid, got)
+		}
+	}
+}
+
+// TestPathCacheParallelShared runs the parallel matcher over a document
+// with many repeated paths; all workers share one cache and the result
+// matches the sequential one. Run with -race to exercise contention.
+func TestPathCacheParallelShared(t *testing.T) {
+	var paths [][]string
+	for i := 0; i < 64; i++ {
+		switch i % 3 {
+		case 0:
+			paths = append(paths, []string{"a", "b", "c"})
+		case 1:
+			paths = append(paths, []string{"a", "d"})
+		default:
+			paths = append(paths, []string{"a", "b", "b", "c"})
+		}
+	}
+	doc := xmldoc.FromPaths(paths...)
+	m := New(Options{Variant: PrefixCoverAP, DisablePathDedup: true})
+	mustAdd(t, m, "/a/b/c", "a//c", "b/c", "/a/d", "//b/b")
+	want := matchSet(m, doc)
+	for w := 2; w <= 4; w++ {
+		got := make(map[SID]bool)
+		for _, sid := range m.MatchDocumentParallel(doc, w) {
+			got[sid] = true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: %v vs %v", w, got, want)
+		}
+	}
+	if st := m.Stats(); st.PathCache.Hits == 0 {
+		t.Fatalf("parallel matching produced no shared-cache hits: %+v", st.PathCache)
+	}
+}
+
+// TestPostponedGroupCached: a structural group (all members bare) is
+// cached as a unit including its synthetic representative mark.
+func TestPostponedGroupCached(t *testing.T) {
+	doc := xmldoc.FromPaths([]string{"a", "b", "c"})
+	m := New(Options{AttrMode: predicate.Postponed})
+	sids := mustAdd(t, m, "/a/b/c", "/a/b/c") // duplicates share one expr
+	matchSet(m, doc)
+	got := matchSet(m, doc)
+	if !got[sids[0]] || !got[sids[1]] {
+		t.Fatalf("group member lost through cache: %v", got)
+	}
+}

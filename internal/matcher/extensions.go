@@ -58,9 +58,13 @@ func (m *Matcher) buildContainmentCovers(singles []*expr) {
 		n := len(e.pids)
 		for i := 1; i < n; i++ { // i = 0 is the prefix family, handled by e.covers
 			for j := i + 1; j <= n; j++ {
-				key := chainHash(e.pids[i:j], subAttrs(e.post, i, j))
-				if c, ok := m.byKey[key]; ok && c != e {
-					e.fullCovers = append(e.fullCovers, c)
+				sub := subAttrs(e.post, i, j)
+				key := chainHashFn(e.pids[i:j], sub)
+				for _, c := range m.byKey[key] {
+					if c != e && c.root == nil &&
+						pidsEqual(c.pids, e.pids[i:j]) && postEqual(c.post, sub) {
+						e.fullCovers = append(e.fullCovers, c)
+					}
 				}
 			}
 		}
@@ -95,6 +99,6 @@ func (m *Matcher) clusterPid(e *expr, refCount map[predindex.PID]int) predindex.
 // of e.
 func (m *Matcher) markFullCovers(sc *scratch, e *expr) {
 	for _, c := range e.fullCovers {
-		sc.matched[c.id] = true
+		sc.mark(c.id)
 	}
 }

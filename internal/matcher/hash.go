@@ -12,11 +12,18 @@ import (
 // allocation and copying showed up prominently in profiles. All of those
 // keys are now FNV-1a hashes folded incrementally into a uint64 — no
 // intermediate buffer, no string header, and map[uint64] lookups avoid the
-// byte-wise comparisons of string keys. A 64-bit hash makes collisions
-// astronomically unlikely (~N²/2⁶⁵ for N keys: below 10⁻⁶ even at ten
-// million distinct expressions); a collision would merge two expressions
-// (registration) or skip a structurally distinct path (dedup), which is
-// the accepted trade for the hot-path win.
+// byte-wise comparisons of string keys.
+//
+// Registration and freeze no longer trust the hash as identity: every
+// map keyed by one of these hashes holds a bucket ([]…) whose entries are
+// resolved by comparing the full encoded chain (pids, annotations, nested
+// source text), so a 64-bit collision costs one extra compare, never a
+// wrongly merged expression. The per-document dedup path (pubHash) stays
+// hash-only: a collision there skips one structurally distinct path of
+// one document — an accepted trade (~N²/2⁶⁵ for N distinct paths) for
+// keeping the per-path hot loop free of key materialization; ablate with
+// DisablePathDedup. The hash functions are vars so collision tests can
+// force bucket conflicts.
 
 const (
 	fnvOffset64 uint64 = 0xcbf29ce484222325
@@ -59,9 +66,19 @@ func fnvSideAttrs(h uint64, pa predicate.SideAttrs) uint64 {
 	return h
 }
 
-// chainHash is the canonical identity of a pid chain plus (postponed)
-// filter annotations; chains with equal hashes are treated as semantically
-// identical under the paper's matching semantics. A nil post hashes
+// The indirections below exist so collision-regression tests can replace
+// a hash with a degenerate one and prove the bucket compares keep
+// distinct expressions apart. Production code always runs the real FNV
+// functions.
+var (
+	chainHashFn = chainHash
+	levelHashFn = levelHash
+	nestedKeyFn = func(src string) uint64 { return fnvString(fnvOffset64, src) }
+)
+
+// chainHash identifies the bucket for a pid chain plus (postponed) filter
+// annotations; bucket entries are compared in full (pidsEqual/postEqual)
+// before two chains are treated as identical. A nil post hashes
 // identically to all-empty annotations, so the bare structural identity of
 // a chain is chainHash(pids, nil).
 func chainHash(pids []predindex.PID, post []predicate.SideAttrs) uint64 {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"predfilter/internal/occur"
+	"predfilter/internal/pathcache"
 	"predfilter/internal/predicate"
 	"predfilter/internal/predindex"
 	"predfilter/internal/xmldoc"
@@ -77,6 +78,10 @@ type Options struct {
 	// ClusterBy selects the access predicate for PrefixCoverAP (default:
 	// the paper's first-predicate clustering).
 	ClusterBy ClusterBy
+	// PathCacheBytes bounds the structural path-signature cache (see
+	// internal/pathcache): 0 selects the default size
+	// (pathcache.DefaultMaxBytes), a negative value disables the cache.
+	PathCacheBytes int64
 }
 
 // Matcher is the filtering engine. It is safe for concurrent MatchDocument
@@ -87,9 +92,9 @@ type Matcher struct {
 	mu       sync.RWMutex
 	ix       *predindex.Index
 	exprs    []*expr
-	byKey    map[uint64]*expr // chainHash → expression
-	sidOwner []*expr          // sid → owning expression (nil after Remove)
-	nsids    int              // live sid count
+	byKey    map[uint64][]*expr // chainHash → bucket, resolved by full compare
+	sidOwner []*expr            // sid → owning expression (nil after Remove)
+	nsids    int                // live sid count
 
 	dirty    bool
 	ordered  []hotExpr                   // iteration units, longest chain first
@@ -102,6 +107,17 @@ type Matcher struct {
 	// attrSensitive is set once any registered predicate inspects
 	// attribute values; it forces publication dedup keys to include them.
 	attrSensitive bool
+
+	// Path-signature caching (see cache.go): the frozen iteration units
+	// split into value-independent (cacheable) and value-dependent (always
+	// live) halves; needRes records whether any live work exists, i.e.
+	// whether cache entries must carry a replayable predicate transcript.
+	cache          *pathcache.Cache
+	structUnits    []hotExpr
+	liveUnits      []hotExpr
+	structClusters map[predindex.PID][]hotExpr
+	liveClusters   map[predindex.PID][]hotExpr
+	needRes        bool
 
 	pool sync.Pool // *scratch
 }
@@ -146,6 +162,7 @@ type expr struct {
 
 	// Nested-path expressions:
 	root *nestedNode // non-nil iff the expression has nested path filters
+	nsrc string      // canonical source text, the dedup identity of a nested expression
 }
 
 // New returns an empty matcher with the given options.
@@ -153,7 +170,10 @@ func New(opts Options) *Matcher {
 	m := &Matcher{
 		opts:  opts,
 		ix:    predindex.New(),
-		byKey: make(map[uint64]*expr),
+		byKey: make(map[uint64][]*expr),
+	}
+	if opts.PathCacheBytes >= 0 {
+		m.cache = pathcache.New(opts.PathCacheBytes)
 	}
 	m.pool.New = func() any { return &scratch{} }
 	return m
@@ -260,6 +280,7 @@ func (m *Matcher) Remove(sid SID) error {
 		}
 	}
 	m.nsids--
+	m.invalidatePathCache()
 	return nil
 }
 
@@ -274,9 +295,14 @@ func (m *Matcher) registerSingle(p *xpath.Path) (*expr, error) {
 	for i, pr := range enc.Preds {
 		pids[i] = m.ix.Insert(pr)
 	}
-	key := chainHash(pids, enc.PostAttrs)
-	if e, ok := m.byKey[key]; ok {
-		return e, nil
+	key := chainHashFn(pids, enc.PostAttrs)
+	for _, e := range m.byKey[key] {
+		// Bucket hit: the hash narrows the candidates, the full encoded
+		// chain (pids plus postponed annotations) decides identity, so a
+		// 64-bit collision can never alias two distinct expressions.
+		if e.root == nil && pidsEqual(e.pids, pids) && postEqual(e.post, enc.PostAttrs) {
+			return e, nil
+		}
 	}
 	e := &expr{id: len(m.exprs), pids: pids}
 	if enc.HasPostAttrs() {
@@ -289,9 +315,65 @@ func (m *Matcher) registerSingle(p *xpath.Path) (*expr, error) {
 		}
 	}
 	m.exprs = append(m.exprs, e)
-	m.byKey[key] = e
+	m.byKey[key] = append(m.byKey[key], e)
 	m.dirty = true
+	m.invalidatePathCache()
 	return e, nil
+}
+
+// pidsEqual reports whether two predicate chains are identical.
+func pidsEqual(a, b []predindex.PID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// attrFiltersEqual compares two filter lists element-wise (AttrFilter is
+// a comparable struct).
+func attrFiltersEqual(a, b []xpath.AttrFilter) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sideAttrsEqual compares the postponed annotations of one chain level.
+func sideAttrsEqual(a, b predicate.SideAttrs) bool {
+	return attrFiltersEqual(a.Left, b.Left) && attrFiltersEqual(a.Right, b.Right)
+}
+
+// postEqual compares postponed annotation vectors; nil is equivalent to
+// all-empty (matching the chainHash convention, so bucket compares agree
+// with the hash's notion of bare structural identity).
+func postEqual(a, b []predicate.SideAttrs) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		var x, y predicate.SideAttrs
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		if !sideAttrsEqual(x, y) {
+			return false
+		}
+	}
+	return true
 }
 
 // freeze rebuilds the derived organizations after additions. It must run
@@ -312,21 +394,35 @@ func (m *Matcher) freeze() {
 
 	// Prefix-cover bookkeeping: group by chain to find registered strict
 	// prefixes. A trie over (pid, annotation) levels; each node remembers
-	// the expression ending there.
+	// the expression ending there. Children are hash buckets resolved by
+	// comparing the level's full identity, so colliding level hashes can
+	// never merge two distinct prefixes.
 	type tnode struct {
-		children map[uint64]*tnode
+		pid      predindex.PID
+		pa       predicate.SideAttrs
+		children map[uint64][]*tnode
 		e        *expr
 	}
-	root := &tnode{children: make(map[uint64]*tnode)}
+	root := &tnode{children: make(map[uint64][]*tnode)}
 	insert := func(e *expr) {
 		n := root
 		var covers []*expr
 		for i, pid := range e.pids {
-			k := levelHash(pid, e.post, i)
-			c := n.children[k]
+			k := levelHashFn(pid, e.post, i)
+			var pa predicate.SideAttrs
+			if e.post != nil {
+				pa = e.post[i]
+			}
+			var c *tnode
+			for _, cand := range n.children[k] {
+				if cand.pid == pid && sideAttrsEqual(cand.pa, pa) {
+					c = cand
+					break
+				}
+			}
 			if c == nil {
-				c = &tnode{children: make(map[uint64]*tnode)}
-				n.children[k] = c
+				c = &tnode{pid: pid, pa: pa, children: make(map[uint64][]*tnode)}
+				n.children[k] = append(n.children[k], c)
 			}
 			n = c
 			if n.e != nil && i < len(e.pids)-1 {
@@ -359,14 +455,20 @@ func (m *Matcher) freeze() {
 	m.ordered = m.ordered[:0]
 	m.matchedSlots = len(m.exprs)
 	if m.opts.AttrMode == predicate.Postponed {
-		groups := make(map[uint64]*expr)
+		groups := make(map[uint64][]*expr)
 		for _, e := range singles {
-			sk := chainHash(e.pids, nil) // bare structural identity
-			rep := groups[sk]
+			sk := chainHashFn(e.pids, nil) // bare structural identity
+			var rep *expr
+			for _, r := range groups[sk] {
+				if pidsEqual(r.pids, e.pids) {
+					rep = r
+					break
+				}
+			}
 			if rep == nil {
 				rep = &expr{id: m.matchedSlots, pids: e.pids}
 				m.matchedSlots++
-				groups[sk] = rep
+				groups[sk] = append(groups[sk], rep)
 				m.ordered = append(m.ordered, hot(rep))
 			}
 			rep.members = append(rep.members, e)
@@ -398,6 +500,10 @@ func (m *Matcher) freeze() {
 		pid := m.clusterPid(h.e, refCount)
 		m.clusters[pid] = append(m.clusters[pid], h)
 	}
+	if m.cache != nil {
+		m.splitUnits()
+		m.invalidatePathCache()
+	}
 	m.dirty = false
 }
 
@@ -407,6 +513,10 @@ type Stats struct {
 	DistinctExpressions int
 	DistinctPredicates  int
 	NestedExpressions   int
+	// PathCache reports the structural path-signature cache counters;
+	// zero-valued when the cache is disabled (PathCacheEnabled false).
+	PathCacheEnabled bool
+	PathCache        pathcache.Stats
 }
 
 // Stats returns engine statistics; the distinct-predicate count is the
@@ -420,12 +530,17 @@ func (m *Matcher) Stats() Stats {
 			nested++
 		}
 	}
-	return Stats{
+	st := Stats{
 		SIDs:                m.nsids,
 		DistinctExpressions: len(m.exprs),
 		DistinctPredicates:  m.ix.Len(),
 		NestedExpressions:   nested,
 	}
+	if m.cache != nil {
+		st.PathCacheEnabled = true
+		st.PathCache = m.cache.Stats()
+	}
+	return st
 }
 
 // Breakdown is the per-call cost split of Figure 10.
@@ -448,6 +563,29 @@ type scratch struct {
 	pub     *xmldoc.Publication
 	ncands  map[*nestedNode][]nestedCand
 	seen    map[uint64]struct{} // per-document distinct publication hashes
+
+	// Path-cache working state (see cache.go). matched2 is kept all-false
+	// between uses: cache misses evaluate structural units against it with
+	// logging on, then undo exactly the logged marks.
+	sig      []byte
+	rec      predindex.Recording
+	matched2 []bool
+	log      []int32
+	logging  bool
+}
+
+// mark sets an expression (or group-representative) matched flag, logging
+// the transition when a cache miss is recording the structural outcome.
+// All stage-2 mark sites go through here so the log captures every id the
+// structural units touch.
+func (sc *scratch) mark(id int) {
+	if sc.matched[id] {
+		return
+	}
+	sc.matched[id] = true
+	if sc.logging {
+		sc.log = append(sc.log, int32(id))
+	}
 }
 
 func (m *Matcher) getScratch() *scratch {
@@ -466,6 +604,15 @@ func (m *Matcher) getScratch() *scratch {
 		sc.matched = sc.matched[:slots]
 		for i := range sc.matched {
 			sc.matched[i] = false
+		}
+	}
+	if m.cache != nil {
+		// matched2 is all-false by invariant (misses undo their marks), so
+		// growth allocates fresh zeroes and reslicing needs no clearing.
+		if cap(sc.matched2) < slots {
+			sc.matched2 = make([]bool, slots)
+		} else {
+			sc.matched2 = sc.matched2[:slots]
 		}
 	}
 	if sc.byTag == nil {
@@ -532,6 +679,10 @@ func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd
 		}
 		sc.seen[key] = struct{}{}
 	}
+	if m.cache != nil {
+		m.matchPathCached(sc, pub, bd, t0)
+		return
+	}
 	sc.res.Reset(m.ix.Len())
 	m.ix.MatchPath(pub, sc.res)
 	var t1 time.Time
@@ -540,10 +691,24 @@ func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd
 		bd.PredMatch += t1.Sub(t0)
 	}
 
+	m.runUnits(sc, m.ordered, m.clusters)
+	for _, e := range m.nested {
+		e.root.collect(m, sc)
+	}
+	if bd != nil {
+		bd.ExprMatch += time.Since(t1)
+	}
+}
+
+// runUnits runs the expression-matching stage over the given iteration
+// units against sc.res. The cache-disabled path passes the full frozen
+// organization; the cache-enabled path passes the structural or live
+// half (see cache.go).
+func (m *Matcher) runUnits(sc *scratch, units []hotExpr, clusters map[predindex.PID][]hotExpr) {
 	switch m.opts.Variant {
 	case Basic, PrefixCover:
 		cover := m.opts.Variant == PrefixCover
-		for _, h := range m.ordered {
+		for _, h := range units {
 			if sc.matched[h.id] || !sc.res.Matched(h.first) {
 				continue
 			}
@@ -557,7 +722,7 @@ func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd
 		// predicate matched this path are visited at all; the matched
 		// predicates come straight from the predicate matching stage.
 		for _, pid := range sc.res.Touched() {
-			for _, h := range m.clusters[pid] {
+			for _, h := range clusters[pid] {
 				if sc.matched[h.id] {
 					continue
 				}
@@ -567,12 +732,6 @@ func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd
 				m.evalExpr(sc, h.e, true)
 			}
 		}
-	}
-	for _, e := range m.nested {
-		e.root.collect(m, sc)
-	}
-	if bd != nil {
-		bd.ExprMatch += time.Since(t1)
 	}
 }
 
@@ -640,7 +799,7 @@ func (m *Matcher) evalExpr(sc *scratch, e *expr, cover bool) {
 
 	ok, depth := occur.Determine(chain)
 	if ok {
-		sc.matched[e.id] = true
+		sc.mark(e.id)
 		if len(e.fullCovers) > 0 {
 			m.markFullCovers(sc, e)
 		}
@@ -664,7 +823,7 @@ func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover 
 		}
 		if mem.post == nil {
 			if ok {
-				sc.matched[mem.id] = true
+				sc.mark(mem.id)
 				if len(mem.fullCovers) > 0 {
 					m.markFullCovers(sc, mem)
 				}
@@ -689,7 +848,7 @@ func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover 
 		}
 		fok, fdepth := occur.Determine(filtered)
 		if fok {
-			sc.matched[mem.id] = true
+			sc.mark(mem.id)
 			if len(mem.fullCovers) > 0 {
 				m.markFullCovers(sc, mem)
 			}
@@ -701,7 +860,7 @@ func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover 
 		}
 	}
 	if done {
-		sc.matched[rep.id] = true
+		sc.mark(rep.id)
 	}
 }
 
@@ -712,7 +871,7 @@ func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover 
 func (m *Matcher) markCovers(sc *scratch, e *expr, depth int) {
 	for _, c := range e.covers {
 		if len(c.pids) <= depth {
-			sc.matched[c.id] = true
+			sc.mark(c.id)
 		}
 	}
 }

@@ -69,22 +69,27 @@ func ExplainNested(p *xpath.Path) (string, error) {
 }
 
 // registerNested decomposes, encodes and stores a nested-path expression.
-// Nested expressions dedup on their canonical source text (prefixed so the
-// hash space cannot collide with chain hashes by construction of the
-// input, and astronomically unlikely to otherwise).
+// Nested expressions dedup on their canonical source text; the hash only
+// selects the bucket, the stored source string decides identity, so a
+// collision (with another nested expression or with a chain hash) can
+// never alias two expressions.
 func (m *Matcher) registerNested(p *xpath.Path) (*expr, error) {
-	key := fnvString(fnvOffset64, "nested:"+p.String())
-	if e, ok := m.byKey[key]; ok {
-		return e, nil
+	src := "nested:" + p.String()
+	key := nestedKeyFn(src)
+	for _, e := range m.byKey[key] {
+		if e.root != nil && e.nsrc == src {
+			return e, nil
+		}
 	}
 	root, err := m.buildNested(p)
 	if err != nil {
 		return nil, err
 	}
-	e := &expr{id: len(m.exprs), root: root}
+	e := &expr{id: len(m.exprs), root: root, nsrc: src}
 	m.exprs = append(m.exprs, e)
-	m.byKey[key] = e
+	m.byKey[key] = append(m.byKey[key], e)
 	m.dirty = true
+	m.invalidatePathCache()
 	return e, nil
 }
 

@@ -437,6 +437,25 @@ func (s *Server) storeVars() map[string]any {
 	}
 }
 
+// pathCacheVars flattens the engine's path-signature cache counters for
+// /stats and /debug/vars. Returns nil when the cache is disabled.
+func (s *Server) pathCacheVars() map[string]any {
+	pc := s.eng.Stats().PathCache
+	if !pc.Enabled {
+		return nil
+	}
+	return map[string]any{
+		"hits":          pc.Hits,
+		"misses":        pc.Misses,
+		"hit_rate":      pc.HitRate(),
+		"evictions":     pc.Evictions,
+		"invalidations": pc.Invalidations,
+		"entries":       pc.Entries,
+		"bytes":         pc.Bytes,
+		"max_bytes":     pc.MaxBytes,
+	}
+}
+
 // handleDebugVars reports publish-path throughput counters and allocation
 // statistics (a /debug/vars-style snapshot for profiling the pipeline).
 func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
@@ -465,6 +484,9 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	}
 	if sv := s.storeVars(); sv != nil {
 		vars["store"] = sv
+	}
+	if pc := s.pathCacheVars(); pc != nil {
+		vars["path_cache"] = pc
 	}
 	writeJSON(w, http.StatusOK, vars)
 }
@@ -514,6 +536,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if sv := s.storeVars(); sv != nil {
 		stats["store"] = sv
+	}
+	if pc := s.pathCacheVars(); pc != nil {
+		stats["path_cache"] = pc
 	}
 	writeJSON(w, http.StatusOK, stats)
 }

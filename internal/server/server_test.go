@@ -410,3 +410,48 @@ func TestDebugEndpoints(t *testing.T) {
 		t.Fatalf("/debug/pprof/: status %d", resp.StatusCode)
 	}
 }
+
+func TestStatsReportPathCache(t *testing.T) {
+	ts := newTestServer(t, Config{Debug: true})
+	subscribe(t, ts, "/a/b")
+	publish(t, ts, `<a><b/></a>`)
+	publish(t, ts, `<a><b/></a>`) // second publish rides the path cache
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decodeBody(t, resp)
+	pc, ok := stats["path_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing path_cache: %v", stats)
+	}
+	if pc["hits"].(float64) < 1 {
+		t.Errorf("path_cache hits = %v, want >= 1", pc["hits"])
+	}
+	if pc["entries"].(float64) < 1 || pc["max_bytes"].(float64) <= 0 {
+		t.Errorf("path_cache residency = %v", pc)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := decodeBody(t, resp)
+	if _, ok := vars["path_cache"].(map[string]any); !ok {
+		t.Fatalf("debug vars missing path_cache: %v", vars)
+	}
+}
+
+func TestStatsOmitDisabledPathCache(t *testing.T) {
+	ts := newTestServer(t, Config{Engine: predfilter.Config{PathCacheBytes: -1}})
+	subscribe(t, ts, "/a/b")
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decodeBody(t, resp)
+	if _, ok := stats["path_cache"]; ok {
+		t.Fatalf("path_cache reported despite being disabled: %v", stats)
+	}
+}

@@ -92,6 +92,14 @@ type Config struct {
 	// chance whole clusters are skipped (another extension the paper
 	// suggests).
 	RarestAccessPredicate bool
+	// PathCacheBytes bounds the structural path-signature cache, which
+	// memoizes per-path structural matching results across documents
+	// (documents generated from one DTD repeat the same root-to-leaf tag
+	// sequences). 0 selects the default bound (16 MiB); a negative value
+	// disables the cache. Value-dependent work (attribute filters, nested
+	// path filters) is always re-verified against the live document, so
+	// the cache never changes match results.
+	PathCacheBytes int64
 }
 
 // Engine is the filtering engine.
@@ -128,6 +136,7 @@ func New(cfg Config) *Engine {
 		DisablePathDedup: cfg.DisablePathDedup,
 		CoverMode:        cover,
 		ClusterBy:        cluster,
+		PathCacheBytes:   cfg.PathCacheBytes,
 	})}
 }
 
@@ -260,15 +269,52 @@ type Stats struct {
 	// NestedExpressions counts distinct expressions with nested path
 	// filters.
 	NestedExpressions int
+	// PathCache reports the structural path-signature cache activity;
+	// zero-valued with Enabled false when the cache is disabled.
+	PathCache PathCacheStats
+}
+
+// PathCacheStats summarizes the structural path-signature cache.
+type PathCacheStats struct {
+	Enabled       bool
+	Hits          int64
+	Misses        int64
+	Evictions     int64 // capacity evictions plus stale-entry drops
+	Invalidations int64 // generation bumps from Add/Remove
+	Entries       int   // resident distinct path signatures
+	Bytes         int64 // resident byte estimate
+	MaxBytes      int64 // configured bound
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s PathCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // Stats returns engine statistics.
 func (e *Engine) Stats() Stats {
 	st := e.m.Stats()
-	return Stats{
+	out := Stats{
 		Expressions:         st.SIDs,
 		DistinctExpressions: st.DistinctExpressions,
 		DistinctPredicates:  st.DistinctPredicates,
 		NestedExpressions:   st.NestedExpressions,
 	}
+	if st.PathCacheEnabled {
+		out.PathCache = PathCacheStats{
+			Enabled:       true,
+			Hits:          st.PathCache.Hits,
+			Misses:        st.PathCache.Misses,
+			Evictions:     st.PathCache.Evictions,
+			Invalidations: st.PathCache.Invalidations,
+			Entries:       st.PathCache.Entries,
+			Bytes:         st.PathCache.Bytes,
+			MaxBytes:      st.PathCache.MaxBytes,
+		}
+	}
+	return out
 }

@@ -32,6 +32,11 @@ type Result struct {
 // the last result, or after ctx is cancelled (in which case trailing
 // documents are dropped). Registration may run concurrently; documents
 // matched before an Add simply miss the new expression.
+//
+// All workers share the engine's structural path-signature cache, so a
+// path signature evaluated for one document of the stream is served from
+// the cache for every later document — the streaming workload (many
+// same-DTD documents) is the cache's best case.
 func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers int) <-chan Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
