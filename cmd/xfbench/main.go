@@ -10,6 +10,7 @@
 //	xfbench -exp fig7 -scale full     # paper scale (millions of XPEs)
 //	xfbench -exp pipeline -workers 1,2,4   # streaming throughput → BENCH_pipeline.json
 //	xfbench -exp cache -cache-kb 256,4096  # path-signature cache sweep → BENCH_cache.json
+//	xfbench -exp pipeline -metrics         # + per-stage p50/p95/p99 in the JSON report
 //	xfbench -list                     # list experiment ids
 //	xfbench -stats                    # print workload statistics
 package main
@@ -33,6 +34,7 @@ func main() {
 		scale   = flag.String("scale", "default", "scale: smoke, default or full")
 		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for -exp pipeline")
 		cacheKB = flag.String("cache-kb", "", "comma-separated cache bounds in KiB for -exp cache (default 256,1024,4096,16384)")
+		withMet = flag.Bool("metrics", false, "append per-stage latency digests (count, p50/p95/p99) to the pipeline and cache JSON reports")
 		jsonOut = flag.String("json", "", "write results as JSON to this file (pipeline default: BENCH_pipeline.json)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		stats   = flag.Bool("stats", false, "print workload statistics and exit")
@@ -75,7 +77,7 @@ func main() {
 			out = "BENCH_pipeline.json"
 		}
 		fmt.Printf("== streaming pipeline throughput [scale %s, workers %v]\n", s.Name, ws)
-		rep, err := bench.RunPipeline(s, ws, progress)
+		rep, err := bench.RunPipeline(s, ws, progress, *withMet)
 		if err != nil {
 			fatal(err)
 		}
@@ -101,7 +103,7 @@ func main() {
 			out = "BENCH_cache.json"
 		}
 		fmt.Printf("== path-signature cache throughput [scale %s, sizes %v KiB]\n", s.Name, sizes)
-		rep, err := bench.RunCache(s, sizes, progress)
+		rep, err := bench.RunCache(s, sizes, progress, *withMet)
 		if err != nil {
 			fatal(err)
 		}

@@ -33,6 +33,7 @@ func main() {
 		filters  = flag.Int("filters", 0, "attribute filters per expression")
 		seed     = flag.Int64("seed", 42, "generator seed")
 		explain  = flag.Bool("explain", false, "print each expression's predicate encoding")
+		idxStats = flag.Bool("index-stats", false, "load generated expressions into an engine and report index statistics on stderr")
 	)
 	flag.Parse()
 
@@ -89,6 +90,21 @@ func main() {
 			} else {
 				fmt.Println(x)
 			}
+		}
+		// -index-stats previews how the generated set will index: the
+		// sharing the engine's always-on metrics report (distinct
+		// expressions and predicates) determines filtering cost far more
+		// than the raw expression count does.
+		if *idxStats {
+			eng := predfilter.New(predfilter.Config{})
+			for _, x := range xpes {
+				if _, err := eng.Add(x); err != nil {
+					fatal(err)
+				}
+			}
+			st := eng.Stats()
+			fmt.Fprintf(os.Stderr, "xfgen: %d expressions -> %d distinct (%d nested), %d distinct predicates\n",
+				st.Expressions, st.DistinctExpressions, st.NestedExpressions, st.DistinctPredicates)
 		}
 	}
 }

@@ -10,6 +10,7 @@
 //	xfilter -f subscriptions.txt < doc.xml
 //	xfilter -f subs.txt -org basic -attrs postponed -count docs/*.xml
 //	xfilter -f subs.txt -workers 4 -count docs/*.xml
+//	xfilter -e '/nitf/body//p' -trace doc.xml      # per-predicate match evidence
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		timing    = flag.Bool("t", false, "print per-document filter time")
 		workers   = flag.Int("workers", 1, "filter documents concurrently with this many workers (ignored with -all)")
 		cacheMB   = flag.Int64("cache-mb", 0, "path-signature cache bound in MiB (0 = default 16, negative = disabled)")
+		traceDoc  = flag.Bool("trace", false, "explain each expression's match or miss with per-predicate evidence (ignored with -all or -workers)")
 	)
 	flag.Var(&exprs, "e", "XPath expression (repeatable)")
 	flag.Parse()
@@ -155,13 +157,17 @@ func main() {
 		t0 := time.Now()
 		var sids []predfilter.SID
 		var counts map[predfilter.SID]int
+		var tr *predfilter.MatchTrace
 		var err2 error
-		if *allMode {
+		switch {
+		case *allMode:
 			counts, err2 = eng.MatchCounts(data)
 			for sid := range counts {
 				sids = append(sids, sid)
 			}
-		} else {
+		case *traceDoc:
+			sids, tr, err2 = eng.MatchTraced(data)
+		default:
 			sids, err2 = eng.Match(data)
 		}
 		took := time.Since(t0)
@@ -182,6 +188,49 @@ func main() {
 			fmt.Printf("  (%v)", took)
 		}
 		fmt.Println()
+		if tr != nil {
+			printTrace(tr)
+		}
+	}
+}
+
+// printTrace renders the per-expression match explanation: which
+// predicates hit at which document paths, and where a missed expression's
+// chain first came up empty.
+func printTrace(tr *predfilter.MatchTrace) {
+	fmt.Printf("  trace: %d paths, parse %v, cache %v, predicates %v, occurrence %v\n",
+		tr.Paths, time.Duration(tr.ParseNanos), time.Duration(tr.CacheNanos),
+		time.Duration(tr.PredMatchNanos), time.Duration(tr.OccurNanos))
+	for _, e := range tr.Exprs {
+		verdict := "miss"
+		if e.Matched {
+			verdict = "HIT"
+		}
+		note := ""
+		if e.ViaCover {
+			note = " (via covering expression)"
+		}
+		if e.Nested {
+			note = " (nested; evidence summarized)"
+		}
+		fmt.Printf("  [%-4s] %s%s\n", verdict, e.Expr, note)
+		for _, p := range e.Paths {
+			fmt.Printf("         %s", p.Path)
+			if p.FilteredOut {
+				fmt.Printf("  [postponed filter rejected]")
+			}
+			fmt.Println()
+			for _, pe := range p.Predicates {
+				mark := "miss"
+				if pe.Hit {
+					mark = "hit "
+				}
+				fmt.Printf("           %s %s (%d occurrence pairs)\n", mark, pe.Predicate, pe.TotalPairs)
+			}
+		}
+	}
+	if tr.TruncatedExprs {
+		fmt.Println("  trace: further expressions not traced (cap reached)")
 	}
 }
 

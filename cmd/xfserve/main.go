@@ -6,6 +6,8 @@
 //	curl -X POST localhost:8080/publish --data-binary @doc.xml
 //	curl 'localhost:8080/deliveries/0?max=5'
 //	curl -X POST localhost:8080/admin/snapshot
+//	curl localhost:8080/metrics            # Prometheus text exposition
+//	curl -X POST 'localhost:8080/publish?trace=1' --data-binary @doc.xml
 //
 // With -state, subscriptions are durable: every add/remove is appended to
 // a checksummed write-ahead log before it is acknowledged, and restarting
@@ -47,6 +49,7 @@ func main() {
 		noSync     = flag.Bool("nosync", false, "skip fsync on the state directory (faster, loses power-failure durability)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		cacheMB    = flag.Int64("cache-mb", 0, "path-signature cache bound in MiB (0 = default 16, negative = disabled)")
+		slowMS     = flag.Int64("slow-ms", 0, "log documents whose parse+match exceeds this many milliseconds (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -62,6 +65,9 @@ func main() {
 	}
 	if *postponed {
 		cfg.Engine.AttributeMode = predfilter.PostponedAttributes
+	}
+	if *slowMS > 0 {
+		cfg.Engine.SlowDocThreshold = time.Duration(*slowMS) * time.Millisecond
 	}
 	switch {
 	case *cacheMB < 0:

@@ -40,6 +40,10 @@ type CacheDTDReport struct {
 	StreamWorkers int          `json:"stream_workers"`
 	StreamOff     CachePoint   `json:"stream_off"`
 	StreamOn      CachePoint   `json:"stream_on"`
+	// Stages holds the per-stage latency digests from the stream-on engine
+	// (the cache's steady-state configuration); populated only with stage
+	// metrics requested (xfbench -metrics).
+	Stages map[string]StageSummary `json:"stages,omitempty"`
 }
 
 // CacheReport is the -exp cache output (BENCH_cache.json).
@@ -56,8 +60,9 @@ type CacheReport struct {
 // MatchBatch pair showing the shared cache under worker concurrency. Every
 // engine gets one warmup pass (freeze + cold misses) before measurement,
 // so the cached points report steady-state hit behavior — the repeated
-// same-DTD document stream the cache is built for.
-func RunCache(s Scale, sizesKB []int, progress io.Writer) (*CacheReport, error) {
+// same-DTD document stream the cache is built for. With stageMetrics set
+// each DTD report additionally carries per-stage latency digests.
+func RunCache(s Scale, sizesKB []int, progress io.Writer, stageMetrics bool) (*CacheReport, error) {
 	rep := &CacheReport{
 		Scale:      s.Name,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -70,7 +75,7 @@ func RunCache(s Scale, sizesKB []int, progress io.Writer) (*CacheReport, error) 
 		{dtd.NITF(), 50000},
 		{dtd.PSD(), 10000},
 	} {
-		dr, err := runCacheDTD(s, spec.d, s.exprs(spec.exprs), sizesKB, progress)
+		dr, err := runCacheDTD(s, spec.d, s.exprs(spec.exprs), sizesKB, progress, stageMetrics)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +84,7 @@ func RunCache(s Scale, sizesKB []int, progress io.Writer) (*CacheReport, error) 
 	return rep, nil
 }
 
-func runCacheDTD(s Scale, d *dtd.DTD, exprs int, sizesKB []int, progress io.Writer) (*CacheDTDReport, error) {
+func runCacheDTD(s Scale, d *dtd.DTD, exprs int, sizesKB []int, progress io.Writer, stageMetrics bool) (*CacheDTDReport, error) {
 	cfg := DefaultWorkloadConfig(exprs)
 	cfg.Docs = s.Docs
 	w, err := NewWorkload(d, cfg)
@@ -193,6 +198,9 @@ func runCacheDTD(s Scale, d *dtd.DTD, exprs int, sizesKB []int, progress io.Writ
 	dr.StreamOn.Speedup = dr.StreamOn.DocsPerSec / dr.StreamOff.DocsPerSec
 	progressf(progress, "  %-5s stream w=%d     off %9.0f on %9.0f docs/sec  %.2fx  hit=%.1f%%\n",
 		d.Name, workers, dr.StreamOff.DocsPerSec, dr.StreamOn.DocsPerSec, dr.StreamOn.Speedup, 100*dr.StreamOn.HitRate)
+	if stageMetrics {
+		dr.Stages = stageSummaries(son)
+	}
 
 	return dr, nil
 }
@@ -213,7 +221,7 @@ func DefaultCacheSizesKB() []int { return []int{256, 1024, 4096, 16384} }
 // runCache adapts RunCache to the experiment registry; the JSON report
 // form is produced by cmd/xfbench.
 func runCache(s Scale, progress io.Writer) ([]Point, error) {
-	rep, err := RunCache(s, DefaultCacheSizesKB(), progress)
+	rep, err := RunCache(s, DefaultCacheSizesKB(), progress, false)
 	if err != nil {
 		return nil, err
 	}

@@ -10,7 +10,7 @@ import (
 // warmup round), and the disabled baseline records no cache activity.
 func TestRunCache(t *testing.T) {
 	s := Scale{Name: "test", Docs: 5, Factor: 0.002}
-	rep, err := RunCache(s, []int{64}, io.Discard)
+	rep, err := RunCache(s, []int{64}, io.Discard, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,6 +39,13 @@ func TestRunCache(t *testing.T) {
 		}
 		if dr.StreamWorkers < 2 || dr.StreamOn.Hits == 0 {
 			t.Fatalf("%s stream pair %+v / %+v", dr.DTD, dr.StreamOff, dr.StreamOn)
+		}
+		// stageMetrics=true: the stream-on engine parsed and matched every
+		// document, and its cache was enabled, so all digests have counts.
+		for _, stage := range []string{"parse", "cache", "predicate_match", "match"} {
+			if dr.Stages[stage].Count == 0 {
+				t.Fatalf("%s stage %q has no observations: %+v", dr.DTD, stage, dr.Stages)
+			}
 		}
 	}
 }

@@ -33,12 +33,18 @@ type PipelineReport struct {
 	Rounds     int             `json:"rounds"`
 	Sequential PipelinePoint   `json:"sequential"`
 	Stream     []PipelinePoint `json:"stream"`
+	// Stages holds the engine's per-stage latency digests over the whole
+	// run (warmups included); populated only with stage metrics requested
+	// (xfbench -metrics).
+	Stages map[string]StageSummary `json:"stages,omitempty"`
 }
 
 // RunPipeline measures sequential Match against MatchBatch at each worker
 // count over a NITF workload. Rounds repeats the document set so that the
-// measured interval is long enough to be meaningful at small scales.
-func RunPipeline(s Scale, workers []int, progress io.Writer) (*PipelineReport, error) {
+// measured interval is long enough to be meaningful at small scales. With
+// stageMetrics set the report additionally carries the engine's per-stage
+// latency digests.
+func RunPipeline(s Scale, workers []int, progress io.Writer, stageMetrics bool) (*PipelineReport, error) {
 	d := dtd.NITF()
 	cfg := DefaultWorkloadConfig(s.exprs(50000))
 	cfg.Docs = s.Docs
@@ -123,13 +129,16 @@ func RunPipeline(s Scale, workers []int, progress io.Writer) (*PipelineReport, e
 		progressf(progress, "  stream w=%-4d   %9.0f docs/sec  %6.0f allocs/doc  %.2fx\n",
 			n, dps, allocs, p.Speedup)
 	}
+	if stageMetrics {
+		rep.Stages = stageSummaries(eng)
+	}
 	return rep, nil
 }
 
 // runPipeline adapts RunPipeline to the experiment registry; the JSON
 // report form is produced by cmd/xfbench.
 func runPipeline(s Scale, progress io.Writer) ([]Point, error) {
-	rep, err := RunPipeline(s, []int{1, 2, 4}, progress)
+	rep, err := RunPipeline(s, []int{1, 2, 4}, progress, false)
 	if err != nil {
 		return nil, err
 	}

@@ -81,7 +81,7 @@ func TestParallelEquivalence(t *testing.T) {
 // TestRunPipeline smoke-tests the throughput report at the smallest scale.
 func TestRunPipeline(t *testing.T) {
 	s := Scale{Name: "test", Docs: 5, Factor: 0.002}
-	rep, err := RunPipeline(s, []int{2}, io.Discard)
+	rep, err := RunPipeline(s, []int{2}, io.Discard, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +97,16 @@ func TestRunPipeline(t *testing.T) {
 	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 || rep.Exprs < 100 {
 		t.Fatalf("report metadata %+v", rep)
 	}
+	// stageMetrics=true: every document passed through both the sequential
+	// and the streaming path, so each stage digest carries observations.
+	for _, stage := range []string{"parse", "predicate_match", "occurrence", "match"} {
+		if rep.Stages[stage].Count == 0 {
+			t.Fatalf("stage %q has no observations: %+v", stage, rep.Stages)
+		}
+	}
+	if rep.Stages["match"].P50us <= 0 || rep.Stages["match"].TotalMs <= 0 {
+		t.Fatalf("match stage digest %+v", rep.Stages["match"])
+	}
 }
 
 // TestRunPipelineOversubscriptionWarning checks the progress-stream warning
@@ -104,14 +114,14 @@ func TestRunPipeline(t *testing.T) {
 func TestRunPipelineOversubscriptionWarning(t *testing.T) {
 	s := Scale{Name: "test", Docs: 5, Factor: 0.002}
 	var buf bytes.Buffer
-	if _, err := RunPipeline(s, []int{runtime.GOMAXPROCS(0) + 1}, &buf); err != nil {
+	if _, err := RunPipeline(s, []int{runtime.GOMAXPROCS(0) + 1}, &buf, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "warning:") {
 		t.Fatalf("no oversubscription warning in progress output:\n%s", buf.String())
 	}
 	buf.Reset()
-	if _, err := RunPipeline(s, []int{1}, &buf); err != nil {
+	if _, err := RunPipeline(s, []int{1}, &buf, false); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "warning:") {

@@ -1,0 +1,39 @@
+package bench
+
+import "predfilter"
+
+// StageSummary is the per-stage latency digest appended to the JSON
+// benchmark reports by xfbench -metrics: observation count and
+// interpolated quantile estimates from the engine's always-on stage
+// histograms (see internal/metrics for the bucket layout the estimates
+// come from).
+type StageSummary struct {
+	Count   uint64  `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	P50us   float64 `json:"p50_us"`
+	P95us   float64 `json:"p95_us"`
+	P99us   float64 `json:"p99_us"`
+}
+
+// stageSummaries digests the engine's stage histograms, keyed by the
+// stage names the /metrics endpoint uses. Store stages are omitted:
+// benchmark engines are in-memory.
+func stageSummaries(eng *predfilter.Engine) map[string]StageSummary {
+	st := eng.Stats().Stages
+	digest := func(h predfilter.HistogramStats) StageSummary {
+		return StageSummary{
+			Count:   h.Count,
+			TotalMs: float64(h.TotalNanos) / 1e6,
+			P50us:   h.P50Nanos / 1e3,
+			P95us:   h.P95Nanos / 1e3,
+			P99us:   h.P99Nanos / 1e3,
+		}
+	}
+	return map[string]StageSummary{
+		"parse":           digest(st.Parse),
+		"cache":           digest(st.Cache),
+		"predicate_match": digest(st.PredicateMatch),
+		"occurrence":      digest(st.Occurrence),
+		"match":           digest(st.Match),
+	}
+}

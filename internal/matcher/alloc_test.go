@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"predfilter/internal/metrics"
 	"predfilter/internal/xmldoc"
 )
 
@@ -43,7 +44,11 @@ func TestMatchDocumentCacheHitAllocs(t *testing.T) {
 			{"non-matching", []string{"/a/x", "//y/z", "/q"}, 0},
 		} {
 			t.Run(fmt.Sprintf("%v/%s", v, tc.name), func(t *testing.T) {
-				m := New(Options{Variant: v})
+				// Metrics are always on in the engine, so the allocation
+				// bounds are asserted with recording enabled: observing a
+				// document must not add a single allocation (the
+				// zero-allocation contract of internal/metrics).
+				m := New(Options{Variant: v, Metrics: metrics.NewSet()})
 				for _, x := range tc.xpes {
 					if _, err := m.Add(x); err != nil {
 						t.Fatal(err)

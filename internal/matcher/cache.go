@@ -128,7 +128,15 @@ func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Brea
 	sc.sig = appendPubSig(sc.sig[:0], pub)
 	h := sigHash(sc.sig)
 
-	if ent, ok := m.cache.Get(h, sc.sig); ok {
+	ent, ok := m.cache.Get(h, sc.sig)
+	var tc time.Time
+	if bd != nil {
+		// Signature build + lookup is the cache stage; predicate work
+		// (replay or a fresh MatchPath) is accounted separately below.
+		tc = time.Now()
+		bd.Cache += tc.Sub(t0)
+	}
+	if ok {
 		if m.needRes {
 			sc.res.Reset(m.ix.Len())
 			m.ix.Replay(&ent.Rec, pub, sc.res)
@@ -136,7 +144,7 @@ func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Brea
 		var t1 time.Time
 		if bd != nil {
 			t1 = time.Now()
-			bd.PredMatch += t1.Sub(t0)
+			bd.PredMatch += t1.Sub(tc)
 		}
 		for _, id := range ent.Outcome {
 			sc.matched[id] = true
@@ -165,7 +173,7 @@ func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Brea
 	var t1 time.Time
 	if bd != nil {
 		t1 = time.Now()
-		bd.PredMatch += t1.Sub(t0)
+		bd.PredMatch += t1.Sub(tc)
 	}
 
 	// Structural units evaluate against the clean buffer with logging on,
@@ -181,11 +189,11 @@ func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Brea
 		sc.matched2[id] = false // restore the all-false invariant
 	}
 
-	ent := &pathcache.Entry{Outcome: append([]int32(nil), sc.log...)}
+	ne := &pathcache.Entry{Outcome: append([]int32(nil), sc.log...)}
 	if m.needRes {
-		ent.Rec = sc.rec.Clone()
+		ne.Rec = sc.rec.Clone()
 	}
-	m.cache.Put(h, sc.sig, ent)
+	m.cache.Put(h, sc.sig, ne)
 
 	if m.needRes {
 		m.runUnits(sc, m.liveUnits, m.liveClusters)

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"predfilter/internal/metrics"
 	"predfilter/internal/occur"
 	"predfilter/internal/pathcache"
 	"predfilter/internal/predicate"
@@ -82,6 +83,11 @@ type Options struct {
 	// internal/pathcache): 0 selects the default size
 	// (pathcache.DefaultMaxBytes), a negative value disables the cache.
 	PathCacheBytes int64
+	// Metrics, when non-nil, receives per-document stage observations
+	// (predicate matching, occurrence determination, cache time, total
+	// match time) and the document/path/match counters. Recording follows
+	// the zero-allocation contract of internal/metrics.
+	Metrics *metrics.Set
 }
 
 // Matcher is the filtering engine. It is safe for concurrent MatchDocument
@@ -118,6 +124,9 @@ type Matcher struct {
 	structClusters map[predindex.PID][]hotExpr
 	liveClusters   map[predindex.PID][]hotExpr
 	needRes        bool
+
+	// mx receives stage observations when configured (Options.Metrics).
+	mx *metrics.Set
 
 	pool sync.Pool // *scratch
 }
@@ -171,6 +180,7 @@ func New(opts Options) *Matcher {
 		opts:  opts,
 		ix:    predindex.New(),
 		byKey: make(map[uint64][]*expr),
+		mx:    opts.Metrics,
 	}
 	if opts.PathCacheBytes >= 0 {
 		m.cache = pathcache.New(opts.PathCacheBytes)
@@ -543,11 +553,13 @@ func (m *Matcher) Stats() Stats {
 	return st
 }
 
-// Breakdown is the per-call cost split of Figure 10.
+// Breakdown is the per-call cost split of Figure 10, extended with the
+// path-signature cache stage.
 type Breakdown struct {
 	PredMatch time.Duration // predicate matching stage
 	ExprMatch time.Duration // expression matching (occurrence determination)
 	Other     time.Duration // result collection and bookkeeping
+	Cache     time.Duration // path-signature cache probes (signature build + lookup)
 }
 
 // scratch is the per-call reusable working state.
@@ -747,6 +759,7 @@ func (m *Matcher) pathDedup() bool {
 
 // MatchDocumentBreakdown is MatchDocument with the Figure-10 cost split.
 func (m *Matcher) MatchDocumentBreakdown(doc *xmldoc.Document) ([]SID, Breakdown) {
+	t0 := time.Now()
 	m.ensureFrozen()
 	defer m.mu.RUnlock()
 
@@ -773,7 +786,29 @@ func (m *Matcher) MatchDocumentBreakdown(doc *xmldoc.Document) ([]SID, Breakdown
 	}
 	out := append([]SID(nil), sc.out...)
 	bd.Other = time.Since(t2)
+	m.observe(&bd, t0, len(doc.Paths), len(out))
 	return out, bd
+}
+
+// observe folds one document's stage breakdown into the metric set. The
+// recording contract is zero allocations, so this is safe on every match
+// path; bd is nil on paths that skip per-stage clocks (the parallel
+// shards), which record the whole-document duration only.
+func (m *Matcher) observe(bd *Breakdown, t0 time.Time, paths, matches int) {
+	if m.mx == nil {
+		return
+	}
+	if bd != nil {
+		m.mx.PredMatch.Observe(bd.PredMatch)
+		m.mx.Occur.Observe(bd.ExprMatch + bd.Other)
+		if m.cache != nil {
+			m.mx.Cache.Observe(bd.Cache)
+		}
+	}
+	m.mx.Match.Observe(time.Since(t0))
+	m.mx.DocsTotal.Inc()
+	m.mx.PathsTotal.Add(int64(paths))
+	m.mx.MatchesTotal.Add(int64(matches))
 }
 
 // evalExpr evaluates one single-path expression against the current

@@ -3,6 +3,7 @@ package matcher
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"predfilter/internal/xmldoc"
 )
@@ -40,6 +41,7 @@ func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID
 		return m.MatchDocument(doc)
 	}
 
+	t0 := time.Now()
 	m.ensureFrozen()
 	defer m.mu.RUnlock()
 
@@ -113,5 +115,8 @@ func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID
 	}
 	out := append([]SID(nil), sc.out...)
 	m.pool.Put(sc)
+	// The shards keep clock calls off their inner loops (bd == nil), so
+	// only the whole-document duration and counters are recorded.
+	m.observe(nil, t0, len(doc.Paths), len(out))
 	return out
 }

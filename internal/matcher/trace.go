@@ -1,0 +1,261 @@
+package matcher
+
+import (
+	"strings"
+	"time"
+
+	"predfilter/internal/occur"
+	"predfilter/internal/predindex"
+	"predfilter/internal/xmldoc"
+)
+
+// Match tracing: a per-document explanation mode. The authoritative result
+// comes from the normal matching path (so tracing can never report a
+// different answer than matching would); a second, deliberately slow pass
+// then re-evaluates every registered expression directly — no covering, no
+// clustering, no path cache — and records, per candidate expression and
+// per document path, which chain predicates produced occurrence pairs,
+// which came up empty, and how hard occurrence determination had to search.
+// The trace is the observable form of the paper's two-stage split: stage 1
+// evidence is the per-predicate pair lists, stage 2 evidence is the
+// occurrence-determination outcome over them.
+
+const (
+	// MaxTraceExprs bounds the number of expressions a trace explains;
+	// traces are for debugging single documents, not for bulk workloads,
+	// and an unbounded trace over a large subscription table would dwarf
+	// the document.
+	MaxTraceExprs = 256
+	// maxTracePairs bounds the occurrence pairs reported per predicate
+	// level (TotalPairs still reports the uncapped count).
+	maxTracePairs = 8
+	// maxTracePaths bounds the per-path evidence entries per expression.
+	maxTracePaths = 16
+)
+
+// PredicateEval is the stage-1 evidence for one chain level on one path:
+// the predicate (paper notation), whether it produced any occurrence
+// pairs, and the pairs themselves (capped at maxTracePairs).
+type PredicateEval struct {
+	Predicate  string       `json:"predicate"`
+	Hit        bool         `json:"hit"`
+	Pairs      []occur.Pair `json:"pairs,omitempty"`
+	TotalPairs int          `json:"total_pairs"`
+}
+
+// PathEvidence is one path's worth of evidence for one expression. It is
+// recorded only for paths where at least one chain predicate hit; a path
+// contributing nothing explains nothing.
+type PathEvidence struct {
+	Path string `json:"path"` // /t1/t2/.../tn
+	// Predicates holds one entry per chain level, in chain order.
+	Predicates []PredicateEval `json:"predicates"`
+	// Matched reports whether occurrence determination found a chained
+	// combination on this path (after postponed filters, if any).
+	Matched bool `json:"matched"`
+	// MaxDepth is the longest consistent chain prefix the search reached;
+	// Steps counts the occurrence pairs it visited (search effort).
+	MaxDepth int `json:"max_depth"`
+	Steps    int `json:"steps"`
+	// FilteredOut is set when the structural chain matched but a postponed
+	// attribute filter emptied a level (§5, selection postponed).
+	FilteredOut bool `json:"filtered_out,omitempty"`
+}
+
+// ExprTrace explains one registered expression against the document.
+type ExprTrace struct {
+	SIDs    []SID  `json:"sids"`
+	Expr    string `json:"expr"` // predicate-chain notation (nested: source text)
+	Matched bool   `json:"matched"`
+	// ViaCover is set when the expression matched but no path's direct
+	// evaluation succeeded: the match came from a covering relation
+	// (prefix or containment) rather than its own occurrence
+	// determination.
+	ViaCover bool `json:"via_cover,omitempty"`
+	// Nested marks nested-path expressions, which are summarized (their
+	// per-path decomposition is reported by source text only).
+	Nested bool           `json:"nested,omitempty"`
+	Paths  []PathEvidence `json:"paths,omitempty"`
+}
+
+// Trace is the full per-document explanation, including the nanosecond
+// cost of each pipeline stage from the authoritative matching pass and of
+// the explanation pass itself.
+type Trace struct {
+	Paths   int `json:"paths"`
+	Matches int `json:"matches"`
+	// Stage costs of the authoritative match, in nanoseconds. ParseNanos
+	// is zero here; the engine layer fills it in (the matcher never sees
+	// raw bytes).
+	ParseNanos     int64 `json:"parse_nanos,omitempty"`
+	CacheNanos     int64 `json:"cache_nanos"`
+	PredMatchNanos int64 `json:"pred_match_nanos"`
+	OccurNanos     int64 `json:"occur_nanos"`
+	TotalNanos     int64 `json:"total_nanos"`
+	TraceNanos     int64 `json:"trace_nanos"`
+	// Exprs explains every registered distinct expression, capped at
+	// MaxTraceExprs (TruncatedExprs reports whether the cap was hit).
+	Exprs          []ExprTrace `json:"exprs"`
+	TruncatedExprs bool        `json:"truncated_exprs,omitempty"`
+}
+
+// exprString renders a single-path expression's predicate chain in the
+// paper's notation: {P1; P2; ...}.
+func (m *Matcher) exprString(e *expr) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, pid := range e.pids {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(m.ix.Pred(pid).String())
+		if e.post != nil && (len(e.post[i].Left) > 0 || len(e.post[i].Right) > 0) {
+			b.WriteString("+post")
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MatchDocumentTraced matches the document normally and then produces the
+// explanation trace. It is the slow path by design: per-path predicate
+// matching reruns without the path cache and every expression is evaluated
+// directly (covering relations are reported, not exploited).
+func (m *Matcher) MatchDocumentTraced(doc *xmldoc.Document) ([]SID, *Trace) {
+	t0 := time.Now()
+	sids, bd := m.MatchDocumentBreakdown(doc)
+
+	tr := &Trace{
+		Paths:          len(doc.Paths),
+		Matches:        len(sids),
+		CacheNanos:     bd.Cache.Nanoseconds(),
+		PredMatchNanos: bd.PredMatch.Nanoseconds(),
+		OccurNanos:     (bd.ExprMatch + bd.Other).Nanoseconds(),
+		TotalNanos:     time.Since(t0).Nanoseconds(),
+	}
+
+	t1 := time.Now()
+	m.ensureFrozen()
+	defer m.mu.RUnlock()
+
+	matched := make(map[*expr]bool, len(sids))
+	for _, sid := range sids {
+		if int(sid) < len(m.sidOwner) && m.sidOwner[sid] != nil {
+			matched[m.sidOwner[sid]] = true
+		}
+	}
+
+	// Traced expressions: every distinct registered expression with at
+	// least one live SID, in registration order, up to the cap.
+	var traced []*expr
+	for _, e := range m.exprs {
+		if len(e.sids) == 0 {
+			continue
+		}
+		if len(traced) == MaxTraceExprs {
+			tr.TruncatedExprs = true
+			break
+		}
+		traced = append(traced, e)
+	}
+
+	tr.Exprs = make([]ExprTrace, len(traced))
+	for i, e := range traced {
+		et := &tr.Exprs[i]
+		et.SIDs = append([]SID(nil), e.sids...)
+		et.Matched = matched[e]
+		if e.root != nil {
+			et.Nested = true
+			et.Expr = e.nsrc
+		} else {
+			et.Expr = m.exprString(e)
+		}
+	}
+
+	// Explanation pass: one fresh predicate-matching run per path, shared
+	// by all traced expressions of that path.
+	sc := &scratch{
+		res:   predindex.NewResults(m.ix.Len()),
+		byTag: make(map[string][]*xmldoc.Tuple),
+	}
+	directMatch := make([]bool, len(traced))
+	for p := range doc.Paths {
+		pub := &doc.Paths[p]
+		sc.pub = pub
+		sc.byTagOK = false
+		sc.res.Reset(m.ix.Len())
+		m.ix.MatchPath(pub, sc.res)
+		for i, e := range traced {
+			if e.root != nil {
+				continue
+			}
+			ev, direct := m.tracePath(sc, e, pub)
+			if direct {
+				directMatch[i] = true
+			}
+			if ev != nil && len(tr.Exprs[i].Paths) < maxTracePaths {
+				tr.Exprs[i].Paths = append(tr.Exprs[i].Paths, *ev)
+			}
+		}
+	}
+	for i, e := range traced {
+		if e.root == nil && tr.Exprs[i].Matched && !directMatch[i] {
+			tr.Exprs[i].ViaCover = true
+		}
+	}
+	tr.TraceNanos = time.Since(t1).Nanoseconds()
+	return sids, tr
+}
+
+// tracePath evaluates one single-path expression directly against one
+// path's predicate results, returning the evidence (nil when no chain
+// predicate hit — the path explains nothing) and whether the expression
+// matched this path directly.
+func (m *Matcher) tracePath(sc *scratch, e *expr, pub *xmldoc.Publication) (*PathEvidence, bool) {
+	anyHit := false
+	allHit := true
+	evals := make([]PredicateEval, len(e.pids))
+	chain := make([][]occur.Pair, 0, len(e.pids))
+	for i, pid := range e.pids {
+		pairs := sc.res.Get(pid)
+		pe := &evals[i]
+		pe.Predicate = m.ix.Pred(pid).String()
+		pe.TotalPairs = len(pairs)
+		if len(pairs) > 0 {
+			pe.Hit = true
+			anyHit = true
+			n := len(pairs)
+			if n > maxTracePairs {
+				n = maxTracePairs
+			}
+			pe.Pairs = append([]occur.Pair(nil), pairs[:n]...)
+		} else {
+			allHit = false
+		}
+		chain = append(chain, pairs)
+	}
+	if !anyHit {
+		return nil, false
+	}
+	ev := &PathEvidence{Path: pub.String(), Predicates: evals}
+	if allHit {
+		ok, depth, steps := occur.DetermineSteps(chain)
+		ev.Matched, ev.MaxDepth, ev.Steps = ok, depth, steps
+		if ok && e.post != nil {
+			filtered, nonempty := m.filterChain(sc, e, chain)
+			if !nonempty {
+				ev.Matched = false
+				ev.FilteredOut = true
+			} else {
+				fok, fdepth, fsteps := occur.DetermineSteps(filtered)
+				ev.Steps += fsteps
+				if !fok {
+					ev.Matched = false
+					ev.FilteredOut = true
+					ev.MaxDepth = fdepth
+				}
+			}
+		}
+	}
+	return ev, ev.Matched
+}

@@ -1,0 +1,31 @@
+//go:build !race
+
+// The race detector's instrumentation changes allocation behavior, so the
+// AllocsPerRun assertions only run in the regular test legs.
+
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecordingAllocs pins the recording contract: Counter.Add,
+// Gauge.Set and Histogram.Observe perform zero heap allocations, so the
+// instrumented hot paths keep their allocation profile with metrics on.
+func TestRecordingAllocs(t *testing.T) {
+	s := NewSet()
+	if a := testing.AllocsPerRun(100, func() {
+		s.DocsTotal.Add(3)
+		s.StreamQueueDepth.Set(7)
+		s.Parse.Observe(time.Millisecond)
+		s.Match.Observe(time.Microsecond)
+		s.StreamBusy(2).Add(11)
+	}); a != 0 {
+		t.Fatalf("recording allocates %.1f per run, want 0", a)
+	}
+	var h Histogram
+	if a := testing.AllocsPerRun(100, func() { h.Observe(time.Second) }); a != 0 {
+		t.Fatalf("Observe allocates %.1f per run, want 0", a)
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Exposition writes the Prometheus text exposition format (version
+// 0.0.4): one HELP/TYPE header per family followed by its samples.
+// Durations are exposed in seconds, per Prometheus convention. Write
+// errors stick: subsequent calls are no-ops and Err reports the first
+// failure.
+type Exposition struct {
+	w   io.Writer
+	err error
+}
+
+// NewExposition returns an exposition writer over w.
+func NewExposition(w io.Writer) *Exposition { return &Exposition{w: w} }
+
+// Err returns the first write error, if any.
+func (e *Exposition) Err() error { return e.err }
+
+func (e *Exposition) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Family writes the HELP/TYPE header for a metric family. typ is
+// "counter", "gauge" or "histogram".
+func (e *Exposition) Family(name, help, typ string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Value writes one sample. labels is either empty or a pre-rendered
+// label body such as `stage="parse"`.
+func (e *Exposition) Value(name, labels string, v float64) {
+	if labels != "" {
+		e.printf("%s{%s} %s\n", name, labels, fmtFloat(v))
+		return
+	}
+	e.printf("%s %s\n", name, fmtFloat(v))
+}
+
+// Int is Value for integer-valued samples.
+func (e *Exposition) Int(name, labels string, v int64) {
+	if labels != "" {
+		e.printf("%s{%s} %d\n", name, labels, v)
+		return
+	}
+	e.printf("%s %d\n", name, v)
+}
+
+// Histogram writes a histogram family member: cumulative buckets with
+// upper bounds in seconds, then _sum (seconds) and _count. labels may be
+// empty; the le label is appended to it.
+func (e *Exposition) Histogram(name, labels string, s HistSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Buckets[i]
+		le := "+Inf"
+		if i < NumBuckets-1 {
+			le = fmtFloat(BucketUpperNanos(i) / 1e9)
+		}
+		e.printf("%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+	}
+	if labels != "" {
+		e.printf("%s_sum{%s} %s\n", name, labels, fmtFloat(float64(s.SumNanos)/1e9))
+		e.printf("%s_count{%s} %d\n", name, labels, s.Count)
+		return
+	}
+	e.printf("%s_sum %s\n", name, fmtFloat(float64(s.SumNanos)/1e9))
+	e.printf("%s_count %d\n", name, s.Count)
+}
+
+// fmtFloat renders a float the way Prometheus clients expect: shortest
+// representation that round-trips.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

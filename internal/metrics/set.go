@@ -1,0 +1,106 @@
+package metrics
+
+import "time"
+
+// MaxStreamWorkers bounds the per-worker busy-time counter vector of the
+// stream pipeline; workers beyond the bound share the last slot.
+const MaxStreamWorkers = 32
+
+// Set is the engine-wide pipeline metric set: one instance per Engine,
+// always on, shared by every stage (parse, predicate matching, occurrence
+// determination, cache, store, stream pipeline). All fields follow the
+// zero-allocation recording contract; a nil *Set is accepted by every
+// helper so bare components (a standalone Matcher in tests) can skip
+// instrumentation without branching at each site.
+type Set struct {
+	// Document-level counters.
+	DocsTotal    Counter // documents matched (all entry points)
+	DocErrors    Counter // documents rejected by the parser
+	DocBytes     Counter // XML bytes parsed
+	PathsTotal   Counter // root-to-leaf paths matched
+	MatchesTotal Counter // matching SIDs reported
+	SlowDocs     Counter // documents over the slow-document threshold
+
+	// Per-document stage latency histograms. Parse covers XML parsing plus
+	// path extraction; Cache the path-signature cache probes and replays;
+	// PredMatch the predicate matching stage; Occur occurrence
+	// determination plus result collection; Match the whole post-parse
+	// matching call. The parallel path records Match only (its workers
+	// deliberately keep clock calls off the shards).
+	Parse     Histogram
+	Cache     Histogram
+	PredMatch Histogram
+	Occur     Histogram
+	Match     Histogram
+
+	// Durable-store stage histograms.
+	WALAppend Histogram
+	Snapshot  Histogram
+
+	// Stream pipeline instrumentation.
+	StreamQueueDepth Gauge   // jobs dispatched but not yet picked up
+	StreamJobs       Counter // documents that entered the worker pool
+	streamBusy       [MaxStreamWorkers]Counter
+}
+
+// NewSet returns a ready-to-record metric set.
+func NewSet() *Set { return &Set{} }
+
+// ObserveParse records one parse outcome: duration and input size, or a
+// parse failure. Path counts are recorded by the matcher (PathsTotal), so
+// parse-only callers do not double-count them. Safe on a nil receiver.
+func (s *Set) ObserveParse(d time.Duration, bytes int, err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.DocErrors.Inc()
+		return
+	}
+	s.Parse.Observe(d)
+	s.DocBytes.Add(int64(bytes))
+}
+
+// ObserveWALAppend records one durable WAL append. Safe on a nil receiver.
+func (s *Set) ObserveWALAppend(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.WALAppend.Observe(d)
+}
+
+// ObserveSnapshot records one snapshot write. Safe on a nil receiver.
+func (s *Set) ObserveSnapshot(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Snapshot.Observe(d)
+}
+
+// StreamBusy returns worker w's cumulative busy-time counter
+// (nanoseconds), clamping out-of-range workers to the last slot.
+func (s *Set) StreamBusy(w int) *Counter {
+	if w < 0 {
+		w = 0
+	}
+	if w >= MaxStreamWorkers {
+		w = MaxStreamWorkers - 1
+	}
+	return &s.streamBusy[w]
+}
+
+// StreamBusyNanos returns the per-worker busy-time counters up to the
+// highest worker that recorded anything.
+func (s *Set) StreamBusyNanos() []int64 {
+	n := 0
+	for i := range s.streamBusy {
+		if s.streamBusy[i].Load() > 0 {
+			n = i + 1
+		}
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = s.streamBusy[i].Load()
+	}
+	return out
+}

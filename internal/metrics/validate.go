@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricLine matches one Prometheus text-format sample line.
+var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[0-9.eE+-]+)$`)
+
+// ValidateExposition checks text against the Prometheus text-format
+// invariants the scrape path relies on: every non-comment line is a
+// well-formed sample, histogram bucket bounds strictly increase, bucket
+// counts are cumulative, and each histogram's +Inf bucket equals its
+// _count. It is used by the package tests, the server tests and the CI
+// smoke check.
+func ValidateExposition(text string) error {
+	type histState struct {
+		last    uint64
+		lastLe  float64
+		infSeen bool
+		inf     uint64
+	}
+	hists := make(map[string]*histState)
+	counts := make(map[string]uint64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !metricLine.MatchString(line) {
+			return fmt.Errorf("malformed exposition line: %q", line)
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		val := line[strings.LastIndex(line, " ")+1:]
+		switch {
+		case strings.HasSuffix(name, "_bucket") && strings.Contains(line, `le="`):
+			series := line[:strings.Index(line, "le=")]
+			h := hists[series]
+			if h == nil {
+				h = &histState{lastLe: math.Inf(-1)}
+				hists[series] = h
+			}
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bucket count %q: %v", val, err)
+			}
+			le := line[strings.Index(line, `le="`)+4:]
+			le = le[:strings.Index(le, `"`)]
+			if le == "+Inf" {
+				h.infSeen = true
+				h.inf = n
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("le bound %q: %v", le, err)
+				}
+				if b <= h.lastLe {
+					return fmt.Errorf("le bounds not increasing at %q", line)
+				}
+				h.lastLe = b
+			}
+			if n < h.last {
+				return fmt.Errorf("bucket counts not cumulative at %q", line)
+			}
+			h.last = n
+		case strings.HasSuffix(name, "_count"):
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("count %q: %v", val, err)
+			}
+			// Key by the full series minus the trailing "_count" so it
+			// aligns with the bucket-series prefix (which ends just before
+			// the le label).
+			key := strings.TrimSuffix(name, "_count") + "_bucket"
+			if i := strings.Index(line, "{"); i >= 0 {
+				labels := line[i+1 : strings.Index(line, "}")]
+				if labels != "" {
+					key += "{" + labels + ","
+				}
+			} else {
+				key += "{"
+			}
+			counts[key] = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for series, h := range hists {
+		if !h.infSeen {
+			return fmt.Errorf("histogram series %q has no +Inf bucket", series)
+		}
+		if n, ok := counts[series]; ok && n != h.inf {
+			return fmt.Errorf("histogram series %q: +Inf bucket %d != count %d", series, h.inf, n)
+		}
+	}
+	return nil
+}

@@ -51,6 +51,38 @@ func Determine(results [][]Pair) (matched bool, maxDepth int) {
 	return dfs(0, 0), maxDepth
 }
 
+// DetermineSteps is Determine with search-effort accounting: steps counts
+// every occurrence pair the backtracking search visited. It exists for
+// the match-trace mode, where the per-expression search effort is part of
+// the explanation; the plain Determine stays free of the counter on the
+// hot path.
+func DetermineSteps(results [][]Pair) (matched bool, maxDepth, steps int) {
+	n := len(results)
+	if n == 0 {
+		return true, 0, 0
+	}
+	var dfs func(level int, need int32) bool
+	dfs = func(level int, need int32) bool {
+		if level == n {
+			return true
+		}
+		for _, pr := range results[level] {
+			steps++
+			if level > 0 && pr.A != need {
+				continue
+			}
+			if level+1 > maxDepth {
+				maxDepth = level + 1
+			}
+			if dfs(level+1, pr.B) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, 0), maxDepth, steps
+}
+
 // Enumerate calls visit for every full chained combination, in
 // depth-first order. The assign slice is reused between calls; visit must
 // copy it if it retains it. Enumeration stops early when visit returns

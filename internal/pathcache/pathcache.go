@@ -247,13 +247,15 @@ type Stats struct {
 	Generation    uint64
 }
 
-// HitRate returns hits / (hits + misses), or 0 before any lookup.
+// HitRate returns hits / (hits + misses), or 0 before any lookup. The
+// sum is computed in floating point so counters near the int64 limit
+// cannot overflow into a negative total.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := float64(s.Hits) + float64(s.Misses)
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits) / total
 }
 
 // Stats snapshots the counters and residency.

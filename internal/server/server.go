@@ -10,9 +10,12 @@
 //	DELETE /subscriptions/{id}                               → 204
 //	GET    /subscriptions/{id}                               → subscription info
 //	POST   /publish              <xml body>                  → {"matches": n, "ids": [...]}
+//	POST   /publish?trace=1      <xml body>                  → the same plus a per-expression match trace
 //	POST   /publish/batch        {"documents": [<xml>, ...]} → {"results": [...]}
 //	GET    /deliveries/{id}?max=k                            → drained documents for one subscription
 //	GET    /stats                                            → engine (and store) statistics
+//	GET    /metrics                                          → Prometheus text exposition of the pipeline metrics
+//	GET    /debug/vars           (always on)                 → JSON snapshot of the publish-path counters
 //	POST   /admin/snapshot                                   → compact the durable store now
 //
 // With Config.StateDir set (server.Open), the subscription set is durable:
@@ -29,12 +32,17 @@
 // loses oldest-first (counted in the subscription info) rather than
 // blocking the publish path.
 //
-// With Config.Debug set, the server additionally exposes net/http/pprof
-// under /debug/pprof/ and publish-path throughput and allocation counters
-// under /debug/vars, so the matching pipeline can be profiled in place.
+// Observability is always on: GET /metrics serves the engine's per-stage
+// latency histograms and counters in the Prometheus text exposition
+// format, /debug/vars serves a JSON snapshot of the publish-path
+// counters, and POST /publish?trace=1 returns a per-expression match
+// explanation alongside the normal response. With Config.Debug set, the
+// server additionally exposes net/http/pprof under /debug/pprof/ so the
+// matching pipeline can be profiled in place.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -48,6 +56,7 @@ import (
 	"time"
 
 	"predfilter"
+	"predfilter/internal/metrics"
 )
 
 // Config configures a Server.
@@ -61,7 +70,8 @@ type Config struct {
 	// Workers sizes the batch-publish matching pipeline (default
 	// GOMAXPROCS).
 	Workers int
-	// Debug exposes /debug/pprof/ and /debug/vars.
+	// Debug exposes /debug/pprof/. The observability endpoints (/metrics,
+	// /debug/vars) are always on and not affected by this switch.
 	Debug bool
 
 	// StateDir, when non-empty, makes the subscription set durable: every
@@ -162,8 +172,9 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /publish/batch", s.handlePublishBatch)
 	s.mux.HandleFunc("GET /deliveries/{id}", s.handleDeliveries)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
 	if cfg.Debug {
-		s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -310,9 +321,19 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	}
 	// Match without the registry lock: the engine is safe for concurrent
 	// matching, and subscriptions added mid-publish simply miss this
-	// document.
+	// document. With ?trace=1 the (slower) explaining match runs instead
+	// and the per-expression trace rides along in the response.
+	traced := r.URL.Query().Get("trace") == "1"
+	var (
+		sids []predfilter.SID
+		tr   *predfilter.MatchTrace
+	)
 	t0 := time.Now()
-	sids, err := s.eng.Match(doc)
+	if traced {
+		sids, tr, err = s.eng.MatchTraced(doc)
+	} else {
+		sids, err = s.eng.Match(doc)
+	}
 	s.publishNanos.Add(time.Since(t0).Nanoseconds())
 	if err != nil {
 		s.docsRejected.Add(1)
@@ -322,7 +343,11 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	s.docsPublished.Add(1)
 	s.matchesTotal.Add(int64(len(sids)))
 	delivered := s.deliver(doc, sids)
-	writeJSON(w, http.StatusOK, map[string]any{"matches": len(delivered), "ids": delivered})
+	resp := map[string]any{"matches": len(delivered), "ids": delivered}
+	if traced {
+		resp["trace"] = tr
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // deliver enqueues doc for every matched, still-registered subscription
@@ -456,23 +481,42 @@ func (s *Server) pathCacheVars() map[string]any {
 	}
 }
 
+// publishCounters is one consistent-enough snapshot of the publish-path
+// counters: every atomic is loaded exactly once per request, and all
+// derived values (docs/sec) come from those loads, so a response can
+// never contradict itself about a counter it reports twice.
+type publishCounters struct {
+	docs, rejected, batch, matches, nanos int64
+}
+
+func (s *Server) snapshotPublishCounters() publishCounters {
+	return publishCounters{
+		docs:     s.docsPublished.Load(),
+		rejected: s.docsRejected.Load(),
+		batch:    s.batchDocsTotal.Load(),
+		matches:  s.matchesTotal.Load(),
+		nanos:    s.publishNanos.Load(),
+	}
+}
+
 // handleDebugVars reports publish-path throughput counters and allocation
 // statistics (a /debug/vars-style snapshot for profiling the pipeline).
+// The response is marshaled to a buffer before writing so concurrent
+// publishes can never interleave with a partially written body.
 func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	docs := s.docsPublished.Load()
-	nanos := s.publishNanos.Load()
+	pc := s.snapshotPublishCounters()
 	var docsPerSec float64
-	if nanos > 0 {
-		docsPerSec = float64(docs) / (float64(nanos) / 1e9)
+	if pc.nanos > 0 {
+		docsPerSec = float64(pc.docs) / (float64(pc.nanos) / 1e9)
 	}
 	vars := map[string]any{
-		"docs_published":       docs,
-		"docs_rejected":        s.docsRejected.Load(),
-		"batch_docs":           s.batchDocsTotal.Load(),
-		"matches_total":        s.matchesTotal.Load(),
-		"publish_ns":           nanos,
+		"docs_published":       pc.docs,
+		"docs_rejected":        pc.rejected,
+		"batch_docs":           pc.batch,
+		"matches_total":        pc.matches,
+		"publish_ns":           pc.nanos,
 		"publish_docs_per_sec": docsPerSec,
 		"workers":              s.cfg.Workers,
 		"gomaxprocs":           runtime.GOMAXPROCS(0),
@@ -485,10 +529,61 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	if sv := s.storeVars(); sv != nil {
 		vars["store"] = sv
 	}
-	if pc := s.pathCacheVars(); pc != nil {
-		vars["path_cache"] = pc
+	if cv := s.pathCacheVars(); cv != nil {
+		vars["path_cache"] = cv
 	}
-	writeJSON(w, http.StatusOK, vars)
+	body, err := json.Marshal(vars)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "marshal vars: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handleMetrics serves the engine's metric state plus the server's
+// publish-path and store counters in the Prometheus text exposition
+// format (version 0.0.4). Always on: recording follows the engine's
+// zero-allocation contract, so there is nothing to toggle.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.eng.WriteMetrics(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "metrics: %v", err)
+		return
+	}
+	pc := s.snapshotPublishCounters()
+	x := metrics.NewExposition(&buf)
+	x.Family("predfilter_server_docs_published_total", "Documents accepted by /publish and /publish/batch.", "counter")
+	x.Int("predfilter_server_docs_published_total", "", pc.docs)
+	x.Family("predfilter_server_docs_rejected_total", "Published documents that failed to parse.", "counter")
+	x.Int("predfilter_server_docs_rejected_total", "", pc.rejected)
+	x.Family("predfilter_server_batch_docs_total", "Documents that arrived via /publish/batch.", "counter")
+	x.Int("predfilter_server_batch_docs_total", "", pc.batch)
+	x.Family("predfilter_server_matches_total", "Sum of per-document match counts on the publish paths.", "counter")
+	x.Int("predfilter_server_matches_total", "", pc.matches)
+	x.Family("predfilter_server_publish_seconds_total", "Wall time spent matching published documents.", "counter")
+	x.Value("predfilter_server_publish_seconds_total", "", float64(pc.nanos)/1e9)
+	if s.pe != nil {
+		st := s.pe.StoreStats()
+		x.Family("predfilter_store_live_subscriptions", "Live persisted subscriptions.", "gauge")
+		x.Int("predfilter_store_live_subscriptions", "", int64(st.Live))
+		x.Family("predfilter_store_wal_records", "Records in the write-ahead log since the last snapshot.", "gauge")
+		x.Int("predfilter_store_wal_records", "", st.WALRecords)
+		x.Family("predfilter_store_wal_bytes", "Write-ahead log body size in bytes.", "gauge")
+		x.Int("predfilter_store_wal_bytes", "", st.WALBytes)
+		x.Family("predfilter_store_appends_total", "Records appended to the write-ahead log.", "counter")
+		x.Int("predfilter_store_appends_total", "", st.Appends)
+		x.Family("predfilter_store_snapshots_total", "Snapshots written.", "counter")
+		x.Int("predfilter_store_snapshots_total", "", st.Snapshots)
+	}
+	if err := x.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, "metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) handleDeliveries(w http.ResponseWriter, r *http.Request) {
@@ -522,6 +617,17 @@ func (s *Server) handleDeliveries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"documents": out, "remaining": len(sub.queue)})
 }
 
+// stageVars flattens one stage-latency summary for /stats.
+func stageVars(h predfilter.HistogramStats) map[string]any {
+	return map[string]any{
+		"count":    h.Count,
+		"total_ns": h.TotalNanos,
+		"p50_ns":   h.P50Nanos,
+		"p95_ns":   h.P95Nanos,
+		"p99_ns":   h.P99Nanos,
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	s.mu.Lock()
@@ -533,6 +639,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"distinct_expressions": st.DistinctExpressions,
 		"distinct_predicates":  st.DistinctPredicates,
 		"nested_expressions":   st.NestedExpressions,
+		"documents":            st.Documents,
+		"doc_errors":           st.DocErrors,
+		"doc_bytes":            st.DocBytes,
+		"paths":                st.Paths,
+		"matches":              st.Matches,
+		"slow_docs":            st.SlowDocs,
+		"stages": map[string]any{
+			"parse":           stageVars(st.Stages.Parse),
+			"cache":           stageVars(st.Stages.Cache),
+			"predicate_match": stageVars(st.Stages.PredicateMatch),
+			"occurrence":      stageVars(st.Stages.Occurrence),
+			"match":           stageVars(st.Stages.Match),
+			"wal_append":      stageVars(st.Stages.WALAppend),
+			"snapshot":        stageVars(st.Stages.Snapshot),
+		},
 	}
 	if sv := s.storeVars(); sv != nil {
 		stats["store"] = sv

@@ -368,17 +368,25 @@ func TestPublishBatchValidation(t *testing.T) {
 }
 
 func TestDebugEndpoints(t *testing.T) {
-	// Off by default: the debug surface must not leak into production.
+	// pprof is off by default: the profiling surface must not leak into
+	// production. /debug/vars is observability, not profiling, and stays
+	// on unconditionally.
 	ts := newTestServer(t, Config{})
-	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusNotFound {
-			t.Fatalf("%s without Debug: status %d, want 404", path, resp.StatusCode)
-		}
+	resp0, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without Debug: status %d, want 404", resp0.StatusCode)
+	}
+	resp0, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars without Debug: status %d, want 200 (always on)", resp0.StatusCode)
 	}
 
 	dbg := newTestServer(t, Config{Debug: true})

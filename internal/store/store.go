@@ -34,6 +34,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"predfilter/internal/metrics"
 )
 
 // Default file names inside a state directory.
@@ -48,6 +50,9 @@ type Options struct {
 	// then survives process crashes (the page cache keeps the writes) but
 	// not OS crashes or power loss. Intended for tests and benchmarks.
 	NoSync bool
+	// Metrics, when non-nil, receives WAL-append and snapshot latency
+	// observations (the store histograms of internal/metrics).
+	Metrics *metrics.Set
 }
 
 // Stats counts store activity. Recovery fields describe the last Open;
@@ -174,9 +179,11 @@ func (s *Store) AppendAdd(sid uint32, expr string) error {
 		return fmt.Errorf("store: expression of %d bytes exceeds record limit", len(expr))
 	}
 	payload := appendAddPayload(make([]byte, 0, 5+len(expr)), sid, expr)
+	t0 := time.Now()
 	if err := s.w.append(payload); err != nil {
 		return err
 	}
+	s.opts.Metrics.ObserveWALAppend(time.Since(t0))
 	s.live[sid] = expr
 	s.nextSID = sid + 1
 	s.walRecords++
@@ -195,9 +202,11 @@ func (s *Store) AppendRemove(sid uint32) error {
 		return fmt.Errorf("store: remove of unknown sid %d", sid)
 	}
 	payload := appendRemovePayload(make([]byte, 0, 5), sid)
+	t0 := time.Now()
 	if err := s.w.append(payload); err != nil {
 		return err
 	}
+	s.opts.Metrics.ObserveWALAppend(time.Since(t0))
 	delete(s.live, sid)
 	s.walRecords++
 	s.stats.Appends++
@@ -240,9 +249,11 @@ func (s *Store) Snapshot() error {
 		return fmt.Errorf("store: closed")
 	}
 	path := filepath.Join(s.dir, snapFile)
+	t0 := time.Now()
 	if err := writeSnapshot(path, s.entriesLocked(), s.nextSID, !s.opts.NoSync); err != nil {
 		return err
 	}
+	s.opts.Metrics.ObserveSnapshot(time.Since(t0))
 	// The snapshot is durable; the WAL records it subsumes can go. A crash
 	// before this truncate only means those records replay (idempotently)
 	// on the next Open.

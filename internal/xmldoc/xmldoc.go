@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
+
+	"predfilter/internal/metrics"
 )
 
 // Attr is an attribute name/value pair attached to an element.
@@ -84,6 +87,25 @@ type Document struct {
 // Parse decomposes the XML document in data.
 func Parse(data []byte) (*Document, error) {
 	return ParseReader(bytes.NewReader(data))
+}
+
+// ParseMetered is Parse with stage observation: the parse + path
+// extraction duration and input size land in ms (the engine's metric
+// set). A nil ms records nothing.
+func ParseMetered(data []byte, ms *metrics.Set) (*Document, error) {
+	t0 := time.Now()
+	d, err := Parse(data)
+	ms.ObserveParse(time.Since(t0), len(data), err)
+	return d, err
+}
+
+// ParseReaderMetered is ParseReader with stage observation. The input
+// size of a stream is not known, so only the duration is recorded.
+func ParseReaderMetered(r io.Reader, ms *metrics.Set) (*Document, error) {
+	t0 := time.Now()
+	d, err := ParseReader(r)
+	ms.ObserveParse(time.Since(t0), 0, err)
+	return d, err
 }
 
 // ParseReader decomposes the XML document read from r. Input with more

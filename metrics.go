@@ -1,0 +1,196 @@
+package predfilter
+
+import (
+	"io"
+	"log/slog"
+	"strconv"
+	"time"
+
+	"predfilter/internal/matcher"
+	"predfilter/internal/metrics"
+	"predfilter/internal/xmldoc"
+)
+
+// HistogramStats summarizes one stage-latency histogram: observation
+// count, accumulated time, and interpolated quantile estimates (see
+// internal/metrics for the bucket layout the estimates come from).
+type HistogramStats struct {
+	Count      uint64
+	TotalNanos int64
+	P50Nanos   float64
+	P95Nanos   float64
+	P99Nanos   float64
+}
+
+func summarize(h *metrics.Histogram) HistogramStats {
+	s := h.Snapshot()
+	return HistogramStats{
+		Count:      s.Count,
+		TotalNanos: int64(s.SumNanos),
+		P50Nanos:   s.Quantile(0.50),
+		P95Nanos:   s.Quantile(0.95),
+		P99Nanos:   s.Quantile(0.99),
+	}
+}
+
+// StageStats holds the per-stage latency summaries of the pipeline:
+// parsing (XML parse + path extraction), the path-signature cache stage,
+// the two matching stages of the paper (predicate matching, occurrence
+// determination), the whole post-parse match, and the durable-store
+// operations.
+type StageStats struct {
+	Parse          HistogramStats
+	Cache          HistogramStats
+	PredicateMatch HistogramStats
+	Occurrence     HistogramStats
+	Match          HistogramStats
+	WALAppend      HistogramStats
+	Snapshot       HistogramStats
+}
+
+// Match tracing (per-document explanation mode). The types are produced
+// by Engine.MatchTraced; see internal/matcher for field documentation.
+type (
+	// MatchTrace is the full per-document explanation: per-expression
+	// evidence plus the nanosecond cost of each pipeline stage.
+	MatchTrace = matcher.Trace
+	// ExprTrace explains one registered expression against the document.
+	ExprTrace = matcher.ExprTrace
+	// PathEvidence is one path's evidence for one expression.
+	PathEvidence = matcher.PathEvidence
+	// PredicateEval is the stage-1 evidence for one chain level.
+	PredicateEval = matcher.PredicateEval
+)
+
+// MatchTraced is Match with an explanation: alongside the matching SIDs it
+// returns, for every registered expression, which chain predicates
+// produced occurrence pairs on which paths, the occurrence-determination
+// outcome over them, and the per-stage costs. The match result is
+// authoritative (identical to Match); the explanation is a deliberately
+// slow second pass intended for debugging single documents.
+func (e *Engine) MatchTraced(doc []byte) ([]SID, *MatchTrace, error) {
+	t0 := time.Now()
+	d, err := xmldoc.ParseMetered(doc, e.mx)
+	if err != nil {
+		return nil, nil, err
+	}
+	parse := time.Since(t0)
+	sids, tr := e.m.MatchDocumentTraced(d)
+	tr.ParseNanos = parse.Nanoseconds()
+	return sids, tr, nil
+}
+
+// maybeLogSlow counts and logs documents whose parse+match time reached
+// the configured threshold. bd may be nil when no stage breakdown exists
+// (the parallel and streaming paths).
+func (e *Engine) maybeLogSlow(parse, match time.Duration, bd *matcher.Breakdown, bytes, paths, matches int) {
+	if e.slow <= 0 || parse+match < e.slow {
+		return
+	}
+	e.mx.SlowDocs.Inc()
+	attrs := []slog.Attr{
+		slog.Int64("total_ns", int64(parse+match)),
+		slog.Int64("parse_ns", int64(parse)),
+		slog.Int64("match_ns", int64(match)),
+		slog.Int("bytes", bytes),
+		slog.Int("paths", paths),
+		slog.Int("matches", matches),
+	}
+	if bd != nil {
+		attrs = append(attrs,
+			slog.Int64("cache_ns", int64(bd.Cache)),
+			slog.Int64("pred_match_ns", int64(bd.PredMatch)),
+			slog.Int64("occur_ns", int64(bd.ExprMatch+bd.Other)),
+		)
+	}
+	e.logger.LogAttrs(nil, slog.LevelWarn, "predfilter: slow document", attrs...)
+}
+
+// Metrics returns the engine's metric set for direct recording access
+// (the stream pipeline and the durable store record into it).
+func (e *Engine) Metrics() *metrics.Set { return e.mx }
+
+// stageStats summarizes every stage histogram.
+func (e *Engine) stageStats() StageStats {
+	return StageStats{
+		Parse:          summarize(&e.mx.Parse),
+		Cache:          summarize(&e.mx.Cache),
+		PredicateMatch: summarize(&e.mx.PredMatch),
+		Occurrence:     summarize(&e.mx.Occur),
+		Match:          summarize(&e.mx.Match),
+		WALAppend:      summarize(&e.mx.WALAppend),
+		Snapshot:       summarize(&e.mx.Snapshot),
+	}
+}
+
+// WriteMetrics writes the engine's full metric state to w in the
+// Prometheus text exposition format (version 0.0.4): the document
+// counters, the per-stage latency histograms, the expression-table
+// gauges, the path-cache counters and the stream-pipeline
+// instrumentation. It is the payload of the server's GET /metrics.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	x := metrics.NewExposition(w)
+
+	x.Family("predfilter_docs_total", "Documents matched (all entry points).", "counter")
+	x.Int("predfilter_docs_total", "", e.mx.DocsTotal.Load())
+	x.Family("predfilter_doc_errors_total", "Documents rejected by the XML parser.", "counter")
+	x.Int("predfilter_doc_errors_total", "", e.mx.DocErrors.Load())
+	x.Family("predfilter_doc_bytes_total", "XML bytes parsed.", "counter")
+	x.Int("predfilter_doc_bytes_total", "", e.mx.DocBytes.Load())
+	x.Family("predfilter_paths_total", "Root-to-leaf paths matched.", "counter")
+	x.Int("predfilter_paths_total", "", e.mx.PathsTotal.Load())
+	x.Family("predfilter_matches_total", "Matching expression identifiers reported.", "counter")
+	x.Int("predfilter_matches_total", "", e.mx.MatchesTotal.Load())
+	x.Family("predfilter_slow_docs_total", "Documents over the slow-document threshold.", "counter")
+	x.Int("predfilter_slow_docs_total", "", e.mx.SlowDocs.Load())
+
+	x.Family("predfilter_stage_duration_seconds", "Per-document pipeline stage latency.", "histogram")
+	x.Histogram("predfilter_stage_duration_seconds", `stage="parse"`, e.mx.Parse.Snapshot())
+	x.Histogram("predfilter_stage_duration_seconds", `stage="cache"`, e.mx.Cache.Snapshot())
+	x.Histogram("predfilter_stage_duration_seconds", `stage="predicate_match"`, e.mx.PredMatch.Snapshot())
+	x.Histogram("predfilter_stage_duration_seconds", `stage="occurrence"`, e.mx.Occur.Snapshot())
+	x.Histogram("predfilter_stage_duration_seconds", `stage="match"`, e.mx.Match.Snapshot())
+
+	x.Family("predfilter_store_duration_seconds", "Durable store operation latency.", "histogram")
+	x.Histogram("predfilter_store_duration_seconds", `op="wal_append"`, e.mx.WALAppend.Snapshot())
+	x.Histogram("predfilter_store_duration_seconds", `op="snapshot"`, e.mx.Snapshot.Snapshot())
+
+	st := e.m.Stats()
+	x.Family("predfilter_expressions", "Live registered expression identifiers.", "gauge")
+	x.Int("predfilter_expressions", "", int64(st.SIDs))
+	x.Family("predfilter_distinct_expressions", "Distinct expressions after dedup.", "gauge")
+	x.Int("predfilter_distinct_expressions", "", int64(st.DistinctExpressions))
+	x.Family("predfilter_distinct_predicates", "Size of the shared predicate index.", "gauge")
+	x.Int("predfilter_distinct_predicates", "", int64(st.DistinctPredicates))
+	x.Family("predfilter_nested_expressions", "Distinct expressions with nested path filters.", "gauge")
+	x.Int("predfilter_nested_expressions", "", int64(st.NestedExpressions))
+
+	if st.PathCacheEnabled {
+		pc := st.PathCache
+		x.Family("predfilter_path_cache_hits_total", "Path-signature cache hits.", "counter")
+		x.Int("predfilter_path_cache_hits_total", "", pc.Hits)
+		x.Family("predfilter_path_cache_misses_total", "Path-signature cache misses.", "counter")
+		x.Int("predfilter_path_cache_misses_total", "", pc.Misses)
+		x.Family("predfilter_path_cache_evictions_total", "Path-signature cache evictions.", "counter")
+		x.Int("predfilter_path_cache_evictions_total", "", pc.Evictions)
+		x.Family("predfilter_path_cache_invalidations_total", "Path-signature cache generation bumps.", "counter")
+		x.Int("predfilter_path_cache_invalidations_total", "", pc.Invalidations)
+		x.Family("predfilter_path_cache_entries", "Resident path-signature cache entries.", "gauge")
+		x.Int("predfilter_path_cache_entries", "", int64(pc.Entries))
+		x.Family("predfilter_path_cache_bytes", "Resident path-signature cache bytes.", "gauge")
+		x.Int("predfilter_path_cache_bytes", "", pc.Bytes)
+	}
+
+	x.Family("predfilter_stream_queue_depth", "Stream jobs dispatched but not yet picked up.", "gauge")
+	x.Int("predfilter_stream_queue_depth", "", e.mx.StreamQueueDepth.Load())
+	x.Family("predfilter_stream_jobs_total", "Documents that entered the stream worker pool.", "counter")
+	x.Int("predfilter_stream_jobs_total", "", e.mx.StreamJobs.Load())
+	if busy := e.mx.StreamBusyNanos(); len(busy) > 0 {
+		x.Family("predfilter_stream_worker_busy_seconds_total", "Cumulative per-worker busy time.", "counter")
+		for wkr, ns := range busy {
+			x.Value("predfilter_stream_worker_busy_seconds_total",
+				`worker="`+strconv.Itoa(wkr)+`"`, float64(ns)/1e9)
+		}
+	}
+	return x.Err()
+}

@@ -71,11 +71,11 @@ func Open(dir string, cfg PersistentConfig) (*PersistentEngine, error) {
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = 8192
 	}
-	st, err := store.Open(dir, store.Options{NoSync: cfg.NoSync})
+	eng := New(cfg.Engine)
+	st, err := store.Open(dir, store.Options{NoSync: cfg.NoSync, Metrics: eng.mx})
 	if err != nil {
 		return nil, err
 	}
-	eng := New(cfg.Engine)
 	for _, e := range st.Entries() {
 		if err := eng.m.AddWithSID(e.Expr, SID(e.SID)); err != nil {
 			st.Close()

@@ -28,8 +28,11 @@ package predfilter
 
 import (
 	"io"
+	"log/slog"
+	"time"
 
 	"predfilter/internal/matcher"
+	"predfilter/internal/metrics"
 	"predfilter/internal/predicate"
 	"predfilter/internal/xmldoc"
 	"predfilter/internal/xpath"
@@ -100,11 +103,24 @@ type Config struct {
 	// path filters) is always re-verified against the live document, so
 	// the cache never changes match results.
 	PathCacheBytes int64
+	// SlowDocThreshold, when positive, emits one structured log record
+	// (via Logger) for every document whose parse+match time reaches the
+	// threshold, annotated with the per-stage breakdown. Slow documents
+	// are also counted in the slow_docs metric.
+	SlowDocThreshold time.Duration
+	// Logger receives slow-document records; nil selects slog.Default().
+	Logger *slog.Logger
 }
 
-// Engine is the filtering engine.
+// Engine is the filtering engine. Every engine carries an always-on
+// metric set (see Stats and WriteMetrics); recording follows the
+// zero-allocation contract of internal/metrics, so there is no
+// instrumentation toggle.
 type Engine struct {
-	m *matcher.Matcher
+	m      *matcher.Matcher
+	mx     *metrics.Set
+	logger *slog.Logger
+	slow   time.Duration
 }
 
 // New returns an engine with the given configuration.
@@ -130,14 +146,25 @@ func New(cfg Config) *Engine {
 	if cfg.RarestAccessPredicate {
 		cluster = matcher.RarestPredicate
 	}
-	return &Engine{m: matcher.New(matcher.Options{
-		Variant:          v,
-		AttrMode:         mode,
-		DisablePathDedup: cfg.DisablePathDedup,
-		CoverMode:        cover,
-		ClusterBy:        cluster,
-		PathCacheBytes:   cfg.PathCacheBytes,
-	})}
+	mx := metrics.NewSet()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Engine{
+		m: matcher.New(matcher.Options{
+			Variant:          v,
+			AttrMode:         mode,
+			DisablePathDedup: cfg.DisablePathDedup,
+			CoverMode:        cover,
+			ClusterBy:        cluster,
+			PathCacheBytes:   cfg.PathCacheBytes,
+			Metrics:          mx,
+		}),
+		mx:     mx,
+		logger: logger,
+		slow:   cfg.SlowDocThreshold,
+	}
 }
 
 // Validate reports whether the expression is within the supported
@@ -200,11 +227,16 @@ func (e *Engine) Remove(sid SID) error { return e.m.Remove(sid) }
 // expressions (an expression matches the document iff its evaluation over
 // the document is a non-empty node set).
 func (e *Engine) Match(doc []byte) ([]SID, error) {
-	d, err := xmldoc.Parse(doc)
+	t0 := time.Now()
+	d, err := xmldoc.ParseMetered(doc, e.mx)
 	if err != nil {
 		return nil, err
 	}
-	return e.m.MatchDocument(d), nil
+	parse := time.Since(t0)
+	t1 := time.Now()
+	sids, bd := e.m.MatchDocumentBreakdown(d)
+	e.maybeLogSlow(parse, time.Since(t1), &bd, len(doc), len(d.Paths), len(sids))
+	return sids, nil
 }
 
 // MatchCounts parses the document and returns, for every matching
@@ -212,7 +244,7 @@ func (e *Engine) Match(doc []byte) ([]SID, error) {
 // problem Index-Filter originally targets; the filtering semantics of
 // Match needs only existence and is cheaper).
 func (e *Engine) MatchCounts(doc []byte) (map[SID]int, error) {
-	d, err := xmldoc.Parse(doc)
+	d, err := xmldoc.ParseMetered(doc, e.mx)
 	if err != nil {
 		return nil, err
 	}
@@ -221,11 +253,16 @@ func (e *Engine) MatchCounts(doc []byte) (map[SID]int, error) {
 
 // MatchReader is Match over a stream.
 func (e *Engine) MatchReader(r io.Reader) ([]SID, error) {
-	d, err := xmldoc.ParseReader(r)
+	t0 := time.Now()
+	d, err := xmldoc.ParseReaderMetered(r, e.mx)
 	if err != nil {
 		return nil, err
 	}
-	return e.m.MatchDocument(d), nil
+	parse := time.Since(t0)
+	t1 := time.Now()
+	sids, bd := e.m.MatchDocumentBreakdown(d)
+	e.maybeLogSlow(parse, time.Since(t1), &bd, 0, len(d.Paths), len(sids))
+	return sids, nil
 }
 
 // Document is a pre-parsed document, reusable across engines.
@@ -251,7 +288,10 @@ func (d *Document) Paths() int { return len(d.doc.Paths) }
 
 // MatchParsed matches a pre-parsed document.
 func (e *Engine) MatchParsed(d *Document) []SID {
-	return e.m.MatchDocument(d.doc)
+	t0 := time.Now()
+	sids, bd := e.m.MatchDocumentBreakdown(d.doc)
+	e.maybeLogSlow(0, time.Since(t0), &bd, 0, len(d.doc.Paths), len(sids))
+	return sids
 }
 
 // Stats summarizes engine state.
@@ -272,6 +312,17 @@ type Stats struct {
 	// PathCache reports the structural path-signature cache activity;
 	// zero-valued with Enabled false when the cache is disabled.
 	PathCache PathCacheStats
+	// Documents, DocErrors, DocBytes, Paths, Matches and SlowDocs are the
+	// engine-lifetime pipeline counters (the counter half of the metric
+	// set; WriteMetrics serves the same data in exposition form).
+	Documents int64
+	DocErrors int64
+	DocBytes  int64
+	Paths     int64
+	Matches   int64
+	SlowDocs  int64
+	// Stages summarizes the per-stage latency histograms.
+	Stages StageStats
 }
 
 // PathCacheStats summarizes the structural path-signature cache.
@@ -286,13 +337,15 @@ type PathCacheStats struct {
 	MaxBytes      int64 // configured bound
 }
 
-// HitRate returns hits / (hits + misses), or 0 before any lookup.
+// HitRate returns hits / (hits + misses), or 0 before any lookup. The sum
+// is computed in floating point so counters near the int64 limit cannot
+// overflow into a negative total.
 func (s PathCacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := float64(s.Hits) + float64(s.Misses)
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits) / total
 }
 
 // Stats returns engine statistics.
@@ -303,6 +356,13 @@ func (e *Engine) Stats() Stats {
 		DistinctExpressions: st.DistinctExpressions,
 		DistinctPredicates:  st.DistinctPredicates,
 		NestedExpressions:   st.NestedExpressions,
+		Documents:           e.mx.DocsTotal.Load(),
+		DocErrors:           e.mx.DocErrors.Load(),
+		DocBytes:            e.mx.DocBytes.Load(),
+		Paths:               e.mx.PathsTotal.Load(),
+		Matches:             e.mx.MatchesTotal.Load(),
+		SlowDocs:            e.mx.SlowDocs.Load(),
+		Stages:              e.stageStats(),
 	}
 	if st.PathCacheEnabled {
 		out.PathCache = PathCacheStats{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"predfilter/internal/xmldoc"
 )
@@ -60,10 +61,12 @@ func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers in
 				if !ok {
 					return
 				}
+				e.mx.StreamQueueDepth.Inc()
 				select {
 				case jobs <- job{i, doc}:
 					i++
 				case <-ctx.Done():
+					e.mx.StreamQueueDepth.Dec()
 					return
 				}
 			case <-ctx.Done():
@@ -72,27 +75,37 @@ func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers in
 		}
 	}()
 
-	// Workers: parse + match.
+	// Workers: parse + match. Each worker accumulates its busy time (from
+	// job pickup to result delivery readiness) into its own counter, so
+	// the per-worker utilization of the pool is observable; queue depth
+	// reflects jobs dispatched but not yet picked up.
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			busy := e.mx.StreamBusy(w)
 			for j := range jobs {
+				e.mx.StreamQueueDepth.Dec()
+				e.mx.StreamJobs.Inc()
+				t0 := time.Now()
 				r := Result{Index: j.i, Doc: j.doc}
-				d, err := xmldoc.Parse(j.doc)
+				d, err := xmldoc.ParseMetered(j.doc, e.mx)
 				if err != nil {
 					r.Err = err
 				} else {
+					t1 := time.Now()
 					r.SIDs = e.m.MatchDocument(d)
+					e.maybeLogSlow(t1.Sub(t0), time.Since(t1), nil, len(j.doc), len(d.Paths), len(r.SIDs))
 				}
+				busy.Add(int64(time.Since(t0)))
 				select {
 				case unordered <- r:
 				case <-ctx.Done():
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
