@@ -1,0 +1,210 @@
+package predfilter_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"predfilter"
+	"predfilter/workload"
+)
+
+// The chaos suite: pathological documents against a governed engine. Each
+// bomb must fail fast with a typed *LimitError naming its limit — never a
+// hang, a panic, or a silent "no match".
+
+func wantLimitErr(t *testing.T, err error, kind predfilter.LimitKind) *predfilter.LimitError {
+	t.Helper()
+	var le *predfilter.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v (%T), want *predfilter.LimitError", err, err)
+	}
+	if le.Kind != kind {
+		t.Fatalf("tripped %v, want %v (err: %v)", le.Kind, kind, err)
+	}
+	return le
+}
+
+func TestChaosDepthBomb(t *testing.T) {
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxDepth: 64}})
+	if _, err := eng.Add("//d"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	sids, err := eng.MatchContext(context.Background(), workload.DepthBomb(1<<16))
+	if took := time.Since(t0); took > 5*time.Second {
+		t.Fatalf("depth bomb took %v", took)
+	}
+	if sids != nil {
+		t.Fatalf("partial result %v alongside error", sids)
+	}
+	le := wantLimitErr(t, err, predfilter.LimitDepth)
+	if le.Limit != 64 {
+		t.Fatalf("Limit = %d, want 64", le.Limit)
+	}
+}
+
+func TestChaosPathBomb(t *testing.T) {
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxPaths: 1 << 10}})
+	if _, err := eng.Add("//p"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Match(workload.PathBomb(1 << 16))
+	wantLimitErr(t, err, predfilter.LimitPaths)
+}
+
+func TestChaosTupleBomb(t *testing.T) {
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxTuples: 1 << 10}})
+	if _, err := eng.Add("//p"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Match(workload.PathBomb(1 << 16))
+	wantLimitErr(t, err, predfilter.LimitTuples)
+}
+
+func TestChaosDocBytesBomb(t *testing.T) {
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxDocBytes: 1 << 10}})
+	if _, err := eng.Add("//p"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Match(workload.PathBomb(1 << 12))
+	wantLimitErr(t, err, predfilter.LimitDocBytes)
+}
+
+func TestChaosOccurrenceBombSteps(t *testing.T) {
+	doc, expr := workload.OccurrenceBomb(40, 44)
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxSteps: 1 << 20}})
+	if _, err := eng.Add(expr); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	_, err := eng.Match(doc)
+	if took := time.Since(t0); took > 10*time.Second {
+		t.Fatalf("occurrence bomb took %v under a step budget", took)
+	}
+	le := wantLimitErr(t, err, predfilter.LimitSteps)
+	if le.Got <= le.Limit {
+		t.Fatalf("Got %d <= Limit %d", le.Got, le.Limit)
+	}
+}
+
+func TestChaosOccurrenceBombDeadline(t *testing.T) {
+	// The acceptance bar: on the blowup corpus, MatchContext with a
+	// deadline returns within (a small multiple of) the deadline. The
+	// occurrence search only consults the clock every 4096 steps, so allow
+	// generous scheduler slack but nothing near the unbounded blowup.
+	doc, expr := workload.OccurrenceBomb(42, 48)
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MatchDeadline: 100 * time.Millisecond}})
+	if _, err := eng.Add(expr); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	_, err := eng.MatchContext(context.Background(), doc)
+	took := time.Since(t0)
+	le := wantLimitErr(t, err, predfilter.LimitDeadline)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("deadline error should satisfy errors.Is(err, context.DeadlineExceeded)")
+	}
+	if took > 5*time.Second {
+		t.Fatalf("deadline stop took %v, want ~100ms", took)
+	}
+	if le.Got < int64(100*time.Millisecond) {
+		t.Fatalf("Got = %v, want >= the 100ms deadline", time.Duration(le.Got))
+	}
+}
+
+func TestChaosContextDeadline(t *testing.T) {
+	// A context deadline works without any configured limits.
+	doc, expr := workload.OccurrenceBomb(42, 48)
+	eng := predfilter.New(predfilter.Config{})
+	if _, err := eng.Add(expr); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := eng.MatchContext(ctx, doc)
+	if took := time.Since(t0); took > 5*time.Second {
+		t.Fatalf("context deadline stop took %v", took)
+	}
+	wantLimitErr(t, err, predfilter.LimitDeadline)
+}
+
+func TestChaosLimitTripsCounted(t *testing.T) {
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxDepth: 8}})
+	if _, err := eng.Add("//d"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Match(workload.DepthBomb(64)); err == nil {
+			t.Fatal("depth bomb matched")
+		}
+	}
+	st := eng.Stats()
+	if st.LimitTrips["depth"] != 3 {
+		t.Fatalf("LimitTrips = %v, want depth:3", st.LimitTrips)
+	}
+}
+
+func TestChaosHealthyDocsUnaffected(t *testing.T) {
+	// Limits generous enough for a normal document change nothing.
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{
+		MaxDepth: 100, MaxPaths: 1000, MaxTuples: 10000,
+		MaxDocBytes: 1 << 20, MaxSteps: 1 << 20, MatchDeadline: time.Minute,
+	}})
+	free := predfilter.New(predfilter.Config{})
+	doc := []byte("<a><b><c/></b><b/></a>")
+	for _, e := range []*predfilter.Engine{eng, free} {
+		if _, err := e.AddAll([]string{"/a//c", "//b", "/a/x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := free.Match(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.MatchContext(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != 2 {
+		t.Fatalf("governed %v != ungoverned %v (want 2 matches)", got, want)
+	}
+}
+
+func TestChaosStreamBombsIsolated(t *testing.T) {
+	// One bomb in a stream fails alone; surrounding documents still match.
+	doc, expr := workload.OccurrenceBomb(40, 44)
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{
+		MaxSteps: 1 << 18, MaxDepth: 1 << 10,
+	}})
+	if _, err := eng.Add(expr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Add("//ok"); err != nil {
+		t.Fatal(err)
+	}
+	healthy := []byte("<ok/>")
+	results := eng.MatchBatch([][]byte{healthy, doc, workload.DepthBomb(1 << 12), healthy}, 2)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, i := range []int{0, 3} {
+		if results[i].Err != nil || len(results[i].SIDs) != 1 {
+			t.Fatalf("healthy doc %d: sids=%v err=%v", i, results[i].SIDs, results[i].Err)
+		}
+	}
+	wantLimitErr(t, results[1].Err, predfilter.LimitSteps)
+	wantLimitErr(t, results[2].Err, predfilter.LimitDepth)
+}
+
+func TestChaosMatchReaderDocBytes(t *testing.T) {
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxDocBytes: 256}})
+	if _, err := eng.Add("//p"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.MatchReader(strings.NewReader(string(workload.PathBomb(1 << 10))))
+	wantLimitErr(t, err, predfilter.LimitDocBytes)
+}

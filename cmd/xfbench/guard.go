@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"predfilter"
+	"predfilter/workload"
+)
+
+// The guard experiment measures graceful degradation: each pathological
+// document (depth bomb, path-explosion bomb, occurrence-pair blowup) is
+// matched under a governance limit, and the report records which limit
+// tripped and how long the engine took to fail — the reproduction target
+// is that every bomb fails fast with a typed limit error instead of
+// stalling the engine.
+
+// guardPoint is one bomb × limit measurement in BENCH_guard.json.
+type guardPoint struct {
+	Case     string `json:"case"`
+	DocBytes int    `json:"doc_bytes"`
+	Limit    string `json:"limit"`   // which limit kind tripped ("" = no trip)
+	Bound    int64  `json:"bound"`   // the configured bound
+	Got      int64  `json:"got"`     // how far the document got
+	TripNS   int64  `json:"trip_ns"` // wall time from submit to typed error
+	Matched  int    `json:"matched"` // matches when nothing tripped
+	Error    string `json:"error,omitempty"`
+}
+
+// runGuard runs every bomb under its guarding limit and, as a control,
+// the occurrence bomb under a wall-clock deadline.
+func runGuard(verbose bool) ([]guardPoint, error) {
+	occDoc, occExpr := workload.OccurrenceBomb(42, 48)
+	cases := []struct {
+		name string
+		doc  []byte
+		expr string
+		lim  predfilter.Limits
+	}{
+		{"depth_bomb", workload.DepthBomb(1 << 17), "//d", predfilter.Limits{MaxDepth: 256}},
+		{"path_bomb", workload.PathBomb(1 << 20), "//p", predfilter.Limits{MaxPaths: 1 << 14}},
+		{"tuple_bomb", workload.PathBomb(1 << 20), "//p", predfilter.Limits{MaxTuples: 1 << 15}},
+		{"occurrence_bomb_steps", occDoc, occExpr, predfilter.Limits{MaxSteps: 1 << 22}},
+		{"occurrence_bomb_deadline", occDoc, occExpr, predfilter.Limits{MatchDeadline: 100 * time.Millisecond}},
+	}
+	points := make([]guardPoint, 0, len(cases))
+	for _, c := range cases {
+		eng := predfilter.New(predfilter.Config{Limits: c.lim})
+		if _, err := eng.Add(c.expr); err != nil {
+			return nil, fmt.Errorf("guard %s: add %q: %w", c.name, c.expr, err)
+		}
+		t0 := time.Now()
+		sids, err := eng.MatchContext(context.Background(), c.doc)
+		took := time.Since(t0)
+		p := guardPoint{Case: c.name, DocBytes: len(c.doc), TripNS: took.Nanoseconds(), Matched: len(sids)}
+		var le *predfilter.LimitError
+		if errors.As(err, &le) {
+			p.Limit = le.Kind.String()
+			p.Bound = le.Limit
+			p.Got = le.Got
+		} else if err != nil {
+			p.Error = err.Error()
+		}
+		points = append(points, p)
+		if verbose {
+			fmt.Printf("  %-26s %8d bytes  tripped=%-10s in %v\n",
+				c.name, len(c.doc), orNone(p.Limit), took.Round(time.Microsecond))
+		}
+	}
+	return points, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -11,6 +11,7 @@
 //	xfbench -exp pipeline -workers 1,2,4   # streaming throughput → BENCH_pipeline.json
 //	xfbench -exp cache -cache-kb 256,4096  # path-signature cache sweep → BENCH_cache.json
 //	xfbench -exp pipeline -metrics         # + per-stage p50/p95/p99 in the JSON report
+//	xfbench -exp guard                     # bombs vs resource limits → BENCH_guard.json
 //	xfbench -list                     # list experiment ids
 //	xfbench -stats                    # print workload statistics
 package main
@@ -108,6 +109,26 @@ func main() {
 			fatal(err)
 		}
 		if err := writeJSON(out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- wrote %s\n", out)
+		return
+	}
+
+	// -exp guard: resource governance under pathological documents. Each
+	// bomb runs against its guarding limit; the report records which limit
+	// tripped and the time-to-trip → BENCH_guard.json.
+	if *expID == "guard" {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_guard.json"
+		}
+		fmt.Println("== resource governance: bombs vs limits")
+		points, err := runGuard(*verbose)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSON(out, points); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("-- wrote %s\n", out)

@@ -42,6 +42,15 @@ func main() {
 		workers   = flag.Int("workers", 1, "filter documents concurrently with this many workers (ignored with -all)")
 		cacheMB   = flag.Int64("cache-mb", 0, "path-signature cache bound in MiB (0 = default 16, negative = disabled)")
 		traceDoc  = flag.Bool("trace", false, "explain each expression's match or miss with per-predicate evidence (ignored with -all or -workers)")
+
+		// Resource governance (0 disables each bound). A document exceeding
+		// a bound fails with a typed limit error naming the bound.
+		maxDepth      = flag.Int("max-depth", 0, "maximum XML nesting depth per document (0 = unlimited)")
+		maxPaths      = flag.Int("max-paths", 0, "maximum root-to-leaf paths per document (0 = unlimited)")
+		maxTuples     = flag.Int("max-tuples", 0, "maximum total path tuples per document (0 = unlimited)")
+		maxDocBytes   = flag.Int64("max-doc-bytes", 0, "maximum document size in bytes (0 = unlimited)")
+		maxSteps      = flag.Int64("max-steps", 0, "occurrence-determination step budget per document (0 = unlimited)")
+		matchDeadline = flag.Duration("match-deadline", 0, "wall-clock match deadline per document (0 = none)")
 	)
 	flag.Var(&exprs, "e", "XPath expression (repeatable)")
 	flag.Parse()
@@ -70,6 +79,14 @@ func main() {
 		cfg.PathCacheBytes = -1
 	case *cacheMB > 0:
 		cfg.PathCacheBytes = *cacheMB << 20
+	}
+	cfg.Limits = predfilter.Limits{
+		MaxDepth:      *maxDepth,
+		MaxPaths:      *maxPaths,
+		MaxTuples:     *maxTuples,
+		MaxDocBytes:   *maxDocBytes,
+		MaxSteps:      *maxSteps,
+		MatchDeadline: *matchDeadline,
 	}
 
 	all := []string(exprs)

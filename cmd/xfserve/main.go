@@ -50,6 +50,25 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		cacheMB    = flag.Int64("cache-mb", 0, "path-signature cache bound in MiB (0 = default 16, negative = disabled)")
 		slowMS     = flag.Int64("slow-ms", 0, "log documents whose parse+match exceeds this many milliseconds (0 = disabled)")
+
+		// Resource governance (0 disables each bound).
+		maxDepth      = flag.Int("max-depth", 0, "maximum XML nesting depth per document (0 = unlimited)")
+		maxPaths      = flag.Int("max-paths", 0, "maximum root-to-leaf paths per document (0 = unlimited)")
+		maxTuples     = flag.Int("max-tuples", 0, "maximum total path tuples per document (0 = unlimited)")
+		maxSteps      = flag.Int64("max-steps", 0, "occurrence-determination step budget per document (0 = unlimited)")
+		matchDeadline = flag.Duration("match-deadline", 0, "wall-clock match deadline per document (0 = none)")
+
+		// Admission control and per-request deadlines.
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently matching publish requests (0 = unlimited)")
+		maxQueued   = flag.Int("inflight-queue", 0, "bounded wait queue beyond -max-inflight (0 = 4x max-inflight)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-publish-request deadline (0 = none)")
+		maxReqBytes = flag.Int64("max-request-bytes", 0, "JSON request body bound for /subscriptions and /publish/batch (0 = default 64 MiB)")
+
+		// HTTP server timeouts (slowloris defense; 0 disables one).
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		writeTimeout      = flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
 	)
 	flag.Parse()
 
@@ -62,6 +81,18 @@ func main() {
 		SnapshotEvery:    *snapEvery,
 		SnapshotInterval: *snapPeriod,
 		NoSync:           *noSync,
+		MaxRequestBytes:  *maxReqBytes,
+		MaxInflight:      *maxInflight,
+		MaxQueued:        *maxQueued,
+		RequestTimeout:   *reqTimeout,
+	}
+	cfg.Engine.Limits = predfilter.Limits{
+		MaxDepth:      *maxDepth,
+		MaxPaths:      *maxPaths,
+		MaxTuples:     *maxTuples,
+		MaxDocBytes:   *maxDoc,
+		MaxSteps:      *maxSteps,
+		MatchDeadline: *matchDeadline,
 	}
 	if *postponed {
 		cfg.Engine.AttributeMode = predfilter.PostponedAttributes
@@ -94,7 +125,14 @@ func main() {
 		log.Printf("xfserve: preloaded %d subscriptions from %s", len(ids), *subsFile)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("xfserve listening on %s", *addr)
@@ -114,6 +152,9 @@ func main() {
 	stop()
 
 	log.Printf("xfserve: shutting down (draining for up to %v)", *drain)
+	// Refuse new publishes with 503 while the listener drains in-flight
+	// requests; Close (below) would set this too, but only after Shutdown.
+	srv.BeginDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

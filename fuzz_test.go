@@ -1,0 +1,105 @@
+package predfilter_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"predfilter"
+	"predfilter/internal/refmatch"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+// FuzzMatch drives the whole public pipeline — expression registration,
+// parsing, matching — with arbitrary (expression, document) pairs and
+// checks the engine against the refmatch oracle. The engine must never
+// panic or hang; when both inputs are accepted, the match verdict must
+// equal the oracle's, and a governed engine (generous limits, far above
+// anything the fuzzer can construct) must agree exactly with an
+// ungoverned one: limits change when the engine gives up, never what it
+// answers.
+func FuzzMatch(f *testing.F) {
+	seeds := [][2]string{
+		{"//a", "<a/>"},
+		{"/a/b", "<a><b/></a>"},
+		{"/a//c", "<a><b><c/></b><d/></a>"},
+		{"//a//a", "<a><a><a/></a></a>"},
+		{"/a[@k=v]", `<a k="v"/>`},
+		{"//b[@k]", `<a><b k="1"/></a>`},
+		{"/a[b]/c", "<a><b/><c/></a>"},
+		{"/a[b[c]]//d", "<a><b><c/></b><d/></a>"},
+		{"*/a", "<x><a/></x>"},
+		{"//a", "<a><a><b></a></a>"}, // malformed document
+		{"a[", "<a/>"},               // malformed expression
+		{"//a//a//a", "<a><a/></a>"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	limited := predfilter.Limits{
+		MaxDepth:      1 << 10,
+		MaxPaths:      1 << 12,
+		MaxTuples:     1 << 14,
+		MaxDocBytes:   1 << 20,
+		MaxSteps:      1 << 22,
+		MatchDeadline: time.Minute,
+	}
+	f.Fuzz(func(t *testing.T, expr, doc string) {
+		eng := predfilter.New(predfilter.Config{})
+		sid, err := eng.Add(expr)
+		if err != nil {
+			return // expression rejected: fine, as long as we didn't panic
+		}
+		sids, err := eng.Match([]byte(doc))
+		if err != nil {
+			// Document rejected. The governed engine must reject it too
+			// (same parser), not silently match.
+			geng := predfilter.New(predfilter.Config{Limits: limited})
+			if _, err := geng.Add(expr); err != nil {
+				t.Fatalf("governed engine rejected %q that the plain one accepted: %v", expr, err)
+			}
+			if _, gerr := geng.Match([]byte(doc)); gerr == nil {
+				t.Fatalf("plain engine rejected %q (%v) but the governed one matched it", doc, err)
+			}
+			return
+		}
+		matched := len(sids) == 1 && sids[0] == sid
+
+		// Oracle agreement.
+		p, perr := xpath.Parse(expr)
+		if perr != nil {
+			t.Fatalf("engine accepted %q but xpath.Parse rejects it: %v", expr, perr)
+		}
+		d, derr := xmldoc.Parse([]byte(doc))
+		if derr != nil {
+			t.Fatalf("engine matched %q but xmldoc.Parse rejects it: %v", doc, derr)
+		}
+		if want := refmatch.Match(p, d); matched != want {
+			t.Fatalf("%q over %q: engine=%v oracle=%v", expr, doc, matched, want)
+		}
+
+		// Limits-on/off equivalence: bounds far above the fuzzer's reach
+		// must not change the verdict.
+		geng := predfilter.New(predfilter.Config{Limits: limited})
+		gsid, err := geng.Add(expr)
+		if err != nil {
+			t.Fatalf("governed Add(%q): %v", expr, err)
+		}
+		gsids, err := geng.Match([]byte(doc))
+		if err != nil {
+			// Giving up is allowed — but only with the typed limit error,
+			// and only when a limit genuinely tripped (a determined fuzzer
+			// can build a wide document that does exceed the path bound).
+			var le *predfilter.LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("governed engine failed without a *LimitError: %v", err)
+			}
+			return
+		}
+		gmatched := len(gsids) == 1 && gsids[0] == gsid
+		if gmatched != matched {
+			t.Fatalf("%q over %q: governed=%v ungoverned=%v", expr, doc, gmatched, matched)
+		}
+	})
+}

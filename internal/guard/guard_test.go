@@ -1,0 +1,236 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewBudgetNilWhenUnbounded(t *testing.T) {
+	if b := NewBudget(context.Background(), Limits{}); b != nil {
+		t.Fatalf("NewBudget with no bounds = %+v, want nil", b)
+	}
+	// Parse-stage-only limits never need a match budget.
+	if b := NewBudget(context.Background(), Limits{MaxDepth: 4, MaxPaths: 4, MaxTuples: 4, MaxDocBytes: 4}); b != nil {
+		t.Fatalf("NewBudget with parse-only bounds = %+v, want nil", b)
+	}
+	if b := NewBudget(nil, Limits{}); b != nil {
+		t.Fatalf("NewBudget(nil ctx, no bounds) = %+v, want nil", b)
+	}
+}
+
+func TestNewBudgetNonNilWhenBounded(t *testing.T) {
+	if NewBudget(context.Background(), Limits{MaxSteps: 1}) == nil {
+		t.Fatal("MaxSteps bound should produce a budget")
+	}
+	if NewBudget(context.Background(), Limits{MatchDeadline: time.Second}) == nil {
+		t.Fatal("MatchDeadline bound should produce a budget")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if NewBudget(ctx, Limits{}) == nil {
+		t.Fatal("cancellable context should produce a budget")
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Hour)
+	defer dcancel()
+	if NewBudget(dctx, Limits{}) == nil {
+		t.Fatal("context deadline should produce a budget")
+	}
+}
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if !b.CheckPoint() {
+		t.Fatal("nil budget CheckPoint = false")
+	}
+	if b.Exceeded() {
+		t.Fatal("nil budget Exceeded = true")
+	}
+	if b.Err() != nil {
+		t.Fatalf("nil budget Err = %v", b.Err())
+	}
+	if b.Steps() != 0 {
+		t.Fatalf("nil budget Steps = %d", b.Steps())
+	}
+	if b.Fork() != nil {
+		t.Fatal("nil budget Fork != nil")
+	}
+}
+
+func TestStepBudgetExactCutoff(t *testing.T) {
+	const max = 100
+	b := NewBudget(context.Background(), Limits{MaxSteps: max})
+	for i := 0; i < max; i++ {
+		if !b.Step() {
+			t.Fatalf("step %d of %d refused", i+1, max)
+		}
+	}
+	if b.Step() {
+		t.Fatalf("step %d granted beyond budget", max+1)
+	}
+	if !b.Exceeded() {
+		t.Fatal("Exceeded = false after trip")
+	}
+	var le *LimitError
+	if err := b.Err(); !errors.As(err, &le) {
+		t.Fatalf("Err = %v, want *LimitError", err)
+	}
+	if le.Kind != Steps || le.Limit != max || le.Got != max+1 || le.Stage != "match" {
+		t.Fatalf("LimitError = %+v, want Kind=Steps Limit=%d Got=%d Stage=match", le, max, max+1)
+	}
+	// Sticky: everything keeps failing.
+	if b.Step() || b.CheckPoint() {
+		t.Fatal("budget recovered after trip")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(ctx, Limits{})
+	if !b.CheckPoint() {
+		t.Fatal("CheckPoint failed before cancel")
+	}
+	cancel()
+	if b.CheckPoint() {
+		t.Fatal("CheckPoint passed after cancel")
+	}
+	var le *LimitError
+	if err := b.Err(); !errors.As(err, &le) || le.Kind != Canceled {
+		t.Fatalf("Err = %v, want Canceled *LimitError", b.Err())
+	}
+	if !errors.Is(b.Err(), context.Canceled) {
+		t.Fatal("Canceled LimitError should unwrap to context.Canceled")
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	b := NewBudget(ctx, Limits{})
+	if b.CheckPoint() {
+		t.Fatal("CheckPoint passed after context deadline")
+	}
+	var le *LimitError
+	if err := b.Err(); !errors.As(err, &le) || le.Kind != Deadline {
+		t.Fatalf("Err = %v, want Deadline *LimitError", b.Err())
+	}
+	if !errors.Is(b.Err(), context.DeadlineExceeded) {
+		t.Fatal("Deadline LimitError should unwrap to context.DeadlineExceeded")
+	}
+}
+
+func TestMatchDeadline(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{MatchDeadline: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if b.CheckPoint() {
+		t.Fatal("CheckPoint passed after match deadline")
+	}
+	var le *LimitError
+	if err := b.Err(); !errors.As(err, &le) || le.Kind != Deadline {
+		t.Fatalf("Err = %v, want Deadline *LimitError", b.Err())
+	}
+	if le.Limit != int64(time.Nanosecond) || le.Got <= 0 {
+		t.Fatalf("LimitError = %+v, want Limit=1ns and positive Got", le)
+	}
+}
+
+func TestStepConsultsDeadlinePeriodically(t *testing.T) {
+	// Steps alone must notice a passed deadline within one check window
+	// even though the step bound is unlimited.
+	b := NewBudget(context.Background(), Limits{MatchDeadline: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	granted := 0
+	for b.Step() {
+		granted++
+		if granted > checkMask+1 {
+			t.Fatalf("deadline unnoticed after %d steps (check window %d)", granted, checkMask+1)
+		}
+	}
+	if b.Err() == nil {
+		t.Fatal("no error recorded after deadline stop")
+	}
+}
+
+func TestForkResetsSteps(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{MaxSteps: 5})
+	for b.Step() {
+	}
+	if !b.Exceeded() {
+		t.Fatal("parent budget should be exhausted")
+	}
+	f := b.Fork()
+	if f == nil {
+		t.Fatal("Fork of bounded budget = nil")
+	}
+	if f.Exceeded() || f.Steps() != 0 {
+		t.Fatalf("forked budget not fresh: exceeded=%v steps=%d", f.Exceeded(), f.Steps())
+	}
+	if !f.Step() {
+		t.Fatal("forked budget refused its first step")
+	}
+}
+
+func TestParseError(t *testing.T) {
+	err := ParseError(Depth, 32, 33)
+	if err.Kind != Depth || err.Limit != 32 || err.Got != 33 || err.Stage != "parse" {
+		t.Fatalf("ParseError = %+v", err)
+	}
+	if err.Unwrap() != nil {
+		t.Fatalf("structural ParseError unwraps to %v, want nil", err.Unwrap())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	// Stable names: these are metric label values, so renaming one is a
+	// breaking change.
+	want := map[Kind]string{
+		Depth:    "depth",
+		Paths:    "paths",
+		Tuples:   "tuples",
+		DocBytes: "doc_bytes",
+		Steps:    "steps",
+		Deadline: "deadline",
+		Canceled: "canceled",
+	}
+	if len(want) != int(NumKinds) {
+		t.Fatalf("test covers %d kinds, NumKinds = %d", len(want), NumKinds)
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("out-of-range Kind.String() = %q", got)
+	}
+}
+
+func TestLimitErrorMessages(t *testing.T) {
+	cases := []struct {
+		err  *LimitError
+		want string
+	}{
+		{ParseError(Depth, 32, 33), "guard: parse depth limit exceeded: 33 > 32"},
+		{&LimitError{Kind: Steps, Limit: 10, Got: 11, Stage: "match"}, "guard: match steps limit exceeded: 11 > 10"},
+		{&LimitError{Kind: Deadline, Limit: int64(time.Second), Got: int64(2 * time.Second), Stage: "match"},
+			"guard: match deadline exceeded after 2s (budget 1s)"},
+		{&LimitError{Kind: Canceled, Got: int64(time.Second), Stage: "match"},
+			"guard: match canceled after 1s"},
+	}
+	for _, c := range cases {
+		if got := c.err.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !(Limits{}).Zero() {
+		t.Fatal("zero Limits not Zero")
+	}
+	if (Limits{MaxDepth: 1}).Zero() {
+		t.Fatal("non-zero Limits reported Zero")
+	}
+}

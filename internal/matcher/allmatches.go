@@ -64,7 +64,7 @@ func (m *Matcher) MatchDocumentAll(doc *xmldoc.Document) map[SID]int {
 			m.countUnit(sc, h.e, counts, factor)
 		}
 		for _, e := range m.nested {
-			e.root.collect(m, sc)
+			e.root.collect(m, sc, nil)
 		}
 	}
 

@@ -1,0 +1,162 @@
+package matcher
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"predfilter/internal/guard"
+	"predfilter/internal/xmldoc"
+)
+
+func chainDoc(t *testing.T, depth int) *xmldoc.Document {
+	t.Helper()
+	var b bytes.Buffer
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	d, err := xmldoc.Parse(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func stepBudget(max int64) *guard.Budget {
+	return guard.NewBudget(context.Background(), guard.Limits{MaxSteps: max})
+}
+
+func TestMatchDocumentBudgetNilEqualsUnbudgeted(t *testing.T) {
+	for _, v := range allVariants {
+		m := New(Options{Variant: v})
+		mustAdd(t, m, "//a//a", "/a/a/a", "//a[@k=v]")
+		doc := chainDoc(t, 6)
+		want := matchSet(m, doc)
+		sids, _, err := m.MatchDocumentBudget(doc, nil)
+		if err != nil {
+			t.Fatalf("variant %v: nil budget errored: %v", v, err)
+		}
+		got := make(map[SID]bool)
+		for _, sid := range sids {
+			got[sid] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("variant %v: budgeted %v != unbudgeted %v", v, got, want)
+		}
+		for sid := range want {
+			if !got[sid] {
+				t.Fatalf("variant %v: missing sid %d", v, sid)
+			}
+		}
+	}
+}
+
+func TestMatchDocumentBudgetTripsOnBlowup(t *testing.T) {
+	for _, v := range allVariants {
+		m := New(Options{Variant: v})
+		// steps > depth: no chained combination exists, so occurrence
+		// determination must walk the exponential dead-end space.
+		mustAdd(t, m, strings.Repeat("//a", 20))
+		doc := chainDoc(t, 18)
+		sids, _, err := m.MatchDocumentBudget(doc, stepBudget(1000))
+		if err == nil {
+			t.Fatalf("variant %v: blowup returned %v with no error", v, sids)
+		}
+		if sids != nil {
+			t.Fatalf("variant %v: partial result %v alongside error", v, sids)
+		}
+		var le *guard.LimitError
+		if !errors.As(err, &le) || le.Kind != guard.Steps {
+			t.Fatalf("variant %v: err = %v, want Steps *LimitError", v, err)
+		}
+	}
+}
+
+func TestMatchDocumentBudgetDoesNotPoisonCache(t *testing.T) {
+	expr := strings.Repeat("//a", 6)
+	m := New(Options{Variant: PrefixCoverAP, PathCacheBytes: 1 << 20})
+	mustAdd(t, m, expr)
+	doc := chainDoc(t, 8)
+
+	// Trip the budget on the very first occurrence pair: the match fails
+	// mid-path, after predicate marks were partially computed.
+	if _, _, err := m.MatchDocumentBudget(doc, stepBudget(1)); err == nil {
+		t.Fatal("1-step budget survived")
+	}
+
+	// A truncated mark set must not have been cached: an unbudgeted
+	// re-match of the same document must agree with a fresh matcher.
+	fresh := New(Options{Variant: PrefixCoverAP, PathCacheBytes: -1})
+	mustAdd(t, fresh, expr)
+	want := matchSet(fresh, doc)
+	got := matchSet(m, doc)
+	if len(want) != 1 {
+		t.Fatalf("fresh matcher found %v, want the one match", want)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("re-match after budgeted abort = %v, want %v (cache poisoned?)", got, want)
+	}
+}
+
+func TestMatchDocumentBudgetScratchReuseAfterAbort(t *testing.T) {
+	// The pooled scratch must come back clean after an error return: a
+	// budgeted abort followed by normal matches of other documents.
+	m := New(Options{Variant: PrefixCoverAP})
+	mustAdd(t, m, strings.Repeat("//a", 20))
+	sids := mustAdd(t, m, "//b/c")
+	if _, _, err := m.MatchDocumentBudget(chainDoc(t, 18), stepBudget(100)); err == nil {
+		t.Fatal("budget survived the blowup")
+	}
+	d, err := xmldoc.Parse([]byte("<b><c/></b>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matchSet(m, d)
+	if !got[sids[0]] || len(got) != 1 {
+		t.Fatalf("match after abort = %v, want exactly sid %d", got, sids[0])
+	}
+}
+
+func TestMatchDocumentParallelBudget(t *testing.T) {
+	m := New(Options{Variant: PrefixCoverAP})
+	mustAdd(t, m, strings.Repeat("//a", 20))
+	doc := chainDoc(t, 18)
+	_, err := m.MatchDocumentParallelBudget(doc, 4, stepBudget(1000))
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Kind != guard.Steps {
+		t.Fatalf("parallel err = %v, want Steps *LimitError", err)
+	}
+
+	// Nil budget: parallel equals sequential.
+	m2 := New(Options{Variant: PrefixCoverAP})
+	mustAdd(t, m2, "//a//a", "/a/a")
+	small := chainDoc(t, 6)
+	seq := matchSet(m2, small)
+	par, err := m2.MatchDocumentParallelBudget(small, 4, nil)
+	if err != nil {
+		t.Fatalf("parallel nil budget: %v", err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %v != sequential %v", par, seq)
+	}
+}
+
+func TestMatchDocumentBudgetCanceledContext(t *testing.T) {
+	m := New(Options{Variant: PrefixCoverAP})
+	mustAdd(t, m, "//a")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := m.MatchDocumentBudget(chainDoc(t, 4), guard.NewBudget(ctx, guard.Limits{}))
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Kind != guard.Canceled {
+		t.Fatalf("err = %v, want Canceled *LimitError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("Canceled error should satisfy errors.Is(err, context.Canceled)")
+	}
+}

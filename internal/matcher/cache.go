@@ -3,6 +3,7 @@ package matcher
 import (
 	"time"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/pathcache"
 	"predfilter/internal/predindex"
 	"predfilter/internal/xmldoc"
@@ -124,7 +125,10 @@ func (m *Matcher) invalidatePathCache() {
 
 // matchPathCached is the cache-enabled body of matchPath, entered after
 // the dedup check. Callers hold the read lock with organizations frozen.
-func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Breakdown, t0 time.Time) {
+// When the budget trips mid-miss the partially built outcome is discarded
+// rather than Put — a cached entry must be the complete mark set for its
+// signature, never a budget-truncated one.
+func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Breakdown, t0 time.Time, bud *guard.Budget) {
 	sc.sig = appendPubSig(sc.sig[:0], pub)
 	h := sigHash(sc.sig)
 
@@ -150,9 +154,9 @@ func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Brea
 			sc.matched[id] = true
 		}
 		if m.needRes {
-			m.runUnits(sc, m.liveUnits, m.liveClusters)
+			m.runUnits(sc, m.liveUnits, m.liveClusters, bud)
 			for _, e := range m.nested {
-				e.root.collect(m, sc)
+				e.root.collect(m, sc, bud)
 			}
 		}
 		if bd != nil {
@@ -181,12 +185,18 @@ func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Brea
 	sc.matched, sc.matched2 = sc.matched2, sc.matched
 	sc.log = sc.log[:0]
 	sc.logging = true
-	m.runUnits(sc, m.structUnits, m.structClusters)
+	m.runUnits(sc, m.structUnits, m.structClusters, bud)
 	sc.logging = false
 	sc.matched, sc.matched2 = sc.matched2, sc.matched
 	for _, id := range sc.log {
 		sc.matched[id] = true
 		sc.matched2[id] = false // restore the all-false invariant
+	}
+	if bud.Exceeded() {
+		// The structural run was cut short: its mark log is incomplete, so
+		// caching it would poison later hits. The matched2 invariant was
+		// restored above; just abandon the path.
+		return
 	}
 
 	ne := &pathcache.Entry{Outcome: append([]int32(nil), sc.log...)}
@@ -196,9 +206,9 @@ func (m *Matcher) matchPathCached(sc *scratch, pub *xmldoc.Publication, bd *Brea
 	m.cache.Put(h, sc.sig, ne)
 
 	if m.needRes {
-		m.runUnits(sc, m.liveUnits, m.liveClusters)
+		m.runUnits(sc, m.liveUnits, m.liveClusters, bud)
 		for _, e := range m.nested {
-			e.root.collect(m, sc)
+			e.root.collect(m, sc, bud)
 		}
 	}
 	if bd != nil {

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/metrics"
 	"predfilter/internal/occur"
 	"predfilter/internal/pathcache"
@@ -672,8 +673,11 @@ func (m *Matcher) ensureFrozen() {
 // matchPath runs the two matching stages for one publication, folding
 // results into sc. bd, when non-nil, accumulates the Figure-10 stage
 // timings (the parallel path passes nil to keep clock calls off the
-// workers). Callers must hold the read lock with organizations frozen.
-func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd *Breakdown) {
+// workers). bud, when non-nil, charges occurrence-determination effort to
+// the per-document budget; once it trips the path is abandoned and the
+// caller must surface bud.Err instead of a result. Callers must hold the
+// read lock with organizations frozen.
+func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd *Breakdown, bud *guard.Budget) {
 	sc.pub = pub
 	sc.byTagOK = false
 
@@ -692,7 +696,7 @@ func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd
 		sc.seen[key] = struct{}{}
 	}
 	if m.cache != nil {
-		m.matchPathCached(sc, pub, bd, t0)
+		m.matchPathCached(sc, pub, bd, t0, bud)
 		return
 	}
 	sc.res.Reset(m.ix.Len())
@@ -703,9 +707,9 @@ func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd
 		bd.PredMatch += t1.Sub(t0)
 	}
 
-	m.runUnits(sc, m.ordered, m.clusters)
+	m.runUnits(sc, m.ordered, m.clusters, bud)
 	for _, e := range m.nested {
-		e.root.collect(m, sc)
+		e.root.collect(m, sc, bud)
 	}
 	if bd != nil {
 		bd.ExprMatch += time.Since(t1)
@@ -716,18 +720,21 @@ func (m *Matcher) matchPath(sc *scratch, pub *xmldoc.Publication, dedup bool, bd
 // units against sc.res. The cache-disabled path passes the full frozen
 // organization; the cache-enabled path passes the structural or live
 // half (see cache.go).
-func (m *Matcher) runUnits(sc *scratch, units []hotExpr, clusters map[predindex.PID][]hotExpr) {
+func (m *Matcher) runUnits(sc *scratch, units []hotExpr, clusters map[predindex.PID][]hotExpr, bud *guard.Budget) {
 	switch m.opts.Variant {
 	case Basic, PrefixCover:
 		cover := m.opts.Variant == PrefixCover
 		for _, h := range units {
+			if bud.Exceeded() {
+				return
+			}
 			if sc.matched[h.id] || !sc.res.Matched(h.first) {
 				continue
 			}
 			if h.second != predindex.NoPID && !sc.res.Matched(h.second) {
 				continue
 			}
-			m.evalExpr(sc, h.e, cover)
+			m.evalExpr(sc, h.e, cover, bud)
 		}
 	case PrefixCoverAP:
 		// Access-predicate clustering: only clusters whose first
@@ -735,13 +742,16 @@ func (m *Matcher) runUnits(sc *scratch, units []hotExpr, clusters map[predindex.
 		// predicates come straight from the predicate matching stage.
 		for _, pid := range sc.res.Touched() {
 			for _, h := range clusters[pid] {
+				if bud.Exceeded() {
+					return
+				}
 				if sc.matched[h.id] {
 					continue
 				}
 				if h.second != predindex.NoPID && !sc.res.Matched(h.second) {
 					continue
 				}
-				m.evalExpr(sc, h.e, true)
+				m.evalExpr(sc, h.e, true, bud)
 			}
 		}
 	}
@@ -759,6 +769,16 @@ func (m *Matcher) pathDedup() bool {
 
 // MatchDocumentBreakdown is MatchDocument with the Figure-10 cost split.
 func (m *Matcher) MatchDocumentBreakdown(doc *xmldoc.Document) ([]SID, Breakdown) {
+	sids, bd, _ := m.MatchDocumentBudget(doc, nil)
+	return sids, bd
+}
+
+// MatchDocumentBudget is MatchDocumentBreakdown charging the match to a
+// per-document budget. A nil budget is unlimited and never errors. Once
+// the budget trips — step bound, deadline, or cancellation — matching
+// stops and the budget's *guard.LimitError is returned; the partial marks
+// are discarded, never reported as "no match".
+func (m *Matcher) MatchDocumentBudget(doc *xmldoc.Document, bud *guard.Budget) ([]SID, Breakdown, error) {
 	t0 := time.Now()
 	m.ensureFrozen()
 	defer m.mu.RUnlock()
@@ -769,7 +789,20 @@ func (m *Matcher) MatchDocumentBreakdown(doc *xmldoc.Document) ([]SID, Breakdown
 
 	dedup := m.pathDedup()
 	for i := range doc.Paths {
-		m.matchPath(sc, &doc.Paths[i], dedup, &bd)
+		if !bud.CheckPoint() {
+			break
+		}
+		m.matchPath(sc, &doc.Paths[i], dedup, &bd, bud)
+		if bud.Exceeded() {
+			break
+		}
+	}
+	if err := bud.Err(); err != nil {
+		// The pooled scratch must not leak this document's nested-path
+		// candidates into the next match (the success path clears them
+		// after recombination).
+		clear(sc.ncands)
+		return nil, bd, err
 	}
 
 	t2 := time.Now()
@@ -787,7 +820,7 @@ func (m *Matcher) MatchDocumentBreakdown(doc *xmldoc.Document) ([]SID, Breakdown
 	out := append([]SID(nil), sc.out...)
 	bd.Other = time.Since(t2)
 	m.observe(&bd, t0, len(doc.Paths), len(out))
-	return out, bd
+	return out, bd, nil
 }
 
 // observe folds one document's stage breakdown into the metric set. The
@@ -815,7 +848,7 @@ func (m *Matcher) observe(bd *Breakdown, t0 time.Time, paths, matches int) {
 // publication's predicate results. With cover set (the pc variants), a
 // successful — or exhausted — occurrence determination marks the
 // expression's registered prefix expressions up to the reached depth.
-func (m *Matcher) evalExpr(sc *scratch, e *expr, cover bool) {
+func (m *Matcher) evalExpr(sc *scratch, e *expr, cover bool, bud *guard.Budget) {
 	chain := sc.chain[:0]
 	for _, pid := range e.pids {
 		r := sc.res.Get(pid)
@@ -828,11 +861,14 @@ func (m *Matcher) evalExpr(sc *scratch, e *expr, cover bool) {
 	sc.chain = chain
 
 	if e.members != nil {
-		m.evalGroup(sc, e, chain, cover)
+		m.evalGroup(sc, e, chain, cover, bud)
 		return
 	}
 
-	ok, depth := occur.Determine(chain)
+	ok, depth := occur.DetermineBudget(chain, bud)
+	if bud.Exceeded() {
+		return
+	}
 	if ok {
 		sc.mark(e.id)
 		if len(e.fullCovers) > 0 {
@@ -849,8 +885,11 @@ func (m *Matcher) evalExpr(sc *scratch, e *expr, cover bool) {
 // attribute filters are then verified over the filtered results (the
 // repeated determination §5 describes). The representative's matched flag
 // is set once every member matched, so later paths skip the group.
-func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover bool) {
-	ok, depth := occur.Determine(chain)
+func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover bool, bud *guard.Budget) {
+	ok, depth := occur.DetermineBudget(chain, bud)
+	if bud.Exceeded() {
+		return
+	}
 	done := true
 	for _, mem := range rep.members {
 		if sc.matched[mem.id] {
@@ -881,7 +920,10 @@ func (m *Matcher) evalGroup(sc *scratch, rep *expr, chain [][]occur.Pair, cover 
 			done = false
 			continue
 		}
-		fok, fdepth := occur.Determine(filtered)
+		fok, fdepth := occur.DetermineBudget(filtered, bud)
+		if bud.Exceeded() {
+			return
+		}
 		if fok {
 			sc.mark(mem.id)
 			if len(mem.fullCovers) > 0 {

@@ -3,6 +3,7 @@ package matcher
 import (
 	"fmt"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/occur"
 	"predfilter/internal/predicate"
 	"predfilter/internal/predindex"
@@ -150,10 +151,18 @@ type nestedCand struct {
 
 // collect enumerates this node's (and recursively its children's)
 // structural matches on the current publication and appends candidates to
-// the per-call scratch.
-func (n *nestedNode) collect(m *Matcher, sc *scratch) {
+// the per-call scratch. Each combination enumerated charges one budget
+// step; once the budget trips the enumeration stops and the caller
+// surfaces bud.Err instead of a result.
+func (n *nestedNode) collect(m *Matcher, sc *scratch, bud *guard.Budget) {
+	if bud.Exceeded() {
+		return
+	}
 	for _, c := range n.children {
-		c.collect(m, sc)
+		c.collect(m, sc, bud)
+	}
+	if bud.Exceeded() {
+		return
 	}
 	chain := sc.chain[:0]
 	for _, pid := range n.pids {
@@ -174,7 +183,7 @@ func (n *nestedNode) collect(m *Matcher, sc *scratch) {
 		chain = filtered
 	}
 	sc.buildByTag()
-	occur.Enumerate(chain, func(assign []occur.Pair) bool {
+	occur.EnumerateBudget(chain, bud, func(assign []occur.Pair) bool {
 		cand := nestedCand{own: -1}
 		if n.branchStep >= 0 {
 			cand.own = n.nodeIDAt(m, sc, assign, n.branchStep)

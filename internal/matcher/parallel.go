@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/xmldoc"
 )
 
@@ -31,6 +32,18 @@ import (
 // the sequential path. The matcher stays safe for concurrent calls of any
 // matching method.
 func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID {
+	sids, _ := m.MatchDocumentParallelBudget(doc, workers, nil)
+	return sids
+}
+
+// MatchDocumentParallelBudget is MatchDocumentParallel charging the match
+// to a per-document budget. The budget is single-goroutine state, so each
+// shard runs under its own Fork: the deadline and cancellation carry over
+// exactly, while the step bound applies per shard (the aggregate bound is
+// workers × MaxSteps). The first tripped shard's *guard.LimitError is
+// returned and the partial marks are discarded. A nil budget is unlimited
+// and never errors.
+func (m *Matcher) MatchDocumentParallelBudget(doc *xmldoc.Document, workers int, bud *guard.Budget) ([]SID, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -38,7 +51,8 @@ func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID
 		workers = len(doc.Paths)
 	}
 	if workers <= 1 {
-		return m.MatchDocument(doc)
+		sids, _, err := m.MatchDocumentBudget(doc, bud)
+		return sids, err
 	}
 
 	t0 := time.Now()
@@ -47,6 +61,7 @@ func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID
 
 	dedup := m.pathDedup()
 	scratches := make([]*scratch, workers)
+	limitErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	// Contiguous shards: sibling subtrees emit adjacent paths, so
 	// contiguity keeps structurally identical paths in one shard where the
@@ -61,12 +76,20 @@ func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID
 		sc := m.getScratch()
 		scratches[w] = sc
 		wg.Add(1)
-		go func(sc *scratch, lo, hi int) {
+		go func(w int, sc *scratch, lo, hi int) {
 			defer wg.Done()
+			sb := bud.Fork()
 			for i := lo; i < hi; i++ {
-				m.matchPath(sc, &doc.Paths[i], dedup, nil)
+				if !sb.CheckPoint() {
+					break
+				}
+				m.matchPath(sc, &doc.Paths[i], dedup, nil, sb)
+				if sb.Exceeded() {
+					break
+				}
 			}
-		}(sc, lo, hi)
+			limitErrs[w] = sb.Err()
+		}(w, sc, lo, hi)
 	}
 	wg.Wait()
 
@@ -84,6 +107,14 @@ func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID
 		}
 		clear(other.ncands)
 		m.pool.Put(other)
+	}
+
+	for _, err := range limitErrs {
+		if err != nil {
+			clear(sc.ncands)
+			m.pool.Put(sc)
+			return nil, err
+		}
 	}
 
 	// Covering is monotone, so the OR already carries every per-shard
@@ -118,5 +149,5 @@ func (m *Matcher) MatchDocumentParallel(doc *xmldoc.Document, workers int) []SID
 	// The shards keep clock calls off their inner loops (bd == nil), so
 	// only the whole-document duration and counters are recorded.
 	m.observe(nil, t0, len(doc.Paths), len(out))
-	return out
+	return out, nil
 }

@@ -6,6 +6,11 @@ import "time"
 // stream pipeline; workers beyond the bound share the last slot.
 const MaxStreamWorkers = 32
 
+// NumLimitKinds sizes the per-limit trip counter vector. It must be at
+// least guard.NumKinds; the two constants are cross-checked by a test
+// (this package stays dependency-free, so it cannot import guard).
+const NumLimitKinds = 8
+
 // Set is the engine-wide pipeline metric set: one instance per Engine,
 // always on, shared by every stage (parse, predicate matching, occurrence
 // determination, cache, store, stream pipeline). All fields follow the
@@ -41,6 +46,12 @@ type Set struct {
 	StreamQueueDepth Gauge   // jobs dispatched but not yet picked up
 	StreamJobs       Counter // documents that entered the worker pool
 	streamBusy       [MaxStreamWorkers]Counter
+
+	// Resource-governance counters: documents stopped by each limit kind
+	// (indexed by guard.Kind) and panics recovered by the isolation layer
+	// (stream workers, HTTP handlers).
+	limitTrips [NumLimitKinds]Counter
+	Panics     Counter
 }
 
 // NewSet returns a ready-to-record metric set.
@@ -75,6 +86,43 @@ func (s *Set) ObserveSnapshot(d time.Duration) {
 		return
 	}
 	s.Snapshot.Observe(d)
+}
+
+// ObserveLimitTrip counts one governance stop of the given limit kind
+// (guard.Kind values; out-of-range kinds clamp to the last slot). Safe on
+// a nil receiver.
+func (s *Set) ObserveLimitTrip(kind int) {
+	if s == nil {
+		return
+	}
+	if kind < 0 {
+		kind = 0
+	}
+	if kind >= NumLimitKinds {
+		kind = NumLimitKinds - 1
+	}
+	s.limitTrips[kind].Inc()
+}
+
+// ObservePanic counts one recovered panic. Safe on a nil receiver.
+func (s *Set) ObservePanic() {
+	if s == nil {
+		return
+	}
+	s.Panics.Inc()
+}
+
+// LimitTrips returns the per-kind governance trip counts (indexed by
+// guard.Kind).
+func (s *Set) LimitTrips() [NumLimitKinds]int64 {
+	var out [NumLimitKinds]int64
+	if s == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = s.limitTrips[i].Load()
+	}
+	return out
 }
 
 // StreamBusy returns worker w's cumulative busy-time counter

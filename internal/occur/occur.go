@@ -8,7 +8,15 @@
 // with prefix-depth reporting, used by prefix covering); DetermineAlg1 is
 // a literal transcription of the paper's Algorithm 1, kept as an
 // executable specification and cross-checked against Determine in tests.
+//
+// The search's worst case is exponential in the occurrence pairs, so the
+// budgeted variants (DetermineBudget, DetermineLimited) bound the effort:
+// they visit at most a configured number of pairs and report exhaustion
+// instead of an answer, which the matcher surfaces as a typed
+// *guard.LimitError rather than a silent "no match".
 package occur
+
+import "predfilter/internal/guard"
 
 // Pair is one occurrence-number pair from a predicate matching result.
 // Single-tag predicates duplicate their occurrence number (A == B);
@@ -83,6 +91,92 @@ func DetermineSteps(results [][]Pair) (matched bool, maxDepth, steps int) {
 	return dfs(0, 0), maxDepth, steps
 }
 
+// stepper consumes one unit of search effort per occurrence pair visited
+// and reports whether the search may continue. guard.Budget implements it;
+// stepLimit is the self-contained counter used by DetermineLimited.
+type stepper interface {
+	Step() bool
+}
+
+// stepLimit is a plain countdown stepper.
+type stepLimit struct {
+	left int64
+}
+
+func (s *stepLimit) Step() bool {
+	if s.left <= 0 {
+		return false
+	}
+	s.left--
+	return true
+}
+
+// determineBounded is the budgeted search core: Determine with one Step
+// consulted per pair visited. aborted reports that the budget ran out
+// before the search completed, in which case matched and maxDepth are the
+// partial state and must not be reported as an answer.
+func determineBounded(results [][]Pair, s stepper) (matched bool, maxDepth int, aborted bool) {
+	n := len(results)
+	if n == 0 {
+		return true, 0, false
+	}
+	var dfs func(level int, need int32) bool
+	dfs = func(level int, need int32) bool {
+		if level == n {
+			return true
+		}
+		for _, pr := range results[level] {
+			if !s.Step() {
+				aborted = true
+				return false
+			}
+			if level > 0 && pr.A != need {
+				continue
+			}
+			if level+1 > maxDepth {
+				maxDepth = level + 1
+			}
+			if dfs(level+1, pr.B) {
+				return true
+			}
+			if aborted {
+				return false
+			}
+		}
+		return false
+	}
+	matched = dfs(0, 0)
+	if aborted {
+		matched = false
+	}
+	return matched, maxDepth, aborted
+}
+
+// DetermineBudget is Determine charging one budget step per occurrence
+// pair visited. When the budget trips mid-search it returns immediately
+// with the budget's sticky error set (guard.Budget.Err); the partial
+// matched/maxDepth pair is then meaningless and callers must surface the
+// error instead of the result. A nil budget falls back to the unbudgeted
+// Determine.
+func DetermineBudget(results [][]Pair, b *guard.Budget) (matched bool, maxDepth int) {
+	if b == nil {
+		return Determine(results)
+	}
+	matched, maxDepth, _ = determineBounded(results, b)
+	return matched, maxDepth
+}
+
+// DetermineLimited is DetermineSteps with a hard step budget: the search
+// visits at most budget occurrence pairs. steps reports the pairs actually
+// visited (== budget when exhausted is true — the cutoff is exact), and
+// exhausted reports that the budget ran out before the search completed,
+// in which case matched is false without being an answer.
+func DetermineLimited(results [][]Pair, budget int64) (matched bool, maxDepth int, steps int64, exhausted bool) {
+	s := stepLimit{left: budget}
+	matched, maxDepth, exhausted = determineBounded(results, &s)
+	return matched, maxDepth, budget - s.left, exhausted
+}
+
 // Enumerate calls visit for every full chained combination, in
 // depth-first order. The assign slice is reused between calls; visit must
 // copy it if it retains it. Enumeration stops early when visit returns
@@ -97,6 +191,41 @@ func Enumerate(results [][]Pair, visit func(assign []Pair) bool) bool {
 			return visit(assign)
 		}
 		for _, pr := range results[level] {
+			if level > 0 && pr.A != need {
+				continue
+			}
+			assign[level] = pr
+			if !dfs(level+1, pr.B) {
+				return false
+			}
+		}
+		return true
+	}
+	return dfs(0, 0)
+}
+
+// EnumerateBudget is Enumerate charging one budget step per occurrence
+// pair visited (not just per full combination reported), so an
+// enumeration that dead-ends exponentially without completing any
+// combination is still bounded. When the budget trips, enumeration stops
+// with the budget's sticky error set and the caller must surface it
+// instead of the partial candidate set. A nil budget falls back to
+// Enumerate.
+func EnumerateBudget(results [][]Pair, b *guard.Budget, visit func(assign []Pair) bool) bool {
+	if b == nil {
+		return Enumerate(results, visit)
+	}
+	n := len(results)
+	assign := make([]Pair, n)
+	var dfs func(level int, need int32) bool
+	dfs = func(level int, need int32) bool {
+		if level == n {
+			return visit(assign)
+		}
+		for _, pr := range results[level] {
+			if !b.Step() {
+				return false
+			}
 			if level > 0 && pr.A != need {
 				continue
 			}

@@ -1,0 +1,132 @@
+package occur
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"predfilter/internal/guard"
+)
+
+// worstCase builds the occurrence-pair sets of the pipeline's worst case:
+// a chain of n identical tags matched by a k-step descendant expression.
+// The descendant self-pair over the chain yields every (i, j) with
+// 1 ≤ i < j ≤ n at each of the k levels; a full chained combination would
+// be a strictly increasing sequence of k occurrence numbers drawn from
+// 1..n, so with k > n none exists and the backtracking search must visit
+// every increasing sequence — Θ(2^n) pairs — before answering noMatch.
+func worstCase(n, k int) [][]Pair {
+	level := make([]Pair, 0, n*(n-1)/2)
+	for i := int32(1); i <= int32(n); i++ {
+		for j := i + 1; j <= int32(n); j++ {
+			level = append(level, Pair{A: i, B: j})
+		}
+	}
+	results := make([][]Pair, k)
+	for lv := range results {
+		results[lv] = level
+	}
+	return results
+}
+
+func TestWorstCaseStepsGrowExponentially(t *testing.T) {
+	// The whole point of the step budget: without one, each +2 of chain
+	// length at least doubles the search. Assert the growth so a future
+	// "optimization" that silently changes the worst case breaks loudly.
+	var prev int64
+	for n := 8; n <= 16; n += 2 {
+		matched, _, steps, exhausted := DetermineLimited(worstCase(n, n+1), 1<<40)
+		if matched || exhausted {
+			t.Fatalf("n=%d: matched=%v exhausted=%v, want an exhaustive noMatch", n, matched, exhausted)
+		}
+		if prev > 0 && steps < 2*prev {
+			t.Fatalf("n=%d: steps %d < 2x previous %d — worst case no longer exponential?", n, steps, prev)
+		}
+		prev = steps
+	}
+	if prev < 1<<16 {
+		t.Fatalf("n=16 worst case visited only %d pairs; generator is not adversarial", prev)
+	}
+}
+
+func TestWorstCaseExactBudgetCutoff(t *testing.T) {
+	results := worstCase(14, 15)
+	_, _, full, exhausted := DetermineLimited(results, 1<<40)
+	if exhausted {
+		t.Fatal("reference run should complete")
+	}
+	for _, budget := range []int64{1, 7, full / 2, full - 1} {
+		matched, _, steps, exhausted := DetermineLimited(results, budget)
+		if !exhausted {
+			t.Fatalf("budget %d of %d: not exhausted", budget, full)
+		}
+		if steps != budget {
+			t.Fatalf("budget %d: visited %d pairs, want the cutoff to be exact", budget, steps)
+		}
+		if matched {
+			t.Fatalf("budget %d: matched=true from a truncated search", budget)
+		}
+	}
+	// At exactly the full cost the search completes: exhaustion means the
+	// budget ran out before the answer, not that it was merely consumed.
+	if _, _, steps, exhausted := DetermineLimited(results, full); exhausted || steps != full {
+		t.Fatalf("budget==full: steps=%d exhausted=%v, want %d,false", steps, exhausted, full)
+	}
+}
+
+func TestWorstCaseDetermineBudgetTrips(t *testing.T) {
+	b := guard.NewBudget(context.Background(), guard.Limits{MaxSteps: 1000})
+	DetermineBudget(worstCase(16, 17), b)
+	if !b.Exceeded() {
+		t.Fatal("budget survived the worst case")
+	}
+	var le *guard.LimitError
+	if err := b.Err(); !errors.As(err, &le) || le.Kind != guard.Steps {
+		t.Fatalf("Err = %v, want Steps *LimitError", b.Err())
+	}
+	if le.Limit != 1000 {
+		t.Fatalf("LimitError.Limit = %d, want 1000", le.Limit)
+	}
+}
+
+func TestEnumerateBudgetChargesDeadEnds(t *testing.T) {
+	// A search that dead-ends without ever producing a full combination
+	// must still consume steps; charging only completed combinations would
+	// leave the exponential dead-end walk unbounded.
+	results := worstCase(12, 13)
+	b := guard.NewBudget(context.Background(), guard.Limits{MaxSteps: 500})
+	visits := 0
+	EnumerateBudget(results, b, func([]Pair) bool { visits++; return true })
+	if visits != 0 {
+		t.Fatalf("worst case produced %d full combinations, want 0", visits)
+	}
+	if !b.Exceeded() {
+		t.Fatal("budget survived an exponential dead-end enumeration")
+	}
+}
+
+func TestEnumerateBudgetNilMatchesEnumerate(t *testing.T) {
+	results := [][]Pair{
+		pairs([2]int32{1, 1}, [2]int32{1, 2}, [2]int32{2, 2}),
+		pairs([2]int32{1, 1}, [2]int32{2, 2}),
+	}
+	var a, b [][]Pair
+	Enumerate(results, func(assign []Pair) bool {
+		a = append(a, append([]Pair(nil), assign...))
+		return true
+	})
+	EnumerateBudget(results, nil, func(assign []Pair) bool {
+		b = append(b, append([]Pair(nil), assign...))
+		return true
+	})
+	if len(a) != len(b) {
+		t.Fatalf("Enumerate found %d combinations, EnumerateBudget(nil) %d", len(a), len(b))
+	}
+	for i := range a {
+		for lv := range a[i] {
+			if a[i][lv] != b[i][lv] {
+				t.Fatalf("combination %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}

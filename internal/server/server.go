@@ -43,7 +43,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -73,6 +75,26 @@ type Config struct {
 	// Debug exposes /debug/pprof/. The observability endpoints (/metrics,
 	// /debug/vars) are always on and not affected by this switch.
 	Debug bool
+
+	// MaxRequestBytes bounds the JSON request bodies of POST
+	// /subscriptions and POST /publish/batch (default 64 MiB; oversized
+	// requests get 413). It is the one knob for every JSON endpoint —
+	// published XML documents are bounded separately by MaxDocumentBytes
+	// and the engine's Limits.
+	MaxRequestBytes int64
+	// MaxInflight caps concurrently matching publish requests (0 =
+	// unlimited). Requests beyond the cap wait in a bounded queue of
+	// MaxQueued; once that is full too, the server sheds with 429 +
+	// Retry-After instead of queueing unboundedly.
+	MaxInflight int
+	// MaxQueued bounds the publish wait queue used when MaxInflight is
+	// saturated (default 4 × MaxInflight when MaxInflight is set).
+	MaxQueued int
+	// RequestTimeout bounds each publish request's matching work: the
+	// request context gets this deadline, which the engine's match budget
+	// observes per document (0 = no per-request deadline beyond the
+	// engine's own Limits).
+	RequestTimeout time.Duration
 
 	// StateDir, when non-empty, makes the subscription set durable: every
 	// add/remove is written to a write-ahead log in this directory before
@@ -105,6 +127,17 @@ type Server struct {
 	matchesTotal   atomic.Int64 // sum of per-document match counts
 	publishNanos   atomic.Int64 // wall time spent matching (per-request, so batch time counts once)
 	batchDocsTotal atomic.Int64 // documents that arrived via /publish/batch
+
+	// Admission control and degradation state. sem is the in-flight
+	// publish semaphore (nil = unlimited); queued counts requests in the
+	// bounded wait queue.
+	sem      chan struct{}
+	queued   atomic.Int64
+	shed     atomic.Int64 // requests rejected with 429 (queue full) or dropped waiting
+	timedOut atomic.Int64 // documents that hit the per-request/match deadline
+	limited  atomic.Int64 // documents stopped by any governance limit
+	panics   atomic.Int64 // handler panics recovered
+	draining atomic.Bool  // Close/BeginDrain in progress: publishes get 503
 
 	mu   sync.Mutex
 	subs map[predfilter.SID]*subscription
@@ -141,10 +174,19 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.MaxDocumentBytes <= 0 {
 		cfg.MaxDocumentBytes = 1 << 20
 	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 64 << 20
+	}
+	if cfg.MaxInflight > 0 && cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 4 * cfg.MaxInflight
+	}
 	s := &Server{
 		mux:  http.NewServeMux(),
 		cfg:  cfg,
 		subs: make(map[predfilter.SID]*subscription),
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
 	if cfg.StateDir != "" {
 		pe, err := predfilter.Open(cfg.StateDir, predfilter.PersistentConfig{
@@ -184,19 +226,127 @@ func Open(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Panics in any handler are recovered
+// here — counted, answered with 500, and isolated to the request that
+// caused them — so one pathological document cannot take the service
+// down. http.ErrAbortHandler (the stdlib's deliberate connection-abort
+// panic) is re-raised untouched.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+			panic(p)
+		}
+		s.panics.Add(1)
+		s.eng.Metrics().ObservePanic()
+		writeError(w, http.StatusInternalServerError, "internal error (recovered): %v", p)
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
-// Close shuts the server's engine down. With persistence enabled it takes
+// BeginDrain puts the server into draining mode: publish requests are
+// refused with 503 + Retry-After while requests already in flight run to
+// completion. Call it before http.Server.Shutdown so the listener drains
+// quickly instead of accepting new matching work.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close shuts the server's engine down. New publish requests are refused
+// with 503 from this point (draining). With persistence enabled it takes
 // a final snapshot (so the next start recovers from the compacted
 // snapshot instead of replaying the whole log) and closes the store; for
-// an in-memory server it is a no-op. Call it after the HTTP listener has
-// drained (http.Server.Shutdown).
+// an in-memory server there is nothing else to do. Call it after the HTTP
+// listener has drained (http.Server.Shutdown).
 func (s *Server) Close() error {
+	s.BeginDrain()
 	if s.pe == nil {
 		return nil
 	}
 	return s.pe.Close()
+}
+
+// admit gates one publish request through the concurrency cap. It returns
+// a release function and true when the request may proceed; otherwise it
+// has already written the response: 503 + Retry-After while draining, 429
+// + Retry-After when the in-flight cap and the wait queue are both full.
+// Waiting requests leave the queue when their client disconnects.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, false
+	}
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return s.release, true
+	default:
+	}
+	// In-flight cap saturated: join the bounded wait queue or shed.
+	if s.queued.Add(1) > int64(s.cfg.MaxQueued) {
+		s.queued.Add(-1)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"concurrency limit reached (%d in flight, %d queued); retry later",
+			s.cfg.MaxInflight, s.cfg.MaxQueued)
+		return nil, false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		if s.draining.Load() {
+			<-s.sem
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return nil, false
+		}
+		return s.release, true
+	case <-r.Context().Done():
+		s.shed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "client gave up waiting for a slot")
+		return nil, false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// requestContext derives the matching context for one publish request:
+// the client's context plus the configured per-request deadline. The
+// engine's match budget observes both.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// publishError classifies one failed document: governance stops get their
+// own statuses and counters (503 for deadline/cancellation, 413 for an
+// oversized document, 422 for the structural and step limits — the
+// document itself is unprocessable, and the typed detail says which bound
+// it broke); anything else is a plain invalid document.
+func (s *Server) publishError(w http.ResponseWriter, err error) {
+	var le *predfilter.LimitError
+	if errors.As(err, &le) {
+		s.limited.Add(1)
+		switch le.Kind {
+		case predfilter.LimitDeadline, predfilter.LimitCanceled:
+			s.timedOut.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "match stopped: %v", err)
+		case predfilter.LimitDocBytes:
+			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		default:
+			writeError(w, http.StatusUnprocessableEntity, "document exceeds resource limits: %v", err)
+		}
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "invalid document: %v", err)
 }
 
 // addExpr registers an expression through the persistent engine when
@@ -248,7 +398,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Expression string `json:"expression"`
 	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<10)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxRequestBytes)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -310,6 +465,11 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	doc, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxDocumentBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
@@ -328,16 +488,18 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		sids []predfilter.SID
 		tr   *predfilter.MatchTrace
 	)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	t0 := time.Now()
 	if traced {
 		sids, tr, err = s.eng.MatchTraced(doc)
 	} else {
-		sids, err = s.eng.Match(doc)
+		sids, err = s.eng.MatchContext(ctx, doc)
 	}
 	s.publishNanos.Add(time.Since(t0).Nanoseconds())
 	if err != nil {
 		s.docsRejected.Add(1)
-		writeError(w, http.StatusUnprocessableEntity, "invalid document: %v", err)
+		s.publishError(w, err)
 		return
 	}
 	s.docsPublished.Add(1)
@@ -376,11 +538,20 @@ func (s *Server) deliver(doc []byte, sids []predfilter.SID) []predfilter.SID {
 // matching pipeline. Per-document failures are reported per result; the
 // batch itself succeeds.
 func (s *Server) handlePublishBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var req struct {
 		Documents []string `json:"documents"`
 	}
-	limit := 64 * s.cfg.MaxDocumentBytes
-	if err := json.NewDecoder(io.LimitReader(r.Body, limit)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxRequestBytes)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -402,12 +573,21 @@ func (s *Server) handlePublishBatch(w http.ResponseWriter, r *http.Request) {
 		IDs     []predfilter.SID `json:"ids,omitempty"`
 		Error   string           `json:"error,omitempty"`
 	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	results := make([]item, 0, len(docs))
 	published := 0
 	t0 := time.Now()
-	for _, res := range s.eng.MatchBatch(docs, s.cfg.Workers) {
+	for _, res := range s.eng.MatchBatchContext(ctx, docs, s.cfg.Workers) {
 		if res.Err != nil {
 			s.docsRejected.Add(1)
+			var le *predfilter.LimitError
+			if errors.As(res.Err, &le) {
+				s.limited.Add(1)
+				if le.Kind == predfilter.LimitDeadline || le.Kind == predfilter.LimitCanceled {
+					s.timedOut.Add(1)
+				}
+			}
 			results = append(results, item{Error: res.Err.Error()})
 			continue
 		}
@@ -518,6 +698,12 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		"matches_total":        pc.matches,
 		"publish_ns":           pc.nanos,
 		"publish_docs_per_sec": docsPerSec,
+		"shed":                 s.shed.Load(),
+		"timed_out":            s.timedOut.Load(),
+		"limit_stopped":        s.limited.Load(),
+		"panics_recovered":     s.panics.Load(),
+		"inflight_queued":      s.queued.Load(),
+		"draining":             s.draining.Load(),
 		"workers":              s.cfg.Workers,
 		"gomaxprocs":           runtime.GOMAXPROCS(0),
 		"goroutines":           runtime.NumGoroutine(),
@@ -564,6 +750,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	x.Int("predfilter_server_matches_total", "", pc.matches)
 	x.Family("predfilter_server_publish_seconds_total", "Wall time spent matching published documents.", "counter")
 	x.Value("predfilter_server_publish_seconds_total", "", float64(pc.nanos)/1e9)
+	x.Family("predfilter_server_shed_total", "Publish requests shed by admission control (429 or abandoned wait).", "counter")
+	x.Int("predfilter_server_shed_total", "", s.shed.Load())
+	x.Family("predfilter_server_timed_out_total", "Published documents that hit the per-request or match deadline.", "counter")
+	x.Int("predfilter_server_timed_out_total", "", s.timedOut.Load())
+	x.Family("predfilter_server_limit_stopped_total", "Published documents stopped by a resource-governance limit.", "counter")
+	x.Int("predfilter_server_limit_stopped_total", "", s.limited.Load())
+	x.Family("predfilter_server_panics_recovered_total", "Handler panics recovered by the isolation layer.", "counter")
+	x.Int("predfilter_server_panics_recovered_total", "", s.panics.Load())
 	if s.pe != nil {
 		st := s.pe.StoreStats()
 		x.Family("predfilter_store_live_subscriptions", "Live persisted subscriptions.", "gauge")
@@ -645,6 +839,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"paths":                st.Paths,
 		"matches":              st.Matches,
 		"slow_docs":            st.SlowDocs,
+		"shed":                 s.shed.Load(),
+		"timed_out":            s.timedOut.Load(),
+		"limit_stopped":        s.limited.Load(),
+		"panics_recovered":     st.Panics,
 		"stages": map[string]any{
 			"parse":           stageVars(st.Stages.Parse),
 			"cache":           stageVars(st.Stages.Cache),
@@ -654,6 +852,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"wal_append":      stageVars(st.Stages.WALAppend),
 			"snapshot":        stageVars(st.Stages.Snapshot),
 		},
+	}
+	if len(st.LimitTrips) > 0 {
+		stats["limit_trips"] = st.LimitTrips
 	}
 	if sv := s.storeVars(); sv != nil {
 		stats["store"] = sv

@@ -2,10 +2,10 @@ package xmldoc
 
 import "testing"
 
-// FuzzParse: malformed input must error cleanly, and accepted documents
-// must satisfy the encoding invariants (positions 1..Length, correct
-// occurrence counting, path count = leaf count).
-func FuzzParse(f *testing.F) {
+// FuzzParseDocument: malformed input must error cleanly, and accepted
+// documents must satisfy the encoding invariants (positions 1..Length,
+// correct occurrence counting, path count = leaf count).
+func FuzzParseDocument(f *testing.F) {
 	for _, seed := range []string{
 		"<a/>", "<a><b/></a>", "<a><b><c/></b><d/></a>", `<a x="1">t</a>`,
 		"<a><b></a>", "<a>", "", "plain", "<a><a><a/></a></a>",

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/metrics"
 )
 
@@ -86,15 +87,31 @@ type Document struct {
 
 // Parse decomposes the XML document in data.
 func Parse(data []byte) (*Document, error) {
-	return ParseReader(bytes.NewReader(data))
+	return ParseLimits(data, guard.Limits{})
+}
+
+// ParseLimits is Parse with structural limits enforced as the document
+// streams: nesting depth, path count, total tuple count, and raw size
+// (checked up front for byte-slice input). Exceeding a limit returns a
+// typed *guard.LimitError; zero limits enforce nothing.
+func ParseLimits(data []byte, lim guard.Limits) (*Document, error) {
+	if lim.MaxDocBytes > 0 && int64(len(data)) > lim.MaxDocBytes {
+		return nil, guard.ParseError(guard.DocBytes, lim.MaxDocBytes, int64(len(data)))
+	}
+	return ParseReaderLimits(bytes.NewReader(data), lim)
 }
 
 // ParseMetered is Parse with stage observation: the parse + path
 // extraction duration and input size land in ms (the engine's metric
 // set). A nil ms records nothing.
 func ParseMetered(data []byte, ms *metrics.Set) (*Document, error) {
+	return ParseMeteredLimits(data, ms, guard.Limits{})
+}
+
+// ParseMeteredLimits is ParseLimits with stage observation.
+func ParseMeteredLimits(data []byte, ms *metrics.Set, lim guard.Limits) (*Document, error) {
 	t0 := time.Now()
-	d, err := Parse(data)
+	d, err := ParseLimits(data, lim)
 	ms.ObserveParse(time.Since(t0), len(data), err)
 	return d, err
 }
@@ -102,18 +119,60 @@ func ParseMetered(data []byte, ms *metrics.Set) (*Document, error) {
 // ParseReaderMetered is ParseReader with stage observation. The input
 // size of a stream is not known, so only the duration is recorded.
 func ParseReaderMetered(r io.Reader, ms *metrics.Set) (*Document, error) {
+	return ParseReaderMeteredLimits(r, ms, guard.Limits{})
+}
+
+// ParseReaderMeteredLimits is ParseReaderLimits with stage observation.
+func ParseReaderMeteredLimits(r io.Reader, ms *metrics.Set, lim guard.Limits) (*Document, error) {
 	t0 := time.Now()
-	d, err := ParseReader(r)
+	d, err := ParseReaderLimits(r, lim)
 	ms.ObserveParse(time.Since(t0), 0, err)
 	return d, err
+}
+
+// limitReader bounds the bytes consumed from a stream, failing with a
+// typed *guard.LimitError once the bound is crossed (unlike io.LimitReader
+// it errors instead of faking EOF, so a truncated bomb cannot masquerade
+// as a well-formed smaller document error).
+type limitReader struct {
+	r   io.Reader
+	n   int64 // bytes consumed
+	max int64
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	// Allow one sentinel byte past the bound: a document ending exactly at
+	// the bound reads EOF there and parses, while a longer one trips.
+	rem := l.max - l.n + 1
+	if rem <= 0 {
+		return 0, guard.ParseError(guard.DocBytes, l.max, l.n)
+	}
+	if int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := l.r.Read(p)
+	l.n += int64(n)
+	if l.n > l.max {
+		return n, guard.ParseError(guard.DocBytes, l.max, l.n)
+	}
+	return n, err
 }
 
 // ParseReader decomposes the XML document read from r. Input with more
 // than one top-level element is rejected; use ParseStream for
 // concatenated documents.
 func ParseReader(r io.Reader) (*Document, error) {
+	return ParseReaderLimits(r, guard.Limits{})
+}
+
+// ParseReaderLimits is ParseReader with structural limits enforced as the
+// stream is consumed (see ParseLimits).
+func ParseReaderLimits(r io.Reader, lim guard.Limits) (*Document, error) {
+	if lim.MaxDocBytes > 0 {
+		r = &limitReader{r: r, max: lim.MaxDocBytes}
+	}
 	dec := xml.NewDecoder(r)
-	doc, err := parseOne(dec)
+	doc, err := parseOneLimits(dec, lim)
 	if err == io.EOF {
 		return nil, fmt.Errorf("xmldoc: no document element")
 	}
@@ -157,9 +216,19 @@ func ParseStream(r io.Reader, fn func(*Document) error) (int, error) {
 	}
 }
 
-// parseOne decodes a single document's element tree from an open decoder.
-// It returns io.EOF when no further document starts.
+// parseOne decodes a single document's element tree from an open decoder
+// with no structural limits. It returns io.EOF when no further document
+// starts.
 func parseOne(dec *xml.Decoder) (*Document, error) {
+	return parseOneLimits(dec, guard.Limits{})
+}
+
+// parseOneLimits is parseOne enforcing the structural limits as the token
+// stream is consumed: the decoder never holds more than MaxDepth open
+// elements, and path extraction stops at MaxPaths paths / MaxTuples total
+// tuples — a bomb is rejected while still small, not after
+// materialization.
+func parseOneLimits(dec *xml.Decoder, lim guard.Limits) (*Document, error) {
 	doc := &Document{}
 	type frame struct {
 		tag      string
@@ -171,6 +240,7 @@ func parseOne(dec *xml.Decoder) (*Document, error) {
 	var stack []frame
 	nextID := 0
 	started := false
+	tuples := 0
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -185,6 +255,9 @@ func parseOne(dec *xml.Decoder) (*Document, error) {
 		switch t := tok.(type) {
 		case xml.StartElement:
 			started = true
+			if lim.MaxDepth > 0 && len(stack) >= lim.MaxDepth {
+				return nil, guard.ParseError(guard.Depth, int64(lim.MaxDepth), int64(len(stack)+1))
+			}
 			childIdx := 1
 			if n := len(stack); n > 0 {
 				stack[n-1].children++
@@ -204,6 +277,13 @@ func parseOne(dec *xml.Decoder) (*Document, error) {
 				return nil, fmt.Errorf("xmldoc: unbalanced end element <%s>", t.Name.Local)
 			}
 			if stack[len(stack)-1].children == 0 {
+				if lim.MaxPaths > 0 && len(doc.Paths) >= lim.MaxPaths {
+					return nil, guard.ParseError(guard.Paths, int64(lim.MaxPaths), int64(len(doc.Paths)+1))
+				}
+				tuples += len(stack)
+				if lim.MaxTuples > 0 && tuples > lim.MaxTuples {
+					return nil, guard.ParseError(guard.Tuples, int64(lim.MaxTuples), int64(tuples))
+				}
 				pub := Publication{Length: len(stack), Tuples: make([]Tuple, len(stack))}
 				for i, f := range stack {
 					// Occurrence number by scanning the open ancestors:

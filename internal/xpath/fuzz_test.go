@@ -2,9 +2,9 @@ package xpath
 
 import "testing"
 
-// FuzzParse: the parser must never panic, and anything it accepts must
-// round-trip through String.
-func FuzzParse(f *testing.F) {
+// FuzzParseXPath: the parser must never panic, and anything it accepts
+// must round-trip through String.
+func FuzzParseXPath(f *testing.F) {
 	for _, seed := range []string{
 		"/a/b/c", "a//b", "*/a/*/b//c/*/*", "/a[@x=3]/b", "/a[*/c[d]/e]//c[d]/e",
 		"//a", "/*/*/*", "a[@k]", `a[@k="v v"]`, "a[b[c]]", "[", "]", "a[",

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/matcher"
 	"predfilter/internal/metrics"
 	"predfilter/internal/xmldoc"
@@ -180,6 +181,14 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		x.Family("predfilter_path_cache_bytes", "Resident path-signature cache bytes.", "gauge")
 		x.Int("predfilter_path_cache_bytes", "", pc.Bytes)
 	}
+
+	x.Family("predfilter_limit_trips_total", "Documents stopped by each resource-governance limit.", "counter")
+	trips := e.mx.LimitTrips()
+	for k := guard.Kind(0); k < guard.NumKinds; k++ {
+		x.Int("predfilter_limit_trips_total", `limit="`+k.String()+`"`, trips[k])
+	}
+	x.Family("predfilter_panics_recovered_total", "Panics recovered by the isolation layer.", "counter")
+	x.Int("predfilter_panics_recovered_total", "", e.mx.Panics.Load())
 
 	x.Family("predfilter_stream_queue_depth", "Stream jobs dispatched but not yet picked up.", "gauge")
 	x.Int("predfilter_stream_queue_depth", "", e.mx.StreamQueueDepth.Load())

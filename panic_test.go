@@ -1,0 +1,129 @@
+package predfilter
+
+// White-box tests for the stream pipeline's panic isolation (the
+// testHookStreamJob injection point is unexported) and for batch
+// cancellation fill-in.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStreamPanicIsolated(t *testing.T) {
+	eng := New(Config{})
+	if _, err := eng.Add("//ok"); err != nil {
+		t.Fatal(err)
+	}
+	bomb := []byte("<panic/>")
+	testHookStreamJob = func(doc []byte) {
+		if bytes.Equal(doc, bomb) {
+			panic("injected")
+		}
+	}
+	defer func() { testHookStreamJob = nil }()
+
+	healthy := []byte("<ok/>")
+	results := eng.MatchBatch([][]byte{healthy, bomb, healthy}, 2)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil || len(results[i].SIDs) != 1 {
+			t.Fatalf("healthy doc %d: sids=%v err=%v — panic not isolated", i, results[i].SIDs, results[i].Err)
+		}
+	}
+	err := results[1].Err
+	if err == nil {
+		t.Fatal("panicking document reported no error")
+	}
+	if !strings.Contains(err.Error(), "recovered panic") || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("panic error = %v, want a recovered-panic message naming the cause", err)
+	}
+	if results[1].SIDs != nil {
+		t.Fatalf("panicking document reported sids %v", results[1].SIDs)
+	}
+	if got := eng.Stats().Panics; got != 1 {
+		t.Fatalf("Stats().Panics = %d, want 1", got)
+	}
+}
+
+func TestStreamPanicWorkerSurvives(t *testing.T) {
+	// Every document panics; the workers must drain the whole stream
+	// anyway, one failed Result per document.
+	eng := New(Config{})
+	if _, err := eng.Add("//a"); err != nil {
+		t.Fatal(err)
+	}
+	testHookStreamJob = func([]byte) { panic("always") }
+	defer func() { testHookStreamJob = nil }()
+
+	const n = 32
+	docs := make([][]byte, n)
+	for i := range docs {
+		docs[i] = []byte("<a/>")
+	}
+	results := eng.MatchBatch(docs, 4)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("doc %d: no error despite the injected panic", i)
+		}
+	}
+	if got := eng.Stats().Panics; got != n {
+		t.Fatalf("Stats().Panics = %d, want %d", got, n)
+	}
+}
+
+func TestMatchBatchContextFillsCancelled(t *testing.T) {
+	// A cancelled batch still returns exactly one Result per document;
+	// documents the workers never reached carry the context error rather
+	// than silently vanishing (a dropped document must not read as "no
+	// match").
+	eng := New(Config{})
+	if _, err := eng.Add("//a"); err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	testHookStreamJob = func([]byte) { <-block }
+	defer func() { testHookStreamJob = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 16
+	docs := make([][]byte, n)
+	for i := range docs {
+		docs[i] = []byte("<a/>")
+	}
+	done := make(chan []Result, 1)
+	go func() { done <- eng.MatchBatchContext(ctx, docs, 2) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	close(block)
+
+	var results []Result
+	select {
+	case results = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled batch never returned")
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	filled := 0
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has Index %d", i, r.Index)
+		}
+		if r.Err != nil && errors.Is(r.Err, context.Canceled) {
+			filled++
+		}
+	}
+	if filled == 0 {
+		t.Fatal("no result carries the cancellation; dropped documents were silently lost")
+	}
+}

@@ -27,10 +27,13 @@
 package predfilter
 
 import (
+	"context"
+	"errors"
 	"io"
 	"log/slog"
 	"time"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/matcher"
 	"predfilter/internal/metrics"
 	"predfilter/internal/predicate"
@@ -41,6 +44,34 @@ import (
 // SID identifies one registered expression (a subscription, in selective
 // information dissemination terms).
 type SID = matcher.SID
+
+// Limits bounds per-document resource use (see Config.Limits). The zero
+// value enforces nothing; each field is independent and zero disables
+// that bound.
+type Limits = guard.Limits
+
+// LimitError is the typed error returned when a document exceeds a
+// configured resource limit: which limit tripped (Kind), the configured
+// bound (Limit), and how far the document got (Got). Inspect it with
+// errors.As; deadline and cancellation stops additionally satisfy
+// errors.Is(err, context.DeadlineExceeded) / context.Canceled. Partial
+// results are never reported alongside a LimitError — a governed match
+// either completes or fails loudly.
+type LimitError = guard.LimitError
+
+// LimitKind identifies which limit a LimitError reports.
+type LimitKind = guard.Kind
+
+// The limit kinds a LimitError can carry.
+const (
+	LimitDepth    LimitKind = guard.Depth
+	LimitPaths    LimitKind = guard.Paths
+	LimitTuples   LimitKind = guard.Tuples
+	LimitDocBytes LimitKind = guard.DocBytes
+	LimitSteps    LimitKind = guard.Steps
+	LimitDeadline LimitKind = guard.Deadline
+	LimitCanceled LimitKind = guard.Canceled
+)
 
 // Organization selects how expressions are organized for matching
 // (§4.2.2 of the paper). The zero value is PrefixCoverAP, the best
@@ -110,6 +141,12 @@ type Config struct {
 	SlowDocThreshold time.Duration
 	// Logger receives slow-document records; nil selects slog.Default().
 	Logger *slog.Logger
+	// Limits bounds per-document resource use: structural limits (depth,
+	// paths, tuples, bytes) enforced while parsing, and a match budget
+	// (occurrence-determination steps, wall-clock deadline) enforced while
+	// matching. Exceeding a limit returns a typed *LimitError; the zero
+	// value enforces nothing.
+	Limits Limits
 }
 
 // Engine is the filtering engine. Every engine carries an always-on
@@ -121,6 +158,7 @@ type Engine struct {
 	mx     *metrics.Set
 	logger *slog.Logger
 	slow   time.Duration
+	limits Limits
 }
 
 // New returns an engine with the given configuration.
@@ -164,8 +202,12 @@ func New(cfg Config) *Engine {
 		mx:     mx,
 		logger: logger,
 		slow:   cfg.SlowDocThreshold,
+		limits: cfg.Limits,
 	}
 }
+
+// Limits returns the engine's configured resource limits.
+func (e *Engine) Limits() Limits { return e.limits }
 
 // Validate reports whether the expression is within the supported
 // fragment, without registering it.
@@ -225,18 +267,42 @@ func (e *Engine) Remove(sid SID) error { return e.m.Remove(sid) }
 
 // Match parses the document and returns the identifiers of all matching
 // expressions (an expression matches the document iff its evaluation over
-// the document is a non-empty node set).
+// the document is a non-empty node set). Configured limits are enforced;
+// Match is MatchContext without caller-side cancellation.
 func (e *Engine) Match(doc []byte) ([]SID, error) {
+	return e.MatchContext(context.Background(), doc)
+}
+
+// MatchContext is Match under the caller's context and the engine's
+// configured limits: the document is parsed under the structural limits
+// and matched under the step budget, the configured deadline, and the
+// context's own deadline/cancellation. A governance stop returns a typed
+// *LimitError (never a partial result); ctx-originated stops additionally
+// unwrap to the matching context error.
+func (e *Engine) MatchContext(ctx context.Context, doc []byte) ([]SID, error) {
 	t0 := time.Now()
-	d, err := xmldoc.ParseMetered(doc, e.mx)
+	d, err := xmldoc.ParseMeteredLimits(doc, e.mx, e.limits)
 	if err != nil {
-		return nil, err
+		return nil, e.recordGovernance(err)
 	}
 	parse := time.Since(t0)
 	t1 := time.Now()
-	sids, bd := e.m.MatchDocumentBreakdown(d)
+	sids, bd, err := e.m.MatchDocumentBudget(d, guard.NewBudget(ctx, e.limits))
+	if err != nil {
+		return nil, e.recordGovernance(err)
+	}
 	e.maybeLogSlow(parse, time.Since(t1), &bd, len(doc), len(d.Paths), len(sids))
 	return sids, nil
+}
+
+// recordGovernance counts a limit trip when err is a *LimitError and
+// returns err unchanged.
+func (e *Engine) recordGovernance(err error) error {
+	var le *LimitError
+	if errors.As(err, &le) {
+		e.mx.ObserveLimitTrip(int(le.Kind))
+	}
+	return err
 }
 
 // MatchCounts parses the document and returns, for every matching
@@ -251,16 +317,26 @@ func (e *Engine) MatchCounts(doc []byte) (map[SID]int, error) {
 	return e.m.MatchDocumentAll(d), nil
 }
 
-// MatchReader is Match over a stream.
+// MatchReader is Match over a stream. The size limit is enforced as the
+// stream is consumed, so an oversized document is rejected without being
+// read to the end.
 func (e *Engine) MatchReader(r io.Reader) ([]SID, error) {
+	return e.MatchReaderContext(context.Background(), r)
+}
+
+// MatchReaderContext is MatchContext over a stream.
+func (e *Engine) MatchReaderContext(ctx context.Context, r io.Reader) ([]SID, error) {
 	t0 := time.Now()
-	d, err := xmldoc.ParseReaderMetered(r, e.mx)
+	d, err := xmldoc.ParseReaderMeteredLimits(r, e.mx, e.limits)
 	if err != nil {
-		return nil, err
+		return nil, e.recordGovernance(err)
 	}
 	parse := time.Since(t0)
 	t1 := time.Now()
-	sids, bd := e.m.MatchDocumentBreakdown(d)
+	sids, bd, err := e.m.MatchDocumentBudget(d, guard.NewBudget(ctx, e.limits))
+	if err != nil {
+		return nil, e.recordGovernance(err)
+	}
 	e.maybeLogSlow(parse, time.Since(t1), &bd, 0, len(d.Paths), len(sids))
 	return sids, nil
 }
@@ -286,12 +362,27 @@ func (d *Document) Elements() int { return d.doc.Elements }
 // Paths returns the document's root-to-leaf path count.
 func (d *Document) Paths() int { return len(d.doc.Paths) }
 
-// MatchParsed matches a pre-parsed document.
+// MatchParsed matches a pre-parsed document, without limits (the caller
+// already accepted the document's size by parsing it; use
+// MatchParsedContext to budget the match stage).
 func (e *Engine) MatchParsed(d *Document) []SID {
 	t0 := time.Now()
 	sids, bd := e.m.MatchDocumentBreakdown(d.doc)
 	e.maybeLogSlow(0, time.Since(t0), &bd, 0, len(d.doc.Paths), len(sids))
 	return sids
+}
+
+// MatchParsedContext matches a pre-parsed document under the engine's
+// match budget and the caller's context (the parse-stage limits do not
+// apply — the document is already materialized).
+func (e *Engine) MatchParsedContext(ctx context.Context, d *Document) ([]SID, error) {
+	t0 := time.Now()
+	sids, bd, err := e.m.MatchDocumentBudget(d.doc, guard.NewBudget(ctx, e.limits))
+	if err != nil {
+		return nil, e.recordGovernance(err)
+	}
+	e.maybeLogSlow(0, time.Since(t0), &bd, 0, len(d.doc.Paths), len(sids))
+	return sids, nil
 }
 
 // Stats summarizes engine state.
@@ -321,6 +412,14 @@ type Stats struct {
 	Paths     int64
 	Matches   int64
 	SlowDocs  int64
+	// LimitTrips counts documents stopped by each governance limit, keyed
+	// by the limit's stable snake_case name (depth, paths, tuples,
+	// doc_bytes, steps, deadline, canceled). Only kinds that tripped at
+	// least once appear.
+	LimitTrips map[string]int64
+	// Panics counts panics recovered by the isolation layer (stream
+	// workers, HTTP handlers) instead of crashing the process.
+	Panics int64
 	// Stages summarizes the per-stage latency histograms.
 	Stages StageStats
 }
@@ -362,7 +461,17 @@ func (e *Engine) Stats() Stats {
 		Paths:               e.mx.PathsTotal.Load(),
 		Matches:             e.mx.MatchesTotal.Load(),
 		SlowDocs:            e.mx.SlowDocs.Load(),
+		Panics:              e.mx.Panics.Load(),
 		Stages:              e.stageStats(),
+	}
+	trips := e.mx.LimitTrips()
+	for k := guard.Kind(0); k < guard.NumKinds; k++ {
+		if n := trips[k]; n > 0 {
+			if out.LimitTrips == nil {
+				out.LimitTrips = make(map[string]int64)
+			}
+			out.LimitTrips[k.String()] = n
+		}
 	}
 	if st.PathCacheEnabled {
 		out.PathCache = PathCacheStats{

@@ -2,10 +2,12 @@ package predfilter
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/xmldoc"
 )
 
@@ -18,9 +20,47 @@ type Result struct {
 	Doc []byte
 	// SIDs are the matching expression identifiers; nil when Err is set.
 	SIDs []SID
-	// Err is the per-document parse error, if any. One bad document does
-	// not stop the stream.
+	// Err is the per-document failure, if any: a parse error, a
+	// *LimitError from the engine's configured limits or the stream
+	// context, or a recovered worker panic. One bad document does not
+	// stop the stream.
 	Err error
+}
+
+// testHookStreamJob, when non-nil, runs inside each stream worker's
+// per-document recover scope before parsing. Tests use it to inject
+// panics; production code never sets it.
+var testHookStreamJob func(doc []byte)
+
+// matchStreamDoc runs parse + match for one stream document under the
+// engine's limits and the stream context, isolating panics: a panicking
+// document is counted, reported in its own Result, and fails only itself
+// — the worker and the rest of the stream continue.
+func (e *Engine) matchStreamDoc(ctx context.Context, r *Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.mx.ObservePanic()
+			r.SIDs = nil
+			r.Err = fmt.Errorf("predfilter: recovered panic matching document %d: %v", r.Index, p)
+		}
+	}()
+	if testHookStreamJob != nil {
+		testHookStreamJob(r.Doc)
+	}
+	t0 := time.Now()
+	d, err := xmldoc.ParseMeteredLimits(r.Doc, e.mx, e.limits)
+	if err != nil {
+		r.Err = e.recordGovernance(err)
+		return
+	}
+	t1 := time.Now()
+	sids, _, err := e.m.MatchDocumentBudget(d, guard.NewBudget(ctx, e.limits))
+	if err != nil {
+		r.Err = e.recordGovernance(err)
+		return
+	}
+	r.SIDs = sids
+	e.maybeLogSlow(t1.Sub(t0), time.Since(t1), nil, len(r.Doc), len(d.Paths), len(sids))
 }
 
 // MatchStream filters a stream of XML documents through a worker pipeline:
@@ -33,6 +73,13 @@ type Result struct {
 // the last result, or after ctx is cancelled (in which case trailing
 // documents are dropped). Registration may run concurrently; documents
 // matched before an Add simply miss the new expression.
+//
+// The engine's configured limits apply per document: a document exceeding
+// a structural limit or the match budget fails with a *LimitError in its
+// own Result while the stream continues. A worker panic is likewise
+// isolated to the document that caused it (recovered, counted, reported
+// in the Result). The stream context's deadline applies per document
+// through the match budget.
 //
 // All workers share the engine's structural path-signature cache, so a
 // path signature evaluated for one document of the stream is served from
@@ -90,14 +137,7 @@ func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers in
 				e.mx.StreamJobs.Inc()
 				t0 := time.Now()
 				r := Result{Index: j.i, Doc: j.doc}
-				d, err := xmldoc.ParseMetered(j.doc, e.mx)
-				if err != nil {
-					r.Err = err
-				} else {
-					t1 := time.Now()
-					r.SIDs = e.m.MatchDocument(d)
-					e.maybeLogSlow(t1.Sub(t0), time.Since(t1), nil, len(j.doc), len(d.Paths), len(r.SIDs))
-				}
+				e.matchStreamDoc(ctx, &r)
 				busy.Add(int64(time.Since(t0)))
 				select {
 				case unordered <- r:
@@ -138,18 +178,40 @@ func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers in
 }
 
 // MatchBatch filters a slice of documents through the MatchStream pipeline
-// and returns one Result per document, in input order. Per-document parse
-// failures are reported in the corresponding Result, not as a batch
-// failure.
+// and returns one Result per document, in input order. Per-document
+// failures (parse errors, limit trips, recovered panics) are reported in
+// the corresponding Result, not as a batch failure.
 func (e *Engine) MatchBatch(docs [][]byte, workers int) []Result {
+	return e.MatchBatchContext(context.Background(), docs, workers)
+}
+
+// MatchBatchContext is MatchBatch under the caller's context. It always
+// returns exactly one Result per input document: documents the cancelled
+// stream dropped are filled in with the context's error, so a shed batch
+// is distinguishable from an empty match — partial work is never silently
+// reported as "no match".
+func (e *Engine) MatchBatchContext(ctx context.Context, docs [][]byte, workers int) []Result {
 	in := make(chan []byte, len(docs))
 	for _, d := range docs {
 		in <- d
 	}
 	close(in)
-	out := make([]Result, 0, len(docs))
-	for r := range e.MatchStream(context.Background(), in, workers) {
-		out = append(out, r)
+	out := make([]Result, len(docs))
+	filled := make([]bool, len(docs))
+	for r := range e.MatchStream(ctx, in, workers) {
+		if r.Index >= 0 && r.Index < len(out) {
+			out[r.Index] = r
+			filled[r.Index] = true
+		}
+	}
+	for i := range out {
+		if !filled[i] {
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			out[i] = Result{Index: i, Doc: docs[i], Err: err}
+		}
 	}
 	return out
 }
@@ -158,12 +220,18 @@ func (e *Engine) MatchBatch(docs [][]byte, workers int) []Result {
 // paths sharded across worker goroutines (workers ≤ 0 selects
 // GOMAXPROCS). Results are identical to Match; use it for single large
 // documents, and MatchStream/MatchBatch to parallelize across documents.
+// The engine's structural limits apply while parsing; the match budget
+// applies per shard (the aggregate step bound is workers × MaxSteps).
 func (e *Engine) MatchParallel(doc []byte, workers int) ([]SID, error) {
-	d, err := xmldoc.Parse(doc)
+	d, err := xmldoc.ParseLimits(doc, e.limits)
 	if err != nil {
-		return nil, err
+		return nil, e.recordGovernance(err)
 	}
-	return e.m.MatchDocumentParallel(d, workers), nil
+	sids, err := e.m.MatchDocumentParallelBudget(d, workers, guard.NewBudget(context.Background(), e.limits))
+	if err != nil {
+		return nil, e.recordGovernance(err)
+	}
+	return sids, nil
 }
 
 // MatchParsedParallel is MatchParallel for a pre-parsed document.
