@@ -208,3 +208,130 @@ func TestChaosMatchReaderDocBytes(t *testing.T) {
 	_, err := eng.MatchReader(strings.NewReader(string(workload.PathBomb(1 << 10))))
 	wantLimitErr(t, err, predfilter.LimitDocBytes)
 }
+
+func TestChaosTracedGoverned(t *testing.T) {
+	// The explaining match (the server's ?trace=1 path) must be bounded
+	// like the fast path: structural limits at parse, the budget on both
+	// the authoritative and the explanation pass.
+	doc, expr := workload.OccurrenceBomb(40, 44)
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxSteps: 1 << 20}})
+	if _, err := eng.Add(expr); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	sids, tr, err := eng.MatchTraced(doc)
+	if took := time.Since(t0); took > 10*time.Second {
+		t.Fatalf("traced occurrence bomb took %v under a step budget", took)
+	}
+	if sids != nil || tr != nil {
+		t.Fatalf("partial result (sids=%v trace=%v) alongside error", sids, tr != nil)
+	}
+	wantLimitErr(t, err, predfilter.LimitSteps)
+
+	// Structural limits apply to the traced parse as well.
+	deep := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxDepth: 64}})
+	if _, err := deep.Add("//d"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = deep.MatchTracedContext(context.Background(), workload.DepthBomb(1<<12))
+	wantLimitErr(t, err, predfilter.LimitDepth)
+}
+
+func TestChaosTraceExplanationPassBudgeted(t *testing.T) {
+	// The explanation pass re-evaluates every path directly — no path
+	// dedup, no cache, no covers — so it spends far more search effort
+	// than the match it explains. Its forked budget must trip even when
+	// the authoritative match fits comfortably.
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxSteps: 1 << 10}})
+	if _, err := eng.Add("//p"); err != nil {
+		t.Fatal(err)
+	}
+	doc := workload.PathBomb(1 << 12) // 4096 identical paths: dedup makes the fast path ~1 step
+	if _, err := eng.Match(doc); err != nil {
+		t.Fatalf("fast path should fit the step budget: %v", err)
+	}
+	sids, tr, err := eng.MatchTracedContext(context.Background(), doc)
+	if sids != nil || tr != nil {
+		t.Fatalf("partial trace alongside error (sids=%v trace=%v)", sids, tr != nil)
+	}
+	wantLimitErr(t, err, predfilter.LimitSteps)
+}
+
+func TestChaosMatchCountsGoverned(t *testing.T) {
+	// Exhaustive combination counting keeps enumerating where filtering
+	// stops at the first match; it must honor the engine's limits through
+	// both the context and the plain entry point.
+	doc, expr := workload.OccurrenceBomb(40, 44)
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxSteps: 1 << 20}})
+	if _, err := eng.Add(expr); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	counts, err := eng.MatchCounts(doc)
+	if took := time.Since(t0); took > 10*time.Second {
+		t.Fatalf("counting occurrence bomb took %v under a step budget", took)
+	}
+	if counts != nil {
+		t.Fatalf("partial counts %v alongside error", counts)
+	}
+	wantLimitErr(t, err, predfilter.LimitSteps)
+
+	// Structural limits apply to the counting parse as well.
+	deep := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MaxDepth: 64}})
+	if _, err := deep.Add("//d"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = deep.MatchCountsContext(context.Background(), workload.DepthBomb(1<<12))
+	wantLimitErr(t, err, predfilter.LimitDepth)
+}
+
+func TestChaosMatchCountsHealthy(t *testing.T) {
+	// Governance must not change counting results for ordinary documents.
+	doc := []byte("<a><b/><b/><b/></a>")
+	free := predfilter.New(predfilter.Config{})
+	gov := predfilter.New(predfilter.Config{Limits: predfilter.Limits{
+		MaxSteps: 1 << 20, MatchDeadline: time.Minute, MaxDepth: 100,
+	}})
+	for _, e := range []*predfilter.Engine{free, gov} {
+		if _, err := e.Add("//b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := free.MatchCounts(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := gov.MatchCountsContext(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != 1 {
+		t.Fatalf("governed counts %v != ungoverned %v", got, want)
+	}
+	for sid, n := range want {
+		if got[sid] != n {
+			t.Fatalf("governed counts %v != ungoverned %v", got, want)
+		}
+	}
+}
+
+func TestChaosMatchParsedParallelContextGoverned(t *testing.T) {
+	doc, expr := workload.OccurrenceBomb(42, 48)
+	eng := predfilter.New(predfilter.Config{Limits: predfilter.Limits{MatchDeadline: 100 * time.Millisecond}})
+	if _, err := eng.Add(expr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := predfilter.ParseDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	sids, err := eng.MatchParsedParallelContext(context.Background(), d, 4)
+	if took := time.Since(t0); took > 5*time.Second {
+		t.Fatalf("parallel deadline stop took %v, want ~100ms", took)
+	}
+	if sids != nil {
+		t.Fatalf("partial result %v alongside error", sids)
+	}
+	wantLimitErr(t, err, predfilter.LimitDeadline)
+}

@@ -20,6 +20,7 @@ package guard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -183,14 +184,26 @@ func NewBudget(ctx context.Context, lim Limits) *Budget {
 }
 
 // Fork returns a fresh budget with the same limits and context, for a
-// parallel shard: steps reset (each shard may spend the full step budget;
-// the aggregate bound is workers × MaxSteps), deadline re-anchored to now.
-// Fork of a nil budget is nil.
+// parallel shard or a second pass over the same document: steps reset
+// (each fork may spend the full step budget; across parallel shards the
+// aggregate bound is workers × MaxSteps), while the wall-clock anchor and
+// deadline carry over unchanged — the whole document still has to finish
+// within the original MatchDeadline. Fork of a nil budget is nil.
 func (b *Budget) Fork() *Budget {
 	if b == nil {
 		return nil
 	}
-	return NewBudget(b.ctx, b.lim)
+	f := &Budget{
+		ctx:      b.ctx,
+		maxSteps: math.MaxInt64,
+		deadline: b.deadline,
+		start:    b.start,
+		lim:      b.lim,
+	}
+	if b.lim.MaxSteps > 0 {
+		f.maxSteps = b.lim.MaxSteps
+	}
+	return f
 }
 
 // Step consumes one unit of occurrence-determination effort. It returns
@@ -230,7 +243,7 @@ func (b *Budget) CheckPoint() bool {
 func (b *Budget) checkNow() bool {
 	if err := b.ctx.Err(); err != nil {
 		kind := Canceled
-		if err == context.DeadlineExceeded {
+		if errors.Is(err, context.DeadlineExceeded) {
 			kind = Deadline
 		}
 		b.err = &LimitError{

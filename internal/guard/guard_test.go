@@ -3,6 +3,7 @@ package guard
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -150,6 +151,62 @@ func TestStepConsultsDeadlinePeriodically(t *testing.T) {
 	}
 	if b.Err() == nil {
 		t.Fatal("no error recorded after deadline stop")
+	}
+}
+
+// wrappedDeadlineCtx is a custom context whose Err wraps
+// context.DeadlineExceeded instead of returning it directly; the kind
+// classification must use errors.Is, not ==.
+type wrappedDeadlineCtx struct {
+	context.Context
+	done chan struct{}
+}
+
+func (c *wrappedDeadlineCtx) Done() <-chan struct{} { return c.done }
+func (c *wrappedDeadlineCtx) Err() error {
+	select {
+	case <-c.done:
+		return fmt.Errorf("custom wrapper: %w", context.DeadlineExceeded)
+	default:
+		return nil
+	}
+}
+
+func TestWrappedContextDeadlineClassifiedAsDeadline(t *testing.T) {
+	ctx := &wrappedDeadlineCtx{Context: context.Background(), done: make(chan struct{})}
+	close(ctx.done)
+	b := NewBudget(ctx, Limits{})
+	if b.CheckPoint() {
+		t.Fatal("CheckPoint passed on a done context")
+	}
+	var le *LimitError
+	if err := b.Err(); !errors.As(err, &le) || le.Kind != Deadline {
+		t.Fatalf("Err = %v (kind %v), want Deadline *LimitError", b.Err(), le.Kind)
+	}
+	if !errors.Is(b.Err(), context.DeadlineExceeded) {
+		t.Fatal("wrapped deadline should still unwrap to context.DeadlineExceeded")
+	}
+}
+
+func TestForkCarriesDeadline(t *testing.T) {
+	// The fork's deadline is the parent's original anchor, not re-anchored
+	// to the fork time: the whole document must finish within one
+	// MatchDeadline no matter how many shards or passes it is split into.
+	b := NewBudget(context.Background(), Limits{MatchDeadline: 30 * time.Millisecond})
+	time.Sleep(50 * time.Millisecond)
+	if b.CheckPoint() {
+		t.Fatal("parent budget should be past its deadline")
+	}
+	f := b.Fork()
+	if f.CheckPoint() {
+		t.Fatal("fork of an expired-deadline budget should be expired too")
+	}
+	var le *LimitError
+	if err := f.Err(); !errors.As(err, &le) || le.Kind != Deadline {
+		t.Fatalf("fork Err = %v, want Deadline *LimitError", f.Err())
+	}
+	if le.Got < int64(30*time.Millisecond) {
+		t.Fatalf("fork Got = %v, want elapsed measured from the original anchor", time.Duration(le.Got))
 	}
 }
 

@@ -1,6 +1,7 @@
 package matcher
 
 import (
+	"predfilter/internal/guard"
 	"predfilter/internal/occur"
 	"predfilter/internal/xmldoc"
 )
@@ -20,6 +21,20 @@ import (
 // contribute identical combination counts, so each distinct path's count
 // is multiplied by its multiplicity.
 func (m *Matcher) MatchDocumentAll(doc *xmldoc.Document) map[SID]int {
+	counts, _ := m.MatchDocumentAllBudget(doc, nil)
+	return counts
+}
+
+// MatchDocumentAllBudget is MatchDocumentAll charging the enumeration to
+// a per-document budget: every occurrence pair the combination
+// enumeration visits counts one step, and the wall clock and context are
+// consulted between paths. Exhaustive enumeration is the most expensive
+// pipeline path (it keeps searching where filtering stops at the first
+// match), so a governed engine must bound it like any other match. When
+// the budget trips, the typed *guard.LimitError is returned and the
+// partial counts are discarded. A nil budget is unlimited and never
+// errors.
+func (m *Matcher) MatchDocumentAllBudget(doc *xmldoc.Document, bud *guard.Budget) (map[SID]int, error) {
 	m.ensureFrozen()
 	defer m.mu.RUnlock()
 
@@ -40,6 +55,10 @@ func (m *Matcher) MatchDocumentAll(doc *xmldoc.Document) map[SID]int {
 	seen := make(map[uint64]bool)
 
 	for i := range doc.Paths {
+		if !bud.CheckPoint() {
+			clear(sc.ncands)
+			return nil, bud.Err()
+		}
 		pub := &doc.Paths[i]
 		sc.pub = pub
 		sc.byTagOK = false
@@ -61,10 +80,18 @@ func (m *Matcher) MatchDocumentAll(doc *xmldoc.Document) map[SID]int {
 			if !sc.res.Matched(h.first) {
 				continue
 			}
-			m.countUnit(sc, h.e, counts, factor)
+			m.countUnit(sc, h.e, counts, factor, bud)
+			if bud.Exceeded() {
+				clear(sc.ncands)
+				return nil, bud.Err()
+			}
 		}
 		for _, e := range m.nested {
-			e.root.collect(m, sc, nil)
+			e.root.collect(m, sc, bud)
+		}
+		if bud.Exceeded() {
+			clear(sc.ncands)
+			return nil, bud.Err()
 		}
 	}
 
@@ -84,13 +111,14 @@ func (m *Matcher) MatchDocumentAll(doc *xmldoc.Document) map[SID]int {
 			out[sid] = n
 		}
 	}
-	return out
+	return out, nil
 }
 
 // countUnit accumulates combination counts for one iteration unit (an
 // expression, or a structural group whose members are counted over the
-// filtered chains).
-func (m *Matcher) countUnit(sc *scratch, e *expr, counts map[int]int, factor int) {
+// filtered chains). A budget trip leaves a partial count behind; the
+// caller discards the whole map when bud.Exceeded.
+func (m *Matcher) countUnit(sc *scratch, e *expr, counts map[int]int, factor int, bud *guard.Budget) {
 	chain := sc.chain[:0]
 	for _, pid := range e.pids {
 		r := sc.res.Get(pid)
@@ -104,7 +132,7 @@ func (m *Matcher) countUnit(sc *scratch, e *expr, counts map[int]int, factor int
 
 	enumerate := func(ch [][]occur.Pair) int {
 		n := 0
-		occur.Enumerate(ch, func([]occur.Pair) bool {
+		occur.EnumerateBudget(ch, bud, func([]occur.Pair) bool {
 			n++
 			return true
 		})

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"time"
 
+	"predfilter/internal/guard"
 	"predfilter/internal/occur"
 	"predfilter/internal/predindex"
 	"predfilter/internal/xmldoc"
@@ -122,8 +123,24 @@ func (m *Matcher) exprString(e *expr) string {
 // matching reruns without the path cache and every expression is evaluated
 // directly (covering relations are reported, not exploited).
 func (m *Matcher) MatchDocumentTraced(doc *xmldoc.Document) ([]SID, *Trace) {
+	sids, tr, _ := m.MatchDocumentTracedBudget(doc, nil)
+	return sids, tr
+}
+
+// MatchDocumentTracedBudget is MatchDocumentTraced under a budget. The
+// authoritative match is charged to bud directly; the explanation pass —
+// which re-evaluates every expression without covers or the path cache,
+// so it can spend far more search effort than the match it explains —
+// runs under bud.Fork(): the step budget resets for the second pass while
+// the wall-clock deadline and cancellation carry over. Either pass
+// tripping returns the typed *guard.LimitError with no partial trace. A
+// nil budget is unlimited and never errors.
+func (m *Matcher) MatchDocumentTracedBudget(doc *xmldoc.Document, bud *guard.Budget) ([]SID, *Trace, error) {
 	t0 := time.Now()
-	sids, bd := m.MatchDocumentBreakdown(doc)
+	sids, bd, err := m.MatchDocumentBudget(doc, bud)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	tr := &Trace{
 		Paths:          len(doc.Paths),
@@ -178,8 +195,12 @@ func (m *Matcher) MatchDocumentTraced(doc *xmldoc.Document) ([]SID, *Trace) {
 		res:   predindex.NewResults(m.ix.Len()),
 		byTag: make(map[string][]*xmldoc.Tuple),
 	}
+	tb := bud.Fork()
 	directMatch := make([]bool, len(traced))
 	for p := range doc.Paths {
+		if !tb.CheckPoint() {
+			return nil, nil, tb.Err()
+		}
 		pub := &doc.Paths[p]
 		sc.pub = pub
 		sc.byTagOK = false
@@ -189,7 +210,10 @@ func (m *Matcher) MatchDocumentTraced(doc *xmldoc.Document) ([]SID, *Trace) {
 			if e.root != nil {
 				continue
 			}
-			ev, direct := m.tracePath(sc, e, pub)
+			ev, direct := m.tracePath(sc, e, pub, tb)
+			if tb.Exceeded() {
+				return nil, nil, tb.Err()
+			}
 			if direct {
 				directMatch[i] = true
 			}
@@ -204,14 +228,16 @@ func (m *Matcher) MatchDocumentTraced(doc *xmldoc.Document) ([]SID, *Trace) {
 		}
 	}
 	tr.TraceNanos = time.Since(t1).Nanoseconds()
-	return sids, tr
+	return sids, tr, nil
 }
 
 // tracePath evaluates one single-path expression directly against one
 // path's predicate results, returning the evidence (nil when no chain
 // predicate hit — the path explains nothing) and whether the expression
-// matched this path directly.
-func (m *Matcher) tracePath(sc *scratch, e *expr, pub *xmldoc.Publication) (*PathEvidence, bool) {
+// matched this path directly. The occurrence searches are charged to bud;
+// when it trips the returned evidence is partial and the caller must
+// discard it and surface bud.Err.
+func (m *Matcher) tracePath(sc *scratch, e *expr, pub *xmldoc.Publication, bud *guard.Budget) (*PathEvidence, bool) {
 	anyHit := false
 	allHit := true
 	evals := make([]PredicateEval, len(e.pids))
@@ -239,7 +265,7 @@ func (m *Matcher) tracePath(sc *scratch, e *expr, pub *xmldoc.Publication) (*Pat
 	}
 	ev := &PathEvidence{Path: pub.String(), Predicates: evals}
 	if allHit {
-		ok, depth, steps := occur.DetermineSteps(chain)
+		ok, depth, steps := occur.DetermineStepsBudget(chain, bud)
 		ev.Matched, ev.MaxDepth, ev.Steps = ok, depth, steps
 		if ok && e.post != nil {
 			filtered, nonempty := m.filterChain(sc, e, chain)
@@ -247,7 +273,7 @@ func (m *Matcher) tracePath(sc *scratch, e *expr, pub *xmldoc.Publication) (*Pat
 				ev.Matched = false
 				ev.FilteredOut = true
 			} else {
-				fok, fdepth, fsteps := occur.DetermineSteps(filtered)
+				fok, fdepth, fsteps := occur.DetermineStepsBudget(filtered, bud)
 				ev.Steps += fsteps
 				if !fok {
 					ev.Matched = false

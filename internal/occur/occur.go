@@ -166,6 +166,21 @@ func DetermineBudget(results [][]Pair, b *guard.Budget) (matched bool, maxDepth 
 	return matched, maxDepth
 }
 
+// DetermineStepsBudget is DetermineSteps charging one budget step per
+// occurrence pair visited. steps reports the pairs charged to the budget
+// by this call. When the budget trips mid-search the budget's sticky
+// error is set (guard.Budget.Err) and the partial matched/maxDepth pair
+// is meaningless; the caller must surface the error instead of the
+// result. A nil budget falls back to the unbudgeted DetermineSteps.
+func DetermineStepsBudget(results [][]Pair, b *guard.Budget) (matched bool, maxDepth, steps int) {
+	if b == nil {
+		return DetermineSteps(results)
+	}
+	before := b.Steps()
+	matched, maxDepth, _ = determineBounded(results, b)
+	return matched, maxDepth, int(b.Steps() - before)
+}
+
 // DetermineLimited is DetermineSteps with a hard step budget: the search
 // visits at most budget occurrence pairs. steps reports the pairs actually
 // visited (== budget when exhausted is true — the cutoff is exact), and

@@ -102,6 +102,42 @@ func TestPublishRequestTimeout(t *testing.T) {
 	}
 }
 
+func TestPublishTracedGoverned(t *testing.T) {
+	// The ?trace=1 path runs the deliberately slow explaining match; it
+	// must observe the same request deadline and engine limits as the
+	// normal path, so a blowup document with trace enabled cannot pin a
+	// worker (and its MaxInflight slot) forever.
+	doc, expr := workload.OccurrenceBomb(42, 48)
+	cfg := Config{RequestTimeout: 100 * time.Millisecond, MaxDocumentBytes: 1 << 20}
+	ts := newTestServer(t, cfg)
+	subscribe(t, ts, expr)
+
+	t0 := time.Now()
+	resp := post(t, ts.URL+"/publish?trace=1", "application/xml", string(doc))
+	took := time.Since(t0)
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("traced timed-out publish: status %d body %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("traced timed-out publish carries no Retry-After")
+	}
+	if took > 10*time.Second {
+		t.Fatalf("traced deadline stop took %v", took)
+	}
+
+	// Structural limits govern the traced parse too.
+	cfg2 := Config{}
+	cfg2.Engine.Limits.MaxDepth = 16
+	ts2 := newTestServer(t, cfg2)
+	subscribe(t, ts2, "//d")
+	resp = post(t, ts2.URL+"/publish?trace=1", "application/xml", string(workload.DepthBomb(64)))
+	body = drainClose(t, resp)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("traced depth bomb: status %d body %s, want 422", resp.StatusCode, body)
+	}
+}
+
 func TestAdmissionShedsWithRetryAfter(t *testing.T) {
 	// One slot, no queue beyond one waiter. The slot and the queue are
 	// held by occurrence bombs that run until the 1s engine deadline, so

@@ -492,7 +492,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	t0 := time.Now()
 	if traced {
-		sids, tr, err = s.eng.MatchTraced(doc)
+		sids, tr, err = s.eng.MatchTracedContext(ctx, doc)
 	} else {
 		sids, err = s.eng.MatchContext(ctx, doc)
 	}

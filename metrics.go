@@ -1,6 +1,7 @@
 package predfilter
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"strconv"
@@ -68,15 +69,33 @@ type (
 // produced occurrence pairs on which paths, the occurrence-determination
 // outcome over them, and the per-stage costs. The match result is
 // authoritative (identical to Match); the explanation is a deliberately
-// slow second pass intended for debugging single documents.
+// slow second pass intended for debugging single documents. Configured
+// limits are enforced; MatchTraced is MatchTracedContext without
+// caller-side cancellation.
 func (e *Engine) MatchTraced(doc []byte) ([]SID, *MatchTrace, error) {
+	return e.MatchTracedContext(context.Background(), doc)
+}
+
+// MatchTracedContext is MatchTraced under the caller's context and the
+// engine's configured limits: the document is parsed under the structural
+// limits, the authoritative match runs under the step budget and
+// deadline, and the explanation pass — which re-evaluates every
+// expression without covers or the path cache — runs under a forked
+// budget (its own full step allocation, the same wall-clock deadline). A
+// governance stop returns a typed *LimitError and no trace; the slow
+// explanation pass can therefore never pin a worker on a document the
+// governed fast path would have rejected.
+func (e *Engine) MatchTracedContext(ctx context.Context, doc []byte) ([]SID, *MatchTrace, error) {
 	t0 := time.Now()
-	d, err := xmldoc.ParseMetered(doc, e.mx)
+	d, err := xmldoc.ParseMeteredLimits(doc, e.mx, e.limits)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, e.recordGovernance(err)
 	}
 	parse := time.Since(t0)
-	sids, tr := e.m.MatchDocumentTraced(d)
+	sids, tr, err := e.m.MatchDocumentTracedBudget(d, guard.NewBudget(ctx, e.limits))
+	if err != nil {
+		return nil, nil, e.recordGovernance(err)
+	}
 	tr.ParseNanos = parse.Nanoseconds()
 	return sids, tr, nil
 }

@@ -308,13 +308,30 @@ func (e *Engine) recordGovernance(err error) error {
 // MatchCounts parses the document and returns, for every matching
 // expression, the number of distinct match combinations (the all-matches
 // problem Index-Filter originally targets; the filtering semantics of
-// Match needs only existence and is cheaper).
+// Match needs only existence and is cheaper). Configured limits are
+// enforced; MatchCounts is MatchCountsContext without caller-side
+// cancellation.
 func (e *Engine) MatchCounts(doc []byte) (map[SID]int, error) {
-	d, err := xmldoc.ParseMetered(doc, e.mx)
+	return e.MatchCountsContext(context.Background(), doc)
+}
+
+// MatchCountsContext is MatchCounts under the caller's context and the
+// engine's configured limits. Exhaustive combination enumeration keeps
+// searching where filtering stops at the first match, so it is the
+// pipeline path that needs governance most: the document is parsed under
+// the structural limits and every occurrence pair the enumeration visits
+// is charged to the step budget. A governance stop returns a typed
+// *LimitError (never partial counts).
+func (e *Engine) MatchCountsContext(ctx context.Context, doc []byte) (map[SID]int, error) {
+	d, err := xmldoc.ParseMeteredLimits(doc, e.mx, e.limits)
 	if err != nil {
-		return nil, err
+		return nil, e.recordGovernance(err)
 	}
-	return e.m.MatchDocumentAll(d), nil
+	counts, err := e.m.MatchDocumentAllBudget(d, guard.NewBudget(ctx, e.limits))
+	if err != nil {
+		return nil, e.recordGovernance(err)
+	}
+	return counts, nil
 }
 
 // MatchReader is Match over a stream. The size limit is enforced as the

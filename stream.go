@@ -234,7 +234,22 @@ func (e *Engine) MatchParallel(doc []byte, workers int) ([]SID, error) {
 	return sids, nil
 }
 
-// MatchParsedParallel is MatchParallel for a pre-parsed document.
+// MatchParsedParallel is MatchParallel for a pre-parsed document, without
+// limits (the caller already accepted the document's size by parsing it;
+// use MatchParsedParallelContext to budget the match stage).
 func (e *Engine) MatchParsedParallel(d *Document, workers int) []SID {
 	return e.m.MatchDocumentParallel(d.doc, workers)
+}
+
+// MatchParsedParallelContext is MatchParsedParallel under the engine's
+// match budget and the caller's context (the parse-stage limits do not
+// apply — the document is already materialized). The deadline and
+// cancellation bound the whole match; the step budget applies per shard
+// (the aggregate bound is workers × MaxSteps).
+func (e *Engine) MatchParsedParallelContext(ctx context.Context, d *Document, workers int) ([]SID, error) {
+	sids, err := e.m.MatchDocumentParallelBudget(d.doc, workers, guard.NewBudget(ctx, e.limits))
+	if err != nil {
+		return nil, e.recordGovernance(err)
+	}
+	return sids, nil
 }
