@@ -12,6 +12,7 @@
 //	xfbench -exp cache -cache-kb 256,4096  # path-signature cache sweep → BENCH_cache.json
 //	xfbench -exp pipeline -metrics         # + per-stage p50/p95/p99 in the JSON report
 //	xfbench -exp guard                     # bombs vs resource limits → BENCH_guard.json
+//	xfbench -exp parse                     # scanner vs encoding/xml parse throughput → BENCH_parse.json
 //	xfbench -list                     # list experiment ids
 //	xfbench -stats                    # print workload statistics
 package main
@@ -105,6 +106,25 @@ func main() {
 		}
 		fmt.Printf("== path-signature cache throughput [scale %s, sizes %v KiB]\n", s.Name, sizes)
 		rep, err := bench.RunCache(s, sizes, progress, *withMet)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSON(out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- wrote %s\n", out)
+		return
+	}
+
+	// -exp parse: parser throughput, the zero-copy scanner against
+	// encoding/xml on the same corpora → BENCH_parse.json.
+	if *expID == "parse" {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_parse.json"
+		}
+		fmt.Printf("== document parser throughput [scale %s]\n", s.Name)
+		rep, err := bench.RunParse(s, progress)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"predfilter/internal/dtd"
+	"predfilter/internal/guard"
+	"predfilter/internal/xmldoc"
+)
+
+// ParsePoint is one parser configuration measured over one DTD's corpus.
+type ParsePoint struct {
+	DTD          string  `json:"dtd"`
+	Parser       string  `json:"parser"` // "scan" or "stdlib"
+	DocsPerSec   float64 `json:"docs_per_sec"`
+	AllocsPerDoc float64 `json:"allocs_per_doc"`
+}
+
+// ParseComparison summarizes one DTD: the zero-copy scanner against
+// encoding/xml on the same documents.
+type ParseComparison struct {
+	DTD        string  `json:"dtd"`
+	Speedup    float64 `json:"speedup"`     // scan docs/sec over stdlib docs/sec
+	AllocRatio float64 `json:"alloc_ratio"` // stdlib allocs/doc over scan allocs/doc
+}
+
+// ParseReport compares the two document parsers (internal/xmlscan's
+// zero-copy scanner vs encoding/xml) on the generated corpora of both
+// DTDs. Parsing here is xmldoc parsing only — no expression matching —
+// so the numbers isolate the stage the scanner replaces.
+type ParseReport struct {
+	Scale      string            `json:"scale"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Docs       int               `json:"docs"`
+	Rounds     int               `json:"rounds"`
+	Points     []ParsePoint      `json:"points"`
+	Comparison []ParseComparison `json:"comparison"`
+}
+
+// RunParse measures parse-only throughput and allocation cost of the
+// scanner fast path against encoding/xml, per DTD. Rounds repeats the
+// document set so the measured interval is long enough at small scales.
+func RunParse(s Scale, progress io.Writer) (*ParseReport, error) {
+	rep := &ParseReport{
+		Scale:      s.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, d := range []*dtd.DTD{dtd.NITF(), dtd.PSD()} {
+		cfg := DefaultWorkloadConfig(1000)
+		cfg.Docs = s.Docs
+		w, err := NewWorkload(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rounds := 1
+		for rounds*len(w.Docs) < 500 {
+			rounds++
+		}
+		total := rounds * len(w.Docs)
+		rep.Docs = len(w.Docs)
+		rep.Rounds = rounds
+
+		measure := func(mode xmldoc.Mode) (docsPerSec, allocsPerDoc float64, err error) {
+			// One warm-up pass sizes the pooled scratch and interns the
+			// corpus vocabulary before the measured interval.
+			for _, raw := range w.Docs {
+				if _, err := xmldoc.ParseLimitsMode(raw, guard.Limits{}, mode); err != nil {
+					return 0, 0, fmt.Errorf("bench: parse %s: %w", d.Name, err)
+				}
+			}
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			for r := 0; r < rounds; r++ {
+				for _, raw := range w.Docs {
+					if _, err := xmldoc.ParseLimitsMode(raw, guard.Limits{}, mode); err != nil {
+						return 0, 0, fmt.Errorf("bench: parse %s: %w", d.Name, err)
+					}
+				}
+			}
+			elapsed := time.Since(t0)
+			runtime.ReadMemStats(&m1)
+			return float64(total) / elapsed.Seconds(),
+				float64(m1.Mallocs-m0.Mallocs) / float64(total), nil
+		}
+
+		scanDPS, scanAllocs, err := measure(xmldoc.ModeScan)
+		if err != nil {
+			return nil, err
+		}
+		stdDPS, stdAllocs, err := measure(xmldoc.ModeStd)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points,
+			ParsePoint{DTD: d.Name, Parser: "scan", DocsPerSec: scanDPS, AllocsPerDoc: scanAllocs},
+			ParsePoint{DTD: d.Name, Parser: "stdlib", DocsPerSec: stdDPS, AllocsPerDoc: stdAllocs},
+		)
+		cmp := ParseComparison{DTD: d.Name, Speedup: scanDPS / stdDPS}
+		if scanAllocs > 0 {
+			cmp.AllocRatio = stdAllocs / scanAllocs
+		}
+		rep.Comparison = append(rep.Comparison, cmp)
+		progressf(progress, "  %-5s scan   %9.0f docs/sec  %7.1f allocs/doc\n", d.Name, scanDPS, scanAllocs)
+		progressf(progress, "  %-5s stdlib %9.0f docs/sec  %7.1f allocs/doc  (scan %.2fx faster, %.0fx fewer allocs)\n",
+			d.Name, stdDPS, stdAllocs, cmp.Speedup, cmp.AllocRatio)
+	}
+	return rep, nil
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 
+	"predfilter/internal/xmlevents"
 	"predfilter/internal/xpath"
 )
 
@@ -163,24 +164,17 @@ func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
 		rt.add(first, activation{q: q, idx: 0, level: 1, min: first.desc})
 	}
 
-	dec := xml.NewDecoder(r)
 	depth := 0
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("fsmfilter: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
+	err := xmlevents.ForEach(r, "fsmfilter",
+		func(t xml.StartElement) error {
 			depth++
 			rt.undo = append(rt.undo, nil)
 			rt.startElement(t, depth)
-		case xml.EndElement:
+			return nil
+		},
+		func(t xml.EndElement) error {
 			if len(rt.undo) == 0 {
-				return nil, fmt.Errorf("fsmfilter: unbalanced end element <%s>", t.Name.Local)
+				return fmt.Errorf("fsmfilter: unbalanced end element <%s>", t.Name.Local)
 			}
 			// Roll back in reverse: a list appended to more than once in
 			// this scope must end at its earliest recorded length.
@@ -190,7 +184,10 @@ func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
 			}
 			rt.undo = rt.undo[:len(rt.undo)-1]
 			depth--
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if depth != 0 {
 		return nil, fmt.Errorf("fsmfilter: unexpected EOF with %d open elements", depth)

@@ -17,6 +17,7 @@ import (
 	"io"
 	"sort"
 
+	"predfilter/internal/xmlevents"
 	"predfilter/internal/xpath"
 )
 
@@ -151,7 +152,6 @@ type docIndex struct {
 
 // buildIndex parses the document into its index streams.
 func buildIndex(r io.Reader) (*docIndex, error) {
-	dec := xml.NewDecoder(r)
 	ix := &docIndex{byTag: make(map[string][]elem)}
 	type open struct {
 		tag   string
@@ -160,21 +160,15 @@ func buildIndex(r io.Reader) (*docIndex, error) {
 	}
 	var stack []open
 	counter := int32(0)
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("indexfilter: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
+	err := xmlevents.ForEach(r, "indexfilter",
+		func(t xml.StartElement) error {
 			counter++
 			stack = append(stack, open{tag: t.Name.Local, start: counter, level: int32(len(stack) + 1)})
-		case xml.EndElement:
+			return nil
+		},
+		func(t xml.EndElement) error {
 			if len(stack) == 0 {
-				return nil, fmt.Errorf("indexfilter: unbalanced end element <%s>", t.Name.Local)
+				return fmt.Errorf("indexfilter: unbalanced end element <%s>", t.Name.Local)
 			}
 			counter++
 			o := stack[len(stack)-1]
@@ -182,7 +176,10 @@ func buildIndex(r io.Reader) (*docIndex, error) {
 			el := elem{start: o.start, end: counter, level: o.level}
 			ix.byTag[o.tag] = append(ix.byTag[o.tag], el)
 			ix.all = append(ix.all, el)
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if len(stack) != 0 {
 		return nil, fmt.Errorf("indexfilter: unexpected EOF with %d open elements", len(stack))

@@ -26,6 +26,13 @@ type Set struct {
 	MatchesTotal Counter // matching SIDs reported
 	SlowDocs     Counter // documents over the slow-document threshold
 
+	// Parse-path counters: documents served end-to-end by the zero-copy
+	// scanner fast path, and documents the fast path handed to the
+	// encoding/xml fallback (out-of-subset or malformed input). Documents
+	// parsed with the stdlib parser selected outright count in neither.
+	ParseScanDocs     Counter
+	ParseFallbackDocs Counter
+
 	// Per-document stage latency histograms. Parse covers XML parsing plus
 	// path extraction; Cache the path-signature cache probes and replays;
 	// PredMatch the predicate matching stage; Occur occurrence
@@ -70,6 +77,22 @@ func (s *Set) ObserveParse(d time.Duration, bytes int, err error) {
 	}
 	s.Parse.Observe(d)
 	s.DocBytes.Add(int64(bytes))
+}
+
+// ObserveParsePath records which parser served one document: scanOK means
+// the zero-copy scanner fast path handled it end to end, fellBack means
+// the encoding/xml fallback ran (whatever its outcome). Safe on a nil
+// receiver.
+func (s *Set) ObserveParsePath(scanOK, fellBack bool) {
+	if s == nil {
+		return
+	}
+	if scanOK {
+		s.ParseScanDocs.Inc()
+	}
+	if fellBack {
+		s.ParseFallbackDocs.Inc()
+	}
 }
 
 // ObserveWALAppend records one durable WAL append. Safe on a nil receiver.

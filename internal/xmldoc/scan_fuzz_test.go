@@ -1,0 +1,61 @@
+package xmldoc
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"predfilter/internal/guard"
+)
+
+func limitAs(err error, le **guard.LimitError) bool { return errors.As(err, le) }
+
+// FuzzScanEquivalence is the differential oracle for the zero-copy
+// scanner: on every input, the scanner path (ModeScan, with its
+// encoding/xml fallback) and the pure encoding/xml path (ModeStd) must
+// agree — both reject, or both accept with deep-equal Documents — in byte
+// mode and in reader mode alike. Because the fast path delegates every
+// scanner rejection to encoding/xml, a divergence here means exactly one
+// thing: the scanner accepted input it mis-parses, the one bug class the
+// fallback cannot absorb.
+func FuzzScanEquivalence(f *testing.F) {
+	for _, s := range equivCases {
+		f.Add([]byte(s))
+	}
+	f.Add([]byte(`<nitf><head><title>t</title></head><body content="x"><p>par</p></body></nitf>`))
+	f.Add([]byte(`<ProteinDatabase><ProteinEntry id="A"><header><uid>1</uid></header></ProteinEntry></ProteinDatabase>`))
+	f.Add(bytes.Repeat([]byte("<d>"), 40))
+	f.Add([]byte(`<a aa="1" ab="2" ac="3" ad="4" ae="5" af="6" ag="7" ah="8" ai="9" aj="10" ak="11" al="12"/>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, errS := ParseLimitsMode(data, guard.Limits{}, ModeScan)
+		dx, errX := ParseLimitsMode(data, guard.Limits{}, ModeStd)
+		if (errS == nil) != (errX == nil) {
+			t.Fatalf("accept/reject divergence:\n  scan: %v\n  std:  %v", errS, errX)
+		}
+		if errS == nil && !reflect.DeepEqual(ds, dx) {
+			t.Fatalf("document divergence:\n  scan: %+v\n  std:  %+v", ds, dx)
+		}
+		dr, errR := ParseReaderLimitsMode(bytes.NewReader(data), guard.Limits{}, ModeScan)
+		if (errR == nil) != (errX == nil) {
+			t.Fatalf("reader accept/reject divergence:\n  scan(reader): %v\n  std: %v", errR, errX)
+		}
+		if errR == nil && !reflect.DeepEqual(dr, dx) {
+			t.Fatalf("reader document divergence")
+		}
+
+		// Under tight structural limits both paths must trip identically.
+		lim := guard.Limits{MaxDepth: 4, MaxPaths: 4, MaxTuples: 12, MaxDocBytes: 96}
+		_, errS = ParseLimitsMode(data, lim, ModeScan)
+		_, errX = ParseLimitsMode(data, lim, ModeStd)
+		var leS, leX *guard.LimitError
+		if asS, asX := limitAs(errS, &leS), limitAs(errX, &leX); asS != asX {
+			t.Fatalf("limit divergence: scan=%v std=%v", errS, errX)
+		} else if asS && (leS.Kind != leX.Kind || leS.Limit != leX.Limit || leS.Got != leX.Got) {
+			t.Fatalf("limit detail divergence:\n  scan: %+v\n  std:  %+v", leS, leX)
+		}
+		if (errS == nil) != (errX == nil) {
+			t.Fatalf("limited accept/reject divergence:\n  scan: %v\n  std:  %v", errS, errX)
+		}
+	})
+}

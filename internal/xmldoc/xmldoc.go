@@ -5,13 +5,19 @@
 // occurrence numbers, element attributes, per-document node identifiers
 // and child indices (the <m1,...,mn> structure tuples of §5).
 //
-// Parsing is streaming (SAX style) on top of encoding/xml: only a stack of
-// open elements is retained, and a path is emitted each time a leaf element
-// closes.
+// Parsing is streaming (SAX style): only a stack of open elements is
+// retained, and a path is emitted each time a leaf element closes. Two
+// parsers implement that contract. The default is the zero-copy scanner
+// of internal/xmlscan (pooled scratch, interned tag dictionary, a handful
+// of allocations per document); input the scanner does not accept —
+// malformed or outside its subset, e.g. DOCTYPE declarations or
+// namespaced element names — is transparently re-parsed with
+// encoding/xml, whose verdict is authoritative. ModeStd (or the
+// PREDFILTER_XML_PARSER environment variable) forces the encoding/xml
+// path outright.
 package xmldoc
 
 import (
-	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -95,10 +101,14 @@ func Parse(data []byte) (*Document, error) {
 // (checked up front for byte-slice input). Exceeding a limit returns a
 // typed *guard.LimitError; zero limits enforce nothing.
 func ParseLimits(data []byte, lim guard.Limits) (*Document, error) {
-	if lim.MaxDocBytes > 0 && int64(len(data)) > lim.MaxDocBytes {
-		return nil, guard.ParseError(guard.DocBytes, lim.MaxDocBytes, int64(len(data)))
-	}
-	return ParseReaderLimits(bytes.NewReader(data), lim)
+	return ParseLimitsMode(data, lim, ModeAuto)
+}
+
+// ParseLimitsMode is ParseLimits with an explicit parser selection (see
+// Mode; ModeAuto is what ParseLimits uses).
+func ParseLimitsMode(data []byte, lim guard.Limits, mode Mode) (*Document, error) {
+	d, _, err := parseBytesMode(data, lim, mode)
+	return d, err
 }
 
 // ParseMetered is Parse with stage observation: the parse + path
@@ -110,9 +120,17 @@ func ParseMetered(data []byte, ms *metrics.Set) (*Document, error) {
 
 // ParseMeteredLimits is ParseLimits with stage observation.
 func ParseMeteredLimits(data []byte, ms *metrics.Set, lim guard.Limits) (*Document, error) {
+	return ParseMeteredLimitsMode(data, ms, lim, ModeAuto)
+}
+
+// ParseMeteredLimitsMode is ParseMeteredLimits with an explicit parser
+// selection. Alongside duration and size it records which parse path
+// served the document (scanner fast path vs encoding/xml fallback).
+func ParseMeteredLimitsMode(data []byte, ms *metrics.Set, lim guard.Limits, mode Mode) (*Document, error) {
 	t0 := time.Now()
-	d, err := ParseLimits(data, lim)
+	d, fellBack, err := parseBytesMode(data, lim, mode)
 	ms.ObserveParse(time.Since(t0), len(data), err)
+	ms.ObserveParsePath(!useStd(mode) && err == nil && !fellBack, fellBack)
 	return d, err
 }
 
@@ -124,9 +142,16 @@ func ParseReaderMetered(r io.Reader, ms *metrics.Set) (*Document, error) {
 
 // ParseReaderMeteredLimits is ParseReaderLimits with stage observation.
 func ParseReaderMeteredLimits(r io.Reader, ms *metrics.Set, lim guard.Limits) (*Document, error) {
+	return ParseReaderMeteredLimitsMode(r, ms, lim, ModeAuto)
+}
+
+// ParseReaderMeteredLimitsMode is ParseReaderMeteredLimits with an
+// explicit parser selection.
+func ParseReaderMeteredLimitsMode(r io.Reader, ms *metrics.Set, lim guard.Limits, mode Mode) (*Document, error) {
 	t0 := time.Now()
-	d, err := ParseReaderLimits(r, lim)
+	d, fellBack, err := parseReaderMode(r, lim, mode)
 	ms.ObserveParse(time.Since(t0), 0, err)
+	ms.ObserveParsePath(!useStd(mode) && err == nil && !fellBack, fellBack)
 	return d, err
 }
 
@@ -168,6 +193,20 @@ func ParseReader(r io.Reader) (*Document, error) {
 // ParseReaderLimits is ParseReader with structural limits enforced as the
 // stream is consumed (see ParseLimits).
 func ParseReaderLimits(r io.Reader, lim guard.Limits) (*Document, error) {
+	return ParseReaderLimitsMode(r, lim, ModeAuto)
+}
+
+// ParseReaderLimitsMode is ParseReaderLimits with an explicit parser
+// selection.
+func ParseReaderLimitsMode(r io.Reader, lim guard.Limits, mode Mode) (*Document, error) {
+	d, _, err := parseReaderMode(r, lim, mode)
+	return d, err
+}
+
+// parseStdReader is the encoding/xml path: the original parser, kept both
+// as the ModeStd implementation and as the authority the scanner fast
+// path falls back to on any input it does not accept.
+func parseStdReader(r io.Reader, lim guard.Limits) (*Document, error) {
 	if lim.MaxDocBytes > 0 {
 		r = &limitReader{r: r, max: lim.MaxDocBytes}
 	}

@@ -1,0 +1,46 @@
+// Package xmlevents drives an encoding/xml token loop and dispatches
+// element events to caller-supplied handlers. It is the one shared decode
+// loop of the baseline engines (yfilter, xtrie, fsmfilter, indexfilter),
+// which deliberately stay on encoding/xml: they are the measurement
+// baselines the zero-copy scanner in internal/xmlscan is compared
+// against, so their parsing cost must remain the stdlib's.
+package xmlevents
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// ForEach decodes r token by token, calling start for every
+// xml.StartElement and end for every xml.EndElement, until EOF or error.
+// Character data, comments, processing instructions and directives are
+// skipped. Decoder errors are wrapped as "<pkg>: <err>"; handler errors
+// are returned verbatim (handlers carry their own package prefix). A nil
+// handler skips its event kind.
+func ForEach(r io.Reader, pkg string, start func(xml.StartElement) error, end func(xml.EndElement) error) error {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", pkg, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if start != nil {
+				if err := start(t); err != nil {
+					return err
+				}
+			}
+		case xml.EndElement:
+			if end != nil {
+				if err := end(t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package xmlscan
+
+import (
+	"errors"
+	"unicode/utf8"
+)
+
+var (
+	errInvalidEntity = errors.New("invalid character entity")
+	errUnescapedLT   = errors.New("unescaped < inside quoted string")
+	errIllegalChar   = errors.New("illegal character code")
+	errInvalidUTF8   = errors.New("invalid UTF-8")
+)
+
+// InCharRange reports whether r is in the XML Char production — the same
+// range encoding/xml enforces (notably: DEL is legal, U+FFFE/U+FFFF are
+// not, and the C0 controls other than tab/LF/CR are not).
+func InCharRange(r rune) bool {
+	return r == 0x09 || r == 0x0A || r == 0x0D ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}
+
+// ParseEntity decodes one complete &...; span (b[0] == '&', b[len-1] ==
+// ';'). Exactly the five predefined entities and numeric character
+// references are accepted — there is no DTD, so there is nothing else to
+// resolve. Numeric references mirror encoding/xml: lowercase 'x' selects
+// hex (digits either case), leading zeros are fine, values above U+10FFFF
+// are invalid, surrogate code points decode to U+FFFD, and the decoded
+// rune must be in the XML character range.
+func ParseEntity(b []byte) (rune, error) {
+	if len(b) < 3 {
+		return 0, errInvalidEntity
+	}
+	body := b[1 : len(b)-1]
+	if body[0] == '#' {
+		digits := body[1:]
+		base := uint64(10)
+		if len(digits) > 0 && digits[0] == 'x' {
+			base = 16
+			digits = digits[1:]
+		}
+		if len(digits) == 0 {
+			return 0, errInvalidEntity
+		}
+		var v uint64
+		for _, c := range digits {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return 0, errInvalidEntity
+			}
+			v = v*base + d
+			if v > 0x10FFFF {
+				return 0, errInvalidEntity
+			}
+		}
+		r := rune(v)
+		if r >= 0xD800 && r <= 0xDFFF {
+			r = utf8.RuneError
+		}
+		if !InCharRange(r) {
+			return 0, errInvalidEntity
+		}
+		return r, nil
+	}
+	switch string(body) {
+	case "amp":
+		return '&', nil
+	case "lt":
+		return '<', nil
+	case "gt":
+		return '>', nil
+	case "apos":
+		return '\'', nil
+	case "quot":
+		return '"', nil
+	}
+	return 0, errInvalidEntity
+}
+
+// AppendUnescaped appends the decoded form of a raw attribute value (or
+// text span) to dst, applying exactly the transformations encoding/xml
+// applies: entity expansion, CR and CRLF normalization to LF (literal CRs
+// only — a CR written as &#13; stays a CR), and character validation. A
+// raw '<' is an error, as it is inside encoding/xml quoted values; '>' and
+// "]]>" are legal here (the text-path "]]>" prohibition is the scanner's
+// job, not this function's).
+func AppendUnescaped(dst, raw []byte) ([]byte, error) {
+	for i := 0; i < len(raw); {
+		c := raw[i]
+		switch {
+		case c == '&':
+			j := i + 1
+			for j < len(raw) && raw[j] != ';' && j-i <= maxEntityLen {
+				j++
+			}
+			if j >= len(raw) || raw[j] != ';' {
+				return dst, errInvalidEntity
+			}
+			r, err := ParseEntity(raw[i : j+1])
+			if err != nil {
+				return dst, err
+			}
+			dst = utf8.AppendRune(dst, r)
+			i = j + 1
+		case c == '<':
+			return dst, errUnescapedLT
+		case c == '\r':
+			dst = append(dst, '\n')
+			i++
+			if i < len(raw) && raw[i] == '\n' {
+				i++
+			}
+		case c == '\t' || c == '\n':
+			dst = append(dst, c)
+			i++
+		case c < 0x20:
+			return dst, errIllegalChar
+		case c < 0x80:
+			dst = append(dst, c)
+			i++
+		default:
+			r, size := utf8.DecodeRune(raw[i:])
+			if r == utf8.RuneError && size <= 1 {
+				return dst, errInvalidUTF8
+			}
+			if !InCharRange(r) {
+				return dst, errIllegalChar
+			}
+			dst = append(dst, raw[i:i+size]...)
+			i += size
+		}
+	}
+	return dst, nil
+}

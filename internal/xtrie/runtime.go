@@ -5,6 +5,8 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+
+	"predfilter/internal/xmlevents"
 )
 
 // runtime is the per-document evaluation state. Runtimes are pooled on
@@ -96,24 +98,17 @@ func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
 	rt.reset(e)
 	defer e.pool.Put(rt)
 
-	dec := xml.NewDecoder(r)
 	level := int32(0)
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("xtrie: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
+	err := xmlevents.ForEach(r, "xtrie",
+		func(t xml.StartElement) error {
 			level++
 			rt.undo = append(rt.undo, nil)
 			rt.startElement(t.Name.Local, level)
-		case xml.EndElement:
+			return nil
+		},
+		func(t xml.EndElement) error {
 			if len(rt.undo) == 0 {
-				return nil, fmt.Errorf("xtrie: unbalanced end element <%s>", t.Name.Local)
+				return fmt.Errorf("xtrie: unbalanced end element <%s>", t.Name.Local)
 			}
 			frame := rt.undo[len(rt.undo)-1]
 			for i := len(frame) - 1; i >= 0; i-- {
@@ -127,7 +122,10 @@ func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
 			rt.undo = rt.undo[:len(rt.undo)-1]
 			rt.states = rt.states[:len(rt.states)-1]
 			level--
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if level != 0 {
 		return nil, fmt.Errorf("xtrie: unexpected EOF with %d open elements", level)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 
+	"predfilter/internal/xmlevents"
 	"predfilter/internal/xpath"
 )
 
@@ -176,7 +177,6 @@ func (e *Engine) Filter(doc []byte) ([]SID, error) {
 
 // FilterReader is Filter over a stream.
 func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
-	dec := xml.NewDecoder(r)
 	matched := make([]bool, len(e.exprs))
 	nmatched := 0
 
@@ -212,16 +212,8 @@ func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
 	push(0, 0)
 	bounds = append(bounds, len(arena))
 
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("yfilter: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
+	err := xmlevents.ForEach(r, "yfilter",
+		func(t xml.StartElement) error {
 			path = append(path, pathElem{tag: t.Name.Local, attrs: t.Attr})
 			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
 			for i := lo; i < hi; i++ {
@@ -239,14 +231,19 @@ func (e *Engine) FilterReader(r io.Reader) ([]SID, error) {
 				}
 			}
 			bounds = append(bounds, len(arena))
-		case xml.EndElement:
+			return nil
+		},
+		func(t xml.EndElement) error {
 			if len(bounds) < 3 {
-				return nil, fmt.Errorf("yfilter: unbalanced end element <%s>", t.Name.Local)
+				return fmt.Errorf("yfilter: unbalanced end element <%s>", t.Name.Local)
 			}
 			bounds = bounds[:len(bounds)-1]
 			arena = arena[:bounds[len(bounds)-1]]
 			path = path[:len(path)-1]
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	out := make([]SID, 0, nmatched)

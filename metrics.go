@@ -87,7 +87,7 @@ func (e *Engine) MatchTraced(doc []byte) ([]SID, *MatchTrace, error) {
 // governed fast path would have rejected.
 func (e *Engine) MatchTracedContext(ctx context.Context, doc []byte) ([]SID, *MatchTrace, error) {
 	t0 := time.Now()
-	d, err := xmldoc.ParseMeteredLimits(doc, e.mx, e.limits)
+	d, err := xmldoc.ParseMeteredLimitsMode(doc, e.mx, e.limits, e.pmode)
 	if err != nil {
 		return nil, nil, e.recordGovernance(err)
 	}
@@ -163,6 +163,9 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	x.Int("predfilter_matches_total", "", e.mx.MatchesTotal.Load())
 	x.Family("predfilter_slow_docs_total", "Documents over the slow-document threshold.", "counter")
 	x.Int("predfilter_slow_docs_total", "", e.mx.SlowDocs.Load())
+	x.Family("predfilter_parse_docs_total", "Documents by parse path: the zero-copy scanner fast path vs the encoding/xml fallback.", "counter")
+	x.Int("predfilter_parse_docs_total", `path="scan"`, e.mx.ParseScanDocs.Load())
+	x.Int("predfilter_parse_docs_total", `path="fallback"`, e.mx.ParseFallbackDocs.Load())
 
 	x.Family("predfilter_stage_duration_seconds", "Per-document pipeline stage latency.", "histogram")
 	x.Histogram("predfilter_stage_duration_seconds", `stage="parse"`, e.mx.Parse.Snapshot())

@@ -147,6 +147,13 @@ type Config struct {
 	// matching. Exceeding a limit returns a typed *LimitError; the zero
 	// value enforces nothing.
 	Limits Limits
+	// StdXMLParser forces document parsing through encoding/xml instead of
+	// the default zero-copy scanner (internal/xmlscan). The scanner is
+	// behavior-identical — input outside its subset falls back to
+	// encoding/xml automatically — so this switch exists as an escape
+	// hatch and for benchmarking. The PREDFILTER_XML_PARSER=std
+	// environment variable forces the same process-wide.
+	StdXMLParser bool
 }
 
 // Engine is the filtering engine. Every engine carries an always-on
@@ -159,6 +166,7 @@ type Engine struct {
 	logger *slog.Logger
 	slow   time.Duration
 	limits Limits
+	pmode  xmldoc.Mode
 }
 
 // New returns an engine with the given configuration.
@@ -189,6 +197,10 @@ func New(cfg Config) *Engine {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	pmode := xmldoc.ModeAuto
+	if cfg.StdXMLParser {
+		pmode = xmldoc.ModeStd
+	}
 	return &Engine{
 		m: matcher.New(matcher.Options{
 			Variant:          v,
@@ -203,6 +215,7 @@ func New(cfg Config) *Engine {
 		logger: logger,
 		slow:   cfg.SlowDocThreshold,
 		limits: cfg.Limits,
+		pmode:  pmode,
 	}
 }
 
@@ -281,7 +294,7 @@ func (e *Engine) Match(doc []byte) ([]SID, error) {
 // unwrap to the matching context error.
 func (e *Engine) MatchContext(ctx context.Context, doc []byte) ([]SID, error) {
 	t0 := time.Now()
-	d, err := xmldoc.ParseMeteredLimits(doc, e.mx, e.limits)
+	d, err := xmldoc.ParseMeteredLimitsMode(doc, e.mx, e.limits, e.pmode)
 	if err != nil {
 		return nil, e.recordGovernance(err)
 	}
@@ -323,7 +336,7 @@ func (e *Engine) MatchCounts(doc []byte) (map[SID]int, error) {
 // is charged to the step budget. A governance stop returns a typed
 // *LimitError (never partial counts).
 func (e *Engine) MatchCountsContext(ctx context.Context, doc []byte) (map[SID]int, error) {
-	d, err := xmldoc.ParseMeteredLimits(doc, e.mx, e.limits)
+	d, err := xmldoc.ParseMeteredLimitsMode(doc, e.mx, e.limits, e.pmode)
 	if err != nil {
 		return nil, e.recordGovernance(err)
 	}
@@ -344,7 +357,7 @@ func (e *Engine) MatchReader(r io.Reader) ([]SID, error) {
 // MatchReaderContext is MatchContext over a stream.
 func (e *Engine) MatchReaderContext(ctx context.Context, r io.Reader) ([]SID, error) {
 	t0 := time.Now()
-	d, err := xmldoc.ParseReaderMeteredLimits(r, e.mx, e.limits)
+	d, err := xmldoc.ParseReaderMeteredLimitsMode(r, e.mx, e.limits, e.pmode)
 	if err != nil {
 		return nil, e.recordGovernance(err)
 	}
@@ -429,6 +442,12 @@ type Stats struct {
 	Paths     int64
 	Matches   int64
 	SlowDocs  int64
+	// ParseScanDocs counts documents parsed end-to-end by the zero-copy
+	// scanner fast path; ParseFallbacks counts documents the fast path
+	// handed to the encoding/xml fallback (malformed or out-of-subset
+	// input). With StdXMLParser set both stay zero.
+	ParseScanDocs  int64
+	ParseFallbacks int64
 	// LimitTrips counts documents stopped by each governance limit, keyed
 	// by the limit's stable snake_case name (depth, paths, tuples,
 	// doc_bytes, steps, deadline, canceled). Only kinds that tripped at
@@ -478,6 +497,8 @@ func (e *Engine) Stats() Stats {
 		Paths:               e.mx.PathsTotal.Load(),
 		Matches:             e.mx.MatchesTotal.Load(),
 		SlowDocs:            e.mx.SlowDocs.Load(),
+		ParseScanDocs:       e.mx.ParseScanDocs.Load(),
+		ParseFallbacks:      e.mx.ParseFallbackDocs.Load(),
 		Panics:              e.mx.Panics.Load(),
 		Stages:              e.stageStats(),
 	}

@@ -48,7 +48,7 @@ func (e *Engine) matchStreamDoc(ctx context.Context, r *Result) {
 		testHookStreamJob(r.Doc)
 	}
 	t0 := time.Now()
-	d, err := xmldoc.ParseMeteredLimits(r.Doc, e.mx, e.limits)
+	d, err := xmldoc.ParseMeteredLimitsMode(r.Doc, e.mx, e.limits, e.pmode)
 	if err != nil {
 		r.Err = e.recordGovernance(err)
 		return
@@ -223,7 +223,7 @@ func (e *Engine) MatchBatchContext(ctx context.Context, docs [][]byte, workers i
 // The engine's structural limits apply while parsing; the match budget
 // applies per shard (the aggregate step bound is workers × MaxSteps).
 func (e *Engine) MatchParallel(doc []byte, workers int) ([]SID, error) {
-	d, err := xmldoc.ParseLimits(doc, e.limits)
+	d, err := xmldoc.ParseLimitsMode(doc, e.limits, e.pmode)
 	if err != nil {
 		return nil, e.recordGovernance(err)
 	}
