@@ -13,6 +13,7 @@
 //	xfbench -exp pipeline -metrics         # + per-stage p50/p95/p99 in the JSON report
 //	xfbench -exp guard                     # bombs vs resource limits → BENCH_guard.json
 //	xfbench -exp parse                     # scanner vs encoding/xml parse throughput → BENCH_parse.json
+//	xfbench -exp cluster -cluster-shards 1,2,4,8  # scatter/gather vs shard count → BENCH_cluster.json
 //	xfbench -list                     # list experiment ids
 //	xfbench -stats                    # print workload statistics
 package main
@@ -32,15 +33,16 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale   = flag.String("scale", "default", "scale: smoke, default or full")
-		workers = flag.String("workers", "1,2,4", "comma-separated worker counts for -exp pipeline")
-		cacheKB = flag.String("cache-kb", "", "comma-separated cache bounds in KiB for -exp cache (default 256,1024,4096,16384)")
-		withMet = flag.Bool("metrics", false, "append per-stage latency digests (count, p50/p95/p99) to the pipeline and cache JSON reports")
-		jsonOut = flag.String("json", "", "write results as JSON to this file (pipeline default: BENCH_pipeline.json)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		stats   = flag.Bool("stats", false, "print workload statistics and exit")
-		verbose = flag.Bool("v", true, "print per-point progress")
+		expID       = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale       = flag.String("scale", "default", "scale: smoke, default or full")
+		workers     = flag.String("workers", "1,2,4", "comma-separated worker counts for -exp pipeline")
+		cacheKB     = flag.String("cache-kb", "", "comma-separated cache bounds in KiB for -exp cache (default 256,1024,4096,16384)")
+		shardCounts = flag.String("cluster-shards", "1,2,4,8", "comma-separated shard counts for -exp cluster")
+		withMet     = flag.Bool("metrics", false, "append per-stage latency digests (count, p50/p95/p99) to the pipeline and cache JSON reports")
+		jsonOut     = flag.String("json", "", "write results as JSON to this file (pipeline default: BENCH_pipeline.json)")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		stats       = flag.Bool("stats", false, "print workload statistics and exit")
+		verbose     = flag.Bool("v", true, "print per-point progress")
 	)
 	flag.Parse()
 
@@ -125,6 +127,29 @@ func main() {
 		}
 		fmt.Printf("== document parser throughput [scale %s]\n", s.Name)
 		rep, err := bench.RunParse(s, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSON(out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- wrote %s\n", out)
+		return
+	}
+
+	// -exp cluster: scatter/gather publish throughput against the shard
+	// count, all shards in-process over loopback → BENCH_cluster.json.
+	if *expID == "cluster" {
+		counts, err := parseWorkers(*shardCounts)
+		if err != nil {
+			fatal(fmt.Errorf("bad -cluster-shards: %w", err))
+		}
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_cluster.json"
+		}
+		fmt.Printf("== cluster scatter/gather throughput [scale %s, shards %v]\n", s.Name, counts)
+		rep, err := bench.RunCluster(s, counts, progress)
 		if err != nil {
 			fatal(err)
 		}

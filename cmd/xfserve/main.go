@@ -15,6 +15,22 @@
 // after a crash that tore the log mid-record. On SIGINT/SIGTERM the server
 // shuts down gracefully: in-flight requests drain, a final snapshot
 // compacts the log, and the store is closed.
+//
+// Cluster mode shards the subscription set across several xfserve
+// instances (internal/cluster). One process per shard runs as usual; one
+// coordinator process routes for all of them:
+//
+//	xfserve -addr :8081 -state /var/lib/shard0          # shard 0
+//	xfserve -addr :8082 -state /var/lib/shard1          # shard 1
+//	xfserve -cluster http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
+//
+// The coordinator serves the same API as a single server: subscribes are
+// placed on their owning shard by consistent hashing, publishes
+// scatter/gather across all shards, and /stats and /metrics carry
+// per-shard counters. -standbys names a hot standby per shard (empty
+// entries allowed) to promote when a shard stays down. A standby is an
+// xfserve running with -follow pointing at its primary, which ships the
+// primary's WAL into the local subscription set.
 package main
 
 import (
@@ -31,6 +47,7 @@ import (
 	"time"
 
 	"predfilter"
+	"predfilter/internal/cluster"
 	"predfilter/internal/server"
 )
 
@@ -69,8 +86,35 @@ func main() {
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		writeTimeout      = flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
 		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
+
+		// Cluster mode.
+		clusterShards  = flag.String("cluster", "", "run as cluster coordinator over this comma-separated shard URL list (instead of serving an engine)")
+		standbys       = flag.String("standbys", "", "comma-separated standby URLs parallel to -cluster (empty entries for shards without one)")
+		publishTimeout = flag.Duration("publish-timeout", 5*time.Second, "cluster: per-shard deadline for each publish attempt")
+		retries        = flag.Int("retries", 2, "cluster: transient per-shard failure retries before skipping the shard")
+		healthInterval = flag.Duration("health-interval", 2*time.Second, "cluster: shard health-check period for automatic standby promotion (0 = disabled)")
+		follow         = flag.String("follow", "", "run as a hot standby shipping this primary's WAL into the local subscription set")
+		followEvery    = flag.Duration("follow-interval", 250*time.Millisecond, "WAL-shipping poll period for -follow")
 	)
 	flag.Parse()
+
+	if *clusterShards != "" {
+		runCoordinator(coordinatorOptions{
+			addr:           *addr,
+			shards:         splitList(*clusterShards),
+			standbys:       splitList(*standbys),
+			publishTimeout: *publishTimeout,
+			retries:        *retries,
+			healthInterval: *healthInterval,
+			maxDoc:         *maxDoc,
+			drain:          *drain,
+			readHeader:     *readHeaderTimeout,
+			read:           *readTimeout,
+			write:          *writeTimeout,
+			idle:           *idleTimeout,
+		})
+		return
+	}
 
 	cfg := server.Config{
 		QueueLimit:       *queue,
@@ -124,6 +168,19 @@ func main() {
 		}
 		log.Printf("xfserve: preloaded %d subscriptions from %s", len(ids), *subsFile)
 	}
+	if *follow != "" {
+		fol, err := cluster.NewFollower(cluster.FollowerConfig{
+			Primary:  *follow,
+			Target:   srv,
+			Interval: *followEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fol.Start()
+		defer fol.Stop()
+		log.Printf("xfserve: hot standby shipping WAL from %s", *follow)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -164,6 +221,89 @@ func main() {
 		log.Fatalf("xfserve: close state: %v", err)
 	}
 	log.Printf("xfserve: bye")
+}
+
+type coordinatorOptions struct {
+	addr           string
+	shards         []string
+	standbys       []string
+	publishTimeout time.Duration
+	retries        int
+	healthInterval time.Duration
+	maxDoc         int64
+	drain          time.Duration
+	readHeader     time.Duration
+	read           time.Duration
+	write          time.Duration
+	idle           time.Duration
+}
+
+// runCoordinator serves the cluster coordinator: the single-server API
+// routed over the configured shards.
+func runCoordinator(o coordinatorOptions) {
+	if len(o.standbys) > len(o.shards) {
+		log.Fatalf("xfserve: %d standbys for %d shards", len(o.standbys), len(o.shards))
+	}
+	specs := make([]cluster.ShardSpec, len(o.shards))
+	for i, addr := range o.shards {
+		specs[i] = cluster.ShardSpec{Name: addr, Addr: addr}
+		if i < len(o.standbys) && o.standbys[i] != "" {
+			specs[i].Standby = o.standbys[i]
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Shards:           specs,
+		PublishTimeout:   o.publishTimeout,
+		Retries:          o.retries,
+		HealthInterval:   o.healthInterval,
+		MaxDocumentBytes: o.maxDoc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{
+		Addr:              o.addr,
+		Handler:           coord,
+		ReadHeaderTimeout: o.readHeader,
+		ReadTimeout:       o.read,
+		WriteTimeout:      o.write,
+		IdleTimeout:       o.idle,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("xfserve: cluster coordinator for %d shards listening on %s", len(specs), o.addr)
+		errc <- hs.ListenAndServe()
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		coord.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("xfserve: coordinator shutting down")
+	coord.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("xfserve: drain: %v", err)
+	}
+	log.Printf("xfserve: bye")
+}
+
+// splitList splits a comma-separated flag, trimming whitespace and
+// keeping empty entries (a shard without a standby).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 // readLines reads one expression per line, skipping blanks and '#'

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"predfilter"
+	"predfilter/internal/server"
+)
+
+// shardAPI is the coordinator's HTTP client for one shard's
+// internal/server API. It is stateless (the routed address is passed per
+// call, because failover swaps a shard's address under the same name).
+type shardAPI struct {
+	hc *http.Client
+}
+
+// shardError is a failed shard call. transient errors (network failures,
+// 429/502/503/504 — the shard may be restarting, shedding, or draining)
+// are retried and can degrade a publish; permanent errors (anything else
+// the shard deliberately answered, e.g. 422 for a document over resource
+// limits) reflect the request itself and are surfaced to the caller —
+// honoring the governance semantics a single server gives the same
+// document.
+type shardError struct {
+	status    int // 0 for network errors
+	msg       string
+	transient bool
+}
+
+func (e *shardError) Error() string {
+	if e.status == 0 {
+		return e.msg
+	}
+	return fmt.Sprintf("shard answered %d: %s", e.status, e.msg)
+}
+
+// Status returns the HTTP status a coordinator should relay for this
+// error (502 for network failures).
+func (e *shardError) Status() int {
+	if e.status == 0 {
+		return http.StatusBadGateway
+	}
+	return e.status
+}
+
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs one request and decodes the JSON response into out (when
+// non-nil). Non-2xx answers and transport failures come back as
+// *shardError with the transient/permanent split above.
+func (a *shardAPI) do(req *http.Request, out any) error {
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return &shardError{msg: err.Error(), transient: true}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return &shardError{msg: fmt.Sprintf("read response: %v", err), transient: true}
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := string(body)
+		var je struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &je) == nil && je.Error != "" {
+			msg = je.Error
+		}
+		return &shardError{status: resp.StatusCode, msg: msg, transient: transientStatus(resp.StatusCode)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return &shardError{msg: fmt.Sprintf("decode response: %v", err), transient: false}
+	}
+	return nil
+}
+
+func (a *shardAPI) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return &shardError{msg: err.Error()}
+	}
+	return a.do(req, out)
+}
+
+// subscribe registers expr under the coordinator-assigned sid on the
+// shard at addr.
+func (a *shardAPI) subscribe(ctx context.Context, addr string, sid predfilter.SID, expr string) error {
+	body, _ := json.Marshal(map[string]any{"expression": expr, "id": int(sid)})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/subscriptions", bytes.NewReader(body))
+	if err != nil {
+		return &shardError{msg: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return a.do(req, nil)
+}
+
+// unsubscribe removes sid on the shard at addr. A 404 is success: the
+// operation's goal (sid not registered there) already holds — migration
+// and failover can legitimately race a removal.
+func (a *shardAPI) unsubscribe(ctx context.Context, addr string, sid predfilter.SID) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		fmt.Sprintf("%s/subscriptions/%d", addr, sid), nil)
+	if err != nil {
+		return &shardError{msg: err.Error()}
+	}
+	err = a.do(req, nil)
+	var se *shardError
+	if err != nil && errors.As(err, &se) && se.status == http.StatusNotFound {
+		return nil
+	}
+	return err
+}
+
+// publish posts one document to the shard at addr and returns the
+// matching sids of that shard's subscription partition.
+func (a *shardAPI) publish(ctx context.Context, addr string, doc []byte) ([]predfilter.SID, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/publish", bytes.NewReader(doc))
+	if err != nil {
+		return nil, &shardError{msg: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	var resp struct {
+		IDs []predfilter.SID `json:"ids"`
+	}
+	if err := a.do(req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// healthy probes the shard's liveness endpoint.
+func (a *shardAPI) healthy(ctx context.Context, addr string) bool {
+	return a.getJSON(ctx, addr+"/healthz", nil) == nil
+}
+
+// walPoll runs one WAL-shipping poll against a primary.
+func (a *shardAPI) walPoll(ctx context.Context, addr, run string, epoch, from int64) (*server.WALShipResponse, error) {
+	url := addr + "/admin/wal"
+	if run != "" {
+		url = fmt.Sprintf("%s?run=%s&epoch=%d&from=%d", url, run, epoch, from)
+	}
+	var resp server.WALShipResponse
+	if err := a.getJSON(ctx, url, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

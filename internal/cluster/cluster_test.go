@@ -1,0 +1,455 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"predfilter"
+	"predfilter/internal/bench"
+	"predfilter/internal/cluster"
+	"predfilter/internal/dtd"
+	"predfilter/internal/server"
+)
+
+// testWorkload is a small randomized NITF workload: enough expressions
+// that every shard of an 8-way split owns a real partition, documents
+// deep enough to exercise predicates.
+func testWorkload(t *testing.T, exprs, docs int) *bench.Workload {
+	t.Helper()
+	cfg := bench.DefaultWorkloadConfig(exprs)
+	cfg.Docs = docs
+	cfg.Filters = 1
+	w, err := bench.NewWorkload(dtd.NITF(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// singleEngineSets computes the reference match sets: one engine holding
+// every expression, results sorted ascending (the cluster gather merge's
+// canonical order — a single engine reports in registration order, which
+// the merge normalizes).
+func singleEngineSets(t *testing.T, w *bench.Workload) [][]predfilter.SID {
+	t.Helper()
+	eng := predfilter.New(predfilter.Config{})
+	sids, err := eng.AddAll(w.XPEs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sid := range sids {
+		if sid != predfilter.SID(i) {
+			t.Fatalf("reference engine assigned sid %d to expression %d", sid, i)
+		}
+	}
+	out := make([][]predfilter.SID, len(w.Docs))
+	for i, doc := range w.Docs {
+		got, err := eng.Match(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		out[i] = got
+	}
+	return out
+}
+
+// shardSet is N in-process shards behind real HTTP listeners.
+type shardSet struct {
+	servers []*server.Server
+	https   []*httptest.Server
+	specs   []cluster.ShardSpec
+}
+
+func newShardSet(t *testing.T, n int) *shardSet {
+	t.Helper()
+	set := &shardSet{}
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Config{})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		set.servers = append(set.servers, srv)
+		set.https = append(set.https, ts)
+		set.specs = append(set.specs, cluster.ShardSpec{
+			Name: fmt.Sprintf("shard-%d", i),
+			Addr: ts.URL,
+		})
+	}
+	return set
+}
+
+func newTestCoordinator(t *testing.T, specs []cluster.ShardSpec) *cluster.Coordinator {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Shards:         specs,
+		PublishTimeout: 5 * time.Second,
+		Retries:        1,
+		RetryBackoff:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestClusterEquivalence is the cross-shard correctness property: for
+// shard counts 1, 2 and 4, a cluster holding a randomized workload
+// reports — through the scatter/gather merge — exactly the match set and
+// delivery order of one engine holding all subscriptions.
+func TestClusterEquivalence(t *testing.T) {
+	w := testWorkload(t, 300, 30)
+	want := singleEngineSets(t, w)
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			set := newShardSet(t, shards)
+			c := newTestCoordinator(t, set.specs)
+			for i, xpe := range w.XPEs {
+				sid, err := c.Subscribe(ctx, xpe)
+				if err != nil {
+					t.Fatalf("subscribe %d: %v", i, err)
+				}
+				if sid != predfilter.SID(i) {
+					t.Fatalf("cluster assigned sid %d to expression %d: global sid space must match a single engine's", sid, i)
+				}
+			}
+			// Every shard owns a nonempty partition at these sizes; the
+			// equivalence below would be vacuous otherwise.
+			if shards > 1 {
+				for i, srv := range set.servers {
+					if len(srv.SubscriptionIDs()) == 0 {
+						t.Fatalf("shard %d owns no subscriptions", i)
+					}
+				}
+			}
+			for i, doc := range w.Docs {
+				res, err := c.Publish(ctx, doc)
+				if err != nil {
+					t.Fatalf("publish doc %d: %v", i, err)
+				}
+				if res.Degraded {
+					t.Fatalf("doc %d: degraded result with all shards up", i)
+				}
+				if !sidSetsEqual(res.SIDs, want[i]) {
+					t.Fatalf("doc %d: cluster matched %v, single engine %v", i, res.SIDs, want[i])
+				}
+			}
+		})
+	}
+}
+
+func sidSetsEqual(a, b []predfilter.SID) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestClusterHTTPSurface drives the coordinator through its HTTP handler
+// — the path xfserve -cluster exposes — end to end: subscribe, publish,
+// stats, metrics, delivery proxying.
+func TestClusterHTTPSurface(t *testing.T) {
+	set := newShardSet(t, 2)
+	c := newTestCoordinator(t, set.specs)
+	front := httptest.NewServer(c)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/subscriptions", "application/json",
+		strings.NewReader(`{"expression":"/nitf/head/title"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("subscribe = %d", resp.StatusCode)
+	}
+
+	pub, err := http.Post(front.URL+"/publish", "application/xml",
+		strings.NewReader("<nitf><head><title>x</title></head></nitf>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct {
+		Matches  int              `json:"matches"`
+		IDs      []predfilter.SID `json:"ids"`
+		Degraded bool             `json:"degraded"`
+	}
+	if err := jsonDecode(pub, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Matches != 1 || len(pr.IDs) != 1 || pr.IDs[0] != 0 || pr.Degraded {
+		t.Fatalf("publish = %+v, want ids [0]", pr)
+	}
+
+	// The delivered document is queued on the owning shard and readable
+	// through the coordinator.
+	del, err := http.Get(front.URL + "/deliveries/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr struct {
+		Documents []string `json:"documents"`
+	}
+	if err := jsonDecode(del, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Documents) != 1 || !strings.Contains(dr.Documents[0], "<title>") {
+		t.Fatalf("deliveries = %+v", dr)
+	}
+
+	st, err := http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr cluster.Stats
+	if err := jsonDecode(st, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Subscriptions != 1 || sr.Shards != 2 || sr.DocsPublished != 1 {
+		t.Fatalf("stats = %+v", sr)
+	}
+
+	met, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer met.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, met.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"predfilter_cluster_docs_published_total 1",
+		`predfilter_cluster_shard_published_total{shard="shard-0"} 1`,
+		`predfilter_cluster_shard_published_total{shard="shard-1"} 1`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("metrics miss %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestClusterShardKillAndFailover is the chaos property: killing a shard
+// mid-stream degrades publishes (partial match set, flagged, the dead
+// shard named) instead of failing them, and promoting the WAL-shipped
+// standby restores the full single-engine match set.
+func TestClusterShardKillAndFailover(t *testing.T) {
+	w := testWorkload(t, 200, 20)
+	want := singleEngineSets(t, w)
+	ctx := context.Background()
+
+	// Shard 0 is plain; shard 1 is persistent with a hot standby kept in
+	// sync by a follower (the topology -standbys configures).
+	plain := server.New(server.Config{})
+	plainTS := httptest.NewServer(plain)
+	defer plainTS.Close()
+
+	primary, err := server.Open(server.Config{StateDir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	primaryTS := httptest.NewServer(primary)
+
+	standby := server.New(server.Config{})
+	standbyTS := httptest.NewServer(standby)
+	defer standbyTS.Close()
+
+	fol, err := cluster.NewFollower(cluster.FollowerConfig{
+		Primary: primaryTS.URL,
+		Target:  standby,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestCoordinator(t, []cluster.ShardSpec{
+		{Name: "shard-0", Addr: plainTS.URL},
+		{Name: "shard-1", Addr: primaryTS.URL, Standby: standbyTS.URL},
+	})
+	for i, xpe := range w.XPEs {
+		if _, err := c.Subscribe(ctx, xpe); err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+	}
+	// Ship the registrations to the standby before the kill.
+	if _, snap, err := fol.Poll(ctx); err != nil || !snap {
+		t.Fatalf("follower bootstrap: snap=%v err=%v", snap, err)
+	}
+	if got, wantIDs := standby.SubscriptionIDs(), primary.SubscriptionIDs(); !reflect.DeepEqual(got, wantIDs) {
+		t.Fatalf("standby out of sync before kill: %d vs %d subscriptions", len(got), len(wantIDs))
+	}
+
+	// Phase 1: healthy cluster matches the single engine.
+	half := len(w.Docs) / 2
+	for i, doc := range w.Docs[:half] {
+		res, err := c.Publish(ctx, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded || !sidSetsEqual(res.SIDs, want[i]) {
+			t.Fatalf("doc %d before kill: %+v, want %v", i, res, want[i])
+		}
+	}
+
+	// Phase 2: kill the primary mid-stream. Publishes degrade — the match
+	// set is exactly the surviving shard's partition, flagged, with the
+	// dead shard named — rather than erroring.
+	primaryTS.CloseClientConnections()
+	primaryTS.Close()
+	sawPartial := false
+	for i, doc := range w.Docs[half:] {
+		res, err := c.Publish(ctx, doc)
+		if err != nil {
+			t.Fatalf("doc %d after kill: %v", half+i, err)
+		}
+		if !res.Degraded || len(res.Skipped) != 1 || res.Skipped[0] != "shard-1" {
+			t.Fatalf("doc %d after kill: degraded=%v skipped=%v", half+i, res.Degraded, res.Skipped)
+		}
+		full := want[half+i]
+		if len(res.SIDs) > len(full) {
+			t.Fatalf("doc %d degraded result larger than full set", half+i)
+		}
+		for _, sid := range res.SIDs {
+			if owner, _ := c.OwnerOf(sid); owner != "shard-0" {
+				t.Fatalf("degraded result contains sid %d owned by dead shard", sid)
+			}
+		}
+		if len(res.SIDs) < len(full) {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("kill never produced a strictly partial match set; workload too small to exercise degradation")
+	}
+
+	// Phase 3: promote the standby. The full match set comes back.
+	if err := c.Promote("shard-1"); err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range w.Docs {
+		res, err := c.Publish(ctx, doc)
+		if err != nil {
+			t.Fatalf("doc %d after failover: %v", i, err)
+		}
+		if res.Degraded || !sidSetsEqual(res.SIDs, want[i]) {
+			t.Fatalf("doc %d after failover: %+v, want %v", i, res, want[i])
+		}
+	}
+	if st := c.Stats(); st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
+	}
+}
+
+// TestClusterRebalanceMigration grows and shrinks a live cluster:
+// AddShard moves only its consistent-hash share of the subscriptions,
+// every SID keeps resolving to a shard that actually holds it, and the
+// match set stays equivalent throughout.
+func TestClusterRebalanceMigration(t *testing.T) {
+	w := testWorkload(t, 200, 10)
+	want := singleEngineSets(t, w)
+	ctx := context.Background()
+
+	set := newShardSet(t, 2)
+	c := newTestCoordinator(t, set.specs)
+	for _, xpe := range w.XPEs {
+		if _, err := c.Subscribe(ctx, xpe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	holds := func() map[string]map[predfilter.SID]string {
+		m := map[string]map[predfilter.SID]string{}
+		for i, srv := range set.servers {
+			m[fmt.Sprintf("shard-%d", i)] = srv.SubscriptionIDs()
+		}
+		return m
+	}
+	ownersBefore := map[predfilter.SID]string{}
+	for i := range w.XPEs {
+		o, ok := c.OwnerOf(predfilter.SID(i))
+		if !ok {
+			t.Fatalf("sid %d unowned", i)
+		}
+		ownersBefore[predfilter.SID(i)] = o
+	}
+
+	// Grow 2 → 3.
+	srv3 := server.New(server.Config{})
+	ts3 := httptest.NewServer(srv3)
+	defer ts3.Close()
+	set.servers = append(set.servers, srv3)
+	if err := c.AddShard(ctx, cluster.ShardSpec{Name: "shard-2", Addr: ts3.URL}); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	byShard := holds()
+	for i := range w.XPEs {
+		sid := predfilter.SID(i)
+		owner, ok := c.OwnerOf(sid)
+		if !ok {
+			t.Fatalf("sid %d lost its owner after rebalance", sid)
+		}
+		if _, held := byShard[owner][sid]; !held {
+			t.Fatalf("sid %d routed to %s, which does not hold it", sid, owner)
+		}
+		if owner != ownersBefore[sid] {
+			if owner != "shard-2" {
+				t.Fatalf("sid %d moved %s→%s, not to the new shard", sid, ownersBefore[sid], owner)
+			}
+			moved++
+		}
+	}
+	expect := float64(len(w.XPEs)) / 3
+	if f := float64(moved); f < expect*0.4 || f > expect*1.8 {
+		t.Fatalf("migration moved %d of %d subscriptions, want ≈%.0f", moved, len(w.XPEs), expect)
+	}
+	for i, doc := range w.Docs {
+		res, err := c.Publish(ctx, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded || !sidSetsEqual(res.SIDs, want[i]) {
+			t.Fatalf("doc %d after grow: %+v, want %v", i, res, want[i])
+		}
+	}
+
+	// Shrink 3 → 2: everything returns to the original placement.
+	if err := c.RemoveShard(ctx, "shard-2"); err != nil {
+		t.Fatal(err)
+	}
+	byShard = holds()
+	for i := range w.XPEs {
+		sid := predfilter.SID(i)
+		owner, ok := c.OwnerOf(sid)
+		if !ok || owner != ownersBefore[sid] {
+			t.Fatalf("sid %d: owner %q after shrink, want %q", sid, owner, ownersBefore[sid])
+		}
+		if _, held := byShard[owner][sid]; !held {
+			t.Fatalf("sid %d routed to %s after shrink, which does not hold it", sid, owner)
+		}
+	}
+	for i, doc := range w.Docs {
+		res, err := c.Publish(ctx, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded || !sidSetsEqual(res.SIDs, want[i]) {
+			t.Fatalf("doc %d after shrink: %+v, want %v", i, res, want[i])
+		}
+	}
+}

@@ -1,0 +1,562 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predfilter"
+	"predfilter/internal/xpath"
+)
+
+// ShardSpec names one shard of the cluster: its routed address and,
+// optionally, the address of a WAL-shipped standby to promote when the
+// primary stays down.
+type ShardSpec struct {
+	// Name identifies the shard on the ring. Ring placement hashes the
+	// name, so keep names stable across restarts and address changes
+	// (defaults to Addr when empty — fine as long as addresses are
+	// stable).
+	Name string
+	// Addr is the shard's base URL ("http://host:port").
+	Addr string
+	// Standby, when non-empty, is the base URL of the shard's hot standby
+	// (a server kept in sync by a Follower shipping the primary's WAL).
+	Standby string
+}
+
+// Config configures a Coordinator. The zero value of every field has a
+// usable default except Shards, which must name at least one shard.
+type Config struct {
+	Shards []ShardSpec
+	// VirtualNodes is the number of ring points per shard (default 128).
+	VirtualNodes int
+	// PublishTimeout bounds each shard's share of one scatter/gather
+	// publish, per attempt (default 5s).
+	PublishTimeout time.Duration
+	// AdminTimeout bounds subscribe/unsubscribe/migration calls
+	// (default 10s).
+	AdminTimeout time.Duration
+	// Retries is how many times a transient shard failure is retried
+	// before the shard is skipped for this document (default 2).
+	Retries int
+	// RetryBackoff is the base backoff between retries; attempt k waits
+	// k×RetryBackoff (default 25ms).
+	RetryBackoff time.Duration
+	// HealthInterval is the shard health-check period. 0 disables the
+	// monitor (tests drive Promote explicitly); production coordinators
+	// should run it.
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive failed health checks trigger
+	// standby promotion (default 3).
+	FailThreshold int
+	// MaxDocumentBytes bounds documents accepted by the coordinator's own
+	// /publish endpoint (default 1 MiB).
+	MaxDocumentBytes int64
+	// Client is the HTTP client for shard calls (default: a dedicated
+	// client with sensible pooling).
+	Client *http.Client
+}
+
+// shard is one shard's routing state and counters.
+type shard struct {
+	name    string
+	standby string
+
+	mu       sync.Mutex
+	addr     string // current routed address (standby after promotion)
+	promoted bool
+
+	healthy     atomic.Bool
+	consecFails int // monitor-goroutine only
+
+	published    atomic.Int64 // successful publish calls
+	errs         atomic.Int64 // failed publish attempts (before retry)
+	retries      atomic.Int64 // publish attempts retried
+	skipped      atomic.Int64 // documents skipped after retries (degraded)
+	publishNanos atomic.Int64
+}
+
+func (sh *shard) currentAddr() string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.addr
+}
+
+// subRecord is the coordinator's authoritative record of one
+// subscription: the expression as submitted and the shard it lives on.
+// Owner tracks migrations and stays valid across failover (promotion
+// keeps the shard name).
+type subRecord struct {
+	expr  string
+	owner string
+}
+
+// Coordinator owns the cluster: the ring, the global SID space, and the
+// scatter/gather publish path. It is safe for concurrent use and
+// implements http.Handler with the same API surface as one shard (plus
+// per-shard stats), so clients talk to a cluster exactly as they would to
+// a single server.
+type Coordinator struct {
+	cfg Config
+	api *shardAPI
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	ring    *ring
+	shards  map[string]*shard
+	order   []string // shard names in Config order (stable scatter/stats order)
+	subs    map[predfilter.SID]*subRecord
+	nextSID predfilter.SID
+
+	docsPublished atomic.Int64
+	docsDegraded  atomic.Int64
+	docsFailed    atomic.Int64
+	failovers     atomic.Int64
+	draining      atomic.Bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New returns a ready Coordinator over the configured shards. It does not
+// probe them: a shard that is down simply degrades publishes (and fails
+// subscribes that route to it) until it returns or its standby is
+// promoted.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	if cfg.PublishTimeout <= 0 {
+		cfg.PublishTimeout = 5 * time.Second
+	}
+	if cfg.AdminTimeout <= 0 {
+		cfg.AdminTimeout = 10 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.MaxDocumentBytes <= 0 {
+		cfg.MaxDocumentBytes = 1 << 20
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		api:    &shardAPI{hc: cfg.Client},
+		ring:   newRing(nil, cfg.VirtualNodes),
+		shards: make(map[string]*shard),
+		subs:   make(map[predfilter.SID]*subRecord),
+		done:   make(chan struct{}),
+	}
+	for _, spec := range cfg.Shards {
+		name := spec.Name
+		if name == "" {
+			name = spec.Addr
+		}
+		if name == "" {
+			return nil, fmt.Errorf("cluster: shard with neither name nor address")
+		}
+		if _, dup := c.shards[name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", name)
+		}
+		sh := &shard{name: name, addr: spec.Addr, standby: spec.Standby}
+		sh.healthy.Store(true)
+		c.shards[name] = sh
+		c.order = append(c.order, name)
+		c.ring.add(name)
+	}
+	c.initMux()
+	if cfg.HealthInterval > 0 {
+		c.wg.Add(1)
+		go c.monitor()
+	}
+	return c, nil
+}
+
+// Close stops the health monitor and marks the coordinator draining (its
+// HTTP publish surface answers 503). Shards are independent processes and
+// are not touched.
+func (c *Coordinator) Close() {
+	c.draining.Store(true)
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	c.wg.Wait()
+}
+
+// shardList snapshots the shards in configuration order.
+func (c *Coordinator) shardList() []*shard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*shard, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, c.shards[name])
+	}
+	return out
+}
+
+// Subscribe registers an expression cluster-wide: it validates the
+// expression locally, assigns the next global SID, places it on its
+// owning shard through the ring, and commits only after the shard
+// acknowledged — so the global SID sequence has no holes a single-engine
+// equivalent would not have. Subscribes are serialized (registration is
+// the cold path; publishes never take this lock for shard calls).
+func (c *Coordinator) Subscribe(ctx context.Context, expr string) (predfilter.SID, error) {
+	if _, err := xpath.Parse(expr); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sid := c.nextSID
+	owner, err := c.ring.ownerSID(sid)
+	if err != nil {
+		return 0, err
+	}
+	sh := c.shards[owner]
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+	defer cancel()
+	if err := c.callWithRetry(cctx, sh, func(addr string) error {
+		return c.api.subscribe(cctx, addr, sid, expr)
+	}); err != nil {
+		return 0, fmt.Errorf("cluster: subscribe on shard %s: %w", owner, err)
+	}
+	c.subs[sid] = &subRecord{expr: expr, owner: owner}
+	c.nextSID++
+	return sid, nil
+}
+
+// Unsubscribe removes a subscription from its owning shard.
+func (c *Coordinator) Unsubscribe(ctx context.Context, sid predfilter.SID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec := c.subs[sid]
+	if rec == nil {
+		return fmt.Errorf("cluster: unknown sid %d", sid)
+	}
+	sh := c.shards[rec.owner]
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+	defer cancel()
+	if err := c.callWithRetry(cctx, sh, func(addr string) error {
+		return c.api.unsubscribe(cctx, addr, sid)
+	}); err != nil {
+		return fmt.Errorf("cluster: unsubscribe on shard %s: %w", rec.owner, err)
+	}
+	delete(c.subs, sid)
+	return nil
+}
+
+// OwnerOf reports which shard holds a live subscription.
+func (c *Coordinator) OwnerOf(sid predfilter.SID) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec := c.subs[sid]
+	if rec == nil {
+		return "", false
+	}
+	return rec.owner, true
+}
+
+// callWithRetry runs one shard call against the shard's current address,
+// retrying transient failures with linear backoff. The address is
+// re-resolved per attempt so a promotion between attempts is picked up.
+func (c *Coordinator) callWithRetry(ctx context.Context, sh *shard, call func(addr string) error) error {
+	var err error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			sh.retries.Add(1)
+			select {
+			case <-time.After(time.Duration(attempt) * c.cfg.RetryBackoff):
+			case <-ctx.Done():
+				return err
+			}
+		}
+		err = call(sh.currentAddr())
+		if err == nil {
+			return nil
+		}
+		var se *shardError
+		if !errors.As(err, &se) || !se.transient {
+			return err
+		}
+	}
+	return err
+}
+
+// PublishResult is the outcome of one scatter/gather publish. When every
+// shard answered, SIDs is exactly the match set a single engine holding
+// all subscriptions would report (ascending id order — the gather merge's
+// canonical delivery order). When a shard stayed down through the retry
+// budget, Degraded is set and Skipped names it: the match set is the
+// union of the answering shards, a flagged partial result rather than a
+// failed publish.
+type PublishResult struct {
+	SIDs     []predfilter.SID
+	Degraded bool
+	Skipped  []string
+}
+
+// Publish scatters one document to every shard and gathers the merged
+// match set. Per-shard deadlines (Config.PublishTimeout per attempt) keep
+// one slow shard from pinning the whole publish; transient failures are
+// retried with backoff; a shard that stays down is skipped and flagged
+// rather than failing the document. A permanent per-document refusal
+// (parse failure, resource-limit trip — the governance statuses a single
+// server would answer) fails the publish with that shard's error, because
+// the document, not the cluster, is the problem.
+func (c *Coordinator) Publish(ctx context.Context, doc []byte) (*PublishResult, error) {
+	shards := c.shardList()
+	type gathered struct {
+		name string
+		sids []predfilter.SID
+		err  error
+	}
+	out := make([]gathered, len(shards))
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for i, sh := range shards {
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			t0 := time.Now()
+			var sids []predfilter.SID
+			err := c.callWithRetry(ctx, sh, func(addr string) error {
+				cctx, cancel := context.WithTimeout(ctx, c.cfg.PublishTimeout)
+				defer cancel()
+				var cerr error
+				sids, cerr = c.api.publish(cctx, addr, doc)
+				return cerr
+			})
+			sh.publishNanos.Add(time.Since(t0).Nanoseconds())
+			if err != nil {
+				sh.errs.Add(1)
+				out[i] = gathered{name: sh.name, err: err}
+				return
+			}
+			sh.published.Add(1)
+			// The gather merge needs each partial set ascending; a shard's
+			// own order (expression registration order) is not guaranteed
+			// to be.
+			sort.Slice(sids, func(a, b int) bool { return sids[a] < sids[b] })
+			out[i] = gathered{name: sh.name, sids: sids}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	res := &PublishResult{}
+	sets := make([][]predfilter.SID, 0, len(shards))
+	for i, g := range out {
+		if g.err == nil {
+			sets = append(sets, g.sids)
+			continue
+		}
+		var se *shardError
+		if errors.As(g.err, &se) && !se.transient {
+			// The document itself was refused; every shard would refuse it
+			// the same way. Surface the governance answer, don't degrade.
+			c.docsFailed.Add(1)
+			return nil, fmt.Errorf("cluster: shard %s refused document: %w", g.name, g.err)
+		}
+		shards[i].skipped.Add(1)
+		res.Skipped = append(res.Skipped, g.name)
+	}
+	if len(res.Skipped) == len(shards) {
+		c.docsFailed.Add(1)
+		return nil, fmt.Errorf("cluster: all %d shards unreachable", len(shards))
+	}
+	res.SIDs = predfilter.MergeSIDSets(sets)
+	res.Degraded = len(res.Skipped) > 0
+	if res.Degraded {
+		c.docsDegraded.Add(1)
+	}
+	c.docsPublished.Add(1)
+	return res, nil
+}
+
+// Promote fails a shard over to its standby: the shard's routed address
+// becomes the standby's, under the same name (ring placement and every
+// recorded owner stay valid). The standby is expected to be caught up via
+// WAL shipping; promotion does not copy state.
+func (c *Coordinator) Promote(name string) error {
+	c.mu.Lock()
+	sh := c.shards[name]
+	c.mu.Unlock()
+	if sh == nil {
+		return fmt.Errorf("cluster: unknown shard %q", name)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.promoted {
+		return fmt.Errorf("cluster: shard %s already promoted to %s", name, sh.addr)
+	}
+	if sh.standby == "" {
+		return fmt.Errorf("cluster: shard %s has no standby", name)
+	}
+	sh.addr = sh.standby
+	sh.standby = ""
+	sh.promoted = true
+	sh.healthy.Store(true)
+	c.failovers.Add(1)
+	return nil
+}
+
+// monitor is the health-check loop: it probes every shard's /healthz each
+// interval and promotes the standby of a shard that failed
+// Config.FailThreshold consecutive probes.
+func (c *Coordinator) monitor() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		for _, sh := range c.shardList() {
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthInterval)
+			ok := c.api.healthy(ctx, sh.currentAddr())
+			cancel()
+			sh.healthy.Store(ok)
+			if ok {
+				sh.consecFails = 0
+				continue
+			}
+			sh.consecFails++
+			if sh.consecFails >= c.cfg.FailThreshold {
+				if err := c.Promote(sh.name); err == nil {
+					sh.consecFails = 0
+				}
+			}
+		}
+	}
+}
+
+// AddShard grows the ring by one shard and migrates the subscriptions the
+// new placement assigns to it: consistent hashing moves only ~1/(N+1) of
+// the keys, and each moved subscription is registered on its new owner
+// before it is removed from the old one — at no point does a moved SID
+// resolve to a shard that does not hold it. On error the migration stops
+// with every already-moved subscription consistent (record and placement
+// agree); the caller may retry.
+func (c *Coordinator) AddShard(ctx context.Context, spec ShardSpec) error {
+	name := spec.Name
+	if name == "" {
+		name = spec.Addr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.shards[name]; dup {
+		return fmt.Errorf("cluster: shard %q already present", name)
+	}
+	if spec.Addr == "" {
+		return fmt.Errorf("cluster: shard %q has no address", name)
+	}
+	sh := &shard{name: name, addr: spec.Addr, standby: spec.Standby}
+	sh.healthy.Store(true)
+	c.shards[name] = sh
+	c.order = append(c.order, name)
+	c.ring.add(name)
+	if _, err := c.migrateLocked(ctx); err != nil {
+		// Undo the ring change and migrate the already-moved keys back
+		// through the same protocol, then forget the shard.
+		c.ring.remove(name)
+		_, uerr := c.migrateLocked(ctx)
+		delete(c.shards, name)
+		c.order = c.order[:len(c.order)-1]
+		if uerr != nil {
+			return fmt.Errorf("cluster: add shard %s: %v (rollback also failed: %v)", name, err, uerr)
+		}
+		return fmt.Errorf("cluster: add shard %s: %w", name, err)
+	}
+	return nil
+}
+
+// RemoveShard shrinks the ring by one shard, first migrating every
+// subscription it owns to the new owners. Removal of an unreachable shard
+// works too: the expressions move from the coordinator's authoritative
+// records, and deletes on the leaving shard are best-effort.
+func (c *Coordinator) RemoveShard(ctx context.Context, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shards[name] == nil {
+		return fmt.Errorf("cluster: unknown shard %q", name)
+	}
+	if len(c.shards) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last shard")
+	}
+	c.ring.remove(name)
+	if _, err := c.migrateLocked(ctx); err != nil {
+		c.ring.add(name)
+		return fmt.Errorf("cluster: remove shard %s: %w", name, err)
+	}
+	delete(c.shards, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// migrateLocked reconciles every subscription's placement with the
+// current ring: each one whose owner changed is added to the new owner,
+// then removed from the old. Callers hold c.mu. Shards being migrated
+// *to* must be reachable (the data has to land somewhere); removal from
+// the old owner is allowed to fail when that shard is gone — its copy is
+// unreachable anyway, and re-running the migration is harmless because
+// adds are idempotent under the same id.
+func (c *Coordinator) migrateLocked(ctx context.Context) (moved int, err error) {
+	sids := make([]predfilter.SID, 0, len(c.subs))
+	for sid := range c.subs {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	for _, sid := range sids {
+		rec := c.subs[sid]
+		newOwner, oerr := c.ring.ownerSID(sid)
+		if oerr != nil {
+			return moved, oerr
+		}
+		if newOwner == rec.owner {
+			continue
+		}
+		dst, ok := c.shards[newOwner]
+		if !ok {
+			return moved, fmt.Errorf("migrate sid %d: ring names unknown shard %s", sid, newOwner)
+		}
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+		addErr := c.api.subscribe(cctx, dst.currentAddr(), sid, rec.expr)
+		cancel()
+		if addErr != nil {
+			return moved, fmt.Errorf("migrate sid %d to %s: %w", sid, newOwner, addErr)
+		}
+		if src, ok := c.shards[rec.owner]; ok {
+			cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+			_ = c.api.unsubscribe(cctx, src.currentAddr(), sid) // best-effort
+			cancel()
+		}
+		rec.owner = newOwner
+		moved++
+	}
+	return moved, nil
+}

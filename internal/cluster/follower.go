@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"predfilter"
+	"predfilter/internal/server"
+)
+
+// FollowerTarget is the standby a Follower keeps in sync: an apply
+// surface with idempotent, id-stable operations. *server.Server
+// implements it.
+type FollowerTarget interface {
+	// ApplyAdd registers expr under an explicit id; re-applying the same
+	// (id, expression) is a no-op.
+	ApplyAdd(sid predfilter.SID, expr string) error
+	// ApplyRemove deletes a subscription; removing an unknown id is a
+	// no-op.
+	ApplyRemove(sid predfilter.SID) error
+	// SubscriptionIDs lists the live subscriptions (id → expression).
+	SubscriptionIDs() map[predfilter.SID]string
+}
+
+// Follower ships a primary's WAL onto a standby: it polls the primary's
+// /admin/wal endpoint with a (run, epoch, offset) cursor and applies the
+// returned operations to the target in log order. When the cursor goes
+// stale — the primary compacted its log, restarted, or the follower is
+// brand new — the primary answers with a full snapshot instead, and the
+// follower reconciles the target against it (removing subscriptions the
+// snapshot lacks, adding the ones it misses) before resuming the tail.
+// The standby therefore converges to the primary's exact (id, expression)
+// set, which is what makes promotion a pure address swap.
+type Follower struct {
+	api      *shardAPI
+	primary  string
+	target   FollowerTarget
+	interval time.Duration
+
+	mu    sync.Mutex
+	run   string
+	epoch int64
+	next  int64
+
+	applied   int64 // ops applied from tails
+	snapshots int64 // full resyncs
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// FollowerConfig configures a Follower.
+type FollowerConfig struct {
+	// Primary is the base URL of the server whose WAL is shipped.
+	Primary string
+	// Target applies the shipped operations (typically the standby
+	// *server.Server, in-process).
+	Target FollowerTarget
+	// Interval is the poll period (default 250ms).
+	Interval time.Duration
+	// Client is the HTTP client for polling (default
+	// http.DefaultClient).
+	Client *http.Client
+}
+
+// NewFollower returns a follower ready to poll; call Start for the
+// background loop or Poll to drive rounds explicitly (tests).
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("cluster: follower needs a primary address")
+	}
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("cluster: follower needs a target")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Follower{
+		api:      &shardAPI{hc: hc},
+		primary:  cfg.Primary,
+		target:   cfg.Target,
+		interval: cfg.Interval,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Poll runs one shipping round: a single poll of the primary and the
+// application of whatever it returned. It reports how many operations
+// were applied and whether the round was a snapshot resync.
+func (f *Follower) Poll(ctx context.Context) (ops int, snapshot bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	resp, err := f.api.walPoll(ctx, f.primary, f.run, f.epoch, f.next)
+	if err != nil {
+		return 0, false, err
+	}
+	if resp.Snapshot {
+		n, err := f.reconcile(resp.Entries)
+		if err != nil {
+			return n, true, err
+		}
+		f.run, f.epoch, f.next = resp.Run, resp.Epoch, resp.Next
+		f.snapshots++
+		return n, true, nil
+	}
+	for _, op := range resp.Ops {
+		var aerr error
+		switch op.Op {
+		case "add":
+			aerr = f.target.ApplyAdd(op.ID, op.Expression)
+		case "remove":
+			aerr = f.target.ApplyRemove(op.ID)
+		default:
+			aerr = fmt.Errorf("unknown wal op %q", op.Op)
+		}
+		if aerr != nil {
+			// Stop mid-tail without advancing the cursor past the failed
+			// record: the next round retries from it (applies are
+			// idempotent, so the ones already done are harmless).
+			return ops, false, fmt.Errorf("apply %s %d: %w", op.Op, op.ID, aerr)
+		}
+		ops++
+	}
+	f.run, f.epoch, f.next = resp.Run, resp.Epoch, resp.Next
+	f.applied += int64(ops)
+	return ops, false, nil
+}
+
+// reconcile makes the target's subscription set equal the snapshot's:
+// extras are removed first (so an id being re-registered under a new
+// expression never conflicts), then missing or changed entries are added.
+func (f *Follower) reconcile(entries []server.WALShipEntry) (int, error) {
+	want := make(map[predfilter.SID]string, len(entries))
+	for _, e := range entries {
+		want[e.ID] = e.Expression
+	}
+	have := f.target.SubscriptionIDs()
+	n := 0
+	for sid, expr := range have {
+		if w, ok := want[sid]; !ok || w != expr {
+			if err := f.target.ApplyRemove(sid); err != nil {
+				return n, fmt.Errorf("reconcile remove %d: %w", sid, err)
+			}
+			n++
+		}
+	}
+	for sid, expr := range want {
+		if have[sid] == expr {
+			continue
+		}
+		if err := f.target.ApplyAdd(sid, expr); err != nil {
+			return n, fmt.Errorf("reconcile add %d: %w", sid, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Start launches the background polling loop. Poll errors are retried
+// next interval — the primary being briefly down is the normal case the
+// follower exists for.
+func (f *Follower) Start() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTicker(f.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.done:
+				return
+			case <-t.C:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), f.interval*4)
+			_, _, _ = f.Poll(ctx)
+			cancel()
+		}
+	}()
+}
+
+// Stop halts the polling loop. The target keeps whatever state was
+// shipped — that is the point.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.done) })
+	f.wg.Wait()
+}
+
+// Position reports the follower's current cursor and lifetime counters.
+func (f *Follower) Position() (run string, epoch, next int64, applied, snapshots int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.run, f.epoch, f.next, f.applied, f.snapshots
+}

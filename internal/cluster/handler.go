@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"predfilter"
+	"predfilter/internal/metrics"
+)
+
+// The coordinator's HTTP surface mirrors one shard's API — clients point
+// at a cluster the way they point at a single server:
+//
+//	POST   /subscriptions        {"expression": ...}  → 201 {"id": n}
+//	GET    /subscriptions/{id}                        → proxied to the owning shard
+//	DELETE /subscriptions/{id}                        → 204
+//	POST   /publish              <xml document>       → 200 {"matches", "ids", "degraded"?, "skipped"?}
+//	GET    /deliveries/{id}?max=k                     → proxied to the owning shard
+//	GET    /stats                                     → cluster + per-shard counters
+//	GET    /metrics                                   → Prometheus text, shard="name" labels
+//	GET    /healthz                                   → 200 always
+//	GET    /readyz                                    → 200, or 503 after Close
+
+func (c *Coordinator) initMux() {
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /subscriptions", c.handleSubscribe)
+	c.mux.HandleFunc("GET /subscriptions/{id}", c.proxyToOwner)
+	c.mux.HandleFunc("DELETE /subscriptions/{id}", c.handleUnsubscribe)
+	c.mux.HandleFunc("POST /publish", c.handlePublish)
+	c.mux.HandleFunc("GET /deliveries/{id}", c.proxyToOwner)
+	c.mux.HandleFunc("GET /stats", c.handleStats)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		cwriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	c.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if c.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			cwriteJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		cwriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+func cwriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func cwriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	cwriteJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// relayError maps a failed shard call onto the coordinator's own response:
+// a deliberate shard answer keeps its status, a network failure becomes a
+// 502.
+func relayError(w http.ResponseWriter, err error) {
+	var se *shardError
+	if errors.As(err, &se) {
+		cwriteError(w, se.Status(), "%s", se.msg)
+		return
+	}
+	cwriteError(w, http.StatusBadGateway, "%v", err)
+}
+
+func (c *Coordinator) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		cwriteError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	var req struct {
+		Expression string `json:"expression"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		cwriteError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Expression == "" {
+		cwriteError(w, http.StatusBadRequest, "missing expression")
+		return
+	}
+	sid, err := c.Subscribe(r.Context(), req.Expression)
+	if err != nil {
+		var se *shardError
+		if errors.As(err, &se) {
+			relayError(w, se)
+			return
+		}
+		cwriteError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	cwriteJSON(w, http.StatusCreated, map[string]any{"id": sid})
+}
+
+func (c *Coordinator) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	sid, ok := sidFromPath(w, r)
+	if !ok {
+		return
+	}
+	if err := c.Unsubscribe(r.Context(), sid); err != nil {
+		var se *shardError
+		if errors.As(err, &se) {
+			relayError(w, se)
+			return
+		}
+		cwriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// proxyToOwner relays a per-subscription GET (subscription info,
+// deliveries) to the shard holding the subscription. Delivery queues live
+// on the shards; the coordinator only knows where.
+func (c *Coordinator) proxyToOwner(w http.ResponseWriter, r *http.Request) {
+	sid, ok := sidFromPath(w, r)
+	if !ok {
+		return
+	}
+	owner, ok := c.OwnerOf(sid)
+	if !ok {
+		cwriteError(w, http.StatusNotFound, "no subscription %d", sid)
+		return
+	}
+	c.mu.Lock()
+	sh := c.shards[owner]
+	c.mu.Unlock()
+	if sh == nil {
+		cwriteError(w, http.StatusNotFound, "no subscription %d", sid)
+		return
+	}
+	url := sh.currentAddr() + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		cwriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := c.api.hc.Do(req)
+	if err != nil {
+		cwriteError(w, http.StatusBadGateway, "shard %s: %v", owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, io.LimitReader(resp.Body, 64<<20))
+}
+
+func (c *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		cwriteError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	doc, err := io.ReadAll(io.LimitReader(r.Body, c.cfg.MaxDocumentBytes+1))
+	if err != nil {
+		cwriteError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(doc)) > c.cfg.MaxDocumentBytes {
+		cwriteError(w, http.StatusRequestEntityTooLarge, "document exceeds %d bytes", c.cfg.MaxDocumentBytes)
+		return
+	}
+	res, err := c.Publish(r.Context(), doc)
+	if err != nil {
+		relayError(w, err)
+		return
+	}
+	resp := map[string]any{"matches": len(res.SIDs), "ids": res.SIDs}
+	if res.Degraded {
+		resp["degraded"] = true
+		resp["skipped"] = res.Skipped
+	}
+	cwriteJSON(w, http.StatusOK, resp)
+}
+
+func sidFromPath(w http.ResponseWriter, r *http.Request) (predfilter.SID, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		cwriteError(w, http.StatusBadRequest, "bad subscription id %q", r.PathValue("id"))
+		return 0, false
+	}
+	return predfilter.SID(id), true
+}
+
+// Stats is the coordinator's observable state: cluster-level counters and
+// one entry per shard.
+type Stats struct {
+	Subscriptions  int          `json:"subscriptions"`
+	Shards         int          `json:"shards"`
+	DocsPublished  int64        `json:"docs_published"`
+	DocsDegraded   int64        `json:"docs_degraded"`
+	DocsFailed     int64        `json:"docs_failed"`
+	Failovers      int64        `json:"failovers"`
+	PerShard       []ShardStats `json:"per_shard"`
+	SubscribedNext uint32       `json:"next_sid"`
+}
+
+// ShardStats is one shard's routing state and publish counters.
+type ShardStats struct {
+	Name          string  `json:"name"`
+	Addr          string  `json:"addr"`
+	Standby       string  `json:"standby,omitempty"`
+	Promoted      bool    `json:"promoted,omitempty"`
+	Healthy       bool    `json:"healthy"`
+	Subscriptions int     `json:"subscriptions"`
+	Published     int64   `json:"published"`
+	Errors        int64   `json:"errors"`
+	Retries       int64   `json:"retries"`
+	Skipped       int64   `json:"skipped"`
+	PublishSecs   float64 `json:"publish_seconds"`
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	perShard := make(map[string]int, len(c.shards))
+	for _, rec := range c.subs {
+		perShard[rec.owner]++
+	}
+	st := Stats{
+		Subscriptions:  len(c.subs),
+		Shards:         len(c.shards),
+		SubscribedNext: uint32(c.nextSID),
+	}
+	shards := make([]*shard, 0, len(c.order))
+	for _, name := range c.order {
+		shards = append(shards, c.shards[name])
+	}
+	c.mu.Unlock()
+	st.DocsPublished = c.docsPublished.Load()
+	st.DocsDegraded = c.docsDegraded.Load()
+	st.DocsFailed = c.docsFailed.Load()
+	st.Failovers = c.failovers.Load()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		addr, standby, promoted := sh.addr, sh.standby, sh.promoted
+		sh.mu.Unlock()
+		st.PerShard = append(st.PerShard, ShardStats{
+			Name:          sh.name,
+			Addr:          addr,
+			Standby:       standby,
+			Promoted:      promoted,
+			Healthy:       sh.healthy.Load(),
+			Subscriptions: perShard[sh.name],
+			Published:     sh.published.Load(),
+			Errors:        sh.errs.Load(),
+			Retries:       sh.retries.Load(),
+			Skipped:       sh.skipped.Load(),
+			PublishSecs:   float64(sh.publishNanos.Load()) / 1e9,
+		})
+	}
+	return st
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	cwriteJSON(w, http.StatusOK, c.Stats())
+}
+
+// handleMetrics exposes the coordinator's counters in the Prometheus text
+// format, per-shard series labelled shard="name". Shard-internal metrics
+// (engine stages, store counters) are scraped from the shards directly;
+// the coordinator reports only what it alone can see — routing, scatter
+// outcomes, failovers.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := c.Stats()
+	var buf bytes.Buffer
+	x := metrics.NewExposition(&buf)
+	x.Family("predfilter_cluster_shards", "Shards on the ring.", "gauge")
+	x.Int("predfilter_cluster_shards", "", int64(st.Shards))
+	x.Family("predfilter_cluster_subscriptions", "Live subscriptions across all shards.", "gauge")
+	x.Int("predfilter_cluster_subscriptions", "", int64(st.Subscriptions))
+	x.Family("predfilter_cluster_docs_published_total", "Documents accepted by the scatter/gather publish path.", "counter")
+	x.Int("predfilter_cluster_docs_published_total", "", st.DocsPublished)
+	x.Family("predfilter_cluster_docs_degraded_total", "Published documents answered with a partial match set.", "counter")
+	x.Int("predfilter_cluster_docs_degraded_total", "", st.DocsDegraded)
+	x.Family("predfilter_cluster_docs_failed_total", "Published documents refused outright.", "counter")
+	x.Int("predfilter_cluster_docs_failed_total", "", st.DocsFailed)
+	x.Family("predfilter_cluster_failovers_total", "Standby promotions.", "counter")
+	x.Int("predfilter_cluster_failovers_total", "", st.Failovers)
+	x.Family("predfilter_cluster_shard_subscriptions", "Subscriptions owned per shard.", "gauge")
+	for _, s := range st.PerShard {
+		x.Int("predfilter_cluster_shard_subscriptions", shardLabel(s.Name), int64(s.Subscriptions))
+	}
+	x.Family("predfilter_cluster_shard_healthy", "Last health probe outcome per shard (1 healthy).", "gauge")
+	for _, s := range st.PerShard {
+		v := int64(0)
+		if s.Healthy {
+			v = 1
+		}
+		x.Int("predfilter_cluster_shard_healthy", shardLabel(s.Name), v)
+	}
+	x.Family("predfilter_cluster_shard_published_total", "Successful per-shard publish calls.", "counter")
+	for _, s := range st.PerShard {
+		x.Int("predfilter_cluster_shard_published_total", shardLabel(s.Name), s.Published)
+	}
+	x.Family("predfilter_cluster_shard_errors_total", "Failed per-shard publish calls (after retries).", "counter")
+	for _, s := range st.PerShard {
+		x.Int("predfilter_cluster_shard_errors_total", shardLabel(s.Name), s.Errors)
+	}
+	x.Family("predfilter_cluster_shard_retries_total", "Per-shard publish attempts retried.", "counter")
+	for _, s := range st.PerShard {
+		x.Int("predfilter_cluster_shard_retries_total", shardLabel(s.Name), s.Retries)
+	}
+	x.Family("predfilter_cluster_shard_skipped_total", "Documents that skipped a shard after exhausting retries.", "counter")
+	for _, s := range st.PerShard {
+		x.Int("predfilter_cluster_shard_skipped_total", shardLabel(s.Name), s.Skipped)
+	}
+	x.Family("predfilter_cluster_shard_publish_seconds_total", "Wall time spent in per-shard publish calls.", "counter")
+	for _, s := range st.PerShard {
+		x.Value("predfilter_cluster_shard_publish_seconds_total", shardLabel(s.Name), s.PublishSecs)
+	}
+	if err := x.Err(); err != nil {
+		cwriteError(w, http.StatusInternalServerError, "metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func shardLabel(name string) string { return fmt.Sprintf("shard=%q", name) }

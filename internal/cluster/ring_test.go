@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"predfilter"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := newRing([]string{"s0", "s1", "s2"}, 0)
+	b := newRing([]string{"s2", "s0", "s1"}, 0) // order must not matter
+	for sid := predfilter.SID(0); sid < 1000; sid++ {
+		oa, err := a.ownerSID(sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := b.ownerSID(sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oa != ob {
+			t.Fatalf("sid %d: placement depends on insertion order (%s vs %s)", sid, oa, ob)
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	const shards, keys = 4, 10000
+	names := make([]string, shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	r := newRing(names, 0)
+	counts := map[string]int{}
+	for sid := predfilter.SID(0); sid < keys; sid++ {
+		o, err := r.ownerSID(sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[o]++
+	}
+	if len(counts) != shards {
+		t.Fatalf("only %d of %d shards own keys: %v", len(counts), shards, counts)
+	}
+	// With 128 vnodes per shard the imbalance stays well under 2x.
+	for n, c := range counts {
+		if c < keys/shards/2 || c > keys/shards*2 {
+			t.Fatalf("shard %s owns %d of %d keys (counts %v)", n, c, keys, counts)
+		}
+	}
+}
+
+// TestRingRebalanceFraction is the consistent-hashing contract: growing
+// N shards to N+1 moves close to 1/(N+1) of the keys — not ~all of them,
+// the failure mode of mod-N placement — and every key that does not move
+// to the new shard keeps its owner.
+func TestRingRebalanceFraction(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 4, 8} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("shard-%d", i)
+		}
+		r := newRing(names, 0)
+		before := make([]string, keys)
+		for sid := 0; sid < keys; sid++ {
+			o, err := r.ownerSID(predfilter.SID(sid))
+			if err != nil {
+				t.Fatal(err)
+			}
+			before[sid] = o
+		}
+		added := fmt.Sprintf("shard-%d", n)
+		r.add(added)
+		moved := 0
+		for sid := 0; sid < keys; sid++ {
+			o, err := r.ownerSID(predfilter.SID(sid))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o == before[sid] {
+				continue
+			}
+			if o != added {
+				t.Fatalf("n=%d sid %d moved %s→%s, not to the new shard", n, sid, before[sid], o)
+			}
+			moved++
+		}
+		want := float64(keys) / float64(n+1)
+		if f := float64(moved); f < want*0.5 || f > want*1.5 {
+			t.Fatalf("n=%d→%d shards moved %d keys, want ≈%.0f (±50%%)", n, n+1, moved, want)
+		}
+
+		// Removing the shard restores every prior assignment exactly.
+		r.remove(added)
+		for sid := 0; sid < keys; sid++ {
+			o, err := r.ownerSID(predfilter.SID(sid))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o != before[sid] {
+				t.Fatalf("n=%d sid %d: remove did not restore owner (%s vs %s)", n, sid, o, before[sid])
+			}
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := newRing(nil, 0)
+	if _, err := r.owner(42); err == nil {
+		t.Fatal("empty ring resolved an owner")
+	}
+}

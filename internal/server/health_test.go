@@ -1,0 +1,154 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"predfilter"
+)
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	s := New(Config{})
+	for _, drain := range []bool{false, true} {
+		if drain {
+			s.BeginDrain()
+		}
+		rr := httptest.NewRecorder()
+		s.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("healthz (draining=%v) = %d, want 200", drain, rr.Code)
+		}
+	}
+}
+
+func TestReadyzDrainAware(t *testing.T) {
+	s := New(Config{})
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", rr.Code)
+	}
+	s.BeginDrain()
+	rr = httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("draining readyz misses Retry-After")
+	}
+}
+
+func TestSubscribeWithExplicitID(t *testing.T) {
+	s := New(Config{})
+	post := func(body string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		s.ServeHTTP(rr, httptest.NewRequest("POST", "/subscriptions", strings.NewReader(body)))
+		return rr
+	}
+	if rr := post(`{"expression":"/a/b","id":7}`); rr.Code != http.StatusCreated {
+		t.Fatalf("subscribe id=7: %d %s", rr.Code, rr.Body)
+	}
+	// Idempotent retry: same id, same expression.
+	if rr := post(`{"expression":"/a/b","id":7}`); rr.Code != http.StatusCreated {
+		t.Fatalf("idempotent re-subscribe id=7: %d %s", rr.Code, rr.Body)
+	}
+	// Conflicting re-registration is refused.
+	if rr := post(`{"expression":"/x/y","id":7}`); rr.Code != http.StatusConflict {
+		t.Fatalf("conflicting re-subscribe id=7: %d, want 409", rr.Code)
+	}
+	// Auto-assignment continues past the pinned id.
+	rr := post(`{"expression":"/c/d"}`)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("auto subscribe: %d %s", rr.Code, rr.Body)
+	}
+	var resp struct {
+		ID predfilter.SID `json:"id"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID <= 7 {
+		t.Fatalf("auto-assigned id %d did not advance past pinned id 7", resp.ID)
+	}
+	// The pinned subscription matches like any other.
+	rr = httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest("POST", "/publish", strings.NewReader("<a><b/></a>")))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), `"ids":[7]`) {
+		t.Fatalf("publish = %d %s, want ids [7]", rr.Code, rr.Body)
+	}
+}
+
+func TestWALShipEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{StateDir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(url string) WALShipResponse {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		s.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d %s", url, rr.Code, rr.Body)
+		}
+		var resp WALShipResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Bootstrap (no cursor) gets a snapshot.
+	boot := get("/admin/wal")
+	if !boot.Snapshot || len(boot.Entries) != 0 {
+		t.Fatalf("bootstrap = %+v, want empty snapshot", boot)
+	}
+
+	if err := s.ApplyAdd(0, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyAdd(5, "/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	cursor := fmt.Sprintf("/admin/wal?run=%s&epoch=%d&from=%d", boot.Run, boot.Epoch, boot.Next)
+	tail := get(cursor)
+	if tail.Snapshot || len(tail.Ops) != 2 {
+		t.Fatalf("tail = %+v, want 2 ops", tail)
+	}
+	if tail.Ops[0].Op != "add" || tail.Ops[0].ID != 0 || tail.Ops[1].ID != 5 {
+		t.Fatalf("tail ops = %+v", tail.Ops)
+	}
+
+	// A compaction invalidates the cursor: the next poll resyncs via
+	// snapshot instead of silently missing operations.
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest("POST", "/admin/snapshot", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("admin snapshot: %d %s", rr.Code, rr.Body)
+	}
+	resync := get(fmt.Sprintf("/admin/wal?run=%s&epoch=%d&from=%d", tail.Run, tail.Epoch, tail.Next))
+	if !resync.Snapshot || len(resync.Entries) != 2 {
+		t.Fatalf("post-compaction poll = %+v, want 2-entry snapshot", resync)
+	}
+	// A cursor from another server run likewise resyncs.
+	foreign := get(fmt.Sprintf("/admin/wal?run=%016x&epoch=0&from=0", uint64(1)))
+	if !foreign.Snapshot {
+		t.Fatalf("foreign-run poll = %+v, want snapshot", foreign)
+	}
+}
+
+func TestWALShipRequiresPersistence(t *testing.T) {
+	s := New(Config{})
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest("GET", "/admin/wal", nil))
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("in-memory /admin/wal = %d, want 409", rr.Code)
+	}
+}

@@ -16,7 +16,14 @@
 //	GET    /stats                                            → engine (and store) statistics
 //	GET    /metrics                                          → Prometheus text exposition of the pipeline metrics
 //	GET    /debug/vars           (always on)                 → JSON snapshot of the publish-path counters
+//	GET    /healthz                                          → liveness probe (always 200 while the process serves)
+//	GET    /readyz                                           → readiness probe (503 once draining began)
 //	POST   /admin/snapshot                                   → compact the durable store now
+//	GET    /admin/wal?run=&epoch=&from=                      → WAL-shipping poll for hot standbys (persistence only)
+//
+// POST /subscriptions also accepts an explicit {"id": n} to register under
+// an externally assigned identifier — cluster coordinators own a global id
+// space and place each id on its owning shard (internal/cluster).
 //
 // With Config.StateDir set (server.Open), the subscription set is durable:
 // adds and removes are written to a checksummed write-ahead log before
@@ -48,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -59,6 +67,7 @@ import (
 
 	"predfilter"
 	"predfilter/internal/metrics"
+	"predfilter/internal/xpath"
 )
 
 // Config configures a Server.
@@ -141,6 +150,12 @@ type Server struct {
 
 	mu   sync.Mutex
 	subs map[predfilter.SID]*subscription
+
+	// runID identifies this server instance to WAL-shipping followers: a
+	// follower whose cursor carries a different runID resyncs from a full
+	// snapshot, so a primary restart (which resets the store's in-memory
+	// epoch counter) can never be mistaken for cursor continuity.
+	runID string
 }
 
 // subscription holds one registered expression and its delivery queue.
@@ -181,9 +196,10 @@ func Open(cfg Config) (*Server, error) {
 		cfg.MaxQueued = 4 * cfg.MaxInflight
 	}
 	s := &Server{
-		mux:  http.NewServeMux(),
-		cfg:  cfg,
-		subs: make(map[predfilter.SID]*subscription),
+		mux:   http.NewServeMux(),
+		cfg:   cfg,
+		subs:  make(map[predfilter.SID]*subscription),
+		runID: fmt.Sprintf("%016x", rand.Uint64()),
 	}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
@@ -216,6 +232,9 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /admin/wal", s.handleWALShip)
 	if cfg.Debug {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -349,6 +368,18 @@ func (s *Server) publishError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusUnprocessableEntity, "invalid document: %v", err)
 }
 
+// canonExpr is the canonical form of an expression — the identity the
+// WAL persists and recovery and WAL shipping reproduce. The live
+// subscription table stores it so the set a client observes keeps its
+// shape across a restart or a failover to a shipped standby.
+func canonExpr(xpe string) (string, error) {
+	p, err := xpath.Parse(xpe)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
 // addExpr registers an expression through the persistent engine when
 // persistence is on (logging it durably before acknowledging), or the
 // plain engine otherwise. Callers hold s.mu.
@@ -367,6 +398,67 @@ func (s *Server) removeExpr(sid predfilter.SID) error {
 	return s.eng.Remove(sid)
 }
 
+// addExprWithSID registers an expression under a caller-assigned id
+// (cluster coordinators assign ids globally; WAL-shipping followers
+// replay their primary's ids). Callers hold s.mu.
+func (s *Server) addExprWithSID(xpe string, sid predfilter.SID) error {
+	if s.pe != nil {
+		return s.pe.AddWithSID(xpe, sid)
+	}
+	return s.eng.AddWithSID(xpe, sid)
+}
+
+// ApplyAdd registers expr under a fixed, externally assigned id. It is
+// idempotent when the id is already live with the same expression (a
+// WAL-shipping follower may re-apply an operation after a partial sync)
+// and fails when the id is live with a different one.
+func (s *Server) ApplyAdd(sid predfilter.SID, expr string) error {
+	canon, err := canonExpr(expr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub := s.subs[sid]; sub != nil {
+		if sub.Expression == canon {
+			return nil
+		}
+		return fmt.Errorf("server: sid %d is live with a different expression", sid)
+	}
+	if err := s.addExprWithSID(expr, sid); err != nil {
+		return err
+	}
+	s.subs[sid] = &subscription{Expression: canon}
+	return nil
+}
+
+// ApplyRemove unregisters an externally assigned id. Removing an id that
+// is not live is a no-op, for the same replay-idempotency reason.
+func (s *Server) ApplyRemove(sid predfilter.SID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subs[sid] == nil {
+		return nil
+	}
+	if err := s.removeExpr(sid); err != nil {
+		return err
+	}
+	delete(s.subs, sid)
+	return nil
+}
+
+// SubscriptionIDs returns a snapshot of the live id→expression set (the
+// reconciliation input of a follower's snapshot catch-up).
+func (s *Server) SubscriptionIDs() map[predfilter.SID]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[predfilter.SID]string, len(s.subs))
+	for sid, sub := range s.subs {
+		out[sid] = sub.Expression
+	}
+	return out
+}
+
 // Preload registers a batch of subscriptions before serving (for example
 // from a saved subscription file); it returns the assigned ids in order.
 func (s *Server) Preload(xpes []string) ([]predfilter.SID, error) {
@@ -374,11 +466,15 @@ func (s *Server) Preload(xpes []string) ([]predfilter.SID, error) {
 	defer s.mu.Unlock()
 	ids := make([]predfilter.SID, 0, len(xpes))
 	for _, x := range xpes {
+		canon, err := canonExpr(x)
+		if err != nil {
+			return ids, fmt.Errorf("server: preload %q: %w", x, err)
+		}
 		sid, err := s.addExpr(x)
 		if err != nil {
 			return ids, fmt.Errorf("server: preload %q: %w", x, err)
 		}
-		s.subs[sid] = &subscription{Expression: x}
+		s.subs[sid] = &subscription{Expression: canon}
 		ids = append(ids, sid)
 	}
 	return ids, nil
@@ -397,6 +493,12 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Expression string `json:"expression"`
+		// ID, when present, pins the subscription to an externally
+		// assigned identifier (cluster coordinators own a global id space
+		// and place each id on its owning shard). Re-registering a live id
+		// with the same expression is a no-op — the coordinator may retry
+		// after losing a response.
+		ID *int `json:"id"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)).Decode(&req); err != nil {
 		var mbe *http.MaxBytesError
@@ -411,6 +513,28 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "expression is required")
 		return
 	}
+	if req.ID != nil {
+		if *req.ID < 0 {
+			writeError(w, http.StatusBadRequest, "negative subscription id %d", *req.ID)
+			return
+		}
+		sid := predfilter.SID(*req.ID)
+		if err := s.ApplyAdd(sid, req.Expression); err != nil {
+			code := http.StatusUnprocessableEntity
+			if strings.Contains(err.Error(), "different expression") {
+				code = http.StatusConflict
+			}
+			writeError(w, code, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"id": sid})
+		return
+	}
+	canon, err := canonExpr(req.Expression)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sid, err := s.addExpr(req.Expression)
@@ -418,7 +542,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	s.subs[sid] = &subscription{Expression: req.Expression}
+	s.subs[sid] = &subscription{Expression: canon}
 	writeJSON(w, http.StatusCreated, map[string]any{"id": sid})
 }
 
@@ -809,6 +933,102 @@ func (s *Server) handleDeliveries(w http.ResponseWriter, r *http.Request) {
 		out[i] = string(d)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"documents": out, "remaining": len(sub.queue)})
+}
+
+// handleHealthz is the liveness probe: the process is up and the handler
+// chain works. It deliberately says nothing about readiness — a draining
+// server is still alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is the drain-aware readiness probe: 200 while the server
+// accepts publishes, 503 once draining began (Close/BeginDrain), so load
+// balancers and cluster coordinators stop routing before shutdown
+// completes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// WALShipOp is one shipped subscription operation on the /admin/wal wire.
+type WALShipOp struct {
+	Op         string         `json:"op"` // "add" or "remove"
+	ID         predfilter.SID `json:"id"`
+	Expression string         `json:"expression,omitempty"`
+}
+
+// WALShipEntry is one live subscription in a /admin/wal snapshot response.
+type WALShipEntry struct {
+	ID         predfilter.SID `json:"id"`
+	Expression string         `json:"expression"`
+}
+
+// WALShipResponse is the /admin/wal response body. In tail mode Ops holds
+// the operations since the follower's cursor; in snapshot mode (Snapshot
+// set) Entries holds the full live set the follower must reconcile to
+// before tailing again. Run/Epoch/Next form the next cursor either way.
+type WALShipResponse struct {
+	Run      string         `json:"run"`
+	Epoch    int64          `json:"epoch"`
+	Next     int64          `json:"next"`
+	Snapshot bool           `json:"snapshot,omitempty"`
+	NextSID  uint32         `json:"next_sid,omitempty"`
+	Entries  []WALShipEntry `json:"entries,omitempty"`
+	Ops      []WALShipOp    `json:"ops,omitempty"`
+}
+
+// handleWALShip serves the WAL-shipping protocol behind hot standbys: a
+// follower polls with its cursor (?run=&epoch=&from=) and receives the
+// operations logged since, reading only the log tail. A cursor from
+// another server run, an epoch compacted away, or an offset off a record
+// boundary gets a full snapshot plus a fresh cursor instead — the
+// catch-up path, which is also how a brand-new follower (no cursor)
+// bootstraps.
+func (s *Server) handleWALShip(w http.ResponseWriter, r *http.Request) {
+	if s.pe == nil {
+		writeError(w, http.StatusConflict, "persistence is not enabled (no -state directory); nothing to ship")
+		return
+	}
+	q := r.URL.Query()
+	run := q.Get("run")
+	epoch, err1 := strconv.ParseInt(q.Get("epoch"), 10, 64)
+	from, err2 := strconv.ParseInt(q.Get("from"), 10, 64)
+	if run == s.runID && err1 == nil && err2 == nil {
+		ops, next, err := s.pe.ShipRead(epoch, from)
+		switch {
+		case err == nil:
+			resp := WALShipResponse{Run: s.runID, Epoch: epoch, Next: next, Ops: make([]WALShipOp, len(ops))}
+			for i, op := range ops {
+				if op.Remove {
+					resp.Ops[i] = WALShipOp{Op: "remove", ID: op.ID}
+				} else {
+					resp.Ops[i] = WALShipOp{Op: "add", ID: op.ID, Expression: op.Expression}
+				}
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		case errors.Is(err, predfilter.ErrStaleCursor):
+			// Fall through to the snapshot path.
+		default:
+			writeError(w, http.StatusInternalServerError, "wal read: %v", err)
+			return
+		}
+	}
+	subs, nextSID, ep, off := s.pe.ShipSnapshot()
+	resp := WALShipResponse{
+		Run: s.runID, Epoch: ep, Next: off,
+		Snapshot: true, NextSID: nextSID,
+		Entries: make([]WALShipEntry, len(subs)),
+	}
+	for i, sub := range subs {
+		resp.Entries[i] = WALShipEntry{ID: sub.ID, Expression: sub.Expression}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // stageVars flattens one stage-latency summary for /stats.

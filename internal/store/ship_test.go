@@ -1,0 +1,136 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// readAll is the follower's tailing step: read everything past the
+// cursor, failing the test on any error.
+func readAll(t *testing.T, s *Store, epoch, off int64) ([]Rec, int64) {
+	t.Helper()
+	recs, next, err := s.ReadFrom(epoch, off)
+	if err != nil {
+		t.Fatalf("ReadFrom(%d, %d): %v", epoch, off, err)
+	}
+	return recs, next
+}
+
+func TestReadFromTailsIncrementally(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+
+	epoch := s.WALEpoch()
+	recs, next := readAll(t, s, epoch, 0)
+	if len(recs) != 0 || next != 0 {
+		t.Fatalf("empty log: got %d recs, next %d", len(recs), next)
+	}
+
+	a := mustAdd(t, s, "/a/b")
+	b := mustAdd(t, s, "/a/c")
+	recs, next = readAll(t, s, epoch, 0)
+	want := []Rec{{SID: a, Expr: "/a/b"}, {SID: b, Expr: "/a/c"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("ReadFrom = %+v, want %+v", recs, want)
+	}
+
+	// The cursor only sees what changed since the last poll.
+	if err := s.AppendRemove(a); err != nil {
+		t.Fatal(err)
+	}
+	recs, next2 := readAll(t, s, epoch, next)
+	if !reflect.DeepEqual(recs, []Rec{{Remove: true, SID: a}}) {
+		t.Fatalf("tail ReadFrom = %+v, want the single remove", recs)
+	}
+	// An idle poll returns an empty tail and the same cursor.
+	recs, next3 := readAll(t, s, epoch, next2)
+	if len(recs) != 0 || next3 != next2 {
+		t.Fatalf("idle poll: got %d recs, cursor %d -> %d", len(recs), next2, next3)
+	}
+}
+
+func TestReadFromStaleCursor(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	mustAdd(t, s, "/a/b")
+	epoch := s.WALEpoch()
+	_, next := readAll(t, s, epoch, 0)
+
+	// Mid-record offsets are rejected, not misdecoded.
+	if _, _, err := s.ReadFrom(epoch, next-1); !errors.Is(err, ErrStaleCursor) {
+		t.Fatalf("mid-record offset: err = %v, want ErrStaleCursor", err)
+	}
+	// Offsets past the tail are rejected.
+	if _, _, err := s.ReadFrom(epoch, next+1); !errors.Is(err, ErrStaleCursor) {
+		t.Fatalf("past-tail offset: err = %v, want ErrStaleCursor", err)
+	}
+
+	// A snapshot compacts the log and invalidates every cursor of the old
+	// epoch, even offset 0.
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadFrom(epoch, 0); !errors.Is(err, ErrStaleCursor) {
+		t.Fatalf("old-epoch cursor after snapshot: err = %v, want ErrStaleCursor", err)
+	}
+	if got := s.WALEpoch(); got != epoch+1 {
+		t.Fatalf("WALEpoch after snapshot = %d, want %d", got, epoch+1)
+	}
+}
+
+func TestShipSnapshotHandsOffToTail(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	a := mustAdd(t, s, "/a")
+	mustAdd(t, s, "/b")
+
+	entries, nextSID, epoch, off := s.ShipSnapshot()
+	if len(entries) != 2 || nextSID != 2 {
+		t.Fatalf("ShipSnapshot = %v entries, nextSID %d", entries, nextSID)
+	}
+	// Operations after the snapshot appear exactly once, via the cursor.
+	if err := s.AppendRemove(a); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := readAll(t, s, epoch, off)
+	if !reflect.DeepEqual(recs, []Rec{{Remove: true, SID: a}}) {
+		t.Fatalf("post-snapshot tail = %+v, want the single remove", recs)
+	}
+}
+
+func TestAppendAddAtSparseSIDs(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	// A shard in a cluster holds a sparse subset of globally assigned sids.
+	if err := s.AppendAddAt(3, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendAddAt(7, "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendAddAt(7, "/c"); err == nil {
+		t.Fatal("AppendAddAt of a live sid succeeded")
+	}
+	// NextSID advanced past the sparse ids, so local assignment cannot
+	// collide with shipped ones.
+	if got := s.NextSID(); got != 8 {
+		t.Fatalf("NextSID = %d, want 8", got)
+	}
+	local := mustAdd(t, s, "/d")
+	if local != 8 {
+		t.Fatalf("local sid = %d, want 8", local)
+	}
+	want := []Entry{{3, "/a"}, {7, "/b"}, {8, "/d"}}
+	wantEntries(t, s, want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sparse sids recover like any other: replay is sid-faithful.
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	wantEntries(t, s2, want)
+	if got := s2.NextSID(); got != 9 {
+		t.Fatalf("recovered NextSID = %d, want 9", got)
+	}
+}

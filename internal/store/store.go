@@ -28,6 +28,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -37,6 +38,13 @@ import (
 
 	"predfilter/internal/metrics"
 )
+
+// ErrStaleCursor reports a WAL-shipping cursor that no longer identifies
+// a position in the live log: the epoch moved on (a snapshot compacted
+// the log), the offset is past the tail, or the offset does not fall on a
+// record boundary. The reader must resync from a full snapshot
+// (ShipSnapshot) instead of tailing.
+var ErrStaleCursor = errors.New("store: wal cursor is stale; resync from snapshot")
 
 // Default file names inside a state directory.
 const (
@@ -94,6 +102,11 @@ type Store struct {
 	live    map[uint32]string
 	nextSID uint32
 	closed  bool
+
+	// epoch counts WAL resets (snapshot compactions) since Open. Within
+	// one epoch the WAL body is append-only, so (epoch, byte offset) is a
+	// stable shipping cursor; a reset invalidates every outstanding cursor.
+	epoch int64
 
 	walRecords int64
 	stats      Stats
@@ -213,6 +226,109 @@ func (s *Store) AppendRemove(sid uint32) error {
 	return nil
 }
 
+// AppendAddAt durably records the addition of a subscription under a
+// caller-assigned sid. It exists for cluster deployments, where sids are
+// assigned globally by a coordinator and each shard's store holds a
+// sparse subset of them (and for WAL-shipped standbys replaying a
+// primary's log). The sid must not be live; NextSID advances past it, so
+// locally assigned ids (AppendAdd) never collide with shipped ones.
+func (s *Store) AppendAddAt(sid uint32, expr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.live[sid]; ok {
+		return fmt.Errorf("store: add of already-live sid %d", sid)
+	}
+	if len(expr) > maxRecord-5 {
+		return fmt.Errorf("store: expression of %d bytes exceeds record limit", len(expr))
+	}
+	payload := appendAddPayload(make([]byte, 0, 5+len(expr)), sid, expr)
+	t0 := time.Now()
+	if err := s.w.append(payload); err != nil {
+		return err
+	}
+	s.opts.Metrics.ObserveWALAppend(time.Since(t0))
+	s.live[sid] = expr
+	if sid >= s.nextSID {
+		s.nextSID = sid + 1
+	}
+	s.walRecords++
+	s.stats.Appends++
+	return nil
+}
+
+// Rec is one decoded WAL operation, as surfaced to WAL-shipping readers:
+// either the addition of SID under Expr, or (Remove set) the removal of
+// SID.
+type Rec struct {
+	Remove bool
+	SID    uint32
+	Expr   string
+}
+
+// WALEpoch returns the current shipping epoch. The epoch increments on
+// every snapshot compaction; a (epoch, offset) cursor from ReadFrom is
+// valid exactly as long as the epoch stands.
+func (s *Store) WALEpoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// ReadFrom reads the WAL records at body offset off of the given epoch
+// and returns them with the cursor for the next call. It reads only the
+// tail [off, size) — not the whole log — so a shipping poll is
+// proportional to what changed since the last one. An empty tail returns
+// (nil, off, nil).
+//
+// ErrStaleCursor means the cursor no longer identifies a position in the
+// live log (the epoch moved on, or off is past the tail or inside a
+// record); the reader must resync from ShipSnapshot. Torn-tail handling
+// is unaffected: recovery truncated any tear at Open, appends under the
+// store lock are atomic with respect to readers, and every record
+// returned here passed the same length/CRC/payload checks replay uses.
+func (s *Store) ReadFrom(epoch, off int64) ([]Rec, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, fmt.Errorf("store: closed")
+	}
+	if epoch != s.epoch || off < 0 || off > s.w.bodySize() {
+		return nil, 0, ErrStaleCursor
+	}
+	if off == s.w.bodySize() {
+		return nil, off, nil
+	}
+	data, err := s.w.readBody(off, s.w.bodySize()-off)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, valid := scanRecords(data)
+	if int64(valid) != int64(len(data)) {
+		// The acknowledged body is intact by construction, so a scan that
+		// stops early can only mean off was not a record boundary.
+		return nil, 0, ErrStaleCursor
+	}
+	out := make([]Rec, len(recs))
+	for i, r := range recs {
+		out[i] = Rec{Remove: r.remove, SID: r.sid, Expr: r.expr}
+	}
+	return out, off + int64(valid), nil
+}
+
+// ShipSnapshot returns the full live set plus the WAL cursor that
+// immediately follows it, atomically: applying the entries and then
+// tailing ReadFrom from (epoch, offset) reproduces every subsequent
+// operation exactly once. This is the catch-up half of the WAL-shipping
+// protocol.
+func (s *Store) ShipSnapshot() (entries []Entry, nextSID uint32, epoch, offset int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entriesLocked(), s.nextSID, s.epoch, s.w.bodySize()
+}
+
 // Entries returns the live subscriptions, ascending by sid. Ascending sid
 // order is chronological registration order, so replaying Entries into a
 // fresh engine reproduces the surviving registration sequence.
@@ -260,6 +376,7 @@ func (s *Store) Snapshot() error {
 	if err := s.w.reset(); err != nil {
 		return err
 	}
+	s.epoch++
 	s.walRecords = 0
 	s.stats.Snapshots++
 	s.stats.LastSnapshot = time.Now()

@@ -206,6 +206,18 @@ func (w *wal) append(payload []byte) error {
 // bodySize returns the record-body size in bytes (header excluded).
 func (w *wal) bodySize() int64 { return w.size - int64(len(walMagic)) }
 
+// readBody reads the record-body range [off, off+n) into a fresh buffer.
+// The range must lie within the current body; appends only extend the
+// file, so a range captured under the store lock stays valid until the
+// next reset.
+func (w *wal) readBody(off, n int64) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := w.f.ReadAt(buf, int64(len(walMagic))+off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 func (w *wal) fsync() error {
 	if !w.sync {
 		return nil

@@ -119,6 +119,35 @@ func (pe *PersistentEngine) Add(xpe string) (SID, error) {
 	return sid, nil
 }
 
+// AddWithSID registers an expression under a caller-assigned SID and
+// durably logs it. It exists for cluster deployments: a shard's store
+// holds a sparse subset of coordinator-assigned global identifiers, and a
+// WAL-shipped standby replays its primary's identifiers verbatim. The SID
+// must not be live; locally assigned identifiers (Add) never collide with
+// it afterwards.
+func (pe *PersistentEngine) AddWithSID(xpe string, sid SID) error {
+	p, err := xpath.Parse(xpe)
+	if err != nil {
+		return err
+	}
+	canon := p.String()
+
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.closed {
+		return fmt.Errorf("predfilter: engine is closed")
+	}
+	if err := pe.Engine.m.AddPathWithSID(p, sid); err != nil {
+		return err
+	}
+	if err := pe.st.AppendAddAt(uint32(sid), canon); err != nil {
+		_ = pe.Engine.m.Remove(sid)
+		return err
+	}
+	pe.maybeSnapshotLocked()
+	return nil
+}
+
 // AddAll registers a batch of expressions, returning their identifiers in
 // order. On error, the expressions before the failing one remain
 // registered (and logged).
@@ -181,6 +210,53 @@ func (pe *PersistentEngine) Snapshot() error {
 // StoreStats returns the persistence counters (log size, snapshot and
 // recovery activity).
 func (pe *PersistentEngine) StoreStats() StoreStats { return pe.st.Stats() }
+
+// ErrStaleCursor reports a WAL-shipping cursor invalidated by a snapshot
+// compaction (or otherwise off a record boundary); the reader must resync
+// from ShipSnapshot.
+var ErrStaleCursor = store.ErrStaleCursor
+
+// WALOp is one shipped write-ahead-log operation: the addition of ID
+// under Expression, or (Remove set) the removal of ID.
+type WALOp struct {
+	Remove     bool
+	ID         SID
+	Expression string
+}
+
+// ShipSnapshot returns the full live subscription set plus the WAL cursor
+// (epoch, offset) that immediately follows it, atomically: a follower
+// that applies the entries and then tails ShipRead from the cursor sees
+// every subsequent operation exactly once. This is the catch-up half of
+// the WAL-shipping protocol behind hot standbys.
+func (pe *PersistentEngine) ShipSnapshot() (subs []Subscription, nextSID uint32, epoch, offset int64) {
+	entries, next, ep, off := pe.st.ShipSnapshot()
+	subs = make([]Subscription, len(entries))
+	for i, e := range entries {
+		subs[i] = Subscription{ID: SID(e.SID), Expression: e.Expr}
+	}
+	return subs, next, ep, off
+}
+
+// ShipRead returns the WAL operations at (epoch, offset) and the cursor
+// for the next poll — only the tail since the last poll is read, not the
+// whole log. ErrStaleCursor means the log was compacted under the cursor;
+// resync from ShipSnapshot.
+func (pe *PersistentEngine) ShipRead(epoch, offset int64) ([]WALOp, int64, error) {
+	recs, next, err := pe.st.ReadFrom(epoch, offset)
+	if err != nil {
+		return nil, 0, err
+	}
+	ops := make([]WALOp, len(recs))
+	for i, r := range recs {
+		ops[i] = WALOp{Remove: r.Remove, ID: SID(r.SID), Expression: r.Expr}
+	}
+	return ops, next, nil
+}
+
+// WALEpoch returns the current WAL-shipping epoch (increments on every
+// snapshot compaction).
+func (pe *PersistentEngine) WALEpoch() int64 { return pe.st.WALEpoch() }
 
 // maybeSnapshotLocked applies the size-triggered snapshot policy. Failure
 // is deliberately swallowed: the operation that triggered it is already

@@ -259,6 +259,14 @@ func Explain(xpe string) (string, error) {
 // expressions get distinct identifiers but share storage and evaluation.
 func (e *Engine) Add(xpe string) (SID, error) { return e.m.Add(xpe) }
 
+// AddWithSID registers an expression under a caller-chosen identifier.
+// It exists for callers that assign identifiers externally — durable
+// stores replaying persisted subscriptions, and cluster shards holding a
+// coordinator-assigned (sparse) subset of a global identifier space. The
+// SID must not be live; plain Add continues past the highest SID ever
+// bound, so external and locally assigned identifiers never collide.
+func (e *Engine) AddWithSID(xpe string, sid SID) error { return e.m.AddWithSID(xpe, sid) }
+
 // AddAll registers a batch of expressions, returning their identifiers in
 // order. On error, the expressions before the failing one remain
 // registered.

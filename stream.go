@@ -216,6 +216,46 @@ func (e *Engine) MatchBatchContext(ctx context.Context, docs [][]byte, workers i
 	return out
 }
 
+// MergeSIDSets merges ascending-ordered SID sets into one ascending,
+// duplicate-free result — the gather half of a scatter/gather publish,
+// where each cluster shard reports the matches of its subscription
+// partition and the union must come out in one canonical delivery order.
+// It is the cross-shard generalization of the ordered-merge machinery
+// MatchStream uses within one process: a k-way merge that, like the
+// stream's reorderer, imposes a deterministic order on concurrently
+// produced partial results. Sets must each be sorted ascending; they may
+// overlap (duplicates collapse).
+func MergeSIDSets(sets [][]SID) []SID {
+	heads := make([]int, len(sets))
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]SID, 0, total)
+	for {
+		best := -1
+		for i, s := range sets {
+			if heads[i] >= len(s) {
+				continue
+			}
+			if best < 0 || s[heads[i]] < sets[best][heads[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		v := sets[best][heads[best]]
+		heads[best]++
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+}
+
 // MatchParallel parses the document and matches it with its root-to-leaf
 // paths sharded across worker goroutines (workers ≤ 0 selects
 // GOMAXPROCS). Results are identical to Match; use it for single large

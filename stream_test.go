@@ -3,6 +3,7 @@ package predfilter_test
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -162,6 +163,30 @@ func TestMatchParallelMatchesMatch(t *testing.T) {
 		}
 		if sidSet(got) != sidSet(want) {
 			t.Fatalf("workers=%d: %v != %v", workers, got, want)
+		}
+	}
+}
+
+func TestMergeSIDSets(t *testing.T) {
+	cases := []struct {
+		name string
+		in   [][]predfilter.SID
+		want []predfilter.SID
+	}{
+		{"empty", nil, nil},
+		{"all empty", [][]predfilter.SID{nil, {}}, nil},
+		{"single", [][]predfilter.SID{{1, 3, 5}}, []predfilter.SID{1, 3, 5}},
+		{"disjoint interleave", [][]predfilter.SID{{0, 3, 7}, {1, 4}, {2, 5, 6}}, []predfilter.SID{0, 1, 2, 3, 4, 5, 6, 7}},
+		{"overlap dedups", [][]predfilter.SID{{1, 2, 9}, {2, 9, 10}}, []predfilter.SID{1, 2, 9, 10}},
+		{"one shard empty", [][]predfilter.SID{{4, 8}, nil}, []predfilter.SID{4, 8}},
+	}
+	for _, c := range cases {
+		got := predfilter.MergeSIDSets(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: predfilter.MergeSIDSets(%v) = %v, want %v", c.name, c.in, got, c.want)
 		}
 	}
 }
