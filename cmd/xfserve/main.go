@@ -91,8 +91,9 @@ func main() {
 		clusterShards  = flag.String("cluster", "", "run as cluster coordinator over this comma-separated shard URL list (instead of serving an engine)")
 		standbys       = flag.String("standbys", "", "comma-separated standby URLs parallel to -cluster (empty entries for shards without one)")
 		publishTimeout = flag.Duration("publish-timeout", 5*time.Second, "cluster: per-shard deadline for each publish attempt")
-		retries        = flag.Int("retries", 2, "cluster: transient per-shard failure retries before skipping the shard")
+		retries        = flag.Int("retries", 2, "cluster: transient per-shard failure retries before skipping the shard (-1 disables retries for at-most-once delivery)")
 		healthInterval = flag.Duration("health-interval", 2*time.Second, "cluster: shard health-check period for automatic standby promotion (0 = disabled)")
+		clusterRecover = flag.Bool("cluster-recover", false, "cluster: rebuild coordinator state from the shards' live subscriptions at startup (all shards must be reachable)")
 		follow         = flag.String("follow", "", "run as a hot standby shipping this primary's WAL into the local subscription set")
 		followEvery    = flag.Duration("follow-interval", 250*time.Millisecond, "WAL-shipping poll period for -follow")
 	)
@@ -106,6 +107,7 @@ func main() {
 			publishTimeout: *publishTimeout,
 			retries:        *retries,
 			healthInterval: *healthInterval,
+			recover:        *clusterRecover,
 			maxDoc:         *maxDoc,
 			drain:          *drain,
 			readHeader:     *readHeaderTimeout,
@@ -230,6 +232,7 @@ type coordinatorOptions struct {
 	publishTimeout time.Duration
 	retries        int
 	healthInterval time.Duration
+	recover        bool
 	maxDoc         int64
 	drain          time.Duration
 	readHeader     time.Duration
@@ -256,6 +259,7 @@ func runCoordinator(o coordinatorOptions) {
 		PublishTimeout:   o.publishTimeout,
 		Retries:          o.retries,
 		HealthInterval:   o.healthInterval,
+		Recover:          o.recover,
 		MaxDocumentBytes: o.maxDoc,
 	})
 	if err != nil {

@@ -127,6 +127,18 @@ func (a *shardAPI) unsubscribe(ctx context.Context, addr string, sid predfilter.
 	return err
 }
 
+// listSubscriptions fetches the shard's live (id, expression) set — the
+// coordinator's recovery input (Config.Recover).
+func (a *shardAPI) listSubscriptions(ctx context.Context, addr string) ([]server.SubscriptionEntry, error) {
+	var resp struct {
+		Subscriptions []server.SubscriptionEntry `json:"subscriptions"`
+	}
+	if err := a.getJSON(ctx, addr+"/subscriptions", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Subscriptions, nil
+}
+
 // publish posts one document to the shard at addr and returns the
 // matching sids of that shard's subscription partition.
 func (a *shardAPI) publish(ctx context.Context, addr string, doc []byte) ([]predfilter.SID, error) {

@@ -43,7 +43,12 @@ type Config struct {
 	// (default 10s).
 	AdminTimeout time.Duration
 	// Retries is how many times a transient shard failure is retried
-	// before the shard is skipped for this document (default 2).
+	// before the call is given up. Zero means the default of 2; -1 (any
+	// negative value) disables retries entirely. Note that shard publish
+	// is not idempotent: a retry after a lost response re-enqueues the
+	// document in that shard's delivery queues, so retried publishes are
+	// at-least-once per shard. Operators who need at-most-once delivery
+	// must set Retries to -1 and accept more degraded results instead.
 	Retries int
 	// RetryBackoff is the base backoff between retries; attempt k waits
 	// k×RetryBackoff (default 25ms).
@@ -58,6 +63,15 @@ type Config struct {
 	// MaxDocumentBytes bounds documents accepted by the coordinator's own
 	// /publish endpoint (default 1 MiB).
 	MaxDocumentBytes int64
+	// Recover rebuilds the coordinator's subscription records at startup
+	// by listing every shard's live set (GET /subscriptions): ownership
+	// is recorded from where each id actually lives, and the global SID
+	// sequence resumes past the highest live id. Every shard must be
+	// reachable — recovering around an unreachable shard would re-issue
+	// its live ids. Without this, a restarted coordinator starts empty in
+	// front of populated shards: new subscribes collide with live ids and
+	// existing ones cannot be resolved.
+	Recover bool
 	// Client is the HTTP client for shard calls (default: a dedicated
 	// client with sensible pooling).
 	Client *http.Client
@@ -102,16 +116,27 @@ type subRecord struct {
 // implements http.Handler with the same API surface as one shard (plus
 // per-shard stats), so clients talk to a cluster exactly as they would to
 // a single server.
+//
+// Locking: adminMu serializes the admin operations — subscribe,
+// unsubscribe, shard add/remove migration, orphan reaping — and is the
+// only lock held across shard HTTP calls; the ring is touched exclusively
+// by adminMu holders. mu guards the routing state (shards, order, subs,
+// orphans, nextSID) and is never held across network I/O, so the publish
+// path (shardList, Stats, proxyToOwner) cannot be stalled by a slow
+// subscribe or a migration in progress.
 type Coordinator struct {
 	cfg Config
 	api *shardAPI
 	mux *http.ServeMux
 
+	adminMu sync.Mutex
+	ring    *ring // adminMu holders only
+
 	mu      sync.Mutex
-	ring    *ring
 	shards  map[string]*shard
 	order   []string // shard names in Config order (stable scatter/stats order)
 	subs    map[predfilter.SID]*subRecord
+	orphans map[predfilter.SID]string // burned sid → shard possibly still holding it
 	nextSID predfilter.SID
 
 	docsPublished atomic.Int64
@@ -120,14 +145,15 @@ type Coordinator struct {
 	failovers     atomic.Int64
 	draining      atomic.Bool
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
 }
 
-// New returns a ready Coordinator over the configured shards. It does not
-// probe them: a shard that is down simply degrades publishes (and fails
-// subscribes that route to it) until it returns or its standby is
-// promoted.
+// New returns a ready Coordinator over the configured shards. Without
+// Config.Recover it does not probe them: a shard that is down simply
+// degrades publishes (and fails subscribes that route to it) until it
+// returns or its standby is promoted.
 func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, fmt.Errorf("cluster: no shards configured")
@@ -138,10 +164,10 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.AdminTimeout <= 0 {
 		cfg.AdminTimeout = 10 * time.Second
 	}
-	if cfg.Retries < 0 {
-		cfg.Retries = 0
-	} else if cfg.Retries == 0 {
+	if cfg.Retries == 0 {
 		cfg.Retries = 2
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0 // explicit opt-out: one attempt, at-most-once
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 25 * time.Millisecond
@@ -159,12 +185,13 @@ func New(cfg Config) (*Coordinator, error) {
 		}}
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		api:    &shardAPI{hc: cfg.Client},
-		ring:   newRing(nil, cfg.VirtualNodes),
-		shards: make(map[string]*shard),
-		subs:   make(map[predfilter.SID]*subRecord),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		api:     &shardAPI{hc: cfg.Client},
+		ring:    newRing(nil, cfg.VirtualNodes),
+		shards:  make(map[string]*shard),
+		subs:    make(map[predfilter.SID]*subRecord),
+		orphans: make(map[predfilter.SID]string),
+		done:    make(chan struct{}),
 	}
 	for _, spec := range cfg.Shards {
 		name := spec.Name
@@ -184,6 +211,11 @@ func New(cfg Config) (*Coordinator, error) {
 		c.ring.add(name)
 	}
 	c.initMux()
+	if cfg.Recover {
+		if err := c.recoverState(context.Background()); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.HealthInterval > 0 {
 		c.wg.Add(1)
 		go c.monitor()
@@ -191,16 +223,68 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
+// recoverState rebuilds the coordinator's records from the shards' live
+// subscription sets: a restarted coordinator in front of populated
+// shards resumes with every ownership record intact and the SID sequence
+// past the highest live id. A subscription found on two shards (a
+// migration crashed between its add and its remove) keeps the
+// ring-preferred copy; the stray is deleted, and a stray that cannot be
+// deleted fails recovery — leaving it would re-match documents after the
+// subscription is removed. Runs from New, before any goroutines start.
+func (c *Coordinator) recoverState(ctx context.Context) error {
+	recovered := make(map[predfilter.SID]*subRecord)
+	var nextSID predfilter.SID
+	for _, name := range c.order {
+		sh := c.shards[name]
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+		entries, err := c.api.listSubscriptions(cctx, sh.currentAddr())
+		cancel()
+		if err != nil {
+			return fmt.Errorf("cluster: recover: list subscriptions on shard %s: %w", name, err)
+		}
+		for _, e := range entries {
+			if e.ID >= nextSID {
+				nextSID = e.ID + 1
+			}
+			prev := recovered[e.ID]
+			if prev == nil {
+				recovered[e.ID] = &subRecord{expr: e.Expression, owner: name}
+				continue
+			}
+			if prev.expr != e.Expression {
+				return fmt.Errorf("cluster: recover: sid %d live on shards %s and %s with different expressions",
+					e.ID, prev.owner, name)
+			}
+			// Same (id, expression) on two shards: keep the copy the ring
+			// would route to and delete the stray — both shards answered
+			// the listing, so the delete is expected to work.
+			stray := name
+			if want, werr := c.ring.ownerSID(e.ID); werr == nil && want == name {
+				stray = prev.owner
+				prev.owner = name
+			}
+			cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+			derr := c.api.unsubscribe(cctx, c.shards[stray].currentAddr(), e.ID)
+			cancel()
+			if derr != nil {
+				return fmt.Errorf("cluster: recover: sid %d duplicated on %s and %s; removing the %s copy: %w",
+					e.ID, prev.owner, stray, stray, derr)
+			}
+		}
+	}
+	c.mu.Lock()
+	c.subs = recovered
+	c.nextSID = nextSID
+	c.mu.Unlock()
+	return nil
+}
+
 // Close stops the health monitor and marks the coordinator draining (its
 // HTTP publish surface answers 503). Shards are independent processes and
-// are not touched.
+// are not touched. Safe to call concurrently and more than once.
 func (c *Coordinator) Close() {
 	c.draining.Store(true)
-	select {
-	case <-c.done:
-	default:
-		close(c.done)
-	}
+	c.closeOnce.Do(func() { close(c.done) })
 	c.wg.Wait()
 }
 
@@ -218,42 +302,129 @@ func (c *Coordinator) shardList() []*shard {
 // Subscribe registers an expression cluster-wide: it validates the
 // expression locally, assigns the next global SID, places it on its
 // owning shard through the ring, and commits only after the shard
-// acknowledged — so the global SID sequence has no holes a single-engine
-// equivalent would not have. Subscribes are serialized (registration is
-// the cold path; publishes never take this lock for shard calls).
+// acknowledged. Subscribes are serialized (registration is the cold
+// path); the shard call runs outside the state lock, so publishes never
+// wait on a slow registration. A failed shard call is cleaned up so it
+// cannot wedge the sequence: see abandonSID — the sid is either verified
+// free (and reused) or burned and reaped later, leaving a hole in the
+// global sequence that nothing depends on.
 func (c *Coordinator) Subscribe(ctx context.Context, expr string) (predfilter.SID, error) {
 	if _, err := xpath.Parse(expr); err != nil {
 		return 0, err
 	}
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
+	c.reapOrphans(ctx)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	sid := c.nextSID
+	c.mu.Unlock()
 	owner, err := c.ring.ownerSID(sid)
 	if err != nil {
 		return 0, err
 	}
+	c.mu.Lock()
 	sh := c.shards[owner]
+	c.mu.Unlock()
 	cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
 	defer cancel()
 	if err := c.callWithRetry(cctx, sh, func(addr string) error {
 		return c.api.subscribe(cctx, addr, sid, expr)
 	}); err != nil {
+		c.abandonSID(sh, sid, err)
 		return 0, fmt.Errorf("cluster: subscribe on shard %s: %w", owner, err)
 	}
+	c.mu.Lock()
 	c.subs[sid] = &subRecord{expr: expr, owner: owner}
 	c.nextSID++
+	c.mu.Unlock()
 	return sid, nil
+}
+
+// abandonSID cleans up after a failed subscribe call. An ambiguous
+// failure (network error, timeout, 5xx — callErr transient) may have
+// committed the registration on the shard with only the ack lost in
+// transit; leaving that copy while reusing the sid would wedge the
+// cluster — the next Subscribe would offer the same sid with a
+// different expression, the shard would answer 409 (non-transient), and
+// every registration from then on would fail. A best-effort delete
+// (fresh context — the caller's may already be done) clears the
+// maybe-committed copy, making the sid verifiably free to reuse. If
+// even the delete fails, the sid is burned: nextSID advances past it
+// and the sid is recorded as an orphan — filtered out of publish
+// results (it may still match on the shard) and deleted for real by
+// reapOrphans once the shard answers again.
+//
+// A *permanent* refusal is the opposite case and must not be cleaned
+// up: the shard deliberately answered that nothing of ours was
+// committed, and if the answer was 409 the sid is live with someone
+// else's expression — a subscription this coordinator never placed
+// (a restart without Config.Recover in front of populated shards).
+// Deleting it would destroy live data the coordinator merely cannot
+// see. Callers hold adminMu.
+func (c *Coordinator) abandonSID(sh *shard, sid predfilter.SID, callErr error) {
+	var se *shardError
+	if errors.As(callErr, &se) && !se.transient {
+		return
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), c.cfg.AdminTimeout)
+	defer cancel()
+	if err := c.api.unsubscribe(cctx, sh.currentAddr(), sid); err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.nextSID == sid {
+		c.nextSID = sid + 1
+	}
+	c.orphans[sid] = sh.name
+	c.mu.Unlock()
+}
+
+// reapOrphans retries the delete of every burned sid (abandonSID) whose
+// shard may still hold an unrecorded registration. It runs on the admin
+// path and on monitor ticks; shards currently failing health checks are
+// skipped (the delete would only eat the admin budget). Success clears
+// the orphan; failure leaves it for the next pass — publishes filter it
+// out meanwhile. Callers hold adminMu.
+func (c *Coordinator) reapOrphans(ctx context.Context) {
+	c.mu.Lock()
+	pending := make(map[predfilter.SID]*shard, len(c.orphans))
+	for sid, name := range c.orphans {
+		sh := c.shards[name]
+		if sh == nil {
+			delete(c.orphans, sid) // shard left the cluster; its copy died with it
+			continue
+		}
+		if sh.healthy.Load() {
+			pending[sid] = sh
+		}
+	}
+	c.mu.Unlock()
+	for sid, sh := range pending {
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+		err := c.api.unsubscribe(cctx, sh.currentAddr(), sid)
+		cancel()
+		if err == nil {
+			c.mu.Lock()
+			delete(c.orphans, sid)
+			c.mu.Unlock()
+		}
+	}
 }
 
 // Unsubscribe removes a subscription from its owning shard.
 func (c *Coordinator) Unsubscribe(ctx context.Context, sid predfilter.SID) error {
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	rec := c.subs[sid]
+	var sh *shard
+	if rec != nil {
+		sh = c.shards[rec.owner]
+	}
+	c.mu.Unlock()
 	if rec == nil {
 		return fmt.Errorf("cluster: unknown sid %d", sid)
 	}
-	sh := c.shards[rec.owner]
 	cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
 	defer cancel()
 	if err := c.callWithRetry(cctx, sh, func(addr string) error {
@@ -261,7 +432,9 @@ func (c *Coordinator) Unsubscribe(ctx context.Context, sid predfilter.SID) error
 	}); err != nil {
 		return fmt.Errorf("cluster: unsubscribe on shard %s: %w", rec.owner, err)
 	}
+	c.mu.Lock()
 	delete(c.subs, sid)
+	c.mu.Unlock()
 	return nil
 }
 
@@ -318,11 +491,12 @@ type PublishResult struct {
 // Publish scatters one document to every shard and gathers the merged
 // match set. Per-shard deadlines (Config.PublishTimeout per attempt) keep
 // one slow shard from pinning the whole publish; transient failures are
-// retried with backoff; a shard that stays down is skipped and flagged
-// rather than failing the document. A permanent per-document refusal
-// (parse failure, resource-limit trip — the governance statuses a single
-// server would answer) fails the publish with that shard's error, because
-// the document, not the cluster, is the problem.
+// retried with backoff (at-least-once per shard — see Config.Retries);
+// a shard that stays down is skipped and flagged rather than failing the
+// document. A permanent per-document refusal (parse failure,
+// resource-limit trip — the governance statuses a single server would
+// answer) fails the publish with that shard's error, because the
+// document, not the cluster, is the problem.
 func (c *Coordinator) Publish(ctx context.Context, doc []byte) (*PublishResult, error) {
 	shards := c.shardList()
 	type gathered struct {
@@ -382,13 +556,32 @@ func (c *Coordinator) Publish(ctx context.Context, doc []byte) (*PublishResult, 
 		c.docsFailed.Add(1)
 		return nil, fmt.Errorf("cluster: all %d shards unreachable", len(shards))
 	}
-	res.SIDs = predfilter.MergeSIDSets(sets)
+	res.SIDs = c.filterOrphans(predfilter.MergeSIDSets(sets))
 	res.Degraded = len(res.Skipped) > 0
 	if res.Degraded {
 		c.docsDegraded.Add(1)
 	}
 	c.docsPublished.Add(1)
 	return res, nil
+}
+
+// filterOrphans drops burned sids from a merged match set: an orphan has
+// no coordinator record (OwnerOf and delivery proxying would 404), so
+// its matches must not surface while reapOrphans works on deleting the
+// shard-side copy.
+func (c *Coordinator) filterOrphans(sids []predfilter.SID) []predfilter.SID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.orphans) == 0 {
+		return sids
+	}
+	kept := sids[:0]
+	for _, sid := range sids {
+		if _, orphaned := c.orphans[sid]; !orphaned {
+			kept = append(kept, sid)
+		}
+	}
+	return kept
 }
 
 // Promote fails a shard over to its standby: the shard's routed address
@@ -419,8 +612,9 @@ func (c *Coordinator) Promote(name string) error {
 }
 
 // monitor is the health-check loop: it probes every shard's /healthz each
-// interval and promotes the standby of a shard that failed
-// Config.FailThreshold consecutive probes.
+// interval, promotes the standby of a shard that failed
+// Config.FailThreshold consecutive probes, and opportunistically reaps
+// orphaned sids when no admin operation is running.
 func (c *Coordinator) monitor() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.cfg.HealthInterval)
@@ -447,6 +641,10 @@ func (c *Coordinator) monitor() {
 				}
 			}
 		}
+		if c.adminMu.TryLock() {
+			c.reapOrphans(context.Background())
+			c.adminMu.Unlock()
+		}
 	}
 }
 
@@ -462,26 +660,32 @@ func (c *Coordinator) AddShard(ctx context.Context, spec ShardSpec) error {
 	if name == "" {
 		name = spec.Addr
 	}
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, dup := c.shards[name]; dup {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: shard %q already present", name)
 	}
 	if spec.Addr == "" {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: shard %q has no address", name)
 	}
 	sh := &shard{name: name, addr: spec.Addr, standby: spec.Standby}
 	sh.healthy.Store(true)
 	c.shards[name] = sh
 	c.order = append(c.order, name)
+	c.mu.Unlock()
 	c.ring.add(name)
-	if _, err := c.migrateLocked(ctx); err != nil {
+	if _, err := c.migrate(ctx); err != nil {
 		// Undo the ring change and migrate the already-moved keys back
 		// through the same protocol, then forget the shard.
 		c.ring.remove(name)
-		_, uerr := c.migrateLocked(ctx)
+		_, uerr := c.migrate(ctx)
+		c.mu.Lock()
 		delete(c.shards, name)
 		c.order = c.order[:len(c.order)-1]
+		c.mu.Unlock()
 		if uerr != nil {
 			return fmt.Errorf("cluster: add shard %s: %v (rollback also failed: %v)", name, err, uerr)
 		}
@@ -495,19 +699,24 @@ func (c *Coordinator) AddShard(ctx context.Context, spec ShardSpec) error {
 // works too: the expressions move from the coordinator's authoritative
 // records, and deletes on the leaving shard are best-effort.
 func (c *Coordinator) RemoveShard(ctx context.Context, name string) error {
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.shards[name] == nil {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: unknown shard %q", name)
 	}
 	if len(c.shards) == 1 {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: cannot remove the last shard")
 	}
+	c.mu.Unlock()
 	c.ring.remove(name)
-	if _, err := c.migrateLocked(ctx); err != nil {
+	if _, err := c.migrate(ctx); err != nil {
 		c.ring.add(name)
 		return fmt.Errorf("cluster: remove shard %s: %w", name, err)
 	}
+	c.mu.Lock()
 	delete(c.shards, name)
 	for i, n := range c.order {
 		if n == name {
@@ -515,33 +724,51 @@ func (c *Coordinator) RemoveShard(ctx context.Context, name string) error {
 			break
 		}
 	}
+	for sid, owner := range c.orphans {
+		if owner == name {
+			delete(c.orphans, sid) // its copy died with the shard
+		}
+	}
+	c.mu.Unlock()
 	return nil
 }
 
-// migrateLocked reconciles every subscription's placement with the
-// current ring: each one whose owner changed is added to the new owner,
-// then removed from the old. Callers hold c.mu. Shards being migrated
-// *to* must be reachable (the data has to land somewhere); removal from
-// the old owner is allowed to fail when that shard is gone — its copy is
-// unreachable anyway, and re-running the migration is harmless because
-// adds are idempotent under the same id.
-func (c *Coordinator) migrateLocked(ctx context.Context) (moved int, err error) {
+// migrate reconciles every subscription's placement with the current
+// ring: each one whose owner changed is added to the new owner, then
+// removed from the old. Callers hold adminMu (which keeps the ring and
+// the record set stable); c.mu is taken only around map access, never
+// across the shard calls, so publishes proceed throughout a migration —
+// a document that lands during the add-before-remove window can see a
+// moved sid on both shards, which the gather merge deduplicates. Shards
+// being migrated *to* must be reachable (the data has to land
+// somewhere); removal from the old owner is allowed to fail when that
+// shard is gone — its copy is unreachable anyway, and re-running the
+// migration is harmless because adds are idempotent under the same id.
+func (c *Coordinator) migrate(ctx context.Context) (moved int, err error) {
+	c.mu.Lock()
 	sids := make([]predfilter.SID, 0, len(c.subs))
 	for sid := range c.subs {
 		sids = append(sids, sid)
 	}
+	c.mu.Unlock()
 	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
 	for _, sid := range sids {
-		rec := c.subs[sid]
 		newOwner, oerr := c.ring.ownerSID(sid)
 		if oerr != nil {
 			return moved, oerr
 		}
-		if newOwner == rec.owner {
+		c.mu.Lock()
+		rec := c.subs[sid]
+		var dst, src *shard
+		if rec != nil && rec.owner != newOwner {
+			dst = c.shards[newOwner]
+			src = c.shards[rec.owner]
+		}
+		c.mu.Unlock()
+		if rec == nil || rec.owner == newOwner {
 			continue
 		}
-		dst, ok := c.shards[newOwner]
-		if !ok {
+		if dst == nil {
 			return moved, fmt.Errorf("migrate sid %d: ring names unknown shard %s", sid, newOwner)
 		}
 		cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
@@ -550,12 +777,14 @@ func (c *Coordinator) migrateLocked(ctx context.Context) (moved int, err error) 
 		if addErr != nil {
 			return moved, fmt.Errorf("migrate sid %d to %s: %w", sid, newOwner, addErr)
 		}
-		if src, ok := c.shards[rec.owner]; ok {
+		if src != nil {
 			cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
 			_ = c.api.unsubscribe(cctx, src.currentAddr(), sid) // best-effort
 			cancel()
 		}
+		c.mu.Lock()
 		rec.owner = newOwner
+		c.mu.Unlock()
 		moved++
 	}
 	return moved, nil

@@ -1,0 +1,382 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"predfilter"
+	"predfilter/internal/cluster"
+	"predfilter/internal/server"
+)
+
+// TestClusterSubscribeLostAck is the wedge regression: a shard that
+// commits a registration but loses the ack must not pin the SID sequence.
+// The coordinator burns the sid, keeps its matches out of publish
+// results while the shard-side copy lingers, reaps it once the shard
+// answers again, and every subsequent Subscribe succeeds.
+func TestClusterSubscribeLostAck(t *testing.T) {
+	srv := server.New(server.Config{})
+	var blackhole atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if blackhole.Load() {
+			switch {
+			case r.Method == http.MethodPost && r.URL.Path == "/subscriptions":
+				// The shard commits; the ack is "lost in transit".
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, r)
+				http.Error(w, "lost ack", http.StatusServiceUnavailable)
+				return
+			case r.Method == http.MethodDelete:
+				// Cleanup cannot get through either.
+				http.Error(w, "unreachable", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c, err := cluster.New(cluster.Config{
+		Shards:  []cluster.ShardSpec{{Name: "shard-0", Addr: ts.URL}},
+		Retries: -1, // single attempt: the failure surfaces immediately
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	blackhole.Store(true)
+	if _, err := c.Subscribe(ctx, "/nitf/head/title"); err == nil {
+		t.Fatal("subscribe through the blackhole unexpectedly succeeded")
+	}
+	// The shard holds the orphaned registration under sid 0.
+	if _, held := srv.SubscriptionIDs()[0]; !held {
+		t.Fatal("test setup: shard did not commit the orphaned registration")
+	}
+	blackhole.Store(false)
+
+	// The orphan's matches must not surface: it has no coordinator record.
+	doc := []byte("<nitf><head><title>x</title></head><body/></nitf>")
+	res, err := c.Publish(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SIDs) != 0 {
+		t.Fatalf("publish surfaced orphaned sids %v", res.SIDs)
+	}
+	if _, ok := c.OwnerOf(0); ok {
+		t.Fatal("orphaned sid 0 has an owner record")
+	}
+
+	// The next subscribe must not collide with the orphan (no 409 wedge):
+	// the burned sid is skipped, and the reap pass clears the shard-side
+	// copy.
+	sid, err := c.Subscribe(ctx, "/nitf/body")
+	if err != nil {
+		t.Fatalf("subscribe after lost ack: %v", err)
+	}
+	if sid != 1 {
+		t.Fatalf("subscribe after lost ack assigned sid %d, want 1 (0 is burned)", sid)
+	}
+	ids := srv.SubscriptionIDs()
+	if _, held := ids[0]; held {
+		t.Fatal("orphaned sid 0 still registered on the shard after reap")
+	}
+	if _, held := ids[1]; !held {
+		t.Fatal("sid 1 missing on the shard")
+	}
+	res, err = c.Publish(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SIDs) != 1 || res.SIDs[0] != 1 {
+		t.Fatalf("publish after reap matched %v, want [1]", res.SIDs)
+	}
+}
+
+// TestClusterSubscribeRefusalKeepsForeignData: when a shard answers a
+// subscribe with a permanent refusal (409 — the sid is live with an
+// expression this coordinator never placed, e.g. after a restart
+// without Config.Recover), the failure cleanup must not delete that
+// foreign subscription: the shard deliberately committed nothing of
+// ours, and the 409'd copy is live data.
+func TestClusterSubscribeRefusalKeepsForeignData(t *testing.T) {
+	set := newShardSet(t, 1)
+	ctx := context.Background()
+
+	first := newTestCoordinator(t, set.specs)
+	if _, err := first.Subscribe(ctx, "/nitf/head/title"); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+
+	// A fresh coordinator without recovery: its sid 0 collides.
+	c := newTestCoordinator(t, set.specs)
+	if _, err := c.Subscribe(ctx, "/nitf/body"); err == nil ||
+		!strings.Contains(err.Error(), "different expression") {
+		t.Fatalf("colliding subscribe: err = %v, want the shard's 409", err)
+	}
+	if _, held := set.servers[0].SubscriptionIDs()[0]; !held {
+		t.Fatal("subscribe-failure cleanup deleted the pre-existing subscription")
+	}
+	// The refusal burned nothing: the recovery path still sees sid 0.
+	if st := c.Stats(); st.SubscribedNext != 0 {
+		t.Fatalf("permanent refusal advanced next sid to %d", st.SubscribedNext)
+	}
+}
+
+// TestClusterCoordinatorRecover restarts the coordinator in front of
+// populated shards: Config.Recover rebuilds the ownership records and
+// resumes the SID sequence from the shards' live sets, so subscribes,
+// unsubscribes and routing all keep working.
+func TestClusterCoordinatorRecover(t *testing.T) {
+	w := testWorkload(t, 60, 4)
+	ctx := context.Background()
+	set := newShardSet(t, 2)
+
+	first := newTestCoordinator(t, set.specs)
+	for _, xpe := range w.XPEs {
+		if _, err := first.Subscribe(ctx, xpe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed := []predfilter.SID{3, 7}
+	for _, sid := range removed {
+		if err := first.Unsubscribe(ctx, sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first.Close()
+
+	c, err := cluster.New(cluster.Config{Shards: set.specs, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st := c.Stats()
+	if want := len(w.XPEs) - len(removed); st.Subscriptions != want {
+		t.Fatalf("recovered %d subscriptions, want %d", st.Subscriptions, want)
+	}
+	if st.SubscribedNext != uint32(len(w.XPEs)) {
+		t.Fatalf("recovered next sid %d, want %d", st.SubscribedNext, len(w.XPEs))
+	}
+	// Every recorded owner actually holds its subscription.
+	holds := map[string]map[predfilter.SID]string{}
+	for i, srv := range set.servers {
+		holds[fmt.Sprintf("shard-%d", i)] = srv.SubscriptionIDs()
+	}
+	for i := range w.XPEs {
+		sid := predfilter.SID(i)
+		owner, ok := c.OwnerOf(sid)
+		if sid == removed[0] || sid == removed[1] {
+			if ok {
+				t.Fatalf("unsubscribed sid %d resurrected by recovery", sid)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("sid %d lost by recovery", sid)
+		}
+		if _, held := holds[owner][sid]; !held {
+			t.Fatalf("sid %d recovered onto %s, which does not hold it", sid, owner)
+		}
+	}
+	// The sequence resumes with no collision, and removal still routes.
+	sid, err := c.Subscribe(ctx, w.XPEs[0])
+	if err != nil {
+		t.Fatalf("subscribe after recovery: %v", err)
+	}
+	if sid != predfilter.SID(len(w.XPEs)) {
+		t.Fatalf("subscribe after recovery assigned sid %d, want %d", sid, len(w.XPEs))
+	}
+	if err := c.Unsubscribe(ctx, 0); err != nil {
+		t.Fatalf("unsubscribe after recovery: %v", err)
+	}
+	if res, err := c.Publish(ctx, w.Docs[0]); err != nil || res.Degraded {
+		t.Fatalf("publish after recovery: res=%+v err=%v", res, err)
+	}
+}
+
+// TestClusterRecoverDuplicateCopy feeds recovery the aftermath of a
+// migration that crashed between its add and its remove: the same
+// (id, expression) live on two shards. Recovery keeps one copy, deletes
+// the stray, and records the kept shard as owner.
+func TestClusterRecoverDuplicateCopy(t *testing.T) {
+	set := newShardSet(t, 2)
+	for _, srv := range set.servers {
+		if err := srv.ApplyAdd(5, "/nitf/head/title"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := cluster.New(cluster.Config{Shards: set.specs, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	owner, ok := c.OwnerOf(5)
+	if !ok {
+		t.Fatal("duplicated sid lost by recovery")
+	}
+	copies := 0
+	for i, srv := range set.servers {
+		if _, held := srv.SubscriptionIDs()[5]; held {
+			copies++
+			if name := fmt.Sprintf("shard-%d", i); name != owner {
+				t.Fatalf("surviving copy on %s, but owner recorded as %s", name, owner)
+			}
+		}
+	}
+	if copies != 1 {
+		t.Fatalf("%d copies survive recovery, want 1", copies)
+	}
+}
+
+// TestClusterRecoverUnreachableShard: recovery must refuse to guess — a
+// shard that cannot be listed fails New rather than silently re-issuing
+// its live ids.
+func TestClusterRecoverUnreachableShard(t *testing.T) {
+	set := newShardSet(t, 1)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	_, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardSpec{
+			set.specs[0],
+			{Name: "shard-dead", Addr: deadURL},
+		},
+		Recover: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "recover") {
+		t.Fatalf("recovery over a dead shard: err = %v, want recover error", err)
+	}
+}
+
+// TestClusterPublishDuringSlowSubscribe pins the lock split: a subscribe
+// stalled inside its shard call must not stall the publish path (or
+// Stats), because the coordinator no longer holds its state lock across
+// shard HTTP calls.
+func TestClusterPublishDuringSlowSubscribe(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+	defer release()
+
+	set := &shardSet{}
+	for i := 0; i < 2; i++ {
+		srv := server.New(server.Config{})
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && r.URL.Path == "/subscriptions" {
+				<-gate
+			}
+			srv.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		set.servers = append(set.servers, srv)
+		set.specs = append(set.specs, cluster.ShardSpec{Name: fmt.Sprintf("shard-%d", i), Addr: ts.URL})
+	}
+	c := newTestCoordinator(t, set.specs)
+
+	subDone := make(chan error, 1)
+	go func() {
+		_, err := c.Subscribe(context.Background(), "/nitf/head/title")
+		subDone <- err
+	}()
+	// Let the subscribe reach the gated shard call.
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	res, err := c.Publish(ctx, []byte("<nitf><head/></nitf>"))
+	if err != nil {
+		t.Fatalf("publish while a subscribe is stalled: %v", err)
+	}
+	if res.Degraded {
+		t.Fatalf("publish degraded while a subscribe is stalled: %+v", res)
+	}
+	_ = c.Stats() // must not block either
+	select {
+	case err := <-subDone:
+		t.Fatalf("subscribe finished before the gate opened (err=%v); the test raced", err)
+	default:
+	}
+	release()
+	if err := <-subDone; err != nil {
+		t.Fatalf("gated subscribe: %v", err)
+	}
+}
+
+// TestClusterCloseConcurrent: Close is idempotent and safe to race.
+func TestClusterCloseConcurrent(t *testing.T) {
+	set := newShardSet(t, 1)
+	c, err := cluster.New(cluster.Config{
+		Shards:         set.specs,
+		HealthInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Close()
+		}()
+	}
+	wg.Wait()
+	c.Close()
+}
+
+// TestClusterRetriesDisabled: Retries = -1 is the documented at-most-once
+// opt-out — a failing shard is skipped after exactly one attempt, while
+// the zero value keeps the default retry budget.
+func TestClusterRetriesDisabled(t *testing.T) {
+	live := newShardSet(t, 1)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	specs := []cluster.ShardSpec{
+		live.specs[0],
+		{Name: "shard-dead", Addr: deadURL},
+	}
+	retriesAfterPublish := func(t *testing.T, retries int) int64 {
+		t.Helper()
+		c, err := cluster.New(cluster.Config{
+			Shards:       specs,
+			Retries:      retries,
+			RetryBackoff: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		res, err := c.Publish(context.Background(), []byte("<nitf/>"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Degraded || len(res.Skipped) != 1 || res.Skipped[0] != "shard-dead" {
+			t.Fatalf("publish result %+v, want shard-dead skipped", res)
+		}
+		for _, s := range c.Stats().PerShard {
+			if s.Name == "shard-dead" {
+				return s.Retries
+			}
+		}
+		t.Fatal("shard-dead missing from stats")
+		return 0
+	}
+	if got := retriesAfterPublish(t, -1); got != 0 {
+		t.Fatalf("Retries=-1 still retried %d times", got)
+	}
+	if got := retriesAfterPublish(t, 0); got != 2 {
+		t.Fatalf("Retries=0 retried %d times, want the default 2", got)
+	}
+}

@@ -7,6 +7,7 @@
 // The API (all JSON except the published XML body):
 //
 //	POST   /subscriptions        {"expression": "/nitf//p"}  → {"id": 7}
+//	GET    /subscriptions                                    → live (id, expression) listing
 //	DELETE /subscriptions/{id}                               → 204
 //	GET    /subscriptions/{id}                               → subscription info
 //	POST   /publish              <xml body>                  → {"matches": n, "ids": [...]}
@@ -59,6 +60,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -223,6 +225,7 @@ func Open(cfg Config) (*Server, error) {
 		s.eng = predfilter.New(cfg.Engine)
 	}
 	s.mux.HandleFunc("POST /subscriptions", s.handleSubscribe)
+	s.mux.HandleFunc("GET /subscriptions", s.handleListSubscriptions)
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
 	s.mux.HandleFunc("GET /subscriptions/{id}", s.handleGetSubscription)
 	s.mux.HandleFunc("DELETE /subscriptions/{id}", s.handleUnsubscribe)
@@ -544,6 +547,28 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	s.subs[sid] = &subscription{Expression: canon}
 	writeJSON(w, http.StatusCreated, map[string]any{"id": sid})
+}
+
+// SubscriptionEntry is one row of GET /subscriptions: a live id and its
+// canonical expression.
+type SubscriptionEntry struct {
+	ID         predfilter.SID `json:"id"`
+	Expression string         `json:"expression"`
+}
+
+// handleListSubscriptions lists the live subscription set in ascending
+// id order. Cluster coordinators use it to rebuild their ownership
+// records after a restart (the shards, not the coordinator, are the
+// durable home of the subscription set).
+func (s *Server) handleListSubscriptions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := make([]SubscriptionEntry, 0, len(s.subs))
+	for sid, sub := range s.subs {
+		entries = append(entries, SubscriptionEntry{ID: sid, Expression: sub.Expression})
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(entries), "subscriptions": entries})
 }
 
 func (s *Server) sidFromPath(w http.ResponseWriter, r *http.Request) (predfilter.SID, *subscription, bool) {
