@@ -34,13 +34,18 @@ func sortedSIDs(sids []predfilter.SID) []predfilter.SID {
 }
 
 // TestCacheEquivalenceRandomized is the DTD-driven property test for the
-// structural path-signature cache: an engine with the cache enabled (plus
-// one with a tiny bound, to force evictions) must produce exactly the match
-// sets of a cache-disabled engine, across randomized interleavings of Add,
-// Remove (both invalidate the cache) and repeated matching (which serves
-// later documents from cache), through Match, MatchBatch and MatchStream.
-// The CI race leg runs this under -race, which also checks the shared
-// cache's synchronization in the worker pipeline.
+// structural path-signature cache and the columnar batch matcher: an
+// engine with the cache enabled (plus one with a tiny bound, to force
+// evictions) must produce exactly the match sets of a cache-disabled
+// engine, across randomized interleavings of Add, Remove (both
+// invalidate the cache) and repeated matching (which serves later
+// documents from cache), through Match, MatchBatch and MatchStream. The
+// columnar engines force the bitset kernel on the batch paths (their
+// single-document Match calls stay scalar, so cache entries written by
+// either matcher must be served correctly by the other) at each cache
+// setting. The CI race leg runs this under -race, which also checks the
+// shared cache's synchronization in the worker pipeline and the columnar
+// index's freeze-generation rebuilds under concurrent registration.
 func TestCacheEquivalenceRandomized(t *testing.T) {
 	const trials = 6
 	for _, schema := range []workload.Schema{workload.NITF(), workload.PSD()} {
@@ -71,7 +76,13 @@ func TestCacheEquivalenceRandomized(t *testing.T) {
 				engines := []*predfilter.Engine{
 					predfilter.New(predfilter.Config{}),                        // default cache
 					predfilter.New(predfilter.Config{PathCacheBytes: 8 << 10}), // tiny: constant eviction pressure
-					predfilter.New(predfilter.Config{PathCacheBytes: -1}),      // disabled reference
+					predfilter.New(predfilter.Config{ // columnar batches + default cache
+						Columnar: predfilter.ColumnarOn, StreamBatch: 4}),
+					predfilter.New(predfilter.Config{ // columnar + eviction pressure
+						Columnar: predfilter.ColumnarOn, PathCacheBytes: 8 << 10}),
+					predfilter.New(predfilter.Config{ // columnar, cache off
+						Columnar: predfilter.ColumnarOn, PathCacheBytes: -1}),
+					predfilter.New(predfilter.Config{PathCacheBytes: -1}), // disabled reference
 				}
 				add := func(x string) predfilter.SID {
 					var want predfilter.SID
@@ -162,6 +173,14 @@ func TestCacheEquivalenceRandomized(t *testing.T) {
 				}
 				if pc := engines[1].Stats().PathCache; pc.Evictions == 0 {
 					t.Fatalf("tiny cache saw no evictions: %+v", pc)
+				}
+				// The columnar engines must actually have engaged the bitset
+				// kernel on the batch passes, or the columnar half of the
+				// property was vacuous.
+				for i := 2; i < 5; i++ {
+					if cs := engines[i].Stats().Columnar; cs.Batches == 0 || cs.Docs == 0 {
+						t.Fatalf("engine %d never engaged the columnar kernel: %+v", i, cs)
+					}
 				}
 			})
 		}

@@ -14,6 +14,7 @@
 //	xfbench -exp guard                     # bombs vs resource limits → BENCH_guard.json
 //	xfbench -exp parse                     # scanner vs encoding/xml parse throughput → BENCH_parse.json
 //	xfbench -exp cluster -cluster-shards 1,2,4,8  # scatter/gather vs shard count → BENCH_cluster.json
+//	xfbench -exp columnar -col-batches 1,8,32,64  # bitset batch matcher vs scalar → BENCH_columnar.json
 //	xfbench -list                     # list experiment ids
 //	xfbench -stats                    # print workload statistics
 package main
@@ -38,6 +39,7 @@ func main() {
 		workers     = flag.String("workers", "1,2,4", "comma-separated worker counts for -exp pipeline")
 		cacheKB     = flag.String("cache-kb", "", "comma-separated cache bounds in KiB for -exp cache (default 256,1024,4096,16384)")
 		shardCounts = flag.String("cluster-shards", "1,2,4,8", "comma-separated shard counts for -exp cluster")
+		colBatches  = flag.String("col-batches", "", "comma-separated dispatch-group bounds for -exp columnar (default 1,8,32,64)")
 		withMet     = flag.Bool("metrics", false, "append per-stage latency digests (count, p50/p95/p99) to the pipeline and cache JSON reports")
 		jsonOut     = flag.String("json", "", "write results as JSON to this file (pipeline default: BENCH_pipeline.json)")
 		list        = flag.Bool("list", false, "list experiments and exit")
@@ -108,6 +110,33 @@ func main() {
 		}
 		fmt.Printf("== path-signature cache throughput [scale %s, sizes %v KiB]\n", s.Name, sizes)
 		rep, err := bench.RunCache(s, sizes, progress, *withMet)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSON(out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- wrote %s\n", out)
+		return
+	}
+
+	// -exp columnar: the columnar batch matcher against the scalar loop
+	// over dispatch-group bounds and expression counts, cache off →
+	// BENCH_columnar.json.
+	if *expID == "columnar" {
+		bs := bench.DefaultColumnarBatches()
+		if *colBatches != "" {
+			var err error
+			if bs, err = parseWorkers(*colBatches); err != nil {
+				fatal(fmt.Errorf("bad -col-batches: %w", err))
+			}
+		}
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_columnar.json"
+		}
+		fmt.Printf("== columnar batch matcher throughput [scale %s, batches %v]\n", s.Name, bs)
+		rep, err := bench.RunColumnar(s, bs, progress)
 		if err != nil {
 			fatal(err)
 		}

@@ -103,3 +103,64 @@ func FuzzMatch(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMatchColumnar drives the columnar batch matcher with arbitrary
+// (expression, document) pairs through MatchBatch with the kernel forced
+// on and the path cache off (so every path takes the pure bitset route),
+// and checks it against the refmatch oracle and the scalar engine. The
+// batch repeats the document so the second copy exercises the kernel's
+// pooled scratch reuse within one batch.
+func FuzzMatchColumnar(f *testing.F) {
+	seeds := [][2]string{
+		{"//a", "<a/>"},
+		{"/a/b", "<a><b/></a>"},
+		{"//a//a", "<a><a><a/></a></a>"},     // ambiguous path: scalar determination
+		{"/a/b/c", "<a><b><c/></b><b/></a>"}, // repeated tag across siblings
+		{"/a[@k=v]", `<a k="v"/>`},
+		{"/a[b]/c", "<a><b/><c/></a>"}, // nested filter
+		{"/*/*", "<a><b/></a>"},        // wildcard-only (length) chain
+		{"a[", "<a/>"},                 // malformed expression
+		{"//a", "<a><a><b></a></a>"},   // malformed document
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, expr, doc string) {
+		scalar := predfilter.New(predfilter.Config{PathCacheBytes: -1, Columnar: predfilter.ColumnarOff})
+		col := predfilter.New(predfilter.Config{PathCacheBytes: -1, Columnar: predfilter.ColumnarOn})
+		sid, err := scalar.Add(expr)
+		if err != nil {
+			return
+		}
+		if _, err := col.Add(expr); err != nil {
+			t.Fatalf("columnar engine rejected %q that the scalar one accepted: %v", expr, err)
+		}
+		want, err := scalar.Match([]byte(doc))
+		batch := col.MatchBatch([][]byte{[]byte(doc), []byte(doc)}, 1)
+		if err != nil {
+			for _, r := range batch {
+				if r.Err == nil {
+					t.Fatalf("scalar rejected %q (%v) but columnar matched it", doc, err)
+				}
+			}
+			return
+		}
+		matched := len(want) == 1 && want[0] == sid
+		for i, r := range batch {
+			if r.Err != nil {
+				t.Fatalf("columnar doc %d failed on input scalar accepted: %v", i, r.Err)
+			}
+			if got := len(r.SIDs) == 1 && r.SIDs[0] == sid; got != matched {
+				t.Fatalf("%q over %q copy %d: columnar=%v scalar=%v", expr, doc, i, got, matched)
+			}
+		}
+		p, perr := xpath.Parse(expr)
+		d, derr := xmldoc.Parse([]byte(doc))
+		if perr != nil || derr != nil {
+			t.Fatalf("engine accepted inputs the parsers reject: %v / %v", perr, derr)
+		}
+		if oracle := refmatch.Match(p, d); matched != oracle {
+			t.Fatalf("%q over %q: engine=%v oracle=%v", expr, doc, matched, oracle)
+		}
+	})
+}

@@ -96,6 +96,7 @@ var Experiments = []Experiment{
 	{ID: "space", Title: "Extension: the whole solution space — predicate engine vs YFilter, XTrie, Index-Filter and XFilter", Run: runSpace},
 	{ID: "pipeline", Title: "Extension: streaming pipeline throughput — sequential Match vs MatchBatch worker pool", Run: runPipeline},
 	{ID: "cache", Title: "Extension: structural path-signature cache — match throughput cache-off vs cache-on across size bounds", Run: runCache},
+	{ID: "columnar", Title: "Extension: columnar batch matcher — bitset-parallel expression matching vs the scalar loop, cache off", Run: runColumnar},
 }
 
 // ExperimentByID resolves an experiment.

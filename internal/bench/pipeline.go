@@ -16,6 +16,11 @@ type PipelinePoint struct {
 	DocsPerSec   float64 `json:"docs_per_sec"`
 	Speedup      float64 `json:"speedup_vs_sequential"`
 	AllocsPerDoc float64 `json:"allocs_per_doc"`
+	// EffectiveBatch is the measured documents per dispatch group
+	// (stream jobs / stream batches over the interval) — the number that
+	// decides whether the columnar batch matcher can engage. A backlogged
+	// feed approaches Config.StreamBatch; a trickling one stays near 1.
+	EffectiveBatch float64 `json:"effective_batch,omitempty"`
 }
 
 // PipelineReport compares the sequential one-document-at-a-time API with
@@ -113,6 +118,8 @@ func RunPipeline(s Scale, workers []int, progress io.Writer, stageMetrics bool) 
 	progressf(progress, "  sequential      %9.0f docs/sec  %6.0f allocs/doc\n", seqDPS, seqAllocs)
 
 	for _, n := range workers {
+		jobs0 := eng.Metrics().StreamJobs.Load()
+		batches0 := eng.Metrics().StreamBatches.Load()
 		dps, allocs, err := measure(func() error {
 			for _, r := range eng.MatchBatch(w.Docs, n) {
 				if r.Err != nil {
@@ -125,9 +132,12 @@ func RunPipeline(s Scale, workers []int, progress io.Writer, stageMetrics bool) 
 			return nil, err
 		}
 		p := PipelinePoint{Workers: n, DocsPerSec: dps, Speedup: dps / seqDPS, AllocsPerDoc: allocs}
+		if db := eng.Metrics().StreamBatches.Load() - batches0; db > 0 {
+			p.EffectiveBatch = float64(eng.Metrics().StreamJobs.Load()-jobs0) / float64(db)
+		}
 		rep.Stream = append(rep.Stream, p)
-		progressf(progress, "  stream w=%-4d   %9.0f docs/sec  %6.0f allocs/doc  %.2fx\n",
-			n, dps, allocs, p.Speedup)
+		progressf(progress, "  stream w=%-4d   %9.0f docs/sec  %6.0f allocs/doc  %.2fx  batch=%.1f\n",
+			n, dps, allocs, p.Speedup, p.EffectiveBatch)
 	}
 	if stageMetrics {
 		rep.Stages = stageSummaries(eng)

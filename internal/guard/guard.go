@@ -226,6 +226,28 @@ func (b *Budget) Step() bool {
 	return true
 }
 
+// StepN consumes n units of matching effort at once — the bulk
+// counterpart of Step for the columnar sweep, which charges one unit per
+// block of bitset word operations rather than per occurrence pair. The
+// clock and the context are consulted on every call (StepN runs once per
+// path, far below Step's 4096-step cadence), and the sticky error is the
+// same Steps/Deadline/Canceled *LimitError that Step reports. A nil
+// budget is unlimited, matching the rest of the pipeline.
+func (b *Budget) StepN(n int64) bool {
+	if b == nil {
+		return true
+	}
+	if b.err != nil {
+		return false
+	}
+	b.steps += n
+	if b.steps > b.maxSteps {
+		b.err = &LimitError{Kind: Steps, Limit: b.maxSteps, Got: b.steps, Stage: "match"}
+		return false
+	}
+	return b.checkNow()
+}
+
 // CheckPoint is the between-paths check: context done and deadline only,
 // no step consumed. It returns false once the budget is exhausted.
 func (b *Budget) CheckPoint() bool {

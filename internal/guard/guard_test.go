@@ -291,3 +291,57 @@ func TestZero(t *testing.T) {
 		t.Fatal("non-zero Limits reported Zero")
 	}
 }
+
+func TestStepNChargesAndTrips(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{MaxSteps: 100})
+	if !b.StepN(40) || !b.StepN(60) {
+		t.Fatalf("StepN tripped within the budget: %v", b.Err())
+	}
+	if b.Steps() != 100 {
+		t.Fatalf("Steps = %d, want 100", b.Steps())
+	}
+	if b.StepN(1) {
+		t.Fatal("StepN over the bound did not trip")
+	}
+	var le *LimitError
+	if err := b.Err(); !errors.As(err, &le) || le.Kind != Steps || le.Stage != "match" {
+		t.Fatalf("Err = %v, want a Steps match LimitError", err)
+	}
+	// Sticky: later bulk charges keep failing.
+	if b.StepN(1) {
+		t.Fatal("StepN after trip returned true")
+	}
+	// Nil budget is unlimited.
+	var nb *Budget
+	if !nb.StepN(1 << 40) {
+		t.Fatal("nil budget StepN returned false")
+	}
+}
+
+func TestStepNMixesWithStep(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{MaxSteps: 10})
+	for i := 0; i < 5; i++ {
+		if !b.Step() {
+			t.Fatalf("Step %d tripped early: %v", i, b.Err())
+		}
+	}
+	if !b.StepN(5) {
+		t.Fatalf("StepN at the bound tripped: %v", b.Err())
+	}
+	if b.Step() {
+		t.Fatal("Step past the mixed total did not trip")
+	}
+}
+
+func TestStepNCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(ctx, Limits{MaxSteps: 1 << 30})
+	cancel()
+	if b.StepN(1) {
+		t.Fatal("StepN under a canceled context returned true")
+	}
+	var le *LimitError
+	if err := b.Err(); !errors.As(err, &le) || le.Kind != Canceled {
+		t.Fatalf("Err = %v, want Canceled", err)
+	}
+}

@@ -1,0 +1,577 @@
+package matcher
+
+import (
+	"math/bits"
+	"time"
+
+	"predfilter/internal/bitset"
+	"predfilter/internal/guard"
+	"predfilter/internal/pathcache"
+	"predfilter/internal/predindex"
+	"predfilter/internal/xmldoc"
+)
+
+// Columnar batch matching: the expression-matching stage rewritten as
+// bitset sweeps so one 64-bit word op advances 64 expressions at once.
+//
+// At freeze time the iteration units (m.ordered, longest chain first)
+// become bit columns. For each predicate pid, a CSR table records which
+// (column, chain level) slots reference it. Per path, the sweep scatters
+// the predicate stage's touched pids into per-level bitsets L[ℓ] — bit c
+// of L[ℓ] says "unit c's level-ℓ predicate produced occurrence pairs" —
+// and then folds acc = L[0] & L[1] & … down the levels. Because the
+// columns are sorted longest-chain-first, the units owning a level ℓ
+// occupy a prefix of the columns: the fold touches only levelWords[ℓ]
+// words per level, with a single boundary-word mask letting shorter
+// chains pass through. The surviving bits are the candidates — units
+// whose every chain level matched — so the per-path cost is
+// words(|units|/64) × maxLen word ops plus work proportional to the
+// (few) candidates, instead of the scalar loop's |units| probes.
+//
+// A candidate still needs occurrence determination in general; the sweep
+// only proves every level non-empty. The shortcut that makes the kernel
+// profitable: on a path where no tag occurs twice (Tuple.Occ == 1 for
+// every tuple — the common case by far), every matched predicate emitted
+// exactly one occurrence pair, (occ, occ) = (1, 1), so any chained
+// combination trivially exists and plain candidates are marked directly.
+// (Length predicates record (0, 0), but they only ever form single-level
+// chains, where determination needs no chaining.) Paths with a repeated
+// tag — and group representatives, whose members need attribute
+// verification — go through the scalar evalExpr per candidate.
+//
+// Covering parity: the scalar organizations also mark prefix covers (on
+// partial determination depth) and containment covers. Both relations
+// are exact — a consistent depth-k prefix assignment is a match of the
+// length-k prefix expression, and a containment cover is a restriction
+// of a full assignment — and every covered expression is itself a
+// column, so its own candidate bit fires on exactly the paths the
+// scalar cover-marking would mark it on. The columnar kernel therefore
+// evaluates every unit independently (evalExpr with cover=false) and
+// produces the same mark set; full-containment covers of a directly
+// marked unit are marked through markFullCovers as in the scalar path.
+
+// colRef is one CSR entry: predicate pid appears at chain level `level`
+// of unit column `col`.
+type colRef struct {
+	col   int32
+	level int32
+}
+
+// colIndex is the frozen columnar organization, derived from the frozen
+// scalar one (m.ordered) and keyed to the freeze generation.
+type colIndex struct {
+	gen   uint64
+	lay   *predindex.Layout
+	units []hotExpr // == m.ordered at build: columns, longest chain first
+
+	words  int // bitset words covering len(units) columns
+	maxLen int // longest chain length
+
+	// Per level ℓ: the number of words covering the columns whose chains
+	// reach level ℓ (a prefix, by the longest-first sort), and the
+	// valid-bit mask of the boundary word.
+	levelWords []int
+	levelMask  []uint64
+
+	// CSR membership: refs[refOff[pid]:refOff[pid+1]] are pid's slots.
+	refOff []int32
+	refs   []colRef
+
+	// Cache-enabled split (nil when the path cache is off): columns of
+	// value-independent vs value-dependent units, mirroring
+	// structUnits/liveUnits.
+	structMask []uint64
+	liveMask   []uint64
+
+	// sweepCost is the fixed word-op count of one sweep (level clears +
+	// fold); the per-path budget charge adds the scattered refs on top.
+	sweepCost int
+}
+
+// colScratch is the pooled per-batch columnar working state. Buffer
+// sizes are keyed to the colIndex identity, so steady-state batches
+// allocate nothing.
+type colScratch struct {
+	ci    *colIndex
+	back  []uint64   // backing array for level
+	level [][]uint64 // level ℓ → levelWords[ℓ] words
+	acc   []uint64
+	tids  []int32
+	stats colStats
+}
+
+// colStats accumulates one batch's kernel counters, flushed to the
+// metric set once per batch.
+type colStats struct {
+	paths      int64
+	candidates int64
+	ambiguous  int64
+	words      int64
+	wordsLive  int64
+}
+
+// buildColumnar derives the columnar organization from the frozen scalar
+// one. Callers hold the write lock with freeze() already run.
+func (m *Matcher) buildColumnar() {
+	ci := &colIndex{gen: m.gen, lay: m.ix.BuildLayout(), units: m.ordered}
+	n := len(ci.units)
+	ci.words = bitset.Words(n)
+	for _, h := range ci.units {
+		if len(h.e.pids) > ci.maxLen {
+			ci.maxLen = len(h.e.pids)
+		}
+	}
+
+	// Level widths: count[ℓ] = units whose chain has a level ℓ. The
+	// longest-first sort makes them a prefix of the columns.
+	counts := make([]int, ci.maxLen)
+	npids := m.ix.Len()
+	refCnt := make([]int32, npids+1)
+	total := 0
+	for _, h := range ci.units {
+		for ℓ, pid := range h.e.pids {
+			counts[ℓ]++
+			refCnt[pid]++
+			total++
+		}
+	}
+	ci.levelWords = make([]int, ci.maxLen)
+	ci.levelMask = make([]uint64, ci.maxLen)
+	for ℓ, c := range counts {
+		ci.levelWords[ℓ] = bitset.Words(c)
+		ci.levelMask[ℓ] = bitset.TailMask(c)
+		ci.sweepCost += ci.levelWords[ℓ] // per-path clear
+		if ℓ > 0 {
+			ci.sweepCost += ci.levelWords[ℓ] // fold AND
+		}
+	}
+	ci.sweepCost += ci.words // acc copy
+
+	// CSR membership table.
+	ci.refOff = make([]int32, npids+1)
+	for pid := 0; pid < npids; pid++ {
+		ci.refOff[pid+1] = ci.refOff[pid] + refCnt[pid]
+	}
+	ci.refs = make([]colRef, total)
+	fill := make([]int32, npids)
+	copy(fill, ci.refOff[:npids])
+	for c, h := range ci.units {
+		for ℓ, pid := range h.e.pids {
+			ci.refs[fill[pid]] = colRef{col: int32(c), level: int32(ℓ)}
+			fill[pid]++
+		}
+	}
+
+	if m.cache != nil {
+		ci.structMask = make([]uint64, ci.words)
+		ci.liveMask = make([]uint64, ci.words)
+		for c, h := range ci.units {
+			if m.unitValueDependent(h.e) {
+				bitset.Set(ci.liveMask, c)
+			} else {
+				bitset.Set(ci.structMask, c)
+			}
+		}
+	}
+	m.col = ci
+}
+
+// ensureColumnar returns with the read lock held, the scalar
+// organizations frozen, and the columnar index current for them. Like
+// ensureFrozen, the upgrade window is raced benignly: gen is re-checked
+// after every downgrade.
+func (m *Matcher) ensureColumnar() *colIndex {
+	m.mu.RLock()
+	for m.dirty || m.col == nil || m.col.gen != m.gen {
+		m.mu.RUnlock()
+		m.mu.Lock()
+		m.freeze()
+		if m.col == nil || m.col.gen != m.gen {
+			m.buildColumnar()
+		}
+		m.mu.Unlock()
+		m.mu.RLock()
+	}
+	return m.col
+}
+
+// getColScratch returns a pooled columnar scratch sized for ci. The
+// batch's stats accumulator starts zeroed.
+func (m *Matcher) getColScratch(ci *colIndex) *colScratch {
+	cs := m.colPool.Get().(*colScratch)
+	if cs.ci != ci {
+		total := 0
+		for _, w := range ci.levelWords {
+			total += w
+		}
+		if cap(cs.back) < total {
+			cs.back = make([]uint64, total)
+		}
+		if cap(cs.level) < ci.maxLen {
+			cs.level = make([][]uint64, ci.maxLen)
+		}
+		cs.level = cs.level[:ci.maxLen]
+		off := 0
+		for ℓ, w := range ci.levelWords {
+			cs.level[ℓ] = cs.back[off : off+w : off+w]
+			off += w
+		}
+		if cap(cs.acc) < ci.words {
+			cs.acc = make([]uint64, ci.words)
+		}
+		cs.acc = cs.acc[:ci.words]
+		cs.ci = ci
+	}
+	cs.stats = colStats{}
+	return cs
+}
+
+// resolveTids maps the publication's tags through the frozen layout and
+// reports whether the path is ambiguous (some tag occurs more than once,
+// so occurrence pairs are not all (1,1) and candidates need scalar
+// occurrence determination).
+func (cs *colScratch) resolveTids(ci *colIndex, pub *xmldoc.Publication) bool {
+	n := len(pub.Tuples)
+	if cap(cs.tids) < n {
+		cs.tids = make([]int32, n)
+	}
+	cs.tids = cs.tids[:n]
+	ambiguous := false
+	for i := range pub.Tuples {
+		t := &pub.Tuples[i]
+		cs.tids[i] = ci.lay.Tid(t.Tag)
+		if t.Occ > 1 {
+			ambiguous = true
+		}
+	}
+	return ambiguous
+}
+
+// sweep computes the candidate bitset for the current path: bit c
+// survives iff every chain level of unit c produced occurrence pairs.
+// refOps reports the scattered membership entries (for budget charging).
+func (ci *colIndex) sweep(cs *colScratch, touched []predindex.PID) (acc []uint64, refOps int) {
+	for _, lv := range cs.level {
+		bitset.Zero(lv)
+	}
+	refs, off := ci.refs, ci.refOff
+	for _, pid := range touched {
+		rs := refs[off[pid]:off[pid+1]]
+		refOps += len(rs)
+		for _, r := range rs {
+			cs.level[r.level][r.col>>6] |= 1 << (uint(r.col) & 63)
+		}
+	}
+	if ci.maxLen == 0 {
+		return cs.acc[:0], refOps
+	}
+	acc = cs.acc
+	copy(acc, cs.level[0])
+	for ℓ := 1; ℓ < ci.maxLen; ℓ++ {
+		lv := cs.level[ℓ]
+		lw := len(lv)
+		for w := 0; w < lw-1; w++ {
+			acc[w] &= lv[w]
+		}
+		// Boundary word: columns past the level's unit count have no
+		// level ℓ and pass through; words past lw are untouched entirely.
+		acc[lw-1] &= lv[lw-1] | ^ci.levelMask[ℓ]
+	}
+	return acc, refOps
+}
+
+// markCandidates resolves the surviving candidate bits (restricted to
+// mask when non-nil) into definitive marks. Unambiguous paths mark plain
+// expressions directly (see the package comment above: every level holds
+// exactly the pair (1,1), so determination trivially succeeds); group
+// representatives and ambiguous-path candidates run the scalar evalExpr,
+// which charges the budget per occurrence pair as the scalar path does.
+func (m *Matcher) markCandidates(sc *scratch, ci *colIndex, acc, mask []uint64, ambiguous bool, bud *guard.Budget) {
+	for w, word := range acc {
+		if mask != nil {
+			word &= mask[w]
+		}
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		for word != 0 {
+			c := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			h := &ci.units[c]
+			if sc.matched[h.id] {
+				continue
+			}
+			if bud.Exceeded() {
+				return
+			}
+			if !ambiguous && h.e.members == nil {
+				sc.mark(int(h.id))
+				if len(h.e.fullCovers) > 0 {
+					m.markFullCovers(sc, h.e)
+				}
+				continue
+			}
+			m.evalExpr(sc, h.e, false, bud)
+		}
+	}
+}
+
+// colMatchPath is the columnar counterpart of matchPath: stage 1 over
+// the frozen layout, the bitset sweep, then candidate resolution. With
+// the path cache enabled it defers to colMatchPathCached.
+func (m *Matcher) colMatchPath(sc *scratch, cs *colScratch, ci *colIndex, pub *xmldoc.Publication, dedup bool, bd *Breakdown, bud *guard.Budget) {
+	sc.pub = pub
+	sc.byTagOK = false
+
+	var t0 time.Time
+	if bd != nil {
+		t0 = time.Now()
+	}
+	if dedup {
+		key := pubHash(pub, m.attrSensitive)
+		if _, ok := sc.seen[key]; ok {
+			if bd != nil {
+				bd.PredMatch += time.Since(t0)
+			}
+			return
+		}
+		sc.seen[key] = struct{}{}
+	}
+	if m.cache != nil {
+		m.colMatchPathCached(sc, cs, ci, pub, bd, t0, bud)
+		return
+	}
+
+	ambiguous := cs.resolveTids(ci, pub)
+	sc.res.Reset(m.ix.Len())
+	ci.lay.MatchPathTids(pub, cs.tids, sc.res, nil)
+	var t1 time.Time
+	if bd != nil {
+		t1 = time.Now()
+		bd.PredMatch += t1.Sub(t0)
+	}
+
+	acc := m.colSweep(sc, cs, ci, ambiguous, bd, bud)
+	if bud.Exceeded() {
+		return
+	}
+	m.markCandidates(sc, ci, acc, nil, ambiguous, bud)
+	for _, e := range m.nested {
+		e.root.collect(m, sc, bud)
+	}
+	if bd != nil {
+		bd.ExprMatch += time.Since(t1)
+	}
+}
+
+// colSweep runs the budget-charged sweep for one path and folds the
+// occupancy counters into the batch stats. The budget is charged one
+// step per 64-word-op block — strictly less than the scalar loop's
+// per-unit probes for the same path, so a budget generous enough for the
+// scalar matcher never trips only under the columnar one.
+func (m *Matcher) colSweep(sc *scratch, cs *colScratch, ci *colIndex, ambiguous bool, bd *Breakdown, bud *guard.Budget) []uint64 {
+	var ts time.Time
+	if bd != nil {
+		ts = time.Now()
+	}
+	acc, refOps := ci.sweep(cs, sc.res.Touched())
+	live, cands := 0, 0
+	for _, w := range acc {
+		if w != 0 {
+			live++
+			cands += bits.OnesCount64(w)
+		}
+	}
+	if bd != nil {
+		bd.Sweep += time.Since(ts)
+	}
+	cs.stats.paths++
+	cs.stats.words += int64(len(acc))
+	cs.stats.wordsLive += int64(live)
+	cs.stats.candidates += int64(cands)
+	if ambiguous {
+		cs.stats.ambiguous++
+	}
+	bud.StepN(int64((ci.sweepCost+refOps)>>6) + 1)
+	return acc
+}
+
+// colMatchPathCached is the cache-enabled body of colMatchPath, entered
+// after the dedup check. The hit branch is byte-for-byte the scalar one
+// (matchPathCached): replay the transcript, apply the cached structural
+// outcome, re-run the live units. On a miss the sweep replaces the
+// scalar structural runUnits: the structural candidate half evaluates
+// against the clean matched2 buffer with mark logging on, so the cached
+// outcome stays a pure function of the signature, and entries written by
+// the scalar and columnar paths are interchangeable (the mark sets are
+// equal; see the covering-parity note above).
+func (m *Matcher) colMatchPathCached(sc *scratch, cs *colScratch, ci *colIndex, pub *xmldoc.Publication, bd *Breakdown, t0 time.Time, bud *guard.Budget) {
+	sc.sig = appendPubSig(sc.sig[:0], pub)
+	h := sigHash(sc.sig)
+
+	ent, ok := m.cache.Get(h, sc.sig)
+	var tc time.Time
+	if bd != nil {
+		tc = time.Now()
+		bd.Cache += tc.Sub(t0)
+	}
+	if ok {
+		if m.needRes {
+			sc.res.Reset(m.ix.Len())
+			m.ix.Replay(&ent.Rec, pub, sc.res)
+		}
+		var t1 time.Time
+		if bd != nil {
+			t1 = time.Now()
+			bd.PredMatch += t1.Sub(tc)
+		}
+		for _, id := range ent.Outcome {
+			sc.matched[id] = true
+		}
+		if m.needRes {
+			m.runUnits(sc, m.liveUnits, m.liveClusters, bud)
+			for _, e := range m.nested {
+				e.root.collect(m, sc, bud)
+			}
+		}
+		if bd != nil {
+			bd.ExprMatch += time.Since(t1)
+		}
+		return
+	}
+
+	// Miss: stage 1 over the layout, recording the transcript when
+	// value-dependent work will need it replayed on later hits.
+	ambiguous := cs.resolveTids(ci, pub)
+	sc.res.Reset(m.ix.Len())
+	if m.needRes {
+		sc.rec.Reset()
+		ci.lay.MatchPathTids(pub, cs.tids, sc.res, &sc.rec)
+	} else {
+		ci.lay.MatchPathTids(pub, cs.tids, sc.res, nil)
+	}
+	var t1 time.Time
+	if bd != nil {
+		t1 = time.Now()
+		bd.PredMatch += t1.Sub(tc)
+	}
+
+	acc := m.colSweep(sc, cs, ci, ambiguous, bd, bud)
+	if bud.Exceeded() {
+		return
+	}
+
+	// Structural candidates against the clean buffer with logging on.
+	sc.matched, sc.matched2 = sc.matched2, sc.matched
+	sc.log = sc.log[:0]
+	sc.logging = true
+	m.markCandidates(sc, ci, acc, ci.structMask, ambiguous, bud)
+	sc.logging = false
+	sc.matched, sc.matched2 = sc.matched2, sc.matched
+	for _, id := range sc.log {
+		sc.matched[id] = true
+		sc.matched2[id] = false // restore the all-false invariant
+	}
+	if bud.Exceeded() {
+		// Incomplete structural outcome: abandon the path without Put.
+		return
+	}
+
+	ne := &pathcache.Entry{Outcome: append([]int32(nil), sc.log...)}
+	if m.needRes {
+		ne.Rec = sc.rec.Clone()
+	}
+	m.cache.Put(h, sc.sig, ne)
+
+	// Live candidates directly into the document state.
+	m.markCandidates(sc, ci, acc, ci.liveMask, ambiguous, bud)
+	for _, e := range m.nested {
+		e.root.collect(m, sc, bud)
+	}
+	if bd != nil {
+		bd.ExprMatch += time.Since(t1)
+	}
+}
+
+// matchDocColumnar matches one parsed document through the columnar
+// kernel, mirroring MatchDocumentBudget's per-document protocol (path
+// loop with budget checkpoints, nested recombination, result
+// collection, metric observation). Callers hold the read lock with the
+// columnar index current.
+func (m *Matcher) matchDocColumnar(ci *colIndex, cs *colScratch, doc *xmldoc.Document, bud *guard.Budget) ([]SID, error) {
+	t0 := time.Now()
+	var bd Breakdown
+	sc := m.getScratch()
+	defer m.pool.Put(sc)
+
+	dedup := m.pathDedup()
+	for i := range doc.Paths {
+		if !bud.CheckPoint() {
+			break
+		}
+		m.colMatchPath(sc, cs, ci, &doc.Paths[i], dedup, &bd, bud)
+		if bud.Exceeded() {
+			break
+		}
+	}
+	if err := bud.Err(); err != nil {
+		clear(sc.ncands)
+		return nil, err
+	}
+
+	t2 := time.Now()
+	for _, e := range m.nested {
+		if e.root.resolveRoot(sc) {
+			sc.matched[e.id] = true
+		}
+	}
+	clear(sc.ncands)
+	for _, e := range m.exprs {
+		if sc.matched[e.id] {
+			sc.out = append(sc.out, e.sids...)
+		}
+	}
+	out := append([]SID(nil), sc.out...)
+	bd.Other = time.Since(t2)
+	m.observe(&bd, t0, len(doc.Paths), len(out))
+	return out, nil
+}
+
+// MatchDocumentsColumnar matches a batch of parsed documents through the
+// columnar kernel, sharing one pooled columnar scratch (level bitsets,
+// accumulator, tag-id arena) across the batch. buds[i] budgets document
+// i (a short or nil slice leaves the remainder unbudgeted); each
+// document fails or succeeds independently — outs[i] is nil exactly
+// when errs[i] is non-nil. Results are identical to MatchDocumentBudget
+// on each document; registration may run concurrently, as with the
+// scalar entry points.
+func (m *Matcher) MatchDocumentsColumnar(docs []*xmldoc.Document, buds []*guard.Budget) (outs [][]SID, errs []error) {
+	outs = make([][]SID, len(docs))
+	errs = make([]error, len(docs))
+	if len(docs) == 0 {
+		return outs, errs
+	}
+	ci := m.ensureColumnar()
+	defer m.mu.RUnlock()
+	cs := m.getColScratch(ci)
+	defer m.colPool.Put(cs)
+
+	for i, doc := range docs {
+		var bud *guard.Budget
+		if i < len(buds) {
+			bud = buds[i]
+		}
+		outs[i], errs[i] = m.matchDocColumnar(ci, cs, doc, bud)
+	}
+	if m.mx != nil {
+		m.mx.ColBatches.Inc()
+		m.mx.ColDocs.Add(int64(len(docs)))
+		m.mx.ColPaths.Add(cs.stats.paths)
+		m.mx.ColCandidates.Add(cs.stats.candidates)
+		m.mx.ColAmbiguous.Add(cs.stats.ambiguous)
+		m.mx.ColWords.Add(cs.stats.words)
+		m.mx.ColWordsLive.Add(cs.stats.wordsLive)
+	}
+	return outs, errs
+}

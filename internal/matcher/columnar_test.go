@@ -1,0 +1,279 @@
+package matcher
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"predfilter/internal/guard"
+	"predfilter/internal/metrics"
+	"predfilter/internal/refmatch"
+	"predfilter/internal/xmldoc"
+	"predfilter/internal/xpath"
+)
+
+// colMatchSets runs one columnar batch and folds each document's result
+// into a set, failing on unexpected errors.
+func colMatchSets(t *testing.T, m *Matcher, docs []*xmldoc.Document) []map[SID]bool {
+	t.Helper()
+	outs, errs := m.MatchDocumentsColumnar(docs, nil)
+	sets := make([]map[SID]bool, len(docs))
+	for i := range docs {
+		if errs[i] != nil {
+			t.Fatalf("columnar doc %d: %v", i, errs[i])
+		}
+		sets[i] = make(map[SID]bool)
+		for _, sid := range outs[i] {
+			sets[i][sid] = true
+		}
+	}
+	return sets
+}
+
+func setsEqual(a, b map[SID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for sid := range a {
+		if !b[sid] {
+			return false
+		}
+	}
+	return true
+}
+
+// nestedXPEs are fixed nested-filter expressions mixed into the random
+// workloads: nested paths bypass dedup and the path cache's structural
+// half, exercising the columnar kernel's collect loop.
+var nestedXPEs = []string{"/a[b]/c", "a[b/c]", "//b[c]/d", "/a[b][c]/d"}
+
+// TestColumnarEquivalenceRandomized is the kernel's Theorem A.1 test: on
+// random workloads (attribute filters, nested filters, repeated-tag
+// paths) the columnar batch matcher must produce exactly the scalar
+// matcher's SID sets — across all three organizations and with the path
+// cache off, tiny (evicting) and on. It also interleaves scalar and
+// columnar calls on one matcher so cache entries written by either path
+// must be served correctly by the other.
+func TestColumnarEquivalenceRandomized(t *testing.T) {
+	type cfg struct {
+		name string
+		opts Options
+	}
+	var cfgs []cfg
+	for _, v := range allVariants {
+		for _, c := range []struct {
+			name  string
+			bytes int64
+		}{{"nocache", -1}, {"tinycache", 1 << 9}, {"cache", 1 << 20}} {
+			cfgs = append(cfgs, cfg{
+				name: fmt.Sprintf("%v/%s", v, c.name),
+				opts: Options{Variant: v, AttrMode: predAttrMode(1), PathCacheBytes: c.bytes},
+			})
+		}
+	}
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 25; round++ {
+		xpes := make([]string, 0, 36)
+		for len(xpes) < 30 {
+			xpes = append(xpes, randXPE(rng, true))
+		}
+		xpes = append(xpes, nestedXPEs...)
+		paths := make([]*xpath.Path, len(xpes))
+		for i, s := range xpes {
+			paths[i] = xpath.MustParse(s)
+		}
+		docs := make([]*xmldoc.Document, 6)
+		for i := range docs {
+			docs[i] = randDoc(rng, true)
+		}
+		for _, c := range cfgs {
+			m := New(c.opts)
+			sids := make([]SID, len(xpes))
+			for i, s := range xpes {
+				sid, err := m.Add(s)
+				if err != nil {
+					t.Fatalf("Add(%q): %v", s, err)
+				}
+				sids[i] = sid
+			}
+			// Columnar first (cold cache), against the reference matcher.
+			got := colMatchSets(t, m, docs)
+			for di, doc := range docs {
+				for i, p := range paths {
+					if want := refmatch.Match(p, doc); got[di][sids[i]] != want {
+						t.Fatalf("round %d %s doc %d: %q columnar=%v, ref=%v\npaths: %v",
+							round, c.name, di, xpes[i], got[di][sids[i]], want, docPaths(doc))
+					}
+				}
+			}
+			// Scalar on the same matcher: any cache entries the columnar
+			// pass wrote must replay into identical scalar results.
+			for di, doc := range docs {
+				if s := matchSet(m, doc); !setsEqual(s, got[di]) {
+					t.Fatalf("round %d %s doc %d: scalar-after-columnar %v != columnar %v",
+						round, c.name, di, s, got[di])
+				}
+			}
+			// Columnar again: now served from scalar-written (or shared)
+			// cache entries.
+			again := colMatchSets(t, m, docs)
+			for di := range docs {
+				if !setsEqual(again[di], got[di]) {
+					t.Fatalf("round %d %s doc %d: columnar-after-scalar %v != first pass %v",
+						round, c.name, di, again[di], got[di])
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarBudget pins the governance contract: a budget generous
+// enough for the scalar matcher never trips only under the columnar one;
+// a blowup trips the same typed error; a canceled context surfaces as
+// Canceled; nil budgets are unlimited.
+func TestColumnarBudget(t *testing.T) {
+	t.Run("generous", func(t *testing.T) {
+		m := New(Options{Variant: PrefixCoverAP})
+		mustAdd(t, m, "//a//a", "/a/a/a", "//a[@k=v]", "/a/*/a")
+		doc := chainDoc(t, 6)
+		want, _, err := m.MatchDocumentBudget(doc, stepBudget(1_000_000))
+		if err != nil {
+			t.Fatalf("scalar budget tripped: %v", err)
+		}
+		outs, errs := m.MatchDocumentsColumnar([]*xmldoc.Document{doc},
+			[]*guard.Budget{stepBudget(1_000_000)})
+		if errs[0] != nil {
+			t.Fatalf("columnar tripped where scalar did not: %v", errs[0])
+		}
+		if len(outs[0]) != len(want) {
+			t.Fatalf("columnar %v != scalar %v", outs[0], want)
+		}
+	})
+
+	t.Run("blowup", func(t *testing.T) {
+		m := New(Options{Variant: PrefixCoverAP})
+		mustAdd(t, m, strings.Repeat("//a", 20))
+		// An ambiguous path (every tuple's tag repeats), so candidates run
+		// the scalar determination and hit the exponential dead-end space.
+		doc := chainDoc(t, 18)
+		outs, errs := m.MatchDocumentsColumnar([]*xmldoc.Document{doc},
+			[]*guard.Budget{stepBudget(1000)})
+		var le *guard.LimitError
+		if !errors.As(errs[0], &le) || le.Kind != guard.Steps {
+			t.Fatalf("err = %v, want Steps *LimitError", errs[0])
+		}
+		if outs[0] != nil {
+			t.Fatalf("partial result %v alongside error", outs[0])
+		}
+	})
+
+	t.Run("canceled", func(t *testing.T) {
+		m := New(Options{Variant: Basic})
+		mustAdd(t, m, "//a")
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, errs := m.MatchDocumentsColumnar([]*xmldoc.Document{chainDoc(t, 4)},
+			[]*guard.Budget{guard.NewBudget(ctx, guard.Limits{})})
+		var le *guard.LimitError
+		if !errors.As(errs[0], &le) || le.Kind != guard.Canceled {
+			t.Fatalf("err = %v, want Canceled *LimitError", errs[0])
+		}
+	})
+
+	t.Run("per-document independence", func(t *testing.T) {
+		m := New(Options{Variant: PrefixCoverAP})
+		sids := mustAdd(t, m, strings.Repeat("//a", 20), "//b/c")
+		good, err := xmldoc.Parse([]byte("<b><c/></b>"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Doc 0 trips its budget; docs 1 (nil budget) and 2 must be
+		// unaffected by the abort, including scratch-state reuse.
+		docs := []*xmldoc.Document{chainDoc(t, 18), good, good}
+		outs, errs := m.MatchDocumentsColumnar(docs,
+			[]*guard.Budget{stepBudget(100), nil, nil})
+		if errs[0] == nil {
+			t.Fatal("doc 0 budget survived the blowup")
+		}
+		for i := 1; i < 3; i++ {
+			if errs[i] != nil {
+				t.Fatalf("doc %d: %v", i, errs[i])
+			}
+			if len(outs[i]) != 1 || outs[i][0] != sids[1] {
+				t.Fatalf("doc %d = %v, want [%d]", i, outs[i], sids[1])
+			}
+		}
+	})
+}
+
+// TestColumnarRebuildOnMutation: the columnar index is keyed to the
+// freeze generation — registrations after a batch must be visible to the
+// next batch, and removals must stop matching.
+func TestColumnarRebuildOnMutation(t *testing.T) {
+	m := New(Options{Variant: PrefixCoverAP, Metrics: metrics.NewSet()})
+	sidA := mustAdd(t, m, "/a/b")[0]
+	doc := xmldoc.FromPaths([]string{"a", "b"})
+	got := colMatchSets(t, m, []*xmldoc.Document{doc})[0]
+	if !got[sidA] || len(got) != 1 {
+		t.Fatalf("first batch = %v, want {%d}", got, sidA)
+	}
+
+	sidB := mustAdd(t, m, "a/*")[0]
+	got = colMatchSets(t, m, []*xmldoc.Document{doc})[0]
+	if !got[sidA] || !got[sidB] || len(got) != 2 {
+		t.Fatalf("after Add = %v, want {%d,%d}", got, sidA, sidB)
+	}
+
+	if err := m.Remove(sidA); err != nil {
+		t.Fatal(err)
+	}
+	got = colMatchSets(t, m, []*xmldoc.Document{doc})[0]
+	if got[sidA] || !got[sidB] {
+		t.Fatalf("after Remove = %v, want only %d", got, sidB)
+	}
+}
+
+// TestColumnarEmptyAndDegenerate covers the maxLen == 0 sweep (no
+// expressions), the all-wildcard length-predicate chains, and an empty
+// batch.
+func TestColumnarEmptyAndDegenerate(t *testing.T) {
+	doc := xmldoc.FromPaths([]string{"a", "b", "c"})
+
+	m := New(Options{})
+	outs, errs := m.MatchDocumentsColumnar([]*xmldoc.Document{doc}, nil)
+	if errs[0] != nil || len(outs[0]) != 0 {
+		t.Fatalf("empty matcher: outs=%v errs=%v", outs, errs)
+	}
+
+	m2 := New(Options{})
+	sids := mustAdd(t, m2, "/*/*/*", "/*/*/*/*", "*")
+	got := colMatchSets(t, m2, []*xmldoc.Document{doc})[0]
+	if !got[sids[0]] || got[sids[1]] || !got[sids[2]] {
+		t.Fatalf("wildcard chains = %v, want {%d,%d}", got, sids[0], sids[2])
+	}
+
+	outs, errs = m2.MatchDocumentsColumnar(nil, nil)
+	if len(outs) != 0 || len(errs) != 0 {
+		t.Fatalf("empty batch: outs=%v errs=%v", outs, errs)
+	}
+}
+
+// TestColumnarRepeatedTagDocs drills the ambiguous-path branch directly:
+// the occurrence-number examples from the paper must hold under the
+// columnar kernel (candidates on repeated-tag paths go through scalar
+// occurrence determination).
+func TestColumnarRepeatedTagDocs(t *testing.T) {
+	doc := xmldoc.FromPaths([]string{"a", "b", "c", "a", "b", "c"})
+	for _, v := range allVariants {
+		m := New(Options{Variant: v})
+		sids := mustAdd(t, m, "a//b/c", "c//b//a", "/a/b/c", "//c//a//c")
+		got := colMatchSets(t, m, []*xmldoc.Document{doc})[0]
+		want := map[SID]bool{sids[0]: true, sids[2]: true, sids[3]: true}
+		if !setsEqual(got, want) {
+			t.Fatalf("%v: columnar = %v, want %v", v, got, want)
+		}
+	}
+}

@@ -130,6 +130,14 @@ type Matcher struct {
 	mx *metrics.Set
 
 	pool sync.Pool // *scratch
+
+	// Columnar batch matching (see columnar.go): gen counts freeze
+	// rebuilds and keys the derived column index, which is rebuilt lazily
+	// on the first columnar batch after a registration change. Scalar
+	// matching never touches either.
+	gen     uint64
+	col     *colIndex
+	colPool sync.Pool // *colScratch
 }
 
 // hotExpr packs the fields the per-path rejection loop touches into a
@@ -187,6 +195,7 @@ func New(opts Options) *Matcher {
 		m.cache = pathcache.New(opts.PathCacheBytes)
 	}
 	m.pool.New = func() any { return &scratch{} }
+	m.colPool.New = func() any { return &colScratch{} }
 	return m
 }
 
@@ -515,6 +524,7 @@ func (m *Matcher) freeze() {
 		m.splitUnits()
 		m.invalidatePathCache()
 	}
+	m.gen++
 	m.dirty = false
 }
 
@@ -561,6 +571,7 @@ type Breakdown struct {
 	ExprMatch time.Duration // expression matching (occurrence determination)
 	Other     time.Duration // result collection and bookkeeping
 	Cache     time.Duration // path-signature cache probes (signature build + lookup)
+	Sweep     time.Duration // columnar bitset sweep, a sub-stage of ExprMatch (zero on scalar paths)
 }
 
 // scratch is the per-call reusable working state.
@@ -836,6 +847,9 @@ func (m *Matcher) observe(bd *Breakdown, t0 time.Time, paths, matches int) {
 		m.mx.Occur.Observe(bd.ExprMatch + bd.Other)
 		if m.cache != nil {
 			m.mx.Cache.Observe(bd.Cache)
+		}
+		if bd.Sweep > 0 {
+			m.mx.ColSweep.Observe(bd.Sweep)
 		}
 	}
 	m.mx.Match.Observe(time.Since(t0))

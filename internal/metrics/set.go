@@ -50,9 +50,26 @@ type Set struct {
 	Snapshot  Histogram
 
 	// Stream pipeline instrumentation.
-	StreamQueueDepth Gauge   // jobs dispatched but not yet picked up
+	StreamQueueDepth Gauge   // documents dispatched but not yet picked up
 	StreamJobs       Counter // documents that entered the worker pool
+	StreamBatches    Counter // dispatch groups delivered to workers (effective batch size = StreamJobs / StreamBatches)
 	streamBusy       [MaxStreamWorkers]Counter
+
+	// Columnar batch-matcher instrumentation (the bitset kernel in
+	// internal/matcher): batches and documents it evaluated, paths swept,
+	// candidate bits surviving the per-path fold, paths that needed scalar
+	// occurrence verification (a tag repeated on the path), and the
+	// occupancy pair — candidate-bitset words scanned vs words holding at
+	// least one candidate. ColSweep is the per-document time spent in pure
+	// bitset work, a sub-stage of Occur.
+	ColBatches    Counter
+	ColDocs       Counter
+	ColPaths      Counter
+	ColCandidates Counter
+	ColAmbiguous  Counter
+	ColWords      Counter
+	ColWordsLive  Counter
+	ColSweep      Histogram
 
 	// Resource-governance counters: documents stopped by each limit kind
 	// (indexed by guard.Kind) and panics recovered by the isolation layer

@@ -1,0 +1,153 @@
+package predindex
+
+import "predfilter/internal/xmldoc"
+
+// Layout is a frozen struct-of-arrays projection of an Index: every tag
+// the index mentions gets a dense int32 id, and the per-tag hash-table
+// rows (absolute, end-of-path, relative) are re-hung off tag-id-indexed
+// slices. The matcher's columnar kernel resolves a publication's tags to
+// ids once per path and then runs the predicate stage entirely over
+// integer-indexed arrays — no string hashing in the tuple or tuple-pair
+// loops. A Layout is a read-only view: it shares the index's cell arrays
+// and is valid until predicates are added (the matcher rebuilds it on its
+// freeze generation).
+type Layout struct {
+	ix   *Index
+	n    int // predicate count at build time
+	tids map[string]int32
+	abs  []*opArrays           // tag id → absolute-predicate arrays
+	eop  []*cells              // tag id → end-of-path GE array
+	rel  []map[int32]*opArrays // tag id → second-tag id → arrays
+}
+
+// BuildLayout freezes the index's current predicate set into a Layout.
+func (ix *Index) BuildLayout() *Layout {
+	l := &Layout{ix: ix, n: ix.Len(), tids: make(map[string]int32)}
+	// tid grows the per-tag slices, so it must run before the slice header
+	// of its own assignment target is read.
+	for tag, a := range ix.abs {
+		id := l.tid(tag)
+		l.abs[id] = a
+	}
+	for tag, cs := range ix.eop {
+		id := l.tid(tag)
+		l.eop[id] = cs
+	}
+	for tag, m := range ix.rel {
+		row := make(map[int32]*opArrays, len(m))
+		for t2, a := range m {
+			row[l.tid(t2)] = a
+		}
+		id := l.tid(tag)
+		l.rel[id] = row
+	}
+	return l
+}
+
+// tid returns the dense id for tag, assigning one (and growing the
+// per-tag slices) on first sight. Build-time only.
+func (l *Layout) tid(tag string) int32 {
+	id, ok := l.tids[tag]
+	if !ok {
+		id = int32(len(l.tids))
+		l.tids[tag] = id
+		l.abs = append(l.abs, nil)
+		l.eop = append(l.eop, nil)
+		l.rel = append(l.rel, nil)
+	}
+	return id
+}
+
+// Tid resolves a tag to its layout id, or -1 when no stored predicate
+// mentions the tag (such tuples can match nothing and are skipped by id).
+func (l *Layout) Tid(tag string) int32 {
+	if id, ok := l.tids[tag]; ok {
+		return id
+	}
+	return -1
+}
+
+// Len returns the predicate count the layout was built for.
+func (l *Layout) Len() int { return l.n }
+
+// Tags returns the number of distinct tags the layout indexes.
+func (l *Layout) Tags() int { return len(l.tids) }
+
+// MatchPathTids is Index.MatchPath/MatchPathRecord over the frozen
+// layout, with the publication's tags pre-resolved to layout ids (tids[i]
+// is the id of pub.Tuples[i].Tag, -1 for unknown tags; the caller
+// resolves once per path and reuses the buffer). The cell visit order is
+// identical to Index.matchPath, so the Results contents — per-predicate
+// pair sequences and the touched order — and the Recording transcript
+// are exactly those of a fresh MatchPath run; rec may be nil.
+func (l *Layout) MatchPathTids(pub *xmldoc.Publication, tids []int32, res *Results, rec *Recording) {
+	ix := l.ix
+	ln := pub.Length
+
+	// Length-of-expression predicates: (length, >=, v) matches iff v <= l.
+	for v := 1; v < len(ix.length) && v <= ln; v++ {
+		if c := &ix.length[v]; !c.empty() {
+			ix.emit(c, nil, nil, 0, 0, res, rec)
+		}
+	}
+
+	for i := range pub.Tuples {
+		ti := tids[i]
+		if ti < 0 {
+			continue // the index has no predicate on this tag
+		}
+		t := &pub.Tuples[i]
+		occ := int32(t.Occ)
+
+		// Absolute predicates on t.Tag.
+		if a := l.abs[ti]; a != nil {
+			if v := t.Pos; v < len(a.eq) {
+				if c := &a.eq[v]; !c.empty() {
+					ix.emit(c, t, nil, occ, occ, res, rec)
+				}
+			}
+			for v := 1; v < len(a.ge) && v <= t.Pos; v++ {
+				if c := &a.ge[v]; !c.empty() {
+					ix.emit(c, t, nil, occ, occ, res, rec)
+				}
+			}
+		}
+
+		// End-of-path predicates: (p_t⊣, >=, v) matches iff l - pos >= v.
+		if cs := l.eop[ti]; cs != nil {
+			for v := 1; v < len(*cs) && v <= ln-t.Pos; v++ {
+				if c := &(*cs)[v]; !c.empty() {
+					ix.emit(c, t, nil, occ, occ, res, rec)
+				}
+			}
+		}
+
+		// Relative predicates with t as the first tag.
+		row := l.rel[ti]
+		if row == nil {
+			continue
+		}
+		for j := i + 1; j < len(pub.Tuples); j++ {
+			tj := tids[j]
+			if tj < 0 {
+				continue
+			}
+			a := row[tj]
+			if a == nil {
+				continue
+			}
+			u := &pub.Tuples[j]
+			d := u.Pos - t.Pos
+			if d < len(a.eq) {
+				if c := &a.eq[d]; !c.empty() {
+					ix.emit(c, t, u, occ, int32(u.Occ), res, rec)
+				}
+			}
+			for v := 1; v < len(a.ge) && v <= d; v++ {
+				if c := &a.ge[v]; !c.empty() {
+					ix.emit(c, t, u, occ, int32(u.Occ), res, rec)
+				}
+			}
+		}
+	}
+}

@@ -810,6 +810,27 @@ func (s *Server) pathCacheVars() map[string]any {
 	}
 }
 
+// columnarVars flattens the columnar batch matcher's counters for /stats
+// and /debug/vars. Returns nil until a batch entry point has engaged the
+// kernel, so scalar-only deployments keep their response shape.
+func (s *Server) columnarVars() map[string]any {
+	cs := s.eng.Stats().Columnar
+	if cs.Batches == 0 {
+		return nil
+	}
+	return map[string]any{
+		"batches":         cs.Batches,
+		"docs":            cs.Docs,
+		"avg_batch":       cs.AvgBatch(),
+		"paths":           cs.Paths,
+		"candidates":      cs.Candidates,
+		"ambiguous_paths": cs.AmbiguousPaths,
+		"words_swept":     cs.WordsSwept,
+		"words_live":      cs.WordsLive,
+		"occupancy":       cs.Occupancy(),
+	}
+}
+
 // publishCounters is one consistent-enough snapshot of the publish-path
 // counters: every atomic is loaded exactly once per request, and all
 // derived values (docs/sec) come from those loads, so a response can
@@ -866,6 +887,9 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	}
 	if cv := s.pathCacheVars(); cv != nil {
 		vars["path_cache"] = cv
+	}
+	if cl := s.columnarVars(); cl != nil {
+		vars["columnar"] = cl
 	}
 	body, err := json.Marshal(vars)
 	if err != nil {
@@ -1106,6 +1130,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if pc := s.pathCacheVars(); pc != nil {
 		stats["path_cache"] = pc
+	}
+	if cl := s.columnarVars(); cl != nil {
+		stats["columnar"] = cl
 	}
 	writeJSON(w, http.StatusOK, stats)
 }

@@ -212,10 +212,29 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	x.Family("predfilter_panics_recovered_total", "Panics recovered by the isolation layer.", "counter")
 	x.Int("predfilter_panics_recovered_total", "", e.mx.Panics.Load())
 
-	x.Family("predfilter_stream_queue_depth", "Stream jobs dispatched but not yet picked up.", "gauge")
+	x.Family("predfilter_stream_queue_depth", "Stream documents dispatched but not yet picked up.", "gauge")
 	x.Int("predfilter_stream_queue_depth", "", e.mx.StreamQueueDepth.Load())
 	x.Family("predfilter_stream_jobs_total", "Documents that entered the stream worker pool.", "counter")
 	x.Int("predfilter_stream_jobs_total", "", e.mx.StreamJobs.Load())
+	x.Family("predfilter_stream_batches_total", "Dispatch groups delivered to stream workers (jobs/batches = effective batch size).", "counter")
+	x.Int("predfilter_stream_batches_total", "", e.mx.StreamBatches.Load())
+
+	x.Family("predfilter_columnar_batches_total", "Batches evaluated by the columnar bitset matcher.", "counter")
+	x.Int("predfilter_columnar_batches_total", "", e.mx.ColBatches.Load())
+	x.Family("predfilter_columnar_docs_total", "Documents matched by the columnar bitset matcher.", "counter")
+	x.Int("predfilter_columnar_docs_total", "", e.mx.ColDocs.Load())
+	x.Family("predfilter_columnar_paths_total", "Paths evaluated by the columnar sweep.", "counter")
+	x.Int("predfilter_columnar_paths_total", "", e.mx.ColPaths.Load())
+	x.Family("predfilter_columnar_candidates_total", "Candidate bits surviving the per-path fold.", "counter")
+	x.Int("predfilter_columnar_candidates_total", "", e.mx.ColCandidates.Load())
+	x.Family("predfilter_columnar_ambiguous_paths_total", "Swept paths needing scalar occurrence verification (a tag repeated).", "counter")
+	x.Int("predfilter_columnar_ambiguous_paths_total", "", e.mx.ColAmbiguous.Load())
+	x.Family("predfilter_columnar_words_total", "Candidate-bitset words by sweep outcome: scanned vs holding at least one candidate (live/swept = occupancy).", "counter")
+	x.Int("predfilter_columnar_words_total", `state="swept"`, e.mx.ColWords.Load())
+	x.Int("predfilter_columnar_words_total", `state="live"`, e.mx.ColWordsLive.Load())
+	x.Family("predfilter_columnar_sweep_duration_seconds", "Per-document time in pure bitset sweep work (sub-stage of occurrence).", "histogram")
+	x.Histogram("predfilter_columnar_sweep_duration_seconds", "", e.mx.ColSweep.Snapshot())
+
 	if busy := e.mx.StreamBusyNanos(); len(busy) > 0 {
 		x.Family("predfilter_stream_worker_busy_seconds_total", "Cumulative per-worker busy time.", "counter")
 		for wkr, ns := range busy {

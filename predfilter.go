@@ -31,6 +31,8 @@ import (
 	"errors"
 	"io"
 	"log/slog"
+	"os"
+	"strings"
 	"time"
 
 	"predfilter/internal/guard"
@@ -91,6 +93,38 @@ const (
 	// unoptimized baseline, kept for benchmarking and ablation.
 	Basic
 )
+
+// ColumnarMode selects when the columnar batch matcher runs (the
+// bitset-parallel expression-matching kernel in internal/matcher, which
+// evaluates a whole group of parsed documents against bit columns of
+// expressions so matching cost scales with words(|expressions|/64)
+// instead of |expressions|). It only applies to the batch entry points
+// (MatchStream, MatchBatch); single-document Match calls always use the
+// scalar matcher. The PREDFILTER_COLUMNAR environment variable
+// ("on"/"1"/"force" or "off"/"0") overrides the configured mode
+// process-wide. Columnar and scalar matching produce identical results;
+// the mode only moves the throughput/latency trade-off.
+type ColumnarMode int
+
+const (
+	// ColumnarAuto engages the columnar kernel when a dispatch group is
+	// full enough to amortize its per-batch setup (currently 4 parsed
+	// documents).
+	ColumnarAuto ColumnarMode = iota
+	// ColumnarOn forces the columnar kernel for every dispatch group,
+	// however small.
+	ColumnarOn
+	// ColumnarOff forces the scalar matcher everywhere.
+	ColumnarOff
+)
+
+// colAutoMinBatch is the dispatch-group size at which ColumnarAuto
+// engages the columnar kernel.
+const colAutoMinBatch = 4
+
+// defaultStreamBatch is the dispatch-group bound used when
+// Config.StreamBatch is unset.
+const defaultStreamBatch = 32
 
 // AttributeMode selects when attribute filters are evaluated (§5).
 type AttributeMode int
@@ -154,6 +188,16 @@ type Config struct {
 	// hatch and for benchmarking. The PREDFILTER_XML_PARSER=std
 	// environment variable forces the same process-wide.
 	StdXMLParser bool
+	// Columnar selects when the batch entry points use the columnar
+	// bitset matcher (see ColumnarMode). The PREDFILTER_COLUMNAR
+	// environment variable overrides it.
+	Columnar ColumnarMode
+	// StreamBatch bounds how many pending documents the stream dispatcher
+	// groups into one worker job (and thus one columnar batch). The
+	// dispatcher never waits to fill a group — it takes whatever is
+	// immediately available, so an idle stream keeps single-document
+	// latency. 0 selects the default (32); 1 disables grouping.
+	StreamBatch int
 }
 
 // Engine is the filtering engine. Every engine carries an always-on
@@ -161,12 +205,14 @@ type Config struct {
 // zero-allocation contract of internal/metrics, so there is no
 // instrumentation toggle.
 type Engine struct {
-	m      *matcher.Matcher
-	mx     *metrics.Set
-	logger *slog.Logger
-	slow   time.Duration
-	limits Limits
-	pmode  xmldoc.Mode
+	m        *matcher.Matcher
+	mx       *metrics.Set
+	logger   *slog.Logger
+	slow     time.Duration
+	limits   Limits
+	pmode    xmldoc.Mode
+	columnar ColumnarMode
+	batchMax int // stream dispatch-group bound, ≥ 1
 }
 
 // New returns an engine with the given configuration.
@@ -201,6 +247,17 @@ func New(cfg Config) *Engine {
 	if cfg.StdXMLParser {
 		pmode = xmldoc.ModeStd
 	}
+	columnar := cfg.Columnar
+	switch strings.ToLower(os.Getenv("PREDFILTER_COLUMNAR")) {
+	case "on", "1", "force":
+		columnar = ColumnarOn
+	case "off", "0":
+		columnar = ColumnarOff
+	}
+	batchMax := cfg.StreamBatch
+	if batchMax <= 0 {
+		batchMax = defaultStreamBatch
+	}
 	return &Engine{
 		m: matcher.New(matcher.Options{
 			Variant:          v,
@@ -211,11 +268,26 @@ func New(cfg Config) *Engine {
 			PathCacheBytes:   cfg.PathCacheBytes,
 			Metrics:          mx,
 		}),
-		mx:     mx,
-		logger: logger,
-		slow:   cfg.SlowDocThreshold,
-		limits: cfg.Limits,
-		pmode:  pmode,
+		mx:       mx,
+		logger:   logger,
+		slow:     cfg.SlowDocThreshold,
+		limits:   cfg.Limits,
+		pmode:    pmode,
+		columnar: columnar,
+		batchMax: batchMax,
+	}
+}
+
+// colEngage reports whether a dispatch group of n successfully parsed
+// documents should go through the columnar batch matcher.
+func (e *Engine) colEngage(n int) bool {
+	switch e.columnar {
+	case ColumnarOn:
+		return n >= 1
+	case ColumnarOff:
+		return false
+	default:
+		return n >= colAutoMinBatch
 	}
 }
 
@@ -464,6 +536,9 @@ type Stats struct {
 	// Panics counts panics recovered by the isolation layer (stream
 	// workers, HTTP handlers) instead of crashing the process.
 	Panics int64
+	// Columnar reports the columnar batch matcher's activity; zero-valued
+	// until a batch entry point engages it.
+	Columnar ColumnarStats
 	// Stages summarizes the per-stage latency histograms.
 	Stages StageStats
 }
@@ -478,6 +553,39 @@ type PathCacheStats struct {
 	Entries       int   // resident distinct path signatures
 	Bytes         int64 // resident byte estimate
 	MaxBytes      int64 // configured bound
+}
+
+// ColumnarStats summarizes the columnar batch matcher (the bitset
+// kernel): how many batches and documents it evaluated, the paths swept,
+// the candidate bits that survived the per-path fold, the paths that
+// needed scalar occurrence verification because a tag repeated, and the
+// occupancy pair — candidate-bitset words scanned vs words that held at
+// least one candidate (low occupancy means the word-parallel fold is
+// doing its job: most expressions are dismissed 64 at a time).
+type ColumnarStats struct {
+	Batches        int64
+	Docs           int64
+	Paths          int64
+	Candidates     int64
+	AmbiguousPaths int64
+	WordsSwept     int64
+	WordsLive      int64
+}
+
+// Occupancy returns WordsLive / WordsSwept, or 0 before any sweep.
+func (s ColumnarStats) Occupancy() float64 {
+	if s.WordsSwept == 0 {
+		return 0
+	}
+	return float64(s.WordsLive) / float64(s.WordsSwept)
+}
+
+// AvgBatch returns the average documents per columnar batch, or 0.
+func (s ColumnarStats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Docs) / float64(s.Batches)
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup. The sum
@@ -508,7 +616,16 @@ func (e *Engine) Stats() Stats {
 		ParseScanDocs:       e.mx.ParseScanDocs.Load(),
 		ParseFallbacks:      e.mx.ParseFallbackDocs.Load(),
 		Panics:              e.mx.Panics.Load(),
-		Stages:              e.stageStats(),
+		Columnar: ColumnarStats{
+			Batches:        e.mx.ColBatches.Load(),
+			Docs:           e.mx.ColDocs.Load(),
+			Paths:          e.mx.ColPaths.Load(),
+			Candidates:     e.mx.ColCandidates.Load(),
+			AmbiguousPaths: e.mx.ColAmbiguous.Load(),
+			WordsSwept:     e.mx.ColWords.Load(),
+			WordsLive:      e.mx.ColWordsLive.Load(),
+		},
+		Stages: e.stageStats(),
 	}
 	trips := e.mx.LimitTrips()
 	for k := guard.Kind(0); k < guard.NumKinds; k++ {

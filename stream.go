@@ -32,14 +32,15 @@ type Result struct {
 // panics; production code never sets it.
 var testHookStreamJob func(doc []byte)
 
-// matchStreamDoc runs parse + match for one stream document under the
-// engine's limits and the stream context, isolating panics: a panicking
-// document is counted, reported in its own Result, and fails only itself
-// — the worker and the rest of the stream continue.
-func (e *Engine) matchStreamDoc(ctx context.Context, r *Result) {
+// parseStreamDoc parses one stream document under the engine's limits,
+// isolating panics: a panicking or failing document is counted, reported
+// in its own Result, and fails only itself. It returns nil when the
+// document did not parse (r.Err is set).
+func (e *Engine) parseStreamDoc(r *Result) (d *xmldoc.Document, parse time.Duration) {
 	defer func() {
 		if p := recover(); p != nil {
 			e.mx.ObservePanic()
+			d = nil
 			r.SIDs = nil
 			r.Err = fmt.Errorf("predfilter: recovered panic matching document %d: %v", r.Index, p)
 		}
@@ -51,8 +52,21 @@ func (e *Engine) matchStreamDoc(ctx context.Context, r *Result) {
 	d, err := xmldoc.ParseMeteredLimitsMode(r.Doc, e.mx, e.limits, e.pmode)
 	if err != nil {
 		r.Err = e.recordGovernance(err)
-		return
+		return nil, 0
 	}
+	return d, time.Since(t0)
+}
+
+// matchParsedStreamDoc runs the scalar matcher over one already-parsed
+// stream document, with the same per-document panic isolation.
+func (e *Engine) matchParsedStreamDoc(ctx context.Context, r *Result, d *xmldoc.Document, parse time.Duration) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.mx.ObservePanic()
+			r.SIDs = nil
+			r.Err = fmt.Errorf("predfilter: recovered panic matching document %d: %v", r.Index, p)
+		}
+	}()
 	t1 := time.Now()
 	sids, _, err := e.m.MatchDocumentBudget(d, guard.NewBudget(ctx, e.limits))
 	if err != nil {
@@ -60,7 +74,76 @@ func (e *Engine) matchStreamDoc(ctx context.Context, r *Result) {
 		return
 	}
 	r.SIDs = sids
-	e.maybeLogSlow(t1.Sub(t0), time.Since(t1), nil, len(r.Doc), len(d.Paths), len(sids))
+	e.maybeLogSlow(parse, time.Since(t1), nil, len(r.Doc), len(d.Paths), len(sids))
+}
+
+// matchStreamGroup processes one dispatch group: every document is parsed
+// individually (per-document panic and limit isolation), and the
+// survivors are matched together — through the columnar batch matcher
+// when the group is large enough for the configured ColumnarMode, through
+// the scalar matcher per document otherwise.
+func (e *Engine) matchStreamGroup(ctx context.Context, rs []Result) {
+	docs := make([]*xmldoc.Document, len(rs))
+	parse := make([]time.Duration, len(rs))
+	live := 0
+	for k := range rs {
+		docs[k], parse[k] = e.parseStreamDoc(&rs[k])
+		if docs[k] != nil {
+			live++
+		}
+	}
+	if live == 0 {
+		return
+	}
+	if e.colEngage(live) && e.matchColumnarGroup(ctx, rs, docs, parse) {
+		return
+	}
+	for k := range rs {
+		if docs[k] != nil {
+			e.matchParsedStreamDoc(ctx, &rs[k], docs[k], parse[k])
+		}
+	}
+}
+
+// matchColumnarGroup matches a group's parsed documents through the
+// columnar kernel. A panic is recovered and reported by returning false,
+// and the caller re-matches the group through the scalar per-document
+// path (which carries its own per-document isolation); results assigned
+// before the panic are reset so the scalar pass starts clean.
+func (e *Engine) matchColumnarGroup(ctx context.Context, rs []Result, docs []*xmldoc.Document, parse []time.Duration) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.mx.ObservePanic()
+			for k := range rs {
+				if docs[k] != nil {
+					rs[k].SIDs = nil
+					rs[k].Err = nil
+				}
+			}
+			ok = false
+		}
+	}()
+	batch := make([]*xmldoc.Document, 0, len(rs))
+	buds := make([]*guard.Budget, 0, len(rs))
+	idx := make([]int, 0, len(rs))
+	for k := range rs {
+		if docs[k] == nil {
+			continue
+		}
+		batch = append(batch, docs[k])
+		buds = append(buds, guard.NewBudget(ctx, e.limits))
+		idx = append(idx, k)
+	}
+	outs, errs := e.m.MatchDocumentsColumnar(batch, buds)
+	for j, k := range idx {
+		if errs[j] != nil {
+			rs[k].Err = e.recordGovernance(errs[j])
+			continue
+		}
+		rs[k].SIDs = outs[j]
+		e.maybeLogSlow(parse[k], 0, nil, len(rs[k].Doc), len(batch[j].Paths), len(outs[j]))
+	}
+	return true
 }
 
 // MatchStream filters a stream of XML documents through a worker pipeline:
@@ -91,29 +174,60 @@ func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers in
 	}
 
 	type job struct {
-		i   int
-		doc []byte
+		base int      // input ordinal of docs[0]
+		docs [][]byte // contiguous dispatch group
 	}
 	jobs := make(chan job, workers)
 	unordered := make(chan Result, workers)
 	out := make(chan Result, workers)
 
-	// Dispatcher: assign input ordinals.
+	// Dispatcher: assign input ordinals and group pending documents into
+	// dispatch groups of up to e.batchMax. The drain is strictly
+	// non-blocking — a group closes the moment the input channel has
+	// nothing ready — so a trickling stream keeps single-document
+	// dispatch latency while a backlogged one hands workers full groups
+	// (which is what lets the columnar batch matcher engage).
 	go func() {
 		defer close(jobs)
-		i := 0
+		base := 0
+		var batch [][]byte
+		deliver := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			e.mx.StreamQueueDepth.Add(int64(len(batch)))
+			select {
+			case jobs <- job{base, batch}:
+				base += len(batch)
+				batch = nil
+				return true
+			case <-ctx.Done():
+				e.mx.StreamQueueDepth.Add(int64(-len(batch)))
+				return false
+			}
+		}
 		for {
 			select {
 			case doc, ok := <-docs:
 				if !ok {
+					deliver()
 					return
 				}
-				e.mx.StreamQueueDepth.Inc()
-				select {
-				case jobs <- job{i, doc}:
-					i++
-				case <-ctx.Done():
-					e.mx.StreamQueueDepth.Dec()
+				batch = append(batch, doc)
+				for len(batch) < e.batchMax {
+					select {
+					case more, ok := <-docs:
+						if !ok {
+							deliver()
+							return
+						}
+						batch = append(batch, more)
+						continue
+					default:
+					}
+					break
+				}
+				if !deliver() {
 					return
 				}
 			case <-ctx.Done():
@@ -122,10 +236,12 @@ func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers in
 		}
 	}()
 
-	// Workers: parse + match. Each worker accumulates its busy time (from
-	// job pickup to result delivery readiness) into its own counter, so
-	// the per-worker utilization of the pool is observable; queue depth
-	// reflects jobs dispatched but not yet picked up.
+	// Workers: parse + match one dispatch group at a time. Each worker
+	// accumulates its busy time (from group pickup to result delivery
+	// readiness) into its own counter, so the per-worker utilization of
+	// the pool is observable; queue depth reflects documents dispatched
+	// but not yet picked up, and StreamJobs/StreamBatches expose the
+	// effective group size.
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -133,16 +249,22 @@ func (e *Engine) MatchStream(ctx context.Context, docs <-chan []byte, workers in
 			defer wg.Done()
 			busy := e.mx.StreamBusy(w)
 			for j := range jobs {
-				e.mx.StreamQueueDepth.Dec()
-				e.mx.StreamJobs.Inc()
+				e.mx.StreamQueueDepth.Add(int64(-len(j.docs)))
+				e.mx.StreamJobs.Add(int64(len(j.docs)))
+				e.mx.StreamBatches.Inc()
 				t0 := time.Now()
-				r := Result{Index: j.i, Doc: j.doc}
-				e.matchStreamDoc(ctx, &r)
+				rs := make([]Result, len(j.docs))
+				for k := range rs {
+					rs[k] = Result{Index: j.base + k, Doc: j.docs[k]}
+				}
+				e.matchStreamGroup(ctx, rs)
 				busy.Add(int64(time.Since(t0)))
-				select {
-				case unordered <- r:
-				case <-ctx.Done():
-					return
+				for k := range rs {
+					select {
+					case unordered <- rs[k]:
+					case <-ctx.Done():
+						return
+					}
 				}
 			}
 		}(w)
