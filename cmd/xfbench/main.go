@@ -23,6 +23,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +32,7 @@ import (
 
 	"predfilter/internal/bench"
 	"predfilter/internal/dtd"
+	"predfilter/internal/metrics"
 )
 
 func main() {
@@ -45,8 +48,17 @@ func main() {
 		list        = flag.Bool("list", false, "list experiments and exit")
 		stats       = flag.Bool("stats", false, "print workload statistics and exit")
 		verbose     = flag.Bool("v", true, "print per-point progress")
+		validate    = flag.String("validate-metrics", "", "fetch this /metrics URL, validate it against the strict Prometheus 0.0.4 checker, and exit (CI smoke)")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		if err := validateMetricsURL(*validate); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ok: %s is a valid exposition\n", *validate)
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments {
@@ -280,4 +292,24 @@ func printStats(s bench.Scale) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xfbench:", err)
 	os.Exit(1)
+}
+
+// validateMetricsURL fetches a Prometheus exposition and runs it through
+// the strict 0.0.4 validator — the CI smoke check that a live server's
+// (or a cluster coordinator's rolled-up) /metrics stays scrapable.
+func validateMetricsURL(url string) error {
+	hc := &http.Client{Timeout: 30 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s answered %d: %s", url, resp.StatusCode, body)
+	}
+	return metrics.ValidateExposition(string(body))
 }

@@ -36,6 +36,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
@@ -49,6 +50,7 @@ import (
 	"predfilter"
 	"predfilter/internal/cluster"
 	"predfilter/internal/server"
+	"predfilter/internal/trace"
 )
 
 func main() {
@@ -67,6 +69,11 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		cacheMB    = flag.Int64("cache-mb", 0, "path-signature cache bound in MiB (0 = default 16, negative = disabled)")
 		slowMS     = flag.Int64("slow-ms", 0, "log documents whose parse+match exceeds this many milliseconds (0 = disabled)")
+
+		// Observability.
+		flightRecords = flag.Int("flight-records", 0, "flight recorder ring capacity for anomalous publishes, dumped on SIGQUIT and served at /debug/flight (0 = default 64, negative = disabled)")
+		slowPublish   = flag.Duration("slow-publish", 0, "cluster: retain publishes slower than this in the coordinator's flight recorder (0 = disabled)")
+		traceAll      = flag.Bool("trace-all", false, "cluster: trace every publish, not only those carrying X-Predfilter-Trace or ?trace=1")
 
 		// Resource governance (0 disables each bound).
 		maxDepth      = flag.Int("max-depth", 0, "maximum XML nesting depth per document (0 = unlimited)")
@@ -109,6 +116,9 @@ func main() {
 			healthInterval: *healthInterval,
 			recover:        *clusterRecover,
 			maxDoc:         *maxDoc,
+			flightRecords:  *flightRecords,
+			slowPublish:    *slowPublish,
+			traceAll:       *traceAll,
 			drain:          *drain,
 			readHeader:     *readHeaderTimeout,
 			read:           *readTimeout,
@@ -131,6 +141,7 @@ func main() {
 		MaxInflight:      *maxInflight,
 		MaxQueued:        *maxQueued,
 		RequestTimeout:   *reqTimeout,
+		FlightRecords:    *flightRecords,
 	}
 	cfg.Engine.Limits = predfilter.Limits{
 		MaxDepth:      *maxDepth,
@@ -184,6 +195,8 @@ func main() {
 		log.Printf("xfserve: hot standby shipping WAL from %s", *follow)
 	}
 
+	dumpFlightOnQuit(srv.FlightRecorder())
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -234,11 +247,42 @@ type coordinatorOptions struct {
 	healthInterval time.Duration
 	recover        bool
 	maxDoc         int64
+	flightRecords  int
+	slowPublish    time.Duration
+	traceAll       bool
 	drain          time.Duration
 	readHeader     time.Duration
 	read           time.Duration
 	write          time.Duration
 	idle           time.Duration
+}
+
+// dumpFlightOnQuit installs a SIGQUIT handler that dumps the flight
+// recorder — the last K anomalous publishes with their span trees — to
+// the log, so a wedged or misbehaving process can be asked for its
+// recent history with kill -QUIT without restarting it. No-op when the
+// recorder is disabled.
+func dumpFlightOnQuit(f *trace.FlightRecorder) {
+	if f == nil {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			recs := f.Snapshot()
+			out, err := json.MarshalIndent(map[string]any{
+				"recorded": f.Recorded(),
+				"capacity": f.Cap(),
+				"records":  recs,
+			}, "", "  ")
+			if err != nil {
+				log.Printf("xfserve: flight dump: %v", err)
+				continue
+			}
+			log.Printf("xfserve: flight recorder dump (%d records):\n%s", len(recs), out)
+		}
+	}()
 }
 
 // runCoordinator serves the cluster coordinator: the single-server API
@@ -255,16 +299,20 @@ func runCoordinator(o coordinatorOptions) {
 		}
 	}
 	coord, err := cluster.New(cluster.Config{
-		Shards:           specs,
-		PublishTimeout:   o.publishTimeout,
-		Retries:          o.retries,
-		HealthInterval:   o.healthInterval,
-		Recover:          o.recover,
-		MaxDocumentBytes: o.maxDoc,
+		Shards:               specs,
+		PublishTimeout:       o.publishTimeout,
+		Retries:              o.retries,
+		HealthInterval:       o.healthInterval,
+		Recover:              o.recover,
+		MaxDocumentBytes:     o.maxDoc,
+		FlightRecords:        o.flightRecords,
+		SlowPublishThreshold: o.slowPublish,
+		TraceAll:             o.traceAll,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	dumpFlightOnQuit(coord.FlightRecorder())
 	hs := &http.Server{
 		Addr:              o.addr,
 		Handler:           coord,

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"predfilter"
 	"predfilter/internal/server"
+	"predfilter/internal/trace"
 )
 
 // shardAPI is the coordinator's HTTP client for one shard's
@@ -31,6 +33,10 @@ type shardError struct {
 	status    int // 0 for network errors
 	msg       string
 	transient bool
+	// retryAfter is the shard's Retry-After answer in seconds (0 when
+	// absent). The coordinator surfaces the max across shards on its own
+	// 429 so a backpressured cluster propagates its pacing hint intact.
+	retryAfter int
 }
 
 func (e *shardError) Error() string {
@@ -60,8 +66,17 @@ func transientStatus(code int) bool {
 
 // do runs one request and decodes the JSON response into out (when
 // non-nil). Non-2xx answers and transport failures come back as
-// *shardError with the transient/permanent split above.
+// *shardError with the transient/permanent split above. When the
+// request's context carries a distributed trace and no propagation
+// header was set explicitly, the trace ID is attached — subscribe,
+// unsubscribe, proxy and WAL-shipping calls made under a traced
+// operation all carry it without per-call plumbing.
 func (a *shardAPI) do(req *http.Request, out any) error {
+	if req.Header.Get(trace.HeaderName) == "" {
+		if tr := trace.FromContext(req.Context()); tr.Enabled() {
+			req.Header.Set(trace.HeaderName, trace.FormatHeader(tr.ID(), 0))
+		}
+	}
 	resp, err := a.hc.Do(req)
 	if err != nil {
 		return &shardError{msg: err.Error(), transient: true}
@@ -79,7 +94,13 @@ func (a *shardAPI) do(req *http.Request, out any) error {
 		if json.Unmarshal(body, &je) == nil && je.Error != "" {
 			msg = je.Error
 		}
-		return &shardError{status: resp.StatusCode, msg: msg, transient: transientStatus(resp.StatusCode)}
+		ra := 0
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if n, perr := strconv.Atoi(v); perr == nil && n > 0 {
+				ra = n
+			}
+		}
+		return &shardError{status: resp.StatusCode, msg: msg, transient: transientStatus(resp.StatusCode), retryAfter: ra}
 	}
 	if out == nil {
 		return nil
@@ -140,13 +161,18 @@ func (a *shardAPI) listSubscriptions(ctx context.Context, addr string) ([]server
 }
 
 // publish posts one document to the shard at addr and returns the
-// matching sids of that shard's subscription partition.
-func (a *shardAPI) publish(ctx context.Context, addr string, doc []byte) ([]predfilter.SID, error) {
+// matching sids of that shard's subscription partition. traceHeader,
+// when non-empty, is the X-Predfilter-Trace value naming this call's
+// span as the remote parent (the per-shard publish span).
+func (a *shardAPI) publish(ctx context.Context, addr string, doc []byte, traceHeader string) ([]predfilter.SID, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/publish", bytes.NewReader(doc))
 	if err != nil {
 		return nil, &shardError{msg: err.Error()}
 	}
 	req.Header.Set("Content-Type", "application/xml")
+	if traceHeader != "" {
+		req.Header.Set(trace.HeaderName, traceHeader)
+	}
 	var resp struct {
 		IDs []predfilter.SID `json:"ids"`
 	}
@@ -154,6 +180,38 @@ func (a *shardAPI) publish(ctx context.Context, addr string, doc []byte) ([]pred
 		return nil, err
 	}
 	return resp.IDs, nil
+}
+
+// metricsText fetches one shard's Prometheus exposition — the rollup
+// input for the coordinator's cluster-wide /metrics.
+func (a *shardAPI) metricsText(ctx context.Context, addr string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return "", &shardError{msg: err.Error()}
+	}
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return "", &shardError{msg: err.Error(), transient: true}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", &shardError{msg: fmt.Sprintf("read response: %v", err), transient: true}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &shardError{status: resp.StatusCode, msg: string(body), transient: transientStatus(resp.StatusCode)}
+	}
+	return string(body), nil
+}
+
+// statsJSON fetches one shard's /stats document verbatim — the rollup
+// input for the coordinator's cluster-wide /stats.
+func (a *shardAPI) statsJSON(ctx context.Context, addr string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := a.getJSON(ctx, addr+"/stats", &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
 }
 
 // healthy probes the shard's liveness endpoint.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -11,6 +12,8 @@ import (
 	"time"
 
 	"predfilter"
+	"predfilter/internal/metrics"
+	"predfilter/internal/trace"
 	"predfilter/internal/xpath"
 )
 
@@ -75,7 +78,37 @@ type Config struct {
 	// Client is the HTTP client for shard calls (default: a dedicated
 	// client with sensible pooling).
 	Client *http.Client
+
+	// SlowPublishThreshold flags a scatter/gather publish as anomalous
+	// (retained in the flight recorder) when its total wall time reaches
+	// this bound. 0 disables the slow criterion; degraded, failed,
+	// retried and explicitly traced publishes are retained regardless.
+	SlowPublishThreshold time.Duration
+	// FlightRecords sizes the flight recorder ring (0 uses
+	// trace.DefaultFlightRecords; negative disables it).
+	FlightRecords int
+	// TraceAll records a full span tree for every publish, not only those
+	// carrying a trace header or ?trace=1. Meant for debugging sessions —
+	// it puts an allocation on every publish.
+	TraceAll bool
+	// Logger receives the coordinator's structured events (retries,
+	// failovers, migrations, orphan reaping); nil selects slog.Default().
+	Logger *slog.Logger
 }
+
+// RPC stages instrumented per shard: each gets its own latency
+// histogram, exposed as predfilter_cluster_rpc_duration_seconds with
+// shard and stage labels.
+const (
+	rpcSubscribe = iota
+	rpcUnsubscribe
+	rpcPublish
+	rpcProbe
+	rpcPromote
+	numRPCStages
+)
+
+var rpcStageNames = [numRPCStages]string{"subscribe", "unsubscribe", "publish", "probe", "promote"}
 
 // shard is one shard's routing state and counters.
 type shard struct {
@@ -94,6 +127,11 @@ type shard struct {
 	retries      atomic.Int64 // publish attempts retried
 	skipped      atomic.Int64 // documents skipped after retries (degraded)
 	publishNanos atomic.Int64
+
+	// rpc holds one latency histogram per instrumented RPC stage; every
+	// attempt against this shard is observed, so retries widen the tail
+	// visibly instead of hiding inside one long aggregate.
+	rpc [numRPCStages]metrics.Histogram
 }
 
 func (sh *shard) currentAddr() string {
@@ -125,9 +163,11 @@ type subRecord struct {
 // path (shardList, Stats, proxyToOwner) cannot be stalled by a slow
 // subscribe or a migration in progress.
 type Coordinator struct {
-	cfg Config
-	api *shardAPI
-	mux *http.ServeMux
+	cfg    Config
+	api    *shardAPI
+	mux    *http.ServeMux
+	log    *slog.Logger
+	flight *trace.FlightRecorder
 
 	adminMu sync.Mutex
 	ring    *ring // adminMu holders only
@@ -143,7 +183,10 @@ type Coordinator struct {
 	docsDegraded  atomic.Int64
 	docsFailed    atomic.Int64
 	failovers     atomic.Int64
+	scrapeErrs    atomic.Int64 // shard /metrics scrapes that failed during rollup
 	draining      atomic.Bool
+
+	gatherMerge metrics.Histogram // gather-merge stage of scatter/gather publish
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -184,14 +227,21 @@ func New(cfg Config) (*Coordinator, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		api:     &shardAPI{hc: cfg.Client},
+		log:     cfg.Logger,
 		ring:    newRing(nil, cfg.VirtualNodes),
 		shards:  make(map[string]*shard),
 		subs:    make(map[predfilter.SID]*subRecord),
 		orphans: make(map[predfilter.SID]string),
 		done:    make(chan struct{}),
+	}
+	if cfg.FlightRecords >= 0 {
+		c.flight = trace.NewFlightRecorder(cfg.FlightRecords)
 	}
 	for _, spec := range cfg.Shards {
 		name := spec.Name
@@ -327,7 +377,7 @@ func (c *Coordinator) Subscribe(ctx context.Context, expr string) (predfilter.SI
 	c.mu.Unlock()
 	cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
 	defer cancel()
-	if err := c.callWithRetry(cctx, sh, func(addr string) error {
+	if _, err := c.callWithRetry(cctx, sh, rpcSubscribe, func(addr string) error {
 		return c.api.subscribe(cctx, addr, sid, expr)
 	}); err != nil {
 		c.abandonSID(sh, sid, err)
@@ -377,6 +427,9 @@ func (c *Coordinator) abandonSID(sh *shard, sid predfilter.SID, callErr error) {
 	}
 	c.orphans[sid] = sh.name
 	c.mu.Unlock()
+	c.log.Warn("cluster: sid burned as orphan after failed subscribe",
+		slog.Int64("sid", int64(sid)),
+		slog.String("shard", sh.name))
 }
 
 // reapOrphans retries the delete of every burned sid (abandonSID) whose
@@ -407,6 +460,9 @@ func (c *Coordinator) reapOrphans(ctx context.Context) {
 			c.mu.Lock()
 			delete(c.orphans, sid)
 			c.mu.Unlock()
+			c.log.Info("cluster: reaped orphaned sid",
+				slog.Int64("sid", int64(sid)),
+				slog.String("shard", sh.name))
 		}
 	}
 }
@@ -427,7 +483,7 @@ func (c *Coordinator) Unsubscribe(ctx context.Context, sid predfilter.SID) error
 	}
 	cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
 	defer cancel()
-	if err := c.callWithRetry(cctx, sh, func(addr string) error {
+	if _, err := c.callWithRetry(cctx, sh, rpcUnsubscribe, func(addr string) error {
 		return c.api.unsubscribe(cctx, addr, sid)
 	}); err != nil {
 		return fmt.Errorf("cluster: unsubscribe on shard %s: %w", rec.owner, err)
@@ -449,30 +505,50 @@ func (c *Coordinator) OwnerOf(sid predfilter.SID) (string, bool) {
 	return rec.owner, true
 }
 
+// ctxTraceID renders the trace ID carried by ctx for log correlation
+// ("" when the operation is untraced).
+func ctxTraceID(ctx context.Context) string {
+	if tr := trace.FromContext(ctx); tr.Enabled() {
+		return tr.ID().String()
+	}
+	return ""
+}
+
 // callWithRetry runs one shard call against the shard's current address,
 // retrying transient failures with linear backoff. The address is
 // re-resolved per attempt so a promotion between attempts is picked up.
-func (c *Coordinator) callWithRetry(ctx context.Context, sh *shard, call func(addr string) error) error {
-	var err error
+// Every attempt's latency lands in the shard's per-stage RPC histogram,
+// and each retry is logged with the shard, stage and trace ID. attempts
+// reports how many were made (≥1 unless the context was already done).
+func (c *Coordinator) callWithRetry(ctx context.Context, sh *shard, stage int, call func(addr string) error) (attempts int, err error) {
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			sh.retries.Add(1)
+			c.log.Warn("cluster: retrying shard call",
+				slog.String("shard", sh.name),
+				slog.String("stage", rpcStageNames[stage]),
+				slog.Int("attempt", attempt+1),
+				slog.String("error", err.Error()),
+				slog.String("trace_id", ctxTraceID(ctx)))
 			select {
 			case <-time.After(time.Duration(attempt) * c.cfg.RetryBackoff):
 			case <-ctx.Done():
-				return err
+				return attempts, err
 			}
 		}
+		attempts++
+		t0 := time.Now()
 		err = call(sh.currentAddr())
+		sh.rpc[stage].Observe(time.Since(t0))
 		if err == nil {
-			return nil
+			return attempts, nil
 		}
 		var se *shardError
 		if !errors.As(err, &se) || !se.transient {
-			return err
+			return attempts, err
 		}
 	}
-	return err
+	return attempts, err
 }
 
 // PublishResult is the outcome of one scatter/gather publish. When every
@@ -481,11 +557,44 @@ func (c *Coordinator) callWithRetry(ctx context.Context, sh *shard, call func(ad
 // canonical delivery order). When a shard stayed down through the retry
 // budget, Degraded is set and Skipped names it: the match set is the
 // union of the answering shards, a flagged partial result rather than a
-// failed publish.
+// failed publish. TraceID names the distributed trace when the publish
+// was traced (an X-Predfilter-Trace header, ?trace=1, or
+// Config.TraceAll), "" otherwise.
 type PublishResult struct {
 	SIDs     []predfilter.SID
 	Degraded bool
 	Skipped  []string
+	TraceID  string
+}
+
+// allShardsError is the all-shards-skipped publish failure. When every
+// skipped shard answered 429 the cluster as a whole is shedding load, so
+// the coordinator relays 429 with the largest shard Retry-After instead
+// of masking backpressure as a 502.
+type allShardsError struct {
+	shards      int
+	rateLimited bool
+	retryAfter  int // max shard Retry-After in seconds (0 when none given)
+}
+
+func (e *allShardsError) Error() string {
+	if e.rateLimited {
+		return fmt.Sprintf("cluster: all %d shards rate-limited", e.shards)
+	}
+	return fmt.Sprintf("cluster: all %d shards unreachable", e.shards)
+}
+
+// shardResult is one shard's gathered outcome within a scatter/gather
+// publish — the gather input, and the raw material for flight-recorder
+// span synthesis when an untraced publish turns out anomalous.
+type shardResult struct {
+	name       string
+	sids       []predfilter.SID
+	err        error
+	attempts   int
+	start      time.Time
+	dur        time.Duration
+	retryAfter int
 }
 
 // Publish scatters one document to every shard and gathers the merged
@@ -497,32 +606,54 @@ type PublishResult struct {
 // resource-limit trip — the governance statuses a single server would
 // answer) fails the publish with that shard's error, because the
 // document, not the cluster, is the problem.
+//
+// When ctx carries a *trace.Trace (trace.NewContext) — or Config.TraceAll
+// is set — each per-shard call runs under its own span, propagated to the
+// shard via X-Predfilter-Trace so the shard's spans join the same tree.
+// Untraced publishes pay no allocations for tracing; if one turns out
+// anomalous (degraded, failed, retried, or slower than
+// Config.SlowPublishThreshold), a span tree is synthesized after the fact
+// from the gathered timings and retained in the flight recorder.
 func (c *Coordinator) Publish(ctx context.Context, doc []byte) (*PublishResult, error) {
-	shards := c.shardList()
-	type gathered struct {
-		name string
-		sids []predfilter.SID
-		err  error
+	tr := trace.FromContext(ctx)
+	if tr == nil && c.cfg.TraceAll {
+		tr = trace.New()
+		ctx = trace.NewContext(ctx, tr)
 	}
-	out := make([]gathered, len(shards))
+	start := time.Now()
+	shards := c.shardList()
+	out := make([]shardResult, len(shards))
 	var wg sync.WaitGroup
 	wg.Add(len(shards))
 	for i, sh := range shards {
 		go func(i int, sh *shard) {
 			defer wg.Done()
 			t0 := time.Now()
+			span := tr.StartSpan("shard.publish", 0)
+			span.SetShard(sh.name)
+			header := span.Header()
 			var sids []predfilter.SID
-			err := c.callWithRetry(ctx, sh, func(addr string) error {
+			attempts, err := c.callWithRetry(ctx, sh, rpcPublish, func(addr string) error {
 				cctx, cancel := context.WithTimeout(ctx, c.cfg.PublishTimeout)
 				defer cancel()
 				var cerr error
-				sids, cerr = c.api.publish(cctx, addr, doc)
+				sids, cerr = c.api.publish(cctx, addr, doc, header)
 				return cerr
 			})
-			sh.publishNanos.Add(time.Since(t0).Nanoseconds())
+			dur := time.Since(t0)
+			sh.publishNanos.Add(dur.Nanoseconds())
+			span.SetRetries(attempts - 1)
+			span.SetError(err)
+			span.End()
+			g := shardResult{name: sh.name, attempts: attempts, start: t0, dur: dur}
 			if err != nil {
 				sh.errs.Add(1)
-				out[i] = gathered{name: sh.name, err: err}
+				var se *shardError
+				if errors.As(err, &se) {
+					g.retryAfter = se.retryAfter
+				}
+				g.err = err
+				out[i] = g
 				return
 			}
 			sh.published.Add(1)
@@ -530,13 +661,23 @@ func (c *Coordinator) Publish(ctx context.Context, doc []byte) (*PublishResult, 
 			// own order (expression registration order) is not guaranteed
 			// to be.
 			sort.Slice(sids, func(a, b int) bool { return sids[a] < sids[b] })
-			out[i] = gathered{name: sh.name, sids: sids}
+			g.sids = sids
+			out[i] = g
 		}(i, sh)
 	}
 	wg.Wait()
 
+	retried := 0
+	for _, g := range out {
+		retried += g.attempts - 1
+	}
 	res := &PublishResult{}
+	if tr.Enabled() {
+		res.TraceID = tr.ID().String()
+	}
 	sets := make([][]predfilter.SID, 0, len(shards))
+	maxRetryAfter := 0
+	allRateLimited := true
 	for i, g := range out {
 		if g.err == nil {
 			sets = append(sets, g.sids)
@@ -547,23 +688,106 @@ func (c *Coordinator) Publish(ctx context.Context, doc []byte) (*PublishResult, 
 			// The document itself was refused; every shard would refuse it
 			// the same way. Surface the governance answer, don't degrade.
 			c.docsFailed.Add(1)
-			return nil, fmt.Errorf("cluster: shard %s refused document: %w", g.name, g.err)
+			err := fmt.Errorf("cluster: shard %s refused document: %w", g.name, g.err)
+			c.recordPublishFlight(tr, start, time.Since(start), len(doc), 0, out, nil, retried, err.Error())
+			return nil, err
+		}
+		if se == nil || se.status != http.StatusTooManyRequests {
+			allRateLimited = false
+		}
+		if g.retryAfter > maxRetryAfter {
+			maxRetryAfter = g.retryAfter
 		}
 		shards[i].skipped.Add(1)
 		res.Skipped = append(res.Skipped, g.name)
 	}
 	if len(res.Skipped) == len(shards) {
 		c.docsFailed.Add(1)
-		return nil, fmt.Errorf("cluster: all %d shards unreachable", len(shards))
+		err := &allShardsError{shards: len(shards), rateLimited: allRateLimited, retryAfter: maxRetryAfter}
+		c.log.Warn("cluster: publish failed on every shard",
+			slog.Int("shards", len(shards)),
+			slog.Bool("rate_limited", allRateLimited),
+			slog.String("trace_id", res.TraceID))
+		c.recordPublishFlight(tr, start, time.Since(start), len(doc), 0, out, res.Skipped, retried, err.Error())
+		return nil, err
 	}
+	m0 := time.Now()
 	res.SIDs = c.filterOrphans(predfilter.MergeSIDSets(sets))
+	md := time.Since(m0)
+	c.gatherMerge.Observe(md)
+	tr.AddCompleted("gather.merge", "", 0, m0, md, 0, "")
 	res.Degraded = len(res.Skipped) > 0
 	if res.Degraded {
 		c.docsDegraded.Add(1)
+		c.log.Warn("cluster: publish degraded",
+			slog.Any("skipped", res.Skipped),
+			slog.String("trace_id", res.TraceID))
 	}
 	c.docsPublished.Add(1)
+	c.recordPublishFlight(tr, start, time.Since(start), len(doc), len(res.SIDs), out, res.Skipped, retried, "")
 	return res, nil
 }
+
+// recordPublishFlight retains one scatter/gather publish in the flight
+// recorder when it was anomalous: failed, degraded, retried, slower than
+// Config.SlowPublishThreshold, or explicitly traced. A traced publish
+// contributes its real span tree; an untraced one gets a tree
+// synthesized from the per-shard gathered timings, so the record still
+// attributes the latency shard by shard. Normal untraced publishes
+// return before any allocation.
+func (c *Coordinator) recordPublishFlight(tr *trace.Trace, start time.Time, elapsed time.Duration, docBytes, matches int, out []shardResult, skipped []string, retried int, errMsg string) {
+	if c.flight == nil {
+		return
+	}
+	var reasons []string
+	if errMsg != "" {
+		reasons = append(reasons, "failed")
+	}
+	if len(skipped) > 0 {
+		reasons = append(reasons, "degraded")
+	}
+	if retried > 0 {
+		reasons = append(reasons, "retried")
+	}
+	if c.cfg.SlowPublishThreshold > 0 && elapsed >= c.cfg.SlowPublishThreshold {
+		reasons = append(reasons, "slow")
+	}
+	if tr.Enabled() {
+		reasons = append(reasons, "traced")
+	}
+	if len(reasons) == 0 {
+		return
+	}
+	rec := &trace.Record{
+		Time:          start,
+		Op:            "cluster.publish",
+		Reasons:       reasons,
+		DurationNanos: elapsed.Nanoseconds(),
+		DocBytes:      docBytes,
+		Matches:       matches,
+		Skipped:       skipped,
+		Error:         errMsg,
+	}
+	if tr.Enabled() {
+		rec.TraceID = tr.ID().String()
+		rec.Spans = tr.Snapshot()
+	} else {
+		st := trace.NewAt(start)
+		for _, g := range out {
+			msg := ""
+			if g.err != nil {
+				msg = g.err.Error()
+			}
+			st.AddCompleted("shard.publish", g.name, 0, g.start, g.dur, g.attempts-1, msg)
+		}
+		rec.Spans = st.Snapshot()
+	}
+	c.flight.Add(rec)
+}
+
+// FlightRecorder returns the coordinator's flight recorder (nil when
+// disabled via Config.FlightRecords < 0).
+func (c *Coordinator) FlightRecorder() *trace.FlightRecorder { return c.flight }
 
 // filterOrphans drops burned sids from a merged match set: an orphan has
 // no coordinator record (OwnerOf and delivery proxying would 404), so
@@ -589,6 +813,7 @@ func (c *Coordinator) filterOrphans(sids []predfilter.SID) []predfilter.SID {
 // recorded owner stay valid). The standby is expected to be caught up via
 // WAL shipping; promotion does not copy state.
 func (c *Coordinator) Promote(name string) error {
+	t0 := time.Now()
 	c.mu.Lock()
 	sh := c.shards[name]
 	c.mu.Unlock()
@@ -608,6 +833,10 @@ func (c *Coordinator) Promote(name string) error {
 	sh.promoted = true
 	sh.healthy.Store(true)
 	c.failovers.Add(1)
+	sh.rpc[rpcPromote].Observe(time.Since(t0))
+	c.log.Warn("cluster: failover, standby promoted",
+		slog.String("shard", name),
+		slog.String("addr", sh.addr))
 	return nil
 }
 
@@ -627,9 +856,18 @@ func (c *Coordinator) monitor() {
 		}
 		for _, sh := range c.shardList() {
 			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthInterval)
+			t0 := time.Now()
 			ok := c.api.healthy(ctx, sh.currentAddr())
+			sh.rpc[rpcProbe].Observe(time.Since(t0))
 			cancel()
-			sh.healthy.Store(ok)
+			was := sh.healthy.Swap(ok)
+			if ok != was {
+				if ok {
+					c.log.Info("cluster: shard recovered", slog.String("shard", sh.name))
+				} else {
+					c.log.Warn("cluster: shard health probe failed", slog.String("shard", sh.name))
+				}
+			}
 			if ok {
 				sh.consecFails = 0
 				continue
@@ -638,6 +876,10 @@ func (c *Coordinator) monitor() {
 			if sh.consecFails >= c.cfg.FailThreshold {
 				if err := c.Promote(sh.name); err == nil {
 					sh.consecFails = 0
+				} else {
+					c.log.Debug("cluster: cannot promote failed shard",
+						slog.String("shard", sh.name),
+						slog.String("error", err.Error()))
 				}
 			}
 		}
@@ -677,7 +919,11 @@ func (c *Coordinator) AddShard(ctx context.Context, spec ShardSpec) error {
 	c.order = append(c.order, name)
 	c.mu.Unlock()
 	c.ring.add(name)
-	if _, err := c.migrate(ctx); err != nil {
+	if moved, err := c.migrate(ctx); err == nil {
+		c.log.Info("cluster: shard added",
+			slog.String("shard", name),
+			slog.Int("migrated", moved))
+	} else {
 		// Undo the ring change and migrate the already-moved keys back
 		// through the same protocol, then forget the shard.
 		c.ring.remove(name)
@@ -712,9 +958,13 @@ func (c *Coordinator) RemoveShard(ctx context.Context, name string) error {
 	}
 	c.mu.Unlock()
 	c.ring.remove(name)
-	if _, err := c.migrate(ctx); err != nil {
+	if moved, err := c.migrate(ctx); err != nil {
 		c.ring.add(name)
 		return fmt.Errorf("cluster: remove shard %s: %w", name, err)
+	} else {
+		c.log.Info("cluster: shard removed",
+			slog.String("shard", name),
+			slog.Int("migrated", moved))
 	}
 	c.mu.Lock()
 	delete(c.shards, name)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"time"
@@ -164,14 +165,23 @@ func (f *Follower) reconcile(entries []server.WALShipEntry) (int, error) {
 	return n, nil
 }
 
+// jitterInterval spreads one poll delay uniformly over ±20% of base, so
+// a fleet of followers started together (every standby after a
+// coordinated restart) decorrelates instead of polling its primaries in
+// lockstep.
+func jitterInterval(base time.Duration) time.Duration {
+	return time.Duration(float64(base) * (0.8 + 0.4*rand.Float64()))
+}
+
 // Start launches the background polling loop. Poll errors are retried
 // next interval — the primary being briefly down is the normal case the
-// follower exists for.
+// follower exists for. Each delay is jittered ±20% around the configured
+// interval (see jitterInterval).
 func (f *Follower) Start() {
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
-		t := time.NewTicker(f.interval)
+		t := time.NewTimer(jitterInterval(f.interval))
 		defer t.Stop()
 		for {
 			select {
@@ -182,6 +192,7 @@ func (f *Follower) Start() {
 			ctx, cancel := context.WithTimeout(context.Background(), f.interval*4)
 			_, _, _ = f.Poll(ctx)
 			cancel()
+			t.Reset(jitterInterval(f.interval))
 		}
 	}()
 }

@@ -1,0 +1,28 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterIntervalBounds pins the follower poll jitter to its contract:
+// uniformly within ±20% of the base interval, and actually varying.
+func TestJitterIntervalBounds(t *testing.T) {
+	base := 250 * time.Millisecond
+	lo := time.Duration(float64(base) * 0.8)
+	hi := time.Duration(float64(base) * 1.2)
+	first := jitterInterval(base)
+	varied := false
+	for i := 0; i < 1000; i++ {
+		d := jitterInterval(base)
+		if d < lo || d > hi {
+			t.Fatalf("jitterInterval(%v) = %v, outside [%v, %v]", base, d, lo, hi)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitterInterval returned a constant across 1000 draws")
+	}
+}

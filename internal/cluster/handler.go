@@ -2,15 +2,19 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"predfilter"
 	"predfilter/internal/metrics"
+	"predfilter/internal/trace"
 )
 
 // The coordinator's HTTP surface mirrors one shard's API — clients point
@@ -19,12 +23,19 @@ import (
 //	POST   /subscriptions        {"expression": ...}  → 201 {"id": n}
 //	GET    /subscriptions/{id}                        → proxied to the owning shard
 //	DELETE /subscriptions/{id}                        → 204
-//	POST   /publish              <xml document>       → 200 {"matches", "ids", "degraded"?, "skipped"?}
+//	POST   /publish              <xml document>       → 200 {"matches", "ids", "degraded"?, "skipped"?, "trace_id"?}
 //	GET    /deliveries/{id}?max=k                     → proxied to the owning shard
-//	GET    /stats                                     → cluster + per-shard counters
-//	GET    /metrics                                   → Prometheus text, shard="name" labels
+//	GET    /stats                                     → cluster + per-shard counters + shard snapshots
+//	GET    /metrics                                   → Prometheus text: coordinator families plus every
+//	                                                    shard's families rolled up (shard="name" and
+//	                                                    shard="all" aggregate series)
+//	GET    /debug/flight                              → last K anomalous publishes with span trees
 //	GET    /healthz                                   → 200 always
 //	GET    /readyz                                    → 200, or 503 after Close
+//
+// A publish carrying an X-Predfilter-Trace header (or ?trace=1) is
+// traced end to end: the response echoes the trace ID in both the JSON
+// body and the X-Predfilter-Trace-Id header.
 
 func (c *Coordinator) initMux() {
 	c.mux = http.NewServeMux()
@@ -35,6 +46,7 @@ func (c *Coordinator) initMux() {
 	c.mux.HandleFunc("GET /deliveries/{id}", c.proxyToOwner)
 	c.mux.HandleFunc("GET /stats", c.handleStats)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /debug/flight", c.handleFlight)
 	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		cwriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -149,6 +161,9 @@ func (c *Coordinator) proxyToOwner(w http.ResponseWriter, r *http.Request) {
 		cwriteError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	if v := r.Header.Get(trace.HeaderName); v != "" {
+		req.Header.Set(trace.HeaderName, v)
+	}
 	resp, err := c.api.hc.Do(req)
 	if err != nil {
 		cwriteError(w, http.StatusBadGateway, "shard %s: %v", owner, err)
@@ -177,8 +192,32 @@ func (c *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
 		cwriteError(w, http.StatusRequestEntityTooLarge, "document exceeds %d bytes", c.cfg.MaxDocumentBytes)
 		return
 	}
-	res, err := c.Publish(r.Context(), doc)
+	var tr *trace.Trace
+	if id, parent, ok := trace.ParseHeader(r.Header.Get(trace.HeaderName)); ok {
+		tr = trace.Join(id, parent)
+	} else if r.URL.Query().Get("trace") == "1" {
+		tr = trace.New()
+	}
+	ctx := r.Context()
+	if tr != nil {
+		ctx = trace.NewContext(ctx, tr)
+	}
+	res, err := c.Publish(ctx, doc)
+	if tr.Enabled() {
+		w.Header().Set(trace.ResponseHeaderName, tr.ID().String())
+	}
 	if err != nil {
+		// All shards shedding load is cluster backpressure, not a gateway
+		// fault: relay 429 with the largest shard Retry-After so the
+		// publisher's pacing hint survives the scatter/gather hop.
+		var ae *allShardsError
+		if errors.As(err, &ae) && ae.rateLimited {
+			if ae.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+			}
+			cwriteError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		relayError(w, err)
 		return
 	}
@@ -187,7 +226,21 @@ func (c *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
 		resp["degraded"] = true
 		resp["skipped"] = res.Skipped
 	}
+	if res.TraceID != "" {
+		resp["trace_id"] = res.TraceID
+		w.Header().Set(trace.ResponseHeaderName, res.TraceID)
+	}
 	cwriteJSON(w, http.StatusOK, resp)
+}
+
+// handleFlight dumps the flight recorder: the last K anomalous or
+// explicitly traced publishes, each with its span tree.
+func (c *Coordinator) handleFlight(w http.ResponseWriter, r *http.Request) {
+	cwriteJSON(w, http.StatusOK, map[string]any{
+		"recorded": c.flight.Recorded(),
+		"capacity": c.flight.Cap(),
+		"records":  c.flight.Snapshot(),
+	})
 }
 
 func sidFromPath(w http.ResponseWriter, r *http.Request) (predfilter.SID, bool) {
@@ -269,16 +322,83 @@ func (c *Coordinator) Stats() Stats {
 	return st
 }
 
+// statsResponse is the coordinator's /stats document: its own counters
+// (the Stats fields, inlined) plus every shard's /stats snapshot
+// verbatim. A shard whose snapshot could not be fetched is named in
+// scrape_errors and omitted from shard_snapshots — the response is
+// marked degraded, never dropped.
+type statsResponse struct {
+	Stats
+	ShardSnapshots map[string]json.RawMessage `json:"shard_snapshots,omitempty"`
+	ScrapeErrors   []string                   `json:"scrape_errors,omitempty"`
+}
+
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	cwriteJSON(w, http.StatusOK, c.Stats())
+	shards := c.shardList()
+	snaps := make([]json.RawMessage, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for i, sh := range shards {
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.AdminTimeout)
+			defer cancel()
+			snaps[i], errs[i] = c.api.statsJSON(ctx, sh.currentAddr())
+		}(i, sh)
+	}
+	wg.Wait()
+	resp := statsResponse{Stats: c.Stats(), ShardSnapshots: make(map[string]json.RawMessage)}
+	for i, sh := range shards {
+		if errs[i] != nil {
+			c.scrapeErrs.Add(1)
+			resp.ScrapeErrors = append(resp.ScrapeErrors, sh.name)
+			continue
+		}
+		resp.ShardSnapshots[sh.name] = snaps[i]
+	}
+	cwriteJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics exposes the coordinator's counters in the Prometheus text
-// format, per-shard series labelled shard="name". Shard-internal metrics
-// (engine stages, store counters) are scraped from the shards directly;
-// the coordinator reports only what it alone can see — routing, scatter
-// outcomes, failovers.
+// format, per-shard series labelled shard="name", followed by a rollup of
+// every shard's own /metrics exposition: each shard series re-labelled
+// shard="name" plus a shard="all" aggregate per series. Counter sums and
+// bucket-wise histogram merges are the same operation here — all
+// histograms share fixed power-of-two bounds, so summing per-le series is
+// an exact merge. A shard whose scrape fails is marked (scrape_ok 0,
+// scrape_errors_total) and skipped; the response is degraded, not
+// dropped.
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Scrape every shard concurrently before rendering, so scrape_ok and
+	// scrape_errors_total reflect this pass.
+	shards := c.shardList()
+	texts := make([]string, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for i, sh := range shards {
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.cfg.AdminTimeout)
+			defer cancel()
+			texts[i], errs[i] = c.api.metricsText(ctx, sh.currentAddr())
+		}(i, sh)
+	}
+	wg.Wait()
+	roll := metrics.NewRollup()
+	for i, sh := range shards {
+		if errs[i] == nil {
+			errs[i] = roll.Add(sh.name, texts[i])
+		}
+		if errs[i] != nil {
+			c.scrapeErrs.Add(1)
+			c.log.Warn("cluster: shard metrics scrape failed",
+				slog.String("shard", sh.name),
+				slog.String("error", errs[i].Error()))
+		}
+	}
+
 	st := c.Stats()
 	var buf bytes.Buffer
 	x := metrics.NewExposition(&buf)
@@ -326,8 +446,35 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, s := range st.PerShard {
 		x.Value("predfilter_cluster_shard_publish_seconds_total", shardLabel(s.Name), s.PublishSecs)
 	}
+	x.Family("predfilter_cluster_rpc_duration_seconds", "Coordinator-to-shard RPC latency per shard and stage (every attempt, including retried ones).", "histogram")
+	for _, sh := range shards {
+		for stage := 0; stage < numRPCStages; stage++ {
+			s := sh.rpc[stage].Snapshot()
+			if s.Count == 0 {
+				continue
+			}
+			x.Histogram("predfilter_cluster_rpc_duration_seconds",
+				shardLabel(sh.name)+","+metrics.Label("stage", rpcStageNames[stage]), s)
+		}
+	}
+	x.Family("predfilter_cluster_gather_merge_seconds", "Gather-merge stage of scatter/gather publish.", "histogram")
+	x.Histogram("predfilter_cluster_gather_merge_seconds", "", c.gatherMerge.Snapshot())
+	x.Family("predfilter_cluster_scrape_errors_total", "Shard scrapes that failed during /metrics or /stats rollup.", "counter")
+	x.Int("predfilter_cluster_scrape_errors_total", "", c.scrapeErrs.Load())
+	x.Family("predfilter_cluster_scrape_ok", "Whether the shard's /metrics scrape succeeded on this pass (1 ok).", "gauge")
+	for i, sh := range shards {
+		ok := int64(1)
+		if errs[i] != nil {
+			ok = 0
+		}
+		x.Int("predfilter_cluster_scrape_ok", shardLabel(sh.name), ok)
+	}
 	if err := x.Err(); err != nil {
 		cwriteError(w, http.StatusInternalServerError, "metrics: %v", err)
+		return
+	}
+	if err := roll.WriteText(&buf); err != nil {
+		cwriteError(w, http.StatusInternalServerError, "metrics rollup: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -335,4 +482,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-func shardLabel(name string) string { return fmt.Sprintf("shard=%q", name) }
+// shardLabel renders the shard label with the name escaped per the
+// text-format rules — a shard named with quotes, backslashes or newlines
+// must not corrupt the exposition.
+func shardLabel(name string) string { return metrics.Label("shard", name) }

@@ -1,0 +1,446 @@
+package cluster_test
+
+import (
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"predfilter/internal/cluster"
+	"predfilter/internal/metrics"
+	"predfilter/internal/server"
+	"predfilter/internal/trace"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestClusterTracedPublishAndFlightRecorder is the observability
+// acceptance path: a two-shard cluster with one deliberately slow shard,
+// a publish with ?trace=1. The response must carry the trace ID (header
+// and body), and /debug/flight must hold a record for that trace whose
+// span tree attributes the latency to the slow shard.
+func TestClusterTracedPublishAndFlightRecorder(t *testing.T) {
+	const delay = 60 * time.Millisecond
+	fast := server.New(server.Config{})
+	tsFast := httptest.NewServer(fast)
+	defer tsFast.Close()
+	slow := server.New(server.Config{})
+	tsSlow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/publish" {
+			time.Sleep(delay)
+		}
+		slow.ServeHTTP(w, r)
+	}))
+	defer tsSlow.Close()
+
+	c, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardSpec{
+			{Name: "fast", Addr: tsFast.URL},
+			{Name: "slow", Addr: tsSlow.URL},
+		},
+		SlowPublishThreshold: delay / 2,
+		Retries:              -1,
+		Logger:               quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	front := httptest.NewServer(c)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/subscriptions", "application/json",
+		strings.NewReader(`{"expression":"/doc/a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("subscribe: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(front.URL+"/publish?trace=1", "application/xml",
+		strings.NewReader("<doc><a>x</a></doc>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("publish: status %d", resp.StatusCode)
+	}
+	tid := resp.Header.Get(trace.ResponseHeaderName)
+	var pub struct {
+		Matches int    `json:"matches"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := jsonDecode(resp, &pub); err != nil {
+		t.Fatal(err)
+	}
+	if tid == "" {
+		t.Fatalf("no %s header on traced publish", trace.ResponseHeaderName)
+	}
+	if pub.TraceID != tid {
+		t.Fatalf("body trace_id %q != header %q", pub.TraceID, tid)
+	}
+	if pub.Matches != 1 {
+		t.Fatalf("matches = %d, want 1", pub.Matches)
+	}
+
+	resp, err = http.Get(front.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fl struct {
+		Recorded uint64          `json:"recorded"`
+		Capacity int             `json:"capacity"`
+		Records  []*trace.Record `json:"records"`
+	}
+	if err := jsonDecode(resp, &fl); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Capacity != trace.DefaultFlightRecords {
+		t.Fatalf("capacity = %d, want %d", fl.Capacity, trace.DefaultFlightRecords)
+	}
+	var rec *trace.Record
+	for _, r := range fl.Records {
+		if r.TraceID == tid {
+			rec = r
+		}
+	}
+	if rec == nil {
+		t.Fatalf("no flight record for trace %s (got %d records)", tid, len(fl.Records))
+	}
+	reasons := strings.Join(rec.Reasons, ",")
+	if !strings.Contains(reasons, "traced") || !strings.Contains(reasons, "slow") {
+		t.Fatalf("reasons = %v, want traced and slow", rec.Reasons)
+	}
+	var slowDur, fastDur int64 = -1, -1
+	sawMerge := false
+	for _, sp := range rec.Spans {
+		switch {
+		case sp.Name == "shard.publish" && sp.Shard == "slow":
+			slowDur = sp.DurationNanos
+		case sp.Name == "shard.publish" && sp.Shard == "fast":
+			fastDur = sp.DurationNanos
+		case sp.Name == "gather.merge":
+			sawMerge = true
+		}
+	}
+	if slowDur < 0 || fastDur < 0 || !sawMerge {
+		t.Fatalf("span tree missing shard.publish/gather.merge spans: %+v", rec.Spans)
+	}
+	if slowDur < int64(delay) {
+		t.Fatalf("slow shard span %dns, want >= %dns", slowDur, int64(delay))
+	}
+	if slowDur <= fastDur {
+		t.Fatalf("span tree does not attribute latency to the slow shard: slow %dns <= fast %dns", slowDur, fastDur)
+	}
+}
+
+// TestClusterDegradedPublishFlight exercises the span-synthesis path: an
+// untraced publish against a cluster with one dead shard must still land
+// in the flight recorder, flagged degraded, with an after-the-fact span
+// tree blaming the dead shard.
+func TestClusterDegradedPublishFlight(t *testing.T) {
+	live := server.New(server.Config{})
+	tsLive := httptest.NewServer(live)
+	defer tsLive.Close()
+	tsDead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := tsDead.URL
+	tsDead.Close()
+
+	c, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardSpec{
+			{Name: "live", Addr: tsLive.URL},
+			{Name: "dead", Addr: deadURL},
+		},
+		Retries: -1,
+		Logger:  quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	front := httptest.NewServer(c)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/publish", "application/xml",
+		strings.NewReader("<doc/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub struct {
+		Degraded bool     `json:"degraded"`
+		Skipped  []string `json:"skipped"`
+		TraceID  string   `json:"trace_id"`
+	}
+	if err := jsonDecode(resp, &pub); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !pub.Degraded {
+		t.Fatalf("status %d degraded %v, want 200 degraded", resp.StatusCode, pub.Degraded)
+	}
+	if pub.TraceID != "" {
+		t.Fatalf("untraced publish answered trace_id %q", pub.TraceID)
+	}
+
+	resp, err = http.Get(front.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fl struct {
+		Records []*trace.Record `json:"records"`
+	}
+	if err := jsonDecode(resp, &fl); err != nil {
+		t.Fatal(err)
+	}
+	if len(fl.Records) != 1 {
+		t.Fatalf("flight records = %d, want 1", len(fl.Records))
+	}
+	rec := fl.Records[0]
+	if rec.TraceID != "" {
+		t.Fatalf("synthesized record carries trace id %q", rec.TraceID)
+	}
+	if !strings.Contains(strings.Join(rec.Reasons, ","), "degraded") {
+		t.Fatalf("reasons = %v, want degraded", rec.Reasons)
+	}
+	if len(rec.Skipped) != 1 || rec.Skipped[0] != "dead" {
+		t.Fatalf("skipped = %v, want [dead]", rec.Skipped)
+	}
+	foundDead := false
+	for _, sp := range rec.Spans {
+		if sp.Name == "shard.publish" && sp.Shard == "dead" {
+			foundDead = true
+			if sp.Error == "" {
+				t.Fatal("dead shard's synthesized span has no error")
+			}
+		}
+	}
+	if !foundDead {
+		t.Fatalf("no synthesized span for the dead shard: %+v", rec.Spans)
+	}
+}
+
+// TestClusterMetricsRollupAggregation publishes through a two-shard
+// cluster and then checks — programmatically, series by series — that
+// every shard="all" sample in the coordinator's /metrics equals the sum
+// of the per-shard samples of the same series. For histogram families
+// the per-le equality IS the bucket-wise merge property. The whole
+// exposition must also pass the strict validator.
+func TestClusterMetricsRollupAggregation(t *testing.T) {
+	set := newShardSet(t, 2)
+	c := newTestCoordinator(t, set.specs)
+	front := httptest.NewServer(c)
+	defer front.Close()
+
+	for _, expr := range []string{"/doc/a", "/doc/b[@id]"} {
+		resp, err := http.Post(front.URL+"/subscriptions", "application/json",
+			strings.NewReader(`{"expression":"`+expr+`"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("subscribe %s: status %d", expr, resp.StatusCode)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(front.URL+"/publish", "application/xml",
+			strings.NewReader(`<doc><a>x</a><b id="1"/></doc>`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("publish: status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if err := metrics.ValidateExposition(text); err != nil {
+		t.Fatalf("coordinator exposition invalid: %v", err)
+	}
+	fams, err := metrics.ParseExposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type agg struct {
+		all    float64
+		hasAll bool
+		sum    float64
+		n      int
+	}
+	groups := make(map[string]*agg)
+	for _, f := range fams {
+		for i := range f.Samples {
+			s := &f.Samples[i]
+			shardVal, ok := s.Label("shard")
+			if !ok {
+				continue
+			}
+			key := s.Name
+			for _, lp := range s.Labels {
+				if lp.Name != "shard" {
+					key += "|" + lp.Name + "=" + lp.Value
+				}
+			}
+			g := groups[key]
+			if g == nil {
+				g = &agg{}
+				groups[key] = g
+			}
+			if shardVal == "all" {
+				g.all, g.hasAll = s.Value, true
+			} else {
+				g.sum += s.Value
+				g.n++
+			}
+		}
+	}
+	checked, buckets := 0, 0
+	for key, g := range groups {
+		if !g.hasAll {
+			// Coordinator-native per-shard families have no aggregate
+			// series; only rolled-up shard families do.
+			if !strings.HasPrefix(key, "predfilter_cluster_") {
+				t.Errorf("rolled-up series %s has no shard=\"all\" aggregate", key)
+			}
+			continue
+		}
+		if g.n != 2 {
+			t.Errorf("series %s: %d per-shard samples, want 2", key, g.n)
+		}
+		if math.IsNaN(g.all) {
+			continue
+		}
+		if g.all != g.sum {
+			t.Errorf("series %s: shard=\"all\" %v != per-shard sum %v", key, g.all, g.sum)
+		}
+		checked++
+		if strings.Contains(key, "_bucket|") {
+			buckets++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no aggregated series checked")
+	}
+	if buckets == 0 {
+		t.Fatal("no histogram bucket series aggregated")
+	}
+	if !strings.Contains(text, `predfilter_stage_duration_seconds_bucket{shard="all"`) {
+		t.Fatal("stage histogram not rolled up with a shard=\"all\" aggregate")
+	}
+}
+
+// TestClusterRetryAfterForwarding: when every shard sheds load with 429,
+// the coordinator answers 429 itself and forwards the largest shard
+// Retry-After, so the publisher's pacing hint survives scatter/gather.
+func TestClusterRetryAfterForwarding(t *testing.T) {
+	shed := func(after string) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", after)
+			http.Error(w, "shedding", http.StatusTooManyRequests)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	c, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardSpec{
+			{Name: "a", Addr: shed("3").URL},
+			{Name: "b", Addr: shed("7").URL},
+		},
+		Retries: -1,
+		Logger:  quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	front := httptest.NewServer(c)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/publish", "application/xml",
+		strings.NewReader("<doc/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want the max shard hint 7", got)
+	}
+}
+
+// TestClusterMetricsDegradedScrape: a shard that cannot be scraped marks
+// the rollup degraded (scrape_ok 0, scrape_errors_total) but the
+// coordinator's /metrics still answers 200 with a valid exposition
+// carrying the reachable shard's series.
+func TestClusterMetricsDegradedScrape(t *testing.T) {
+	live := server.New(server.Config{})
+	tsLive := httptest.NewServer(live)
+	defer tsLive.Close()
+	tsDead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := tsDead.URL
+	tsDead.Close()
+
+	c, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardSpec{
+			{Name: "live", Addr: tsLive.URL},
+			{Name: "dead", Addr: deadURL},
+		},
+		Retries: -1,
+		Logger:  quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	front := httptest.NewServer(c)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 on degraded scrape", resp.StatusCode)
+	}
+	text := string(body)
+	if err := metrics.ValidateExposition(text); err != nil {
+		t.Fatalf("degraded exposition invalid: %v", err)
+	}
+	if !strings.Contains(text, `predfilter_cluster_scrape_ok{shard="dead"} 0`) {
+		t.Fatal("dead shard not marked scrape_ok 0")
+	}
+	if !strings.Contains(text, `predfilter_cluster_scrape_ok{shard="live"} 1`) {
+		t.Fatal("live shard not marked scrape_ok 1")
+	}
+	if !strings.Contains(text, "predfilter_cluster_scrape_errors_total 1") {
+		t.Fatal("scrape error not counted")
+	}
+	if !strings.Contains(text, `predfilter_docs_total{shard="live"}`) {
+		t.Fatal("live shard's series missing from the degraded rollup")
+	}
+}

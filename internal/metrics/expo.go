@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Exposition writes the Prometheus text exposition format (version
@@ -84,4 +85,36 @@ func (e *Exposition) Histogram(name, labels string, s HistSnapshot) {
 // representation that round-trips.
 func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus 0.0.4 text
+// format: backslash, double-quote and newline become \\, \" and \n.
+// These are the only three escapes the format defines — Go's %q is not
+// a substitute (it escapes tabs and non-ASCII in ways scrapers reject).
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Label renders one name="value" label pair with the value escaped,
+// ready to pass (possibly comma-joined with others) as the labels
+// argument of Value, Int or Histogram.
+func Label(name, value string) string {
+	return name + `="` + EscapeLabelValue(value) + `"`
 }

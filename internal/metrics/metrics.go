@@ -145,6 +145,20 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Merge returns the bucket-wise sum of s and o. Because every histogram
+// in the process (and across cluster shards) shares the same fixed
+// power-of-two bucket bounds, merging is exact: no rebinning, and the
+// operation is associative and commutative with HistSnapshot{} as
+// identity — the property the coordinator's cluster-wide metrics rollup
+// relies on.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count + o.Count, SumNanos: s.SumNanos + o.SumNanos}
+	for i := range out.Buckets {
+		out.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	return out
+}
+
 // BucketUpperNanos returns bucket i's inclusive-exclusive upper bound in
 // nanoseconds, or +Inf for the overflow bucket.
 func BucketUpperNanos(i int) float64 {

@@ -1,0 +1,299 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"shard-0}, evil=\"1\"", `shard-0}, evil=\"1\"`},
+		{`\`, `\\`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := Label("shard", `a"b`); got != `shard="a\"b"` {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestParseSampleLineRoundTrip(t *testing.T) {
+	hostile := "sh\\ard\"0\nx"
+	line := `m{shard="` + EscapeLabelValue(hostile) + `",stage="parse"} 42`
+	s, err := parseSampleLine(line)
+	if err != nil {
+		t.Fatalf("parseSampleLine(%q): %v", line, err)
+	}
+	if s.Name != "m" || s.Value != 42 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if v, ok := s.Label("shard"); !ok || v != hostile {
+		t.Errorf("shard label = %q, %v; want %q (unescaped round trip)", v, ok, hostile)
+	}
+	if v, _ := s.Label("stage"); v != "parse" {
+		t.Errorf("stage label = %q", v)
+	}
+}
+
+func TestParseSampleLineRejects(t *testing.T) {
+	bad := []string{
+		`m{shard="a\qb"} 1`,  // invalid escape
+		`m{shard="a\"} 1`,    // escaped closing quote -> unterminated
+		`m{shard="a} 1`,      // unterminated value
+		`m{shard=a} 1`,       // unquoted value
+		`m{shard="a" x} 1`,   // junk after value
+		`m{="a"} 1`,          // empty label name
+		`m{1x="a"} 1`,        // label name starts with digit
+		`m 1 2 3`,            // trailing junk
+		`m`,                  // no value
+		`m{shard="a"}1`,      // missing space
+		`{shard="a"} 1`,      // no metric name
+		`m{shard="a"} 1e1e1`, // malformed value
+	}
+	for _, line := range bad {
+		if _, err := parseSampleLine(line); err == nil {
+			t.Errorf("parseSampleLine(%q) accepted, want error", line)
+		}
+	}
+}
+
+// The satellite regression: an exposition whose label value contains a
+// raw backslash or quote must be rejected, and the same value passed
+// through EscapeLabelValue must validate.
+func TestValidateExpositionHostileShardName(t *testing.T) {
+	hostile := `shard"0\final` + "\nrow"
+	if err := ValidateExposition(`predfilter_cluster_x{shard="` + hostile + `"} 1` + "\n"); err == nil {
+		t.Fatal("unescaped hostile label value validated, want reject")
+	}
+	good := `predfilter_cluster_x{shard="` + EscapeLabelValue(hostile) + `"} 1` + "\n"
+	if err := ValidateExposition(good); err != nil {
+		t.Fatalf("escaped hostile label value rejected: %v\n%s", err, good)
+	}
+}
+
+// The old regex validator choked on a legal '}' inside a label value;
+// the parser must accept it.
+func TestValidateExpositionBraceInLabelValue(t *testing.T) {
+	if err := ValidateExposition(`m{expr="/a/b[c}d]"} 1` + "\n"); err != nil {
+		t.Fatalf("legal '}' inside label value rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionHistogramInvariants(t *testing.T) {
+	ok := strings.Join([]string{
+		`h_bucket{shard="a",le="0.1"} 1`,
+		`h_bucket{shard="a",le="+Inf"} 2`,
+		`h_count{shard="a"} 2`,
+		`h_bucket{shard="b",le="0.1"} 5`,
+		`h_bucket{shard="b",le="+Inf"} 5`,
+		`h_count{shard="b"} 5`,
+	}, "\n") + "\n"
+	if err := ValidateExposition(ok); err != nil {
+		t.Fatalf("valid histogram rejected: %v", err)
+	}
+	bad := []string{
+		"h_bucket{le=\"0.2\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\n",   // bounds not increasing
+		"h_bucket{le=\"0.1\"} 3\nh_bucket{le=\"+Inf\"} 2\n",                           // not cumulative
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n",                // +Inf != count
+		"h_bucket{le=\"0.1\"} 1\n",                                                    // no +Inf
+		"h_bucket{shard=\"a\",le=\"0.1\"} 1\nh_bucket{shard=\"a\",le=\"+Inf\"} 1.5\n", // fractional count
+	}
+	for _, text := range bad {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("invalid histogram accepted:\n%s", text)
+		}
+	}
+}
+
+func TestParseExposition(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP docs_total Documents.`,
+		`# TYPE docs_total counter`,
+		`docs_total 10`,
+		`# HELP lat_seconds Latency.`,
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{le="0.1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 0.7`,
+		`lat_seconds_count 5`,
+	}, "\n") + "\n"
+	fams, err := ParseExposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2", len(fams))
+	}
+	if fams[0].Name != "docs_total" || fams[0].Type != "counter" || len(fams[0].Samples) != 1 {
+		t.Errorf("family 0 = %+v", fams[0])
+	}
+	h := fams[1]
+	if h.Name != "lat_seconds" || h.Type != "histogram" {
+		t.Fatalf("family 1 = %+v", h)
+	}
+	// _bucket/_sum/_count all attach to the declared histogram family.
+	if len(h.Samples) != 4 {
+		t.Fatalf("histogram family has %d samples, want 4", len(h.Samples))
+	}
+	if h.Samples[3].Name != "lat_seconds_count" || h.Samples[3].Value != 5 {
+		t.Errorf("last sample = %+v", h.Samples[3])
+	}
+}
+
+func TestHistSnapshotMergeProperties(t *testing.T) {
+	mk := func(seed int) HistSnapshot {
+		var h Histogram
+		for i := 0; i < 50; i++ {
+			h.Observe(time.Duration((seed + 1) * (i + 1) * int(time.Microsecond)))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(0), mk(3), mk(17)
+
+	// Identity.
+	if got := a.Merge(HistSnapshot{}); got != a {
+		t.Error("merge with zero snapshot is not identity")
+	}
+	// Commutativity.
+	if ab, ba := a.Merge(b), b.Merge(a); ab != ba {
+		t.Error("merge not commutative")
+	}
+	// Associativity — the property the rollup's per-shard fold relies on.
+	if l, r := a.Merge(b).Merge(c), a.Merge(b.Merge(c)); l != r {
+		t.Error("merge not associative")
+	}
+	// Counts and mass add up.
+	m := a.Merge(b)
+	if m.Count != a.Count+b.Count || m.SumNanos != a.SumNanos+b.SumNanos {
+		t.Errorf("merged count/sum = %d/%d", m.Count, m.SumNanos)
+	}
+	var buckets uint64
+	for _, n := range m.Buckets {
+		buckets += n
+	}
+	if buckets != m.Count {
+		t.Errorf("merged buckets sum %d != count %d", buckets, m.Count)
+	}
+}
+
+func TestMergedQuantileMatchesCombinedStream(t *testing.T) {
+	// Observing one stream into two histograms and merging must give the
+	// same snapshot as observing it into one.
+	var h1, h2, all Histogram
+	for i := 1; i <= 400; i++ {
+		d := time.Duration(i) * 37 * time.Microsecond
+		if i%2 == 0 {
+			h1.Observe(d)
+		} else {
+			h2.Observe(d)
+		}
+		all.Observe(d)
+	}
+	if got, want := h1.Snapshot().Merge(h2.Snapshot()), all.Snapshot(); got != want {
+		t.Fatal("merged snapshot differs from combined-stream snapshot")
+	}
+}
+
+func TestRollupAggregatesAndValidates(t *testing.T) {
+	shardText := func(docs int, bucket1 int) string {
+		var b strings.Builder
+		e := NewExposition(&b)
+		e.Family("predfilter_docs_total", "Documents.", "counter")
+		e.Int("predfilter_docs_total", "", int64(docs))
+		e.Family("predfilter_stage_duration_seconds", "Latency.", "histogram")
+		var h Histogram
+		for i := 0; i < bucket1; i++ {
+			h.Observe(time.Millisecond)
+		}
+		e.Histogram("predfilter_stage_duration_seconds", `stage="parse"`, h.Snapshot())
+		return b.String()
+	}
+	r := NewRollup()
+	if err := r.Add("shard-0", shardText(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("shard-1", shardText(7, 5)); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("rollup output fails validation: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`predfilter_docs_total{shard="shard-0"} 3`,
+		`predfilter_docs_total{shard="shard-1"} 7`,
+		`predfilter_docs_total{shard="all"} 10`,
+		`predfilter_stage_duration_seconds_count{shard="all",stage="parse"} 7`,
+		`predfilter_stage_duration_seconds_bucket{shard="all",stage="parse",le="+Inf"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rollup output missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestRollupShardLabelPrecedesLe(t *testing.T) {
+	r := NewRollup()
+	text := "h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.01\nh_count 1\n"
+	if err := r.Add("s0", text); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `h_bucket{shard="s0",le="0.1"} 1`) {
+		t.Fatalf("shard label not first:\n%s", out.String())
+	}
+	if err := ValidateExposition(out.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollupHostileShardName(t *testing.T) {
+	r := NewRollup()
+	hostile := `sh"ard\0` + "\n"
+	if err := r.Add(hostile, "m_total 4\n"); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(out.String()); err != nil {
+		t.Fatalf("rollup with hostile shard name fails validation: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), `shard="sh\"ard\\0\n"`) {
+		t.Fatalf("hostile shard name not escaped:\n%s", out.String())
+	}
+}
+
+func TestRollupRejectsMalformedShard(t *testing.T) {
+	r := NewRollup()
+	if err := r.Add("bad", `m{x="unterminated} 1`+"\n"); err == nil {
+		t.Fatal("malformed shard exposition accepted")
+	}
+	// The failed shard contributes nothing.
+	if err := r.Add("good", "m_total 1\n"); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "bad") {
+		t.Fatalf("failed shard leaked into rollup:\n%s", out.String())
+	}
+}

@@ -1,64 +1,61 @@
 package metrics
 
 import (
-	"bufio"
 	"fmt"
 	"math"
-	"regexp"
 	"strconv"
 	"strings"
 )
 
-// metricLine matches one Prometheus text-format sample line.
-var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[0-9.eE+-]+)$`)
-
 // ValidateExposition checks text against the Prometheus text-format
 // invariants the scrape path relies on: every non-comment line is a
-// well-formed sample, histogram bucket bounds strictly increase, bucket
-// counts are cumulative, and each histogram's +Inf bucket equals its
-// _count. It is used by the package tests, the server tests and the CI
-// smoke check.
+// well-formed sample whose label values use only the three legal
+// escapes (\\, \", \n — an unescaped backslash, quote or newline is
+// rejected), histogram bucket bounds strictly increase, bucket counts
+// are cumulative, and each histogram's +Inf bucket equals its _count.
+// It is used by the package tests, the server tests and the CI smoke
+// check.
 func ValidateExposition(text string) error {
 	type histState struct {
-		last    uint64
+		last    float64
 		lastLe  float64
 		infSeen bool
-		inf     uint64
+		inf     float64
+		first   string
 	}
 	hists := make(map[string]*histState)
-	counts := make(map[string]uint64)
-	sc := bufio.NewScanner(strings.NewReader(text))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
+	counts := make(map[string]float64)
+	lineNo := 0
+	for len(text) > 0 {
+		lineNo++
+		line := text
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			line, text = text[:i], text[i+1:]
+		} else {
+			text = ""
+		}
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if !metricLine.MatchString(line) {
-			return fmt.Errorf("malformed exposition line: %q", line)
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("malformed exposition line %d: %w", lineNo, err)
 		}
-		name := line
-		if i := strings.IndexAny(line, "{ "); i >= 0 {
-			name = line[:i]
-		}
-		val := line[strings.LastIndex(line, " ")+1:]
+		le, hasLe := s.Label("le")
 		switch {
-		case strings.HasSuffix(name, "_bucket") && strings.Contains(line, `le="`):
-			series := line[:strings.Index(line, "le=")]
-			h := hists[series]
+		case strings.HasSuffix(s.Name, "_bucket") && hasLe:
+			if s.Value < 0 || s.Value != math.Trunc(s.Value) {
+				return fmt.Errorf("bucket count %v not a whole number at %q", s.Value, line)
+			}
+			key := histKey(s.Name, s.Labels)
+			h := hists[key]
 			if h == nil {
-				h = &histState{lastLe: math.Inf(-1)}
-				hists[series] = h
+				h = &histState{lastLe: math.Inf(-1), first: line}
+				hists[key] = h
 			}
-			n, err := strconv.ParseUint(val, 10, 64)
-			if err != nil {
-				return fmt.Errorf("bucket count %q: %v", val, err)
-			}
-			le := line[strings.Index(line, `le="`)+4:]
-			le = le[:strings.Index(le, `"`)]
 			if le == "+Inf" {
 				h.infSeen = true
-				h.inf = n
+				h.inf = s.Value
 			} else {
 				b, err := strconv.ParseFloat(le, 64)
 				if err != nil {
@@ -69,40 +66,42 @@ func ValidateExposition(text string) error {
 				}
 				h.lastLe = b
 			}
-			if n < h.last {
+			if s.Value < h.last {
 				return fmt.Errorf("bucket counts not cumulative at %q", line)
 			}
-			h.last = n
-		case strings.HasSuffix(name, "_count"):
-			n, err := strconv.ParseUint(val, 10, 64)
-			if err != nil {
-				return fmt.Errorf("count %q: %v", val, err)
+			h.last = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			if s.Value < 0 || s.Value != math.Trunc(s.Value) {
+				return fmt.Errorf("count %v not a whole number at %q", s.Value, line)
 			}
-			// Key by the full series minus the trailing "_count" so it
-			// aligns with the bucket-series prefix (which ends just before
-			// the le label).
-			key := strings.TrimSuffix(name, "_count") + "_bucket"
-			if i := strings.Index(line, "{"); i >= 0 {
-				labels := line[i+1 : strings.Index(line, "}")]
-				if labels != "" {
-					key += "{" + labels + ","
-				}
-			} else {
-				key += "{"
-			}
-			counts[key] = n
+			counts[histKey(strings.TrimSuffix(s.Name, "_count")+"_bucket", s.Labels)] = s.Value
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	for series, h := range hists {
+	for key, h := range hists {
 		if !h.infSeen {
-			return fmt.Errorf("histogram series %q has no +Inf bucket", series)
+			return fmt.Errorf("histogram series %q has no +Inf bucket", h.first)
 		}
-		if n, ok := counts[series]; ok && n != h.inf {
-			return fmt.Errorf("histogram series %q: +Inf bucket %d != count %d", series, h.inf, n)
+		if n, ok := counts[key]; ok && n != h.inf {
+			return fmt.Errorf("histogram series %q: +Inf bucket %v != count %v", key, h.inf, n)
 		}
 	}
 	return nil
+}
+
+// histKey identifies one histogram series: the sample name plus its
+// labels minus le, order-preserved. The same key is produced by the
+// series' _count sample (which carries the identical labels, sans le).
+func histKey(name string, labels []LabelPair) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, lp := range labels {
+		if lp.Name == "le" {
+			continue
+		}
+		b.WriteByte(0)
+		b.WriteString(lp.Name)
+		b.WriteByte(0)
+		b.WriteString(lp.Value)
+	}
+	return b.String()
 }

@@ -17,6 +17,7 @@
 //	GET    /stats                                            → engine (and store) statistics
 //	GET    /metrics                                          → Prometheus text exposition of the pipeline metrics
 //	GET    /debug/vars           (always on)                 → JSON snapshot of the publish-path counters
+//	GET    /debug/flight         (always on)                 → span trees of the last K anomalous publishes
 //	GET    /healthz                                          → liveness probe (always 200 while the process serves)
 //	GET    /readyz                                           → readiness probe (503 once draining began)
 //	POST   /admin/snapshot                                   → compact the durable store now
@@ -69,6 +70,7 @@ import (
 
 	"predfilter"
 	"predfilter/internal/metrics"
+	"predfilter/internal/trace"
 	"predfilter/internal/xpath"
 )
 
@@ -120,6 +122,13 @@ type Config struct {
 	SnapshotInterval time.Duration
 	// NoSync disables fsync on the persistent store (tests/benchmarks).
 	NoSync bool
+
+	// FlightRecords sizes the flight recorder ring holding the span trees
+	// of the last K anomalous publishes — slow (past the engine's
+	// SlowDocThreshold), limit-tripped, timed-out, panicked, or
+	// explicitly traced. 0 uses trace.DefaultFlightRecords; negative
+	// disables the recorder. Exposed at GET /debug/flight.
+	FlightRecords int
 }
 
 // Server is the dissemination service. Create with New or, when
@@ -158,6 +167,10 @@ type Server struct {
 	// snapshot, so a primary restart (which resets the store's in-memory
 	// epoch counter) can never be mistaken for cursor continuity.
 	runID string
+
+	// flight retains the span trees of recent anomalous publishes
+	// (nil when Config.FlightRecords < 0).
+	flight *trace.FlightRecorder
 }
 
 // subscription holds one registered expression and its delivery queue.
@@ -203,6 +216,9 @@ func Open(cfg Config) (*Server, error) {
 		subs:  make(map[predfilter.SID]*subscription),
 		runID: fmt.Sprintf("%016x", rand.Uint64()),
 	}
+	if cfg.FlightRecords >= 0 {
+		s.flight = trace.NewFlightRecorder(cfg.FlightRecords)
+	}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -235,6 +251,7 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /admin/wal", s.handleWALShip)
@@ -264,10 +281,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		s.panics.Add(1)
 		s.eng.Metrics().ObservePanic()
+		rec := &trace.Record{
+			Time:    time.Now(),
+			Op:      r.Method + " " + r.URL.Path,
+			Reasons: []string{"panicked"},
+			Error:   fmt.Sprint(p),
+		}
+		if id, _, ok := trace.ParseHeader(r.Header.Get(trace.HeaderName)); ok {
+			rec.TraceID = id.String()
+		}
+		s.flight.Add(rec)
 		writeError(w, http.StatusInternalServerError, "internal error (recovered): %v", p)
 	}()
 	s.mux.ServeHTTP(w, r)
 }
+
+// FlightRecorder returns the server's flight recorder (nil when
+// disabled); xfserve dumps it on SIGQUIT.
+func (s *Server) FlightRecorder() *trace.FlightRecorder { return s.flight }
 
 // BeginDrain puts the server into draining mode: publish requests are
 // refused with 503 + Retry-After while requests already in flight run to
@@ -633,32 +664,115 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	// document. With ?trace=1 the (slower) explaining match runs instead
 	// and the per-expression trace rides along in the response.
 	traced := r.URL.Query().Get("trace") == "1"
+	// Distributed trace: continue one propagated by the coordinator, or
+	// start one here for an explicitly traced publish. dt stays nil (and
+	// costs nothing) on the untraced hot path.
+	var dt *trace.Trace
+	if id, parent, ok := trace.ParseHeader(r.Header.Get(trace.HeaderName)); ok {
+		dt = trace.Join(id, parent)
+	} else if traced {
+		dt = trace.New()
+	}
 	var (
 		sids []predfilter.SID
 		tr   *predfilter.MatchTrace
 	)
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	ctx = trace.NewContext(ctx, dt)
+	span := dt.StartSpan("shard.match", 0)
 	t0 := time.Now()
 	if traced {
 		sids, tr, err = s.eng.MatchTracedContext(ctx, doc)
 	} else {
 		sids, err = s.eng.MatchContext(ctx, doc)
 	}
-	s.publishNanos.Add(time.Since(t0).Nanoseconds())
+	elapsed := time.Since(t0)
+	span.SetError(err)
+	span.End()
+	s.publishNanos.Add(elapsed.Nanoseconds())
+	if dt.Enabled() {
+		w.Header().Set(trace.ResponseHeaderName, dt.ID().String())
+	}
 	if err != nil {
 		s.docsRejected.Add(1)
+		s.recordPublishFlight(dt, elapsed, len(doc), 0, err)
 		s.publishError(w, err)
 		return
 	}
 	s.docsPublished.Add(1)
 	s.matchesTotal.Add(int64(len(sids)))
+	dspan := dt.StartSpan("shard.deliver", 0)
 	delivered := s.deliver(doc, sids)
+	dspan.End()
+	s.recordPublishFlight(dt, elapsed, len(doc), len(delivered), nil)
 	resp := map[string]any{"matches": len(delivered), "ids": delivered}
 	if traced {
 		resp["trace"] = tr
 	}
+	if dt.Enabled() {
+		resp["trace_id"] = dt.ID().String()
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordPublishFlight retains one publish in the flight recorder when it
+// is anomalous — limit-tripped/timed-out/failed, or slow past the
+// engine's SlowDocThreshold — or when it was explicitly traced (so a
+// traced publish can always be found at /debug/flight afterwards).
+func (s *Server) recordPublishFlight(dt *trace.Trace, elapsed time.Duration, docBytes, matches int, err error) {
+	if s.flight == nil {
+		return
+	}
+	var reasons []string
+	if err != nil {
+		var le *predfilter.LimitError
+		if errors.As(err, &le) {
+			switch le.Kind {
+			case predfilter.LimitDeadline, predfilter.LimitCanceled:
+				reasons = append(reasons, "timed_out")
+			default:
+				reasons = append(reasons, "limit_tripped")
+			}
+		} else {
+			reasons = append(reasons, "failed")
+		}
+	}
+	if slow := s.cfg.Engine.SlowDocThreshold; slow > 0 && elapsed >= slow {
+		reasons = append(reasons, "slow")
+	}
+	if dt.Enabled() {
+		reasons = append(reasons, "traced")
+	}
+	if len(reasons) == 0 {
+		return
+	}
+	rec := &trace.Record{
+		Time:          time.Now(),
+		Op:            "publish",
+		Reasons:       reasons,
+		DurationNanos: elapsed.Nanoseconds(),
+		DocBytes:      docBytes,
+		Matches:       matches,
+		Spans:         dt.Snapshot(),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if dt.Enabled() {
+		rec.TraceID = dt.ID().String()
+	}
+	s.flight.Add(rec)
+}
+
+// handleFlight serves the flight recorder: the last K anomalous
+// publishes with their span trees, oldest first.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recorded": s.flight.Recorded(),
+		"capacity": s.flight.Cap(),
+		"records":  s.flight.Snapshot(),
+	})
 }
 
 // deliver enqueues doc for every matched, still-registered subscription

@@ -1,0 +1,36 @@
+//go:build !race
+
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// The disabled-tracing contract: the full instrumentation sequence a
+// hot path executes — context plumbing, span lifecycle, attribute
+// setters, flight-recorder admission — must allocate nothing when the
+// trace is nil. (-race instruments allocations, so the guard is built
+// out under the race detector, mirroring internal/metrics.)
+func TestDisabledTracingZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	var rec *FlightRecorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := FromContext(ctx)
+		c2 := NewContext(ctx, tr)
+		root := tr.StartSpan("publish", 0)
+		sp := tr.StartSpan("rpc", root.ID())
+		sp.SetShard("shard-0")
+		sp.SetRetries(0)
+		_ = sp.Header()
+		sp.End()
+		root.End()
+		_ = tr.ID()
+		_ = tr.Snapshot()
+		rec.Add(nil)
+		_ = c2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightRecords is the ring capacity used when a FlightRecorder
+// is constructed with k <= 0.
+const DefaultFlightRecords = 64
+
+// Record is one retained anomalous (or explicitly traced) operation:
+// the outcome summary plus the full span tree. Records are immutable
+// once stored.
+type Record struct {
+	TraceID       string       `json:"trace_id"`
+	Time          time.Time    `json:"time"`
+	Op            string       `json:"op"`
+	Reasons       []string     `json:"reasons"`
+	DurationNanos int64        `json:"duration_ns"`
+	DocBytes      int          `json:"doc_bytes,omitempty"`
+	Matches       int          `json:"matches,omitempty"`
+	Degraded      []string     `json:"degraded,omitempty"`
+	Skipped       []string     `json:"skipped,omitempty"`
+	Error         string       `json:"error,omitempty"`
+	Spans         []SpanRecord `json:"spans,omitempty"`
+}
+
+// FlightRecorder retains the last K records in a lock-free ring.
+// Writers claim a slot with one atomic increment and publish an
+// immutable *Record with one atomic store; readers load slots without
+// blocking writers. Under a race between a reader and a lapping writer
+// a snapshot may momentarily contain a newer record in an "old" slot —
+// acceptable for a diagnostic buffer, and every record it returns was
+// genuinely recorded.
+type FlightRecorder struct {
+	slots []atomic.Pointer[Record]
+	pos   atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder retaining the last k records
+// (DefaultFlightRecords when k <= 0).
+func NewFlightRecorder(k int) *FlightRecorder {
+	if k <= 0 {
+		k = DefaultFlightRecords
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[Record], k)}
+}
+
+// Add stores r as the newest record. r must not be mutated afterwards.
+// Safe on a nil recorder (no-op).
+func (f *FlightRecorder) Add(r *Record) {
+	if f == nil || r == nil {
+		return
+	}
+	idx := f.pos.Add(1) - 1
+	f.slots[idx%uint64(len(f.slots))].Store(r)
+}
+
+// Recorded returns the total number of records ever added.
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.pos.Load()
+}
+
+// Cap returns the ring capacity (0 on a nil recorder).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Snapshot returns the retained records ordered oldest to newest. Nil
+// recorder yields nil.
+func (f *FlightRecorder) Snapshot() []*Record {
+	if f == nil {
+		return nil
+	}
+	k := uint64(len(f.slots))
+	n := f.pos.Load()
+	start := uint64(0)
+	if n > k {
+		start = n - k
+	}
+	out := make([]*Record, 0, k)
+	for i := start; i < n; i++ {
+		if r := f.slots[i%k].Load(); r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

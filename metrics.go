@@ -10,6 +10,7 @@ import (
 	"predfilter/internal/guard"
 	"predfilter/internal/matcher"
 	"predfilter/internal/metrics"
+	"predfilter/internal/trace"
 	"predfilter/internal/xmldoc"
 )
 
@@ -102,8 +103,11 @@ func (e *Engine) MatchTracedContext(ctx context.Context, doc []byte) ([]SID, *Ma
 
 // maybeLogSlow counts and logs documents whose parse+match time reached
 // the configured threshold. bd may be nil when no stage breakdown exists
-// (the parallel and streaming paths).
-func (e *Engine) maybeLogSlow(parse, match time.Duration, bd *matcher.Breakdown, bytes, paths, matches int) {
+// (the parallel and streaming paths). When ctx carries a distributed
+// trace (the server attaches one for traced publishes), its trace ID is
+// attached so the slow-document record can be correlated with the
+// cluster-wide span tree in the flight recorder.
+func (e *Engine) maybeLogSlow(ctx context.Context, parse, match time.Duration, bd *matcher.Breakdown, bytes, paths, matches int) {
 	if e.slow <= 0 || parse+match < e.slow {
 		return
 	}
@@ -123,7 +127,10 @@ func (e *Engine) maybeLogSlow(parse, match time.Duration, bd *matcher.Breakdown,
 			slog.Int64("occur_ns", int64(bd.ExprMatch+bd.Other)),
 		)
 	}
-	e.logger.LogAttrs(nil, slog.LevelWarn, "predfilter: slow document", attrs...)
+	if tr := trace.FromContext(ctx); tr.Enabled() {
+		attrs = append(attrs, slog.String("trace_id", tr.ID().String()))
+	}
+	e.logger.LogAttrs(ctx, slog.LevelWarn, "predfilter: slow document", attrs...)
 }
 
 // Metrics returns the engine's metric set for direct recording access

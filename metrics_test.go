@@ -281,3 +281,34 @@ func TestWriteMetricsValid(t *testing.T) {
 		}
 	}
 }
+
+// TestStageStatsEmptyHistograms pins the empty-histogram contract the
+// /stats payload relies on: with zero observations every quantile must
+// be exactly 0 — never NaN, which would serialize as invalid JSON and
+// break scrapers. (internal/metrics.HistSnapshot.Quantile returns 0 on
+// Count==0; this guards the summary layer end to end.)
+func TestStageStatsEmptyHistograms(t *testing.T) {
+	eng := predfilter.New(predfilter.Config{})
+	st := eng.Stats().Stages
+	check := func(name string, h predfilter.HistogramStats) {
+		t.Helper()
+		if h.Count != 0 || h.TotalNanos != 0 {
+			t.Errorf("%s: fresh engine has count=%d total=%d", name, h.Count, h.TotalNanos)
+		}
+		for q, v := range map[string]float64{"p50": h.P50Nanos, "p95": h.P95Nanos, "p99": h.P99Nanos} {
+			if math.IsNaN(v) {
+				t.Errorf("%s %s = NaN, want 0", name, q)
+			}
+			if v != 0 {
+				t.Errorf("%s %s = %v, want 0", name, q, v)
+			}
+		}
+	}
+	check("parse", st.Parse)
+	check("cache", st.Cache)
+	check("predicate_match", st.PredicateMatch)
+	check("occurrence", st.Occurrence)
+	check("match", st.Match)
+	check("wal_append", st.WALAppend)
+	check("snapshot", st.Snapshot)
+}

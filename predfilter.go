@@ -384,7 +384,7 @@ func (e *Engine) MatchContext(ctx context.Context, doc []byte) ([]SID, error) {
 	if err != nil {
 		return nil, e.recordGovernance(err)
 	}
-	e.maybeLogSlow(parse, time.Since(t1), &bd, len(doc), len(d.Paths), len(sids))
+	e.maybeLogSlow(ctx, parse, time.Since(t1), &bd, len(doc), len(d.Paths), len(sids))
 	return sids, nil
 }
 
@@ -447,7 +447,7 @@ func (e *Engine) MatchReaderContext(ctx context.Context, r io.Reader) ([]SID, er
 	if err != nil {
 		return nil, e.recordGovernance(err)
 	}
-	e.maybeLogSlow(parse, time.Since(t1), &bd, 0, len(d.Paths), len(sids))
+	e.maybeLogSlow(ctx, parse, time.Since(t1), &bd, 0, len(d.Paths), len(sids))
 	return sids, nil
 }
 
@@ -478,7 +478,7 @@ func (d *Document) Paths() int { return len(d.doc.Paths) }
 func (e *Engine) MatchParsed(d *Document) []SID {
 	t0 := time.Now()
 	sids, bd := e.m.MatchDocumentBreakdown(d.doc)
-	e.maybeLogSlow(0, time.Since(t0), &bd, 0, len(d.doc.Paths), len(sids))
+	e.maybeLogSlow(context.Background(), 0, time.Since(t0), &bd, 0, len(d.doc.Paths), len(sids))
 	return sids
 }
 
@@ -491,7 +491,7 @@ func (e *Engine) MatchParsedContext(ctx context.Context, d *Document) ([]SID, er
 	if err != nil {
 		return nil, e.recordGovernance(err)
 	}
-	e.maybeLogSlow(0, time.Since(t0), &bd, 0, len(d.doc.Paths), len(sids))
+	e.maybeLogSlow(ctx, 0, time.Since(t0), &bd, 0, len(d.doc.Paths), len(sids))
 	return sids, nil
 }
 

@@ -74,7 +74,7 @@ func (e *Engine) matchParsedStreamDoc(ctx context.Context, r *Result, d *xmldoc.
 		return
 	}
 	r.SIDs = sids
-	e.maybeLogSlow(parse, time.Since(t1), nil, len(r.Doc), len(d.Paths), len(sids))
+	e.maybeLogSlow(ctx, parse, time.Since(t1), nil, len(r.Doc), len(d.Paths), len(sids))
 }
 
 // matchStreamGroup processes one dispatch group: every document is parsed
@@ -141,7 +141,7 @@ func (e *Engine) matchColumnarGroup(ctx context.Context, rs []Result, docs []*xm
 			continue
 		}
 		rs[k].SIDs = outs[j]
-		e.maybeLogSlow(parse[k], 0, nil, len(rs[k].Doc), len(batch[j].Paths), len(outs[j]))
+		e.maybeLogSlow(ctx, parse[k], 0, nil, len(rs[k].Doc), len(batch[j].Paths), len(outs[j]))
 	}
 	return true
 }
