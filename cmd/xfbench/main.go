@@ -15,6 +15,7 @@
 //	xfbench -exp parse                     # scanner vs encoding/xml parse throughput → BENCH_parse.json
 //	xfbench -exp cluster -cluster-shards 1,2,4,8  # scatter/gather vs shard count → BENCH_cluster.json
 //	xfbench -exp columnar -col-batches 1,8,32,64  # bitset batch matcher vs scalar → BENCH_columnar.json
+//	xfbench -exp chaos                     # cluster fault injection: partition/flap/slow → BENCH_chaos.json
 //	xfbench -list                     # list experiment ids
 //	xfbench -stats                    # print workload statistics
 package main
@@ -191,6 +192,26 @@ func main() {
 		}
 		fmt.Printf("== cluster scatter/gather throughput [scale %s, shards %v]\n", s.Name, counts)
 		rep, err := bench.RunCluster(s, counts, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSON(out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- wrote %s\n", out)
+		return
+	}
+
+	// -exp chaos: cluster fault behavior through the deterministic
+	// fault-injection proxy — partition, flap, and slow-link scenarios
+	// with breaker activity and recovery times → BENCH_chaos.json.
+	if *expID == "chaos" {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_chaos.json"
+		}
+		fmt.Printf("== cluster fault injection: partition, flap, slow link [scale %s]\n", s.Name)
+		rep, err := bench.RunChaos(s, progress)
 		if err != nil {
 			fatal(err)
 		}

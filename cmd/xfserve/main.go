@@ -100,7 +100,11 @@ func main() {
 		publishTimeout = flag.Duration("publish-timeout", 5*time.Second, "cluster: per-shard deadline for each publish attempt")
 		retries        = flag.Int("retries", 2, "cluster: transient per-shard failure retries before skipping the shard (-1 disables retries for at-most-once delivery)")
 		healthInterval = flag.Duration("health-interval", 2*time.Second, "cluster: shard health-check period for automatic standby promotion (0 = disabled)")
-		clusterRecover = flag.Bool("cluster-recover", false, "cluster: rebuild coordinator state from the shards' live subscriptions at startup (all shards must be reachable)")
+		clusterRecover = flag.Bool("cluster-recover", false, "cluster: verify coordinator state against the shards' live subscriptions at startup (repairing drift; without -coord-state this rebuilds from the shards and they must all be reachable)")
+		coordState     = flag.String("coord-state", "", "cluster: coordinator state directory for durable routing — sid counter, routing table, orphan set survive kill -9 (empty = in-memory)")
+		breakerThresh  = flag.Int("breaker-threshold", 0, "cluster: consecutive transient shard failures that open the shard's circuit breaker (0 = default 5, negative = disabled)")
+		breakerCool    = flag.Duration("breaker-cooldown", 0, "cluster: how long an open breaker refuses calls before a half-open probe (0 = default 2s)")
+		retryBackMax   = flag.Duration("retry-backoff-max", 0, "cluster: cap on the exponential retry backoff between attempts (0 = default 1s)")
 		follow         = flag.String("follow", "", "run as a hot standby shipping this primary's WAL into the local subscription set")
 		followEvery    = flag.Duration("follow-interval", 250*time.Millisecond, "WAL-shipping poll period for -follow")
 	)
@@ -115,6 +119,11 @@ func main() {
 			retries:        *retries,
 			healthInterval: *healthInterval,
 			recover:        *clusterRecover,
+			stateDir:       *coordState,
+			noSync:         *noSync,
+			breakerThresh:  *breakerThresh,
+			breakerCool:    *breakerCool,
+			retryBackMax:   *retryBackMax,
 			maxDoc:         *maxDoc,
 			flightRecords:  *flightRecords,
 			slowPublish:    *slowPublish,
@@ -246,6 +255,11 @@ type coordinatorOptions struct {
 	retries        int
 	healthInterval time.Duration
 	recover        bool
+	stateDir       string
+	noSync         bool
+	breakerThresh  int
+	breakerCool    time.Duration
+	retryBackMax   time.Duration
 	maxDoc         int64
 	flightRecords  int
 	slowPublish    time.Duration
@@ -304,6 +318,11 @@ func runCoordinator(o coordinatorOptions) {
 		Retries:              o.retries,
 		HealthInterval:       o.healthInterval,
 		Recover:              o.recover,
+		StateDir:             o.stateDir,
+		NoSync:               o.noSync,
+		BreakerThreshold:     o.breakerThresh,
+		BreakerCooldown:      o.breakerCool,
+		RetryBackoffMax:      o.retryBackMax,
 		MaxDocumentBytes:     o.maxDoc,
 		FlightRecords:        o.flightRecords,
 		SlowPublishThreshold: o.slowPublish,

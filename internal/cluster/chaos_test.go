@@ -1,0 +1,230 @@
+package cluster_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"predfilter"
+	"predfilter/internal/cluster"
+	"predfilter/internal/faultnet"
+)
+
+// End-to-end breaker lifecycle under a deterministic network fault: a
+// partitioned shard flaps publishes into failures until the breaker
+// opens, open-breaker publishes degrade fast instead of burning the
+// publish timeout, and healing the link closes the breaker through a
+// half-open probe.
+
+func shardStats(t *testing.T, c *cluster.Coordinator, name string) cluster.ShardStats {
+	t.Helper()
+	for _, sh := range c.Stats().PerShard {
+		if sh.Name == name {
+			return sh
+		}
+	}
+	t.Fatalf("no stats for shard %q", name)
+	return cluster.ShardStats{}
+}
+
+func TestClusterBreakerFaultnetLifecycle(t *testing.T) {
+	const publishTimeout = 400 * time.Millisecond
+	w := testWorkload(t, 40, 6)
+	want := singleEngineSets(t, w)
+	ctx := context.Background()
+	set := newShardSet(t, 2)
+
+	px, err := faultnet.New(strings.TrimPrefix(set.https[1].URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	c, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardSpec{
+			set.specs[0],
+			{Name: "shard-1", Addr: px.URL()},
+		},
+		PublishTimeout:   publishTimeout,
+		Retries:          -1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, xpe := range w.XPEs {
+		if _, err := c.Subscribe(ctx, xpe); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Healthy baseline through the transparent proxy.
+	var healthyMax time.Duration
+	for i, doc := range w.Docs {
+		t0 := time.Now()
+		res, err := c.Publish(ctx, doc)
+		if err != nil || res.Degraded {
+			t.Fatalf("healthy publish %d: degraded=%v err=%v", i, res.Degraded, err)
+		}
+		if !sidSetsEqual(res.SIDs, want[i]) {
+			t.Fatalf("healthy doc %d: matched %v, want %v", i, res.SIDs, want[i])
+		}
+		if d := time.Since(t0); d > healthyMax {
+			healthyMax = d
+		}
+	}
+	if st := shardStats(t, c, "shard-1"); st.Breaker != "closed" {
+		t.Fatalf("breaker %q under healthy traffic", st.Breaker)
+	}
+
+	// Partition shard-1. Each publish now burns the publish timeout on
+	// that shard and degrades; after BreakerThreshold consecutive
+	// failures the breaker opens.
+	px.Partition()
+	opened := false
+	for i := 0; i < 10 && !opened; i++ {
+		res, err := c.Publish(ctx, w.Docs[i%len(w.Docs)])
+		if err != nil {
+			t.Fatalf("partitioned publish errored: %v", err)
+		}
+		if !res.Degraded {
+			t.Fatal("partitioned publish not degraded")
+		}
+		opened = shardStats(t, c, "shard-1").Breaker == "open"
+	}
+	if !opened {
+		t.Fatal("breaker never opened under partition")
+	}
+
+	// Open breaker: publishes short-circuit the dead shard. The
+	// acceptance bound — p99 within 2× the healthy baseline — is
+	// asserted on every open-breaker publish, with a floor so a fast
+	// healthy run doesn't make the bound flaky.
+	bound := 2 * healthyMax
+	if floor := 150 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	for i := 0; i < 5; i++ {
+		t0 := time.Now()
+		res, err := c.Publish(ctx, w.Docs[i%len(w.Docs)])
+		elapsed := time.Since(t0)
+		if err != nil || !res.Degraded {
+			t.Fatalf("open-breaker publish: degraded=%v err=%v", res.Degraded, err)
+		}
+		if elapsed > bound {
+			t.Fatalf("open-breaker publish took %v, bound %v (healthy max %v)", elapsed, bound, healthyMax)
+		}
+		if !sidSetsEqual(res.SIDs, intersectOwned(t, c, "shard-0", want[i%len(w.Docs)])) {
+			t.Fatalf("open-breaker publish %d: wrong surviving matches", i)
+		}
+	}
+	st := shardStats(t, c, "shard-1")
+	if st.FastFails == 0 {
+		t.Fatal("open breaker recorded no fast-fails")
+	}
+	if st.BreakerOpens == 0 {
+		t.Fatal("breaker open transition not counted")
+	}
+
+	// Heal. After the cooldown the next publish carries the half-open
+	// probe, succeeds, and recloses the breaker; publishes are whole
+	// again, sid for sid.
+	px.Heal()
+	time.Sleep(300 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := c.Publish(ctx, w.Docs[0])
+		if err != nil {
+			t.Fatalf("publish after heal: %v", err)
+		}
+		if !res.Degraded && shardStats(t, c, "shard-1").Breaker == "closed" {
+			if !sidSetsEqual(res.SIDs, want[0]) {
+				t.Fatalf("healed publish matched %v, want %v", res.SIDs, want[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never reclosed after heal: %q", shardStats(t, c, "shard-1").Breaker)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for i, doc := range w.Docs {
+		res, err := c.Publish(ctx, doc)
+		if err != nil || res.Degraded {
+			t.Fatalf("post-heal publish %d: degraded=%v err=%v", i, res.Degraded, err)
+		}
+		if !sidSetsEqual(res.SIDs, want[i]) {
+			t.Fatalf("post-heal doc %d: matched %v, want %v", i, res.SIDs, want[i])
+		}
+	}
+}
+
+// intersectOwned filters want down to the sids owned by shard name —
+// the matches a publish can still report while every other shard is
+// down.
+func intersectOwned(t *testing.T, c *cluster.Coordinator, name string, want []predfilter.SID) []predfilter.SID {
+	t.Helper()
+	out := make([]predfilter.SID, 0, len(want))
+	for _, sid := range want {
+		if owner, ok := c.OwnerOf(sid); ok && owner == name {
+			out = append(out, sid)
+		}
+	}
+	return out
+}
+
+// TestClusterBreakerFlapReset: a link that flaps — fails, recovers
+// before the threshold, fails again — must not open the breaker; only
+// consecutive failures count.
+func TestClusterBreakerFlapReset(t *testing.T) {
+	w := testWorkload(t, 10, 2)
+	ctx := context.Background()
+	set := newShardSet(t, 2)
+	px, err := faultnet.New(strings.TrimPrefix(set.https[1].URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	c, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardSpec{
+			set.specs[0],
+			{Name: "shard-1", Addr: px.URL()},
+		},
+		PublishTimeout:   300 * time.Millisecond,
+		Retries:          -1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Second, // would be sticky if it opened
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, xpe := range w.XPEs {
+		if _, err := c.Subscribe(ctx, xpe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two failures, heal, two failures, heal: never three consecutive.
+	for round := 0; round < 2; round++ {
+		px.Partition()
+		for i := 0; i < 2; i++ {
+			res, err := c.Publish(ctx, w.Docs[0])
+			if err != nil {
+				t.Fatalf("partitioned publish round %d errored: %v", round, err)
+			}
+			if !res.Degraded {
+				t.Fatal("partitioned publish not degraded")
+			}
+		}
+		px.Heal()
+		if res, err := c.Publish(ctx, w.Docs[0]); err != nil || res.Degraded {
+			t.Fatalf("healed publish round %d: degraded=%v err=%v", round, res.Degraded, err)
+		}
+	}
+	if st := shardStats(t, c, "shard-1"); st.Breaker != "closed" || st.BreakerOpens != 0 {
+		t.Fatalf("flapping link opened the breaker: state %q, opens %d", st.Breaker, st.BreakerOpens)
+	}
+}

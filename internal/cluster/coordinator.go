@@ -13,6 +13,7 @@ import (
 
 	"predfilter"
 	"predfilter/internal/metrics"
+	"predfilter/internal/store"
 	"predfilter/internal/trace"
 	"predfilter/internal/xpath"
 )
@@ -53,9 +54,20 @@ type Config struct {
 	// at-least-once per shard. Operators who need at-most-once delivery
 	// must set Retries to -1 and accept more degraded results instead.
 	Retries int
-	// RetryBackoff is the base backoff between retries; attempt k waits
-	// k×RetryBackoff (default 25ms).
+	// RetryBackoff is the base backoff between retries; attempt k waits a
+	// full-jitter draw from (0, min(RetryBackoff×2^(k-1), RetryBackoffMax)]
+	// (default 25ms). A 429's Retry-After is honored as the floor.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff growth (default 1s, and
+	// never below RetryBackoff).
+	RetryBackoffMax time.Duration
+	// BreakerThreshold is how many consecutive transient failures open a
+	// shard's circuit breaker. Zero means the default of 5; negative
+	// disables breakers entirely (every call goes to the network).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses calls before
+	// letting a single half-open probe through (default 2s).
+	BreakerCooldown time.Duration
 	// HealthInterval is the shard health-check period. 0 disables the
 	// monitor (tests drive Promote explicitly); production coordinators
 	// should run it.
@@ -66,14 +78,33 @@ type Config struct {
 	// MaxDocumentBytes bounds documents accepted by the coordinator's own
 	// /publish endpoint (default 1 MiB).
 	MaxDocumentBytes int64
-	// Recover rebuilds the coordinator's subscription records at startup
-	// by listing every shard's live set (GET /subscriptions): ownership
-	// is recorded from where each id actually lives, and the global SID
-	// sequence resumes past the highest live id. Every shard must be
-	// reachable — recovering around an unreachable shard would re-issue
-	// its live ids. Without this, a restarted coordinator starts empty in
-	// front of populated shards: new subscribes collide with live ids and
-	// existing ones cannot be resolved.
+	// StateDir, when non-empty, makes the coordinator's routing state
+	// durable: the SID counter, the sid→shard routing table, and the
+	// orphan-SID set are write-ahead logged (and periodically compacted
+	// into a snapshot) under this directory, so a kill -9'd coordinator
+	// restarts into a fully routed cluster from local state alone — zero
+	// shard round-trips, even with every shard unreachable. Without it the
+	// routing state is in-memory only and a restart needs Recover.
+	StateDir string
+	// NoSync disables the per-append fsync on the coordinator state log.
+	// Throughput over durability: a host crash (not a process crash) can
+	// lose the last appended records.
+	NoSync bool
+	// SnapshotEvery compacts the coordinator state log into a snapshot
+	// once it accumulates this many records (default 4096; negative
+	// disables size-triggered compaction — Close still snapshots).
+	SnapshotEvery int
+	// Recover reconciles the coordinator's records against every shard's
+	// live set (GET /subscriptions) at startup. Without StateDir it is the
+	// only recovery path: ownership is recorded from where each id
+	// actually lives, the SID sequence resumes past the highest live id,
+	// and every shard must be reachable — recovering around an unreachable
+	// shard would re-issue its live ids. With StateDir the durable state
+	// is authoritative and Recover becomes an optional verify/repair pass:
+	// subscriptions the shards hold but the records lack are adopted,
+	// recorded subscriptions missing from their owner are re-subscribed,
+	// duplicate copies are resolved, and unreachable shards are skipped
+	// (verified on their next restart) instead of failing startup.
 	Recover bool
 	// Client is the HTTP client for shard calls (default: a dedicated
 	// client with sensible pooling).
@@ -121,6 +152,11 @@ type shard struct {
 
 	healthy     atomic.Bool
 	consecFails int // monitor-goroutine only
+
+	// brk is the shard's circuit breaker (nil when disabled): transient
+	// failures on any RPC stage and failed health probes feed it, open
+	// state short-circuits calls before they touch the network.
+	brk *breaker
 
 	published    atomic.Int64 // successful publish calls
 	errs         atomic.Int64 // failed publish attempts (before retry)
@@ -171,6 +207,10 @@ type Coordinator struct {
 
 	adminMu sync.Mutex
 	ring    *ring // adminMu holders only
+	// st is the durable routing state (nil without Config.StateDir).
+	// Appends happen under adminMu, before the corresponding in-memory
+	// commit, so the log never lags what publishes can observe.
+	st *store.CoordStore
 
 	mu      sync.Mutex
 	shards  map[string]*shard
@@ -189,6 +229,7 @@ type Coordinator struct {
 	gatherMerge metrics.Histogram // gather-merge stage of scatter/gather publish
 
 	closeOnce sync.Once
+	storeOnce sync.Once
 	done      chan struct{}
 	wg        sync.WaitGroup
 }
@@ -214,6 +255,21 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = time.Second
+	}
+	if cfg.RetryBackoffMax < cfg.RetryBackoff {
+		cfg.RetryBackoffMax = cfg.RetryBackoff
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 4096
 	}
 	if cfg.FailThreshold <= 0 {
 		cfg.FailThreshold = 3
@@ -255,14 +311,29 @@ func New(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: duplicate shard name %q", name)
 		}
 		sh := &shard{name: name, addr: spec.Addr, standby: spec.Standby}
+		if cfg.BreakerThreshold > 0 {
+			sh.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
 		sh.healthy.Store(true)
 		c.shards[name] = sh
 		c.order = append(c.order, name)
 		c.ring.add(name)
 	}
 	c.initMux()
+	if cfg.StateDir != "" {
+		if err := c.openState(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Recover {
-		if err := c.recoverState(context.Background()); err != nil {
+		var err error
+		if c.st != nil {
+			err = c.reconcileState(context.Background())
+		} else {
+			err = c.recoverState(context.Background())
+		}
+		if err != nil {
+			c.closeState()
 			return nil, err
 		}
 	}
@@ -329,13 +400,291 @@ func (c *Coordinator) recoverState(ctx context.Context) error {
 	return nil
 }
 
-// Close stops the health monitor and marks the coordinator draining (its
-// HTTP publish surface answers 503). Shards are independent processes and
-// are not touched. Safe to call concurrently and more than once.
+// openState opens the durable routing state under Config.StateDir and
+// loads it, so the restart resumes fully routed without asking any
+// shard. Every recorded owner must still be a configured shard: the
+// shard *set* lives in Config, and dropping a shard from the flags
+// without RemoveShard would leave its subscriptions unroutable — that
+// is a hard error here, not a silent one later. Orphans burned on
+// shards no longer configured are reaped (their copies died with the
+// shard). Runs from New, before the coordinator serves.
+func (c *Coordinator) openState() error {
+	cs, err := store.OpenCoord(c.cfg.StateDir, store.Options{NoSync: c.cfg.NoSync})
+	if err != nil {
+		return fmt.Errorf("cluster: open coordinator state: %w", err)
+	}
+	st := cs.State()
+	subs := make(map[predfilter.SID]*subRecord, len(st.Subs))
+	for sid, sub := range st.Subs {
+		if c.shards[sub.Owner] == nil {
+			cs.Close()
+			return fmt.Errorf("cluster: recovered sid %d routed to unconfigured shard %q (shard removed from config without RemoveShard?)", sid, sub.Owner)
+		}
+		subs[predfilter.SID(sid)] = &subRecord{expr: sub.Expr, owner: sub.Owner}
+	}
+	orphans := make(map[predfilter.SID]string, len(st.Orphans))
+	for sid, name := range st.Orphans {
+		if c.shards[name] == nil {
+			_ = cs.AppendReap(sid)
+			continue
+		}
+		orphans[predfilter.SID(sid)] = name
+	}
+	c.mu.Lock()
+	c.subs = subs
+	c.orphans = orphans
+	c.nextSID = predfilter.SID(st.NextSID)
+	c.mu.Unlock()
+	c.st = cs
+	c.log.Info("cluster: coordinator state recovered",
+		slog.Int("subscriptions", len(subs)),
+		slog.Int("orphans", len(orphans)),
+		slog.Int64("next_sid", int64(st.NextSID)))
+	return nil
+}
+
+// closeState snapshots and closes the durable state (idempotent; no-op
+// without one). The snapshot on the way out makes the next open replay
+// nothing, but is an optimization only — a kill -9 skips it and replays
+// the WAL instead.
+func (c *Coordinator) closeState() {
+	if c.st == nil {
+		return
+	}
+	c.storeOnce.Do(func() {
+		if err := c.st.Snapshot(); err != nil {
+			c.log.Warn("cluster: coordinator state snapshot on close", slog.String("error", err.Error()))
+		}
+		if err := c.st.Close(); err != nil {
+			c.log.Warn("cluster: coordinator state close", slog.String("error", err.Error()))
+		}
+	})
+}
+
+// persistReap clears a burned sid from the durable state. Failure is
+// log-only: a restart resurrects the orphan and the next reap pass
+// deletes it again (shard-side delete of a missing sid answers 404,
+// which counts as success).
+func (c *Coordinator) persistReap(sid predfilter.SID) {
+	if c.st == nil {
+		return
+	}
+	if err := c.st.AppendReap(uint32(sid)); err != nil {
+		c.log.Debug("cluster: persist orphan reap",
+			slog.Int64("sid", int64(sid)),
+			slog.String("error", err.Error()))
+	}
+}
+
+// maybeSnapshot compacts the coordinator state log once it accumulates
+// Config.SnapshotEvery records. Callers hold adminMu.
+func (c *Coordinator) maybeSnapshot() {
+	if c.st == nil || c.cfg.SnapshotEvery <= 0 {
+		return
+	}
+	if c.st.WALRecords() < int64(c.cfg.SnapshotEvery) {
+		return
+	}
+	if err := c.st.Snapshot(); err != nil {
+		c.log.Error("cluster: coordinator state snapshot", slog.String("error", err.Error()))
+	}
+}
+
+// canonicalExpr renders an expression the way shards store it (parse +
+// print). The coordinator's records keep the as-submitted form, so any
+// comparison against a shard listing goes through this first.
+func canonicalExpr(expr string) (string, error) {
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+// reconcileState is the verify/repair pass over the durable records:
+// with StateDir the records are authoritative, and Recover compares
+// them against what each shard actually holds, repairing divergence
+// from the crash windows the log cannot cover (a shard ack whose
+// durable record was never written, a migration torn between its add
+// and its remove, a shard restarted from a wiped disk). Unreachable
+// shards are skipped — their subscriptions are verified when they
+// return — instead of failing startup the way record-less recovery
+// must. Runs from New, before the coordinator serves, so the maps are
+// accessed without locks.
+func (c *Coordinator) reconcileState(ctx context.Context) error {
+	type copyOn struct{ shard, expr string }
+	listed := make(map[predfilter.SID][]copyOn)
+	reachable := make(map[string]bool, len(c.order))
+	for _, name := range c.order {
+		sh := c.shards[name]
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+		entries, err := c.api.listSubscriptions(cctx, sh.currentAddr())
+		cancel()
+		if err != nil {
+			c.log.Warn("cluster: verify: shard unreachable, skipped",
+				slog.String("shard", name),
+				slog.String("error", err.Error()))
+			continue
+		}
+		reachable[name] = true
+		for _, e := range entries {
+			listed[e.ID] = append(listed[e.ID], copyOn{shard: name, expr: e.Expression})
+		}
+	}
+
+	del := func(sid predfilter.SID, name string) error {
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+		defer cancel()
+		return c.api.unsubscribe(cctx, c.shards[name].currentAddr(), sid)
+	}
+
+	for sid, copies := range listed {
+		rec := c.subs[sid]
+		_, orphaned := c.orphans[sid]
+		switch {
+		case rec == nil && orphaned:
+			// A burned sid whose shard-side copy survives: the shards that
+			// hold it answered the listing, so delete it here and now.
+			for _, cp := range copies {
+				if err := del(sid, cp.shard); err != nil {
+					return fmt.Errorf("cluster: verify: delete orphaned sid %d on shard %s: %w", sid, cp.shard, err)
+				}
+			}
+			delete(c.orphans, sid)
+			c.persistReap(sid)
+			c.log.Info("cluster: verify: reaped orphaned sid", slog.Int64("sid", int64(sid)))
+		case rec == nil:
+			// The shards hold a subscription the records lack — a shard ack
+			// whose durable record was lost to a crash, or a registration
+			// this coordinator never placed. Adopt the ring-preferred copy
+			// (the canonical expression the shard stores becomes the
+			// record) and delete the rest.
+			keep := copies[0]
+			if want, werr := c.ring.ownerSID(sid); werr == nil {
+				for _, cp := range copies {
+					if cp.shard == want {
+						keep = cp
+					}
+				}
+			}
+			if err := c.st.AppendAdd(uint32(sid), keep.shard, keep.expr); err != nil {
+				return fmt.Errorf("cluster: verify: persist adopted sid %d: %w", sid, err)
+			}
+			c.subs[sid] = &subRecord{expr: keep.expr, owner: keep.shard}
+			if sid >= c.nextSID {
+				c.nextSID = sid + 1
+			}
+			for _, cp := range copies {
+				if cp.shard == keep.shard {
+					continue
+				}
+				if err := del(sid, cp.shard); err != nil {
+					return fmt.Errorf("cluster: verify: delete duplicate sid %d on shard %s: %w", sid, cp.shard, err)
+				}
+			}
+			c.log.Warn("cluster: verify: adopted unrecorded subscription",
+				slog.Int64("sid", int64(sid)),
+				slog.String("shard", keep.shard))
+		default:
+			canon, cerr := canonicalExpr(rec.expr)
+			if cerr != nil {
+				canon = rec.expr
+			}
+			ownerHolds := false
+			for _, cp := range copies {
+				if cp.expr != canon && cp.expr != rec.expr {
+					return fmt.Errorf("cluster: verify: sid %d on shard %s has expression %q, record says %q",
+						sid, cp.shard, cp.expr, rec.expr)
+				}
+				if cp.shard == rec.owner {
+					ownerHolds = true
+				}
+			}
+			if !ownerHolds {
+				if !reachable[rec.owner] {
+					// The recorded owner did not answer; nothing can be
+					// verified for this sid, so nothing is touched.
+					continue
+				}
+				// The owner answered but lost the copy while another shard
+				// holds one (a migration torn between add and remove):
+				// re-route the record to a holder rather than re-adding.
+				newOwner := copies[0].shard
+				if err := c.st.AppendOwner(uint32(sid), newOwner); err != nil {
+					return fmt.Errorf("cluster: verify: persist re-route of sid %d: %w", sid, err)
+				}
+				rec.owner = newOwner
+				c.log.Warn("cluster: verify: re-routed sid to surviving copy",
+					slog.Int64("sid", int64(sid)),
+					slog.String("shard", newOwner))
+			}
+			for _, cp := range copies {
+				if cp.shard == rec.owner {
+					continue
+				}
+				if err := del(sid, cp.shard); err != nil {
+					return fmt.Errorf("cluster: verify: delete stray sid %d on shard %s: %w", sid, cp.shard, err)
+				}
+			}
+		}
+	}
+
+	// Records whose owner answered the listing but does not hold the sid
+	// (a shard restarted from wiped state): put the subscription back.
+	for sid, rec := range c.subs {
+		if !reachable[rec.owner] {
+			continue
+		}
+		held := false
+		for _, cp := range listed[sid] {
+			if cp.shard == rec.owner {
+				held = true
+			}
+		}
+		if held {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
+		err := c.api.subscribe(cctx, c.shards[rec.owner].currentAddr(), sid, rec.expr)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("cluster: verify: re-subscribe sid %d on shard %s: %w", sid, rec.owner, err)
+		}
+		c.log.Warn("cluster: verify: re-subscribed lost sid",
+			slog.Int64("sid", int64(sid)),
+			slog.String("shard", rec.owner))
+	}
+
+	// Orphans whose shard answered the listing without them: the
+	// half-committed copy is confirmed gone.
+	for sid, name := range c.orphans {
+		if !reachable[name] {
+			continue
+		}
+		held := false
+		for _, cp := range listed[sid] {
+			if cp.shard == name {
+				held = true
+			}
+		}
+		if held {
+			continue // deleted and reaped in the walk above
+		}
+		delete(c.orphans, sid)
+		c.persistReap(sid)
+	}
+	return nil
+}
+
+// Close stops the health monitor, marks the coordinator draining (its
+// HTTP publish surface answers 503), and snapshots and closes the
+// durable state when one is configured. Shards are independent processes
+// and are not touched. Safe to call concurrently and more than once.
 func (c *Coordinator) Close() {
 	c.draining.Store(true)
 	c.closeOnce.Do(func() { close(c.done) })
 	c.wg.Wait()
+	c.closeState()
 }
 
 // shardList snapshots the shards in configuration order.
@@ -377,16 +726,36 @@ func (c *Coordinator) Subscribe(ctx context.Context, expr string) (predfilter.SI
 	c.mu.Unlock()
 	cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
 	defer cancel()
-	if _, err := c.callWithRetry(cctx, sh, rpcSubscribe, func(addr string) error {
+	if attempts, err := c.callWithRetry(cctx, sh, rpcSubscribe, func(addr string) error {
 		return c.api.subscribe(cctx, addr, sid, expr)
 	}); err != nil {
-		c.abandonSID(sh, sid, err)
+		if attempts > 0 {
+			// At least one RPC went out, so the shard may hold an
+			// unacknowledged copy. With zero attempts (breaker open) the
+			// sid is verifiably free — no cleanup, no burn.
+			c.abandonSID(sh, sid, err)
+		}
 		return 0, fmt.Errorf("cluster: subscribe on shard %s: %w", owner, err)
+	}
+	if c.st != nil {
+		if perr := c.st.AppendAdd(uint32(sid), owner, expr); perr != nil {
+			// The shard acknowledged but the durable record cannot be
+			// written. Undo on the shard so the sid stays verifiably free;
+			// if even that fails, burn it so it is never reissued.
+			dctx, dcancel := context.WithTimeout(context.Background(), c.cfg.AdminTimeout)
+			derr := c.api.unsubscribe(dctx, sh.currentAddr(), sid)
+			dcancel()
+			if derr != nil {
+				c.burnSID(sid, sh.name)
+			}
+			return 0, fmt.Errorf("cluster: persist subscription %d: %w", sid, perr)
+		}
 	}
 	c.mu.Lock()
 	c.subs[sid] = &subRecord{expr: expr, owner: owner}
 	c.nextSID++
 	c.mu.Unlock()
+	c.maybeSnapshot()
 	return sid, nil
 }
 
@@ -421,15 +790,30 @@ func (c *Coordinator) abandonSID(sh *shard, sid predfilter.SID, callErr error) {
 	if err := c.api.unsubscribe(cctx, sh.currentAddr(), sid); err == nil {
 		return
 	}
+	c.burnSID(sid, sh.name)
+}
+
+// burnSID records sid as burned — the SID sequence advances past it and
+// the sid joins the orphan set, durably when a state store is
+// configured, so a restart cannot reissue it while the shard may still
+// hold a half-committed copy. Callers hold adminMu.
+func (c *Coordinator) burnSID(sid predfilter.SID, shardName string) {
 	c.mu.Lock()
 	if c.nextSID == sid {
 		c.nextSID = sid + 1
 	}
-	c.orphans[sid] = sh.name
+	c.orphans[sid] = shardName
 	c.mu.Unlock()
+	if c.st != nil {
+		if err := c.st.AppendBurn(uint32(sid), shardName); err != nil {
+			c.log.Error("cluster: persist burned sid",
+				slog.Int64("sid", int64(sid)),
+				slog.String("error", err.Error()))
+		}
+	}
 	c.log.Warn("cluster: sid burned as orphan after failed subscribe",
 		slog.Int64("sid", int64(sid)),
-		slog.String("shard", sh.name))
+		slog.String("shard", shardName))
 }
 
 // reapOrphans retries the delete of every burned sid (abandonSID) whose
@@ -441,10 +825,12 @@ func (c *Coordinator) abandonSID(sh *shard, sid predfilter.SID, callErr error) {
 func (c *Coordinator) reapOrphans(ctx context.Context) {
 	c.mu.Lock()
 	pending := make(map[predfilter.SID]*shard, len(c.orphans))
+	var gone []predfilter.SID
 	for sid, name := range c.orphans {
 		sh := c.shards[name]
 		if sh == nil {
 			delete(c.orphans, sid) // shard left the cluster; its copy died with it
+			gone = append(gone, sid)
 			continue
 		}
 		if sh.healthy.Load() {
@@ -452,6 +838,9 @@ func (c *Coordinator) reapOrphans(ctx context.Context) {
 		}
 	}
 	c.mu.Unlock()
+	for _, sid := range gone {
+		c.persistReap(sid)
+	}
 	for sid, sh := range pending {
 		cctx, cancel := context.WithTimeout(ctx, c.cfg.AdminTimeout)
 		err := c.api.unsubscribe(cctx, sh.currentAddr(), sid)
@@ -460,6 +849,7 @@ func (c *Coordinator) reapOrphans(ctx context.Context) {
 			c.mu.Lock()
 			delete(c.orphans, sid)
 			c.mu.Unlock()
+			c.persistReap(sid)
 			c.log.Info("cluster: reaped orphaned sid",
 				slog.Int64("sid", int64(sid)),
 				slog.String("shard", sh.name))
@@ -491,6 +881,18 @@ func (c *Coordinator) Unsubscribe(ctx context.Context, sid predfilter.SID) error
 	c.mu.Lock()
 	delete(c.subs, sid)
 	c.mu.Unlock()
+	if c.st != nil {
+		if perr := c.st.AppendRemove(uint32(sid)); perr != nil {
+			// The shard deleted its copy but the record removal could not
+			// be logged: a restart resurrects a record the shard no longer
+			// backs, repaired by the Recover verify pass. Disk trouble —
+			// surface it loudly, the unsubscribe itself succeeded.
+			c.log.Error("cluster: persist unsubscribe",
+				slog.Int64("sid", int64(sid)),
+				slog.String("error", perr.Error()))
+		}
+	}
+	c.maybeSnapshot()
 	return nil
 }
 
@@ -515,11 +917,16 @@ func ctxTraceID(ctx context.Context) string {
 }
 
 // callWithRetry runs one shard call against the shard's current address,
-// retrying transient failures with linear backoff. The address is
+// retrying transient failures with capped exponential backoff and full
+// jitter (backoffFor). The shard's circuit breaker gates every attempt:
+// an open breaker short-circuits before touching the network — the
+// caller gets errShardBreakerOpen (attempts == 0) or the last real
+// error, immediately, instead of burning the stage's timeout — and each
+// attempted call's outcome feeds the breaker back. The address is
 // re-resolved per attempt so a promotion between attempts is picked up.
 // Every attempt's latency lands in the shard's per-stage RPC histogram,
 // and each retry is logged with the shard, stage and trace ID. attempts
-// reports how many were made (≥1 unless the context was already done).
+// reports how many were made.
 func (c *Coordinator) callWithRetry(ctx context.Context, sh *shard, stage int, call func(addr string) error) (attempts int, err error) {
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -531,15 +938,31 @@ func (c *Coordinator) callWithRetry(ctx context.Context, sh *shard, stage int, c
 				slog.String("error", err.Error()),
 				slog.String("trace_id", ctxTraceID(ctx)))
 			select {
-			case <-time.After(time.Duration(attempt) * c.cfg.RetryBackoff):
+			case <-time.After(c.backoffFor(attempt, err)):
 			case <-ctx.Done():
 				return attempts, err
 			}
+		}
+		if !sh.brk.allow(time.Now()) {
+			if err == nil {
+				err = errShardBreakerOpen
+			}
+			return attempts, err
 		}
 		attempts++
 		t0 := time.Now()
 		err = call(sh.currentAddr())
 		sh.rpc[stage].Observe(time.Since(t0))
+		reclosed, opened := sh.brk.recordOutcome(err, time.Now())
+		if reclosed {
+			c.log.Info("cluster: shard breaker closed", slog.String("shard", sh.name))
+		}
+		if opened {
+			c.log.Warn("cluster: shard breaker opened",
+				slog.String("shard", sh.name),
+				slog.String("stage", rpcStageNames[stage]),
+				slog.String("error", err.Error()))
+		}
 		if err == nil {
 			return attempts, nil
 		}
@@ -832,6 +1255,9 @@ func (c *Coordinator) Promote(name string) error {
 	sh.standby = ""
 	sh.promoted = true
 	sh.healthy.Store(true)
+	// The open breaker belonged to the dead primary; the promoted standby
+	// starts with a clean slate.
+	sh.brk.success()
 	c.failovers.Add(1)
 	sh.rpc[rpcPromote].Observe(time.Since(t0))
 	c.log.Warn("cluster: failover, standby promoted",
@@ -860,6 +1286,23 @@ func (c *Coordinator) monitor() {
 			ok := c.api.healthy(ctx, sh.currentAddr())
 			sh.rpc[rpcProbe].Observe(time.Since(t0))
 			cancel()
+			// The probe outcome feeds the breaker, bypassing allow: this is
+			// how half-open probes ride the health monitor — a healed shard
+			// recloses its breaker within one interval even with no publish
+			// traffic probing it.
+			var probeErr error
+			if !ok {
+				probeErr = errProbeFailed
+			}
+			reclosed, opened := sh.brk.recordOutcome(probeErr, time.Now())
+			if reclosed {
+				c.log.Info("cluster: shard breaker closed", slog.String("shard", sh.name))
+			}
+			if opened {
+				c.log.Warn("cluster: shard breaker opened",
+					slog.String("shard", sh.name),
+					slog.String("stage", "probe"))
+			}
 			was := sh.healthy.Swap(ok)
 			if ok != was {
 				if ok {
@@ -914,6 +1357,9 @@ func (c *Coordinator) AddShard(ctx context.Context, spec ShardSpec) error {
 		return fmt.Errorf("cluster: shard %q has no address", name)
 	}
 	sh := &shard{name: name, addr: spec.Addr, standby: spec.Standby}
+	if c.cfg.BreakerThreshold > 0 {
+		sh.brk = newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
+	}
 	sh.healthy.Store(true)
 	c.shards[name] = sh
 	c.order = append(c.order, name)
@@ -974,12 +1420,17 @@ func (c *Coordinator) RemoveShard(ctx context.Context, name string) error {
 			break
 		}
 	}
+	var reaped []predfilter.SID
 	for sid, owner := range c.orphans {
 		if owner == name {
 			delete(c.orphans, sid) // its copy died with the shard
+			reaped = append(reaped, sid)
 		}
 	}
 	c.mu.Unlock()
+	for _, sid := range reaped {
+		c.persistReap(sid)
+	}
 	return nil
 }
 
@@ -1035,6 +1486,14 @@ func (c *Coordinator) migrate(ctx context.Context) (moved int, err error) {
 		c.mu.Lock()
 		rec.owner = newOwner
 		c.mu.Unlock()
+		if c.st != nil {
+			if perr := c.st.AppendOwner(uint32(sid), newOwner); perr != nil {
+				c.log.Error("cluster: persist migration",
+					slog.Int64("sid", int64(sid)),
+					slog.String("shard", newOwner),
+					slog.String("error", perr.Error()))
+			}
+		}
 		moved++
 	}
 	return moved, nil

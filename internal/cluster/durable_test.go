@@ -1,0 +1,428 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"predfilter"
+	"predfilter/internal/cluster"
+)
+
+// Durable coordinator state: a kill -9'd coordinator restarts into a
+// fully routed cluster from local state alone — routing table, SID
+// counter, and orphan set — with zero shard round-trips, and publishes
+// after the restart are SID-identical to an uncrashed coordinator.
+
+// unreachableSpecs maps shard names onto an address nothing listens on:
+// the restart must succeed without a single shard round-trip.
+func unreachableSpecs(names ...string) []cluster.ShardSpec {
+	specs := make([]cluster.ShardSpec, len(names))
+	for i, n := range names {
+		specs[i] = cluster.ShardSpec{Name: n, Addr: "http://127.0.0.1:1"}
+	}
+	return specs
+}
+
+func newDurableCoordinator(t *testing.T, specs []cluster.ShardSpec, stateDir string, recover_ bool) *cluster.Coordinator {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Shards:       specs,
+		StateDir:     stateDir,
+		NoSync:       true,
+		Recover:      recover_,
+		Retries:      1,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterDurableRestart is the acceptance property: kill -9 the
+// coordinator mid-workload, restart it with every shard unreachable,
+// and the full routing table, next SID, and subscription set come back
+// from local state alone. A further restart against the live shards
+// publishes SID-identically to an uncrashed coordinator.
+func TestClusterDurableRestart(t *testing.T) {
+	w := testWorkload(t, 120, 10)
+	want := singleEngineSets(t, w)
+	ctx := context.Background()
+	set := newShardSet(t, 2)
+	stateDir := t.TempDir()
+
+	crashed := newDurableCoordinator(t, set.specs, stateDir, false)
+	for i, xpe := range w.XPEs {
+		if _, err := crashed.Subscribe(ctx, xpe); err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+	}
+	removed := map[predfilter.SID]bool{2: true, 9: true}
+	for sid := range removed {
+		if err := crashed.Unsubscribe(ctx, sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owners := map[predfilter.SID]string{}
+	for i := range w.XPEs {
+		if o, ok := crashed.OwnerOf(predfilter.SID(i)); ok {
+			owners[predfilter.SID(i)] = o
+		}
+	}
+	// Mid-workload: half the documents are in flight when the crash hits.
+	for _, doc := range w.Docs[:len(w.Docs)/2] {
+		if _, err := crashed.Publish(ctx, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// kill -9: the coordinator is dropped without Close — no snapshot, no
+	// flush. Recovery replays the WAL.
+
+	restarted := newDurableCoordinator(t,
+		unreachableSpecs("shard-0", "shard-1"), stateDir, false)
+	st := restarted.Stats()
+	if st.Store == nil {
+		t.Fatal("durable coordinator reports no store stats")
+	}
+	if wantSubs := len(w.XPEs) - len(removed); st.Subscriptions != wantSubs {
+		t.Fatalf("recovered %d subscriptions, want %d", st.Subscriptions, wantSubs)
+	}
+	if st.SubscribedNext != uint32(len(w.XPEs)) {
+		t.Fatalf("recovered next sid %d, want %d", st.SubscribedNext, len(w.XPEs))
+	}
+	for i := range w.XPEs {
+		sid := predfilter.SID(i)
+		owner, ok := restarted.OwnerOf(sid)
+		if removed[sid] {
+			if ok {
+				t.Fatalf("unsubscribed sid %d resurrected by restart", sid)
+			}
+			continue
+		}
+		if !ok || owner != owners[sid] {
+			t.Fatalf("sid %d: owner %q after restart, want %q", sid, owner, owners[sid])
+		}
+	}
+	restarted.Close()
+
+	// Restart against the live shards: the match sets are exactly what an
+	// uncrashed coordinator — and a single engine minus the two removed
+	// subscriptions — would report, sid for sid.
+	final := newDurableCoordinator(t, set.specs, stateDir, false)
+	defer final.Close()
+	for i, doc := range w.Docs {
+		res, err := final.Publish(ctx, doc)
+		if err != nil {
+			t.Fatalf("publish %d after restart: %v", i, err)
+		}
+		if res.Degraded {
+			t.Fatalf("publish %d degraded after restart", i)
+		}
+		expect := make([]predfilter.SID, 0, len(want[i]))
+		for _, sid := range want[i] {
+			if !removed[sid] {
+				expect = append(expect, sid)
+			}
+		}
+		if !sidSetsEqual(res.SIDs, expect) {
+			t.Fatalf("doc %d after restart: matched %v, want %v", i, res.SIDs, expect)
+		}
+	}
+	// The SID sequence continues exactly where the crashed coordinator
+	// left it.
+	sid, err := final.Subscribe(ctx, "/nitf/head/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != predfilter.SID(len(w.XPEs)) {
+		t.Fatalf("post-restart subscribe assigned sid %d, want %d", sid, len(w.XPEs))
+	}
+}
+
+// TestClusterDurableOrphanPersistence: a sid burned by a lost-ack
+// subscribe survives a kill -9 — without that, a restarted coordinator
+// would reissue the sid while the shard still holds the half-committed
+// copy (resurrecting it), or surface the orphan's matches. The reap is
+// durable too: once the shard-side copy is confirmed deleted, no
+// restart resurrects the orphan.
+func TestClusterDurableOrphanPersistence(t *testing.T) {
+	srv, blackhole := newLostAckShard(t)
+	stateDir := t.TempDir()
+	ctx := context.Background()
+
+	crashed, err := cluster.New(cluster.Config{
+		Shards:   []cluster.ShardSpec{{Name: "shard-0", Addr: srv.URL}},
+		StateDir: stateDir,
+		NoSync:   true,
+		Retries:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackhole.Store(true)
+	if _, err := crashed.Subscribe(ctx, "/nitf/head/title"); err == nil {
+		t.Fatal("subscribe through the blackhole unexpectedly succeeded")
+	}
+	blackhole.Store(false)
+	// kill -9 with the orphan burned but never reaped.
+
+	restarted, err := cluster.New(cluster.Config{
+		Shards:   unreachableSpecs("shard-0"),
+		StateDir: stateDir,
+		NoSync:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := restarted.Stats()
+	if st.Orphans != 1 {
+		t.Fatalf("restart recovered %d orphans, want 1", st.Orphans)
+	}
+	if st.SubscribedNext != 1 {
+		t.Fatalf("restart recovered next sid %d, want 1 (0 is burned)", st.SubscribedNext)
+	}
+	restarted.Close()
+
+	// Against the live shard, the next subscribe skips the burned sid and
+	// the reap pass clears the shard-side copy.
+	live, err := cluster.New(cluster.Config{
+		Shards:   []cluster.ShardSpec{{Name: "shard-0", Addr: srv.URL}},
+		StateDir: stateDir,
+		NoSync:   true,
+		Retries:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := live.Subscribe(ctx, "/nitf/body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != 1 {
+		t.Fatalf("subscribe after restart assigned sid %d, want 1", sid)
+	}
+	if live.Stats().Orphans != 0 {
+		t.Fatal("orphan not reaped against the live shard")
+	}
+	// kill -9 again: the reap must be durable.
+	final, err := cluster.New(cluster.Config{
+		Shards:   unreachableSpecs("shard-0"),
+		StateDir: stateDir,
+		NoSync:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	st = final.Stats()
+	if st.Orphans != 0 || st.SubscribedNext != 2 || st.Subscriptions != 1 {
+		t.Fatalf("after durable reap: %d orphans, next sid %d, %d subscriptions; want 0/2/1",
+			st.Orphans, st.SubscribedNext, st.Subscriptions)
+	}
+}
+
+// newLostAckShard is a shard whose subscribe commits but answers 503,
+// and whose DELETE also fails, while the blackhole flag is set — the
+// lost-ack window from coordinator_test.go, reusable.
+func newLostAckShard(t *testing.T) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	srv := newShardSet(t, 1)
+	var blackhole atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if blackhole.Load() {
+			switch {
+			case r.Method == http.MethodPost && r.URL.Path == "/subscriptions":
+				rec := httptest.NewRecorder()
+				srv.servers[0].ServeHTTP(rec, r)
+				http.Error(w, "lost ack", http.StatusServiceUnavailable)
+				return
+			case r.Method == http.MethodDelete:
+				http.Error(w, "unreachable", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		srv.servers[0].ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &blackhole
+}
+
+// TestClusterDurableMigration: ownership moved by AddShard survives a
+// kill -9 — the durable records track migrations, not just subscribes.
+func TestClusterDurableMigration(t *testing.T) {
+	w := testWorkload(t, 60, 2)
+	ctx := context.Background()
+	set := newShardSet(t, 2)
+	stateDir := t.TempDir()
+
+	crashed := newDurableCoordinator(t, set.specs, stateDir, false)
+	for _, xpe := range w.XPEs {
+		if _, err := crashed.Subscribe(ctx, xpe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv3 := newShardSet(t, 3) // only its third server is used
+	spec3 := cluster.ShardSpec{Name: "shard-2", Addr: srv3.specs[2].Addr}
+	if err := crashed.AddShard(ctx, spec3); err != nil {
+		t.Fatal(err)
+	}
+	owners := map[predfilter.SID]string{}
+	movedToNew := 0
+	for i := range w.XPEs {
+		o, ok := crashed.OwnerOf(predfilter.SID(i))
+		if !ok {
+			t.Fatalf("sid %d unowned after rebalance", i)
+		}
+		owners[predfilter.SID(i)] = o
+		if o == "shard-2" {
+			movedToNew++
+		}
+	}
+	if movedToNew == 0 {
+		t.Fatal("rebalance moved nothing to the new shard; migration persistence untested")
+	}
+	// kill -9.
+
+	restarted, err := cluster.New(cluster.Config{
+		Shards:   unreachableSpecs("shard-0", "shard-1", "shard-2"),
+		StateDir: stateDir,
+		NoSync:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	for i := range w.XPEs {
+		sid := predfilter.SID(i)
+		if o, ok := restarted.OwnerOf(sid); !ok || o != owners[sid] {
+			t.Fatalf("sid %d: owner %q after restart, want %q (migration lost)", sid, o, owners[sid])
+		}
+	}
+}
+
+// TestClusterDurableConfigMismatch: records routed to a shard that
+// vanished from the configuration are a hard startup error — silently
+// unroutable subscriptions must not pass.
+func TestClusterDurableConfigMismatch(t *testing.T) {
+	set := newShardSet(t, 2)
+	stateDir := t.TempDir()
+	ctx := context.Background()
+	c := newDurableCoordinator(t, set.specs, stateDir, false)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Subscribe(ctx, fmt.Sprintf("/nitf/body/p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	if _, err := cluster.New(cluster.Config{
+		Shards:   unreachableSpecs("shard-0"), // shard-1 dropped from config
+		StateDir: stateDir,
+		NoSync:   true,
+	}); err == nil {
+		t.Fatal("startup accepted records routed to an unconfigured shard")
+	}
+}
+
+// TestClusterDurableVerifyRepair: with durable records, Config.Recover
+// is the verify/repair pass — a shard that lost a subscription gets it
+// re-subscribed, a subscription the shards hold without a record is
+// adopted (and the SID sequence advances past it), and an unreachable
+// shard is skipped instead of failing startup.
+func TestClusterDurableVerifyRepair(t *testing.T) {
+	w := testWorkload(t, 40, 2)
+	ctx := context.Background()
+	set := newShardSet(t, 2)
+	stateDir := t.TempDir()
+
+	c := newDurableCoordinator(t, set.specs, stateDir, false)
+	for _, xpe := range w.XPEs {
+		if _, err := c.Subscribe(ctx, xpe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lostOwner, _ := c.OwnerOf(4)
+	c.Close()
+
+	// Divergence the log cannot see: the owner of sid 4 loses it (wiped
+	// shard state), and sid 99 appears on shard-0 with no record (a
+	// shard ack whose durable record was lost).
+	for i, srv := range set.servers {
+		if fmt.Sprintf("shard-%d", i) == lostOwner {
+			if err := srv.ApplyRemove(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := set.servers[0].ApplyAdd(99, "/nitf/head/title"); err != nil {
+		t.Fatal(err)
+	}
+
+	repaired := newDurableCoordinator(t, set.specs, stateDir, true)
+	// sid 4 is back on its owner.
+	holds := map[string]map[predfilter.SID]string{}
+	for i, srv := range set.servers {
+		holds[fmt.Sprintf("shard-%d", i)] = srv.SubscriptionIDs()
+	}
+	if _, held := holds[lostOwner][4]; !held {
+		t.Fatalf("verify did not re-subscribe lost sid 4 on %s", lostOwner)
+	}
+	// sid 99 is adopted and the sequence advances past it.
+	if owner, ok := repaired.OwnerOf(99); !ok || owner != "shard-0" {
+		t.Fatalf("unrecorded sid 99: owner %q, want shard-0 (adopted)", owner)
+	}
+	st := repaired.Stats()
+	if st.SubscribedNext != 100 {
+		t.Fatalf("next sid %d after adoption, want 100", st.SubscribedNext)
+	}
+	sid, err := repaired.Subscribe(ctx, "/nitf/body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != 100 {
+		t.Fatalf("subscribe after adoption assigned sid %d, want 100", sid)
+	}
+	repaired.Close()
+
+	// The adoption and repair are durable: a restart with every shard
+	// unreachable still knows them.
+	restarted, err := cluster.New(cluster.Config{
+		Shards:   unreachableSpecs("shard-0", "shard-1"),
+		StateDir: stateDir,
+		NoSync:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := restarted.Stats(); st.SubscribedNext != 101 {
+		t.Fatalf("restart after repair: next sid %d, want 101", st.SubscribedNext)
+	}
+	restarted.Close()
+
+	// Verify/repair with one shard unreachable: startup succeeds (the
+	// dead shard is skipped), unlike record-less recovery which must
+	// refuse.
+	deadTS := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadTS.URL
+	deadTS.Close()
+	tolerant, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardSpec{
+			set.specs[0],
+			{Name: "shard-1", Addr: deadURL},
+		},
+		StateDir: stateDir,
+		NoSync:   true,
+		Recover:  true,
+	})
+	if err != nil {
+		t.Fatalf("verify pass failed over an unreachable shard: %v", err)
+	}
+	defer tolerant.Close()
+	if st := tolerant.Stats(); st.SubscribedNext != 101 {
+		t.Fatalf("tolerant verify lost state: next sid %d, want 101", st.SubscribedNext)
+	}
+}

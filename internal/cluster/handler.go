@@ -14,6 +14,7 @@ import (
 
 	"predfilter"
 	"predfilter/internal/metrics"
+	"predfilter/internal/store"
 	"predfilter/internal/trace"
 )
 
@@ -257,12 +258,16 @@ func sidFromPath(w http.ResponseWriter, r *http.Request) (predfilter.SID, bool) 
 type Stats struct {
 	Subscriptions  int          `json:"subscriptions"`
 	Shards         int          `json:"shards"`
+	Orphans        int          `json:"orphans"`
 	DocsPublished  int64        `json:"docs_published"`
 	DocsDegraded   int64        `json:"docs_degraded"`
 	DocsFailed     int64        `json:"docs_failed"`
 	Failovers      int64        `json:"failovers"`
 	PerShard       []ShardStats `json:"per_shard"`
 	SubscribedNext uint32       `json:"next_sid"`
+	// Store reports the durable coordinator state (nil when the
+	// coordinator runs without Config.StateDir).
+	Store *store.CoordStats `json:"store,omitempty"`
 }
 
 // ShardStats is one shard's routing state and publish counters.
@@ -278,6 +283,13 @@ type ShardStats struct {
 	Retries       int64   `json:"retries"`
 	Skipped       int64   `json:"skipped"`
 	PublishSecs   float64 `json:"publish_seconds"`
+	// Breaker is the circuit breaker state: "closed", "half_open",
+	// "open", or "disabled".
+	Breaker      string `json:"breaker"`
+	BreakerOpens int64  `json:"breaker_opens"`
+	// FastFails counts calls the open breaker refused without touching
+	// the network.
+	FastFails int64 `json:"fast_fails"`
 }
 
 // Stats snapshots the coordinator's counters.
@@ -290,6 +302,7 @@ func (c *Coordinator) Stats() Stats {
 	st := Stats{
 		Subscriptions:  len(c.subs),
 		Shards:         len(c.shards),
+		Orphans:        len(c.orphans),
 		SubscribedNext: uint32(c.nextSID),
 	}
 	shards := make([]*shard, 0, len(c.order))
@@ -301,10 +314,15 @@ func (c *Coordinator) Stats() Stats {
 	st.DocsDegraded = c.docsDegraded.Load()
 	st.DocsFailed = c.docsFailed.Load()
 	st.Failovers = c.failovers.Load()
+	if c.st != nil {
+		cst := c.st.Stats()
+		st.Store = &cst
+	}
 	for _, sh := range shards {
 		sh.mu.Lock()
 		addr, standby, promoted := sh.addr, sh.standby, sh.promoted
 		sh.mu.Unlock()
+		brkState, brkOpens, brkFastFails := sh.brk.snapshot()
 		st.PerShard = append(st.PerShard, ShardStats{
 			Name:          sh.name,
 			Addr:          addr,
@@ -317,6 +335,9 @@ func (c *Coordinator) Stats() Stats {
 			Retries:       sh.retries.Load(),
 			Skipped:       sh.skipped.Load(),
 			PublishSecs:   float64(sh.publishNanos.Load()) / 1e9,
+			Breaker:       brkState,
+			BreakerOpens:  brkOpens,
+			FastFails:     brkFastFails,
 		})
 	}
 	return st
@@ -445,6 +466,30 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	x.Family("predfilter_cluster_shard_publish_seconds_total", "Wall time spent in per-shard publish calls.", "counter")
 	for _, s := range st.PerShard {
 		x.Value("predfilter_cluster_shard_publish_seconds_total", shardLabel(s.Name), s.PublishSecs)
+	}
+	x.Family("predfilter_cluster_breaker_state", "Circuit breaker state per shard (0 closed, 1 half-open, 2 open).", "gauge")
+	for _, sh := range shards {
+		x.Int("predfilter_cluster_breaker_state", shardLabel(sh.name), sh.brk.stateGauge())
+	}
+	x.Family("predfilter_cluster_breaker_opens_total", "Circuit breaker open transitions per shard.", "counter")
+	for _, s := range st.PerShard {
+		x.Int("predfilter_cluster_breaker_opens_total", shardLabel(s.Name), s.BreakerOpens)
+	}
+	x.Family("predfilter_cluster_breaker_fast_fails_total", "Calls refused by an open breaker without touching the network.", "counter")
+	for _, s := range st.PerShard {
+		x.Int("predfilter_cluster_breaker_fast_fails_total", shardLabel(s.Name), s.FastFails)
+	}
+	x.Family("predfilter_cluster_orphan_sids", "Burned subscription ids awaiting reap.", "gauge")
+	x.Int("predfilter_cluster_orphan_sids", "", int64(st.Orphans))
+	if st.Store != nil {
+		x.Family("predfilter_coord_store_wal_records", "Coordinator state records since the last snapshot.", "gauge")
+		x.Int("predfilter_coord_store_wal_records", "", st.Store.WALRecords)
+		x.Family("predfilter_coord_store_appends_total", "Coordinator state records appended.", "counter")
+		x.Int("predfilter_coord_store_appends_total", "", st.Store.Appends)
+		x.Family("predfilter_coord_store_snapshots_total", "Coordinator state snapshot compactions.", "counter")
+		x.Int("predfilter_coord_store_snapshots_total", "", st.Store.Snapshots)
+		x.Family("predfilter_coord_store_torn_bytes", "Torn-tail bytes discarded at last coordinator state recovery.", "gauge")
+		x.Int("predfilter_coord_store_torn_bytes", "", st.Store.TornBytes)
 	}
 	x.Family("predfilter_cluster_rpc_duration_seconds", "Coordinator-to-shard RPC latency per shard and stage (every attempt, including retried ones).", "histogram")
 	for _, sh := range shards {

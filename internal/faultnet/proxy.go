@@ -1,0 +1,314 @@
+// Package faultnet is a deterministic fault-injection TCP proxy for
+// cluster tests: it sits between the coordinator and a shard and
+// imposes scripted network conditions — added latency, full or
+// asymmetric partitions, connection resets, slow and truncated
+// responses — so partition/flap/slow-network scenarios reproduce
+// exactly instead of depending on kill timing. There is no randomness
+// anywhere: the same rule schedule produces the same observable
+// failures.
+//
+// Rules apply per copied chunk, not per connection, so changing them
+// mid-connection takes effect on the next read — a proxy can go from
+// healthy to partitioned under an established keepalive connection.
+// For clients that pool connections (net/http keepalives), Partition
+// and CutConns also sever established connections; otherwise a pooled
+// connection opened before the rule change would tunnel through the
+// partition.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Mode is what happens to new connections (and in-flight copies).
+type Mode int
+
+const (
+	// Pass relays traffic normally (subject to Latency/BytesPerSec/
+	// TruncateResponseAfter).
+	Pass Mode = iota
+	// Reset accepts and immediately resets new connections (RST-like
+	// close) — the "process is dead" failure: connection refused-ish,
+	// fails fast.
+	Reset
+	// Blackhole accepts new connections and reads nothing, answers
+	// nothing — the partition failure: callers hang until their timeout.
+	Blackhole
+	// DropResponses relays the request upstream but discards the
+	// response and holds the connection open — the asymmetric partition:
+	// the shard commits work, the caller times out waiting for the ack
+	// (the lost-ack window made reproducible).
+	DropResponses
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Reset:
+		return "reset"
+	case Blackhole:
+		return "blackhole"
+	case DropResponses:
+		return "drop_responses"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Rules is one network condition. The zero value is a transparent
+// proxy.
+type Rules struct {
+	Mode Mode
+	// Latency is added once per direction per connection before the
+	// first byte is relayed (connection setup cost of a slow link).
+	Latency time.Duration
+	// BytesPerSec throttles each direction to roughly this rate
+	// (0 = unlimited). Implemented as a sleep per copied chunk, so the
+	// effective rate is deterministic for a given byte stream.
+	BytesPerSec int
+	// TruncateResponseAfter closes the connection after this many
+	// upstream→client bytes (0 = never): the torn-response failure.
+	TruncateResponseAfter int64
+}
+
+// Proxy is one listener relaying to one upstream target under the
+// current Rules. Safe for concurrent use.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu    sync.Mutex
+	rules Rules
+	conns map[net.Conn]struct{}
+	done  bool
+
+	accepted  int64
+	resets    int64
+	blackhole int64
+}
+
+// New starts a proxy on 127.0.0.1 (ephemeral port) relaying to target
+// ("host:port"). It begins transparent; impose conditions with
+// SetRules/Partition.
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address ("host:port").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL is the proxy's address as a base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetRules replaces the current rules. In-flight copies pick the new
+// rules up on their next chunk; established connections stay up (use
+// CutConns or Partition to sever them).
+func (p *Proxy) SetRules(r Rules) {
+	p.mu.Lock()
+	p.rules = r
+	p.mu.Unlock()
+}
+
+// Rules returns the current rules.
+func (p *Proxy) Rules() Rules {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rules
+}
+
+// Partition blackholes the link and severs every established
+// connection — the full-partition failure for keepalive clients: pooled
+// connections die, new ones hang.
+func (p *Proxy) Partition() {
+	p.SetRules(Rules{Mode: Blackhole})
+	p.CutConns()
+}
+
+// Heal restores transparent relaying. Established blackholed
+// connections are severed so callers stop waiting on dead reads and
+// reconnect through the healed link.
+func (p *Proxy) Heal() {
+	p.SetRules(Rules{})
+	p.CutConns()
+}
+
+// CutConns severs every established connection through the proxy
+// without touching the rules.
+func (p *Proxy) CutConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Stats reports connections accepted, reset, and blackholed.
+func (p *Proxy) Stats() (accepted, resets, blackholed int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted, p.resets, p.blackhole
+}
+
+// Close stops the listener and severs every connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return nil
+	}
+	p.done = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.CutConns()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.done {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.accepted++
+		r := p.rules
+		switch r.Mode {
+		case Reset:
+			p.resets++
+			p.mu.Unlock()
+			// SetLinger(0) makes Close send RST instead of FIN: the caller
+			// sees "connection reset by peer", not a clean EOF.
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetLinger(0)
+			}
+			conn.Close()
+			continue
+		case Blackhole:
+			p.blackhole++
+			// Track it so Heal/CutConns releases the hanging caller, and
+			// hold it open reading nothing: the caller blocks until its
+			// own timeout.
+			p.conns[conn] = struct{}{}
+			p.mu.Unlock()
+			continue
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		go p.relay(conn)
+	}
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// relay connects upstream and copies both directions, re-checking the
+// rules per chunk.
+func (p *Proxy) relay(client net.Conn) {
+	defer p.forget(client)
+	defer client.Close()
+	upstream, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		upstream.Close()
+		return
+	}
+	p.conns[upstream] = struct{}{}
+	p.mu.Unlock()
+	defer p.forget(upstream)
+	defer upstream.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.copyDir(upstream, client, false)
+		// Request side done: half-close toward the upstream so it sees
+		// EOF, but keep the response side draining.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		p.copyDir(client, upstream, true)
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	wg.Wait()
+}
+
+// copyDir copies src→dst one chunk at a time under the rules current at
+// each chunk. response marks the upstream→client direction, which is
+// the one TruncateResponseAfter and DropResponses act on.
+func (p *Proxy) copyDir(dst, src net.Conn, response bool) {
+	buf := make([]byte, 16<<10)
+	var copied int64
+	first := true
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			r := p.Rules()
+			if r.Mode == Blackhole {
+				// Partitioned mid-connection: swallow the bytes and stop
+				// relaying; the connection stays up (and hanging) until
+				// CutConns.
+				continue
+			}
+			if first && r.Latency > 0 {
+				time.Sleep(r.Latency)
+			}
+			first = false
+			if r.BytesPerSec > 0 {
+				time.Sleep(time.Duration(int64(n) * int64(time.Second) / int64(r.BytesPerSec)))
+			}
+			if response && r.Mode == DropResponses {
+				// Relay nothing back; the caller waits on a response that
+				// never comes while the upstream believes it answered.
+				continue
+			}
+			if response && r.TruncateResponseAfter > 0 && copied+int64(n) >= r.TruncateResponseAfter {
+				_, _ = dst.Write(buf[:r.TruncateResponseAfter-copied])
+				if tc, ok := dst.(*net.TCPConn); ok {
+					_ = tc.SetLinger(0)
+				}
+				dst.Close()
+				src.Close()
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			copied += int64(n)
+		}
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) {
+				return
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package faultnet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend starts an HTTP server answering "hello" and a proxy in
+// front of it.
+func newBackend(t *testing.T) (*httptest.Server, *Proxy) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello")
+	}))
+	t.Cleanup(srv.Close)
+	p, err := New(strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return srv, p
+}
+
+// get issues one GET through a fresh client (no pooled connections) and
+// returns the body.
+func get(p *Proxy, timeout time.Duration) (string, error) {
+	hc := &http.Client{Timeout: timeout, Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := hc.Get(p.URL())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestProxyPass(t *testing.T) {
+	_, p := newBackend(t)
+	body, err := get(p, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "hello" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	_, p := newBackend(t)
+	p.SetRules(Rules{Mode: Reset})
+	t0 := time.Now()
+	if _, err := get(p, 5*time.Second); err == nil {
+		t.Fatal("reset mode answered")
+	}
+	// A reset fails fast — nothing like the client timeout.
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("reset took %v, want fast failure", d)
+	}
+	if _, resets, _ := p.Stats(); resets == 0 {
+		t.Fatal("no resets counted")
+	}
+}
+
+func TestProxyBlackholeHangsUntilTimeout(t *testing.T) {
+	_, p := newBackend(t)
+	p.SetRules(Rules{Mode: Blackhole})
+	t0 := time.Now()
+	if _, err := get(p, 200*time.Millisecond); err == nil {
+		t.Fatal("blackhole answered")
+	}
+	// A blackhole burns the caller's full timeout: that is the failure
+	// being modeled.
+	if d := time.Since(t0); d < 150*time.Millisecond {
+		t.Fatalf("blackhole failed after %v, want the client timeout burned", d)
+	}
+}
+
+func TestProxyHealReleasesAndRelays(t *testing.T) {
+	_, p := newBackend(t)
+	p.Partition()
+	done := make(chan error, 1)
+	go func() {
+		_, err := get(p, 10*time.Second)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	p.Heal()
+	select {
+	case err := <-done:
+		// The hanging caller was released (error) — it must not have
+		// waited its full 10s timeout.
+		if err == nil {
+			t.Fatal("partitioned call succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("heal did not release the blackholed connection")
+	}
+	body, err := get(p, time.Second)
+	if err != nil || body != "hello" {
+		t.Fatalf("after heal: %q, %v", body, err)
+	}
+}
+
+func TestProxyPartitionCutsEstablishedConns(t *testing.T) {
+	srv, p := newBackend(t)
+	_ = srv
+	// Keepalive client: the first call establishes a pooled connection.
+	hc := &http.Client{Timeout: 2 * time.Second}
+	resp, err := hc.Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	p.Partition()
+	// The pooled connection is dead and new ones blackhole: the call
+	// must fail rather than tunnel through.
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, p.URL(), nil)
+	if resp, err := hc.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("call tunneled through a partition")
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	_, p := newBackend(t)
+	p.SetRules(Rules{Latency: 150 * time.Millisecond})
+	t0 := time.Now()
+	body, err := get(p, 5*time.Second)
+	if err != nil || body != "hello" {
+		t.Fatalf("%q, %v", body, err)
+	}
+	if d := time.Since(t0); d < 150*time.Millisecond {
+		t.Fatalf("latency rule added only %v", d)
+	}
+}
+
+func TestProxyTruncatedResponse(t *testing.T) {
+	_, p := newBackend(t)
+	p.SetRules(Rules{TruncateResponseAfter: 10})
+	if _, err := get(p, 2*time.Second); err == nil {
+		// 10 bytes is inside the status line: the client cannot have a
+		// complete response.
+		t.Fatal("truncated response parsed as success")
+	}
+}
+
+func TestProxyDropResponses(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "hello")
+	}))
+	defer srv.Close()
+	p, err := New(strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetRules(Rules{Mode: DropResponses})
+	if _, err := get(p, 300*time.Millisecond); err == nil {
+		t.Fatal("dropped response answered")
+	}
+	// The asymmetry is the point: the upstream served the request even
+	// though the caller saw nothing.
+	if hits != 1 {
+		t.Fatalf("upstream hits = %d, want 1", hits)
+	}
+}
+
+func TestProxyScript(t *testing.T) {
+	_, p := newBackend(t)
+	go p.Script([]Step{
+		{At: 0, Rules: Rules{Mode: Blackhole}, Cut: true},
+		{At: 150 * time.Millisecond, Rules: Rules{}, Cut: true},
+	})
+	time.Sleep(20 * time.Millisecond)
+	if _, err := get(p, 100*time.Millisecond); err == nil {
+		t.Fatal("call succeeded during scripted partition")
+	}
+	time.Sleep(200 * time.Millisecond)
+	body, err := get(p, time.Second)
+	if err != nil || body != "hello" {
+		t.Fatalf("after scripted heal: %q, %v", body, err)
+	}
+}
+
+// TestProxyConcurrentChurn drives connections while rules flip, to give
+// the race detector something to chew on.
+func TestProxyConcurrentChurn(t *testing.T) {
+	_, p := newBackend(t)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.SetRules(Rules{Mode: Reset})
+			p.SetRules(Rules{})
+			p.CutConns()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_, _ = get(p, 200*time.Millisecond)
+	}
+	close(stop)
+	if accepted, _, _ := p.Stats(); accepted == 0 {
+		t.Fatal("no connections accepted")
+	}
+	// The proxy must still relay cleanly after the churn.
+	p.SetRules(Rules{})
+	var ok bool
+	for i := 0; i < 5 && !ok; i++ {
+		if body, err := get(p, time.Second); err == nil && body == "hello" {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("proxy wedged after churn")
+	}
+}

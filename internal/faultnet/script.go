@@ -1,0 +1,32 @@
+package faultnet
+
+import "time"
+
+// Step is one scheduled network condition change.
+type Step struct {
+	// At is the step's offset from the start of the script run.
+	At time.Duration
+	// Rules take effect at the step.
+	Rules Rules
+	// Cut severs established connections at the step (keepalive pools
+	// would otherwise carry old conditions forward).
+	Cut bool
+}
+
+// Script applies steps in order at their offsets from now and returns
+// after the last one has been applied. The schedule is the test's
+// clock: the same steps against the same workload produce the same
+// sequence of observable failures. Run it from its own goroutine when
+// the workload runs in the test goroutine.
+func (p *Proxy) Script(steps []Step) {
+	start := time.Now()
+	for _, s := range steps {
+		if d := s.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		p.SetRules(s.Rules)
+		if s.Cut {
+			p.CutConns()
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Fault-injection tests for the coordinator store, mirroring
+// fault_test.go: a crash can tear the coordinator WAL at any byte
+// offset, and recovery must yield exactly the prefix of acknowledged
+// routing operations — never an error, never invented routes.
+
+func mustOpenCoord(t *testing.T, dir string) *CoordStore {
+	t.Helper()
+	cs, err := OpenCoord(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// coordOp is one scripted routing operation for buildCoordWAL.
+type coordOp struct {
+	op    byte
+	sid   uint32
+	owner string
+	expr  string
+}
+
+func applyCoordOp(t *testing.T, cs *CoordStore, o coordOp) {
+	t.Helper()
+	var err error
+	switch o.op {
+	case opCoordAdd:
+		err = cs.AppendAdd(o.sid, o.owner, o.expr)
+	case opCoordRemove:
+		err = cs.AppendRemove(o.sid)
+	case opCoordBurn:
+		err = cs.AppendBurn(o.sid, o.owner)
+	case opCoordReap:
+		err = cs.AppendReap(o.sid)
+	case opCoordOwner:
+		err = cs.AppendOwner(o.sid, o.owner)
+	default:
+		t.Fatalf("unknown op %q", o.op)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// coordStateAfter folds ops[:n] into the expected recovered state.
+func coordStateAfter(ops []coordOp, n int) CoordState {
+	st := CoordState{Subs: map[uint32]CoordSub{}, Orphans: map[uint32]string{}}
+	for _, o := range ops[:n] {
+		switch o.op {
+		case opCoordAdd:
+			st.Subs[o.sid] = CoordSub{Owner: o.owner, Expr: o.expr}
+			if o.sid >= st.NextSID {
+				st.NextSID = o.sid + 1
+			}
+		case opCoordRemove:
+			delete(st.Subs, o.sid)
+		case opCoordBurn:
+			st.Orphans[o.sid] = o.owner
+			if o.sid >= st.NextSID {
+				st.NextSID = o.sid + 1
+			}
+		case opCoordReap:
+			delete(st.Orphans, o.sid)
+		case opCoordOwner:
+			if sub, ok := st.Subs[o.sid]; ok {
+				sub.Owner = o.owner
+				st.Subs[o.sid] = sub
+			}
+		}
+	}
+	return st
+}
+
+// buildCoordWAL writes a mixed operation sequence — adds, a burn, a
+// reap, a remove, a migration — into a fresh coordinator store and
+// returns the state dir, the raw WAL bytes, and each record's end
+// offset.
+func buildCoordWAL(t *testing.T) (dir string, ops []coordOp, raw []byte, ends []int64) {
+	t.Helper()
+	ops = []coordOp{
+		{op: opCoordAdd, sid: 0, owner: "shard-0", expr: "/a"},
+		{op: opCoordAdd, sid: 1, owner: "shard-1", expr: "/b/c"},
+		{op: opCoordBurn, sid: 2, owner: "shard-0"},
+		{op: opCoordAdd, sid: 3, owner: "shard-0", expr: "//d[@k=v]"},
+		{op: opCoordOwner, sid: 1, owner: "shard-2"},
+		{op: opCoordReap, sid: 2},
+		{op: opCoordRemove, sid: 0},
+		{op: opCoordAdd, sid: 4, owner: "shard-2", expr: "/e//f"},
+	}
+	dir = t.TempDir()
+	cs := mustOpenCoord(t, dir)
+	path := filepath.Join(dir, coordWALFile)
+	for _, o := range ops {
+		applyCoordOp(t, cs, o)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, fi.Size())
+	}
+	cs.Close()
+	return dir, ops, readFile(t, path), ends
+}
+
+// TestCoordStoreKillMidWrite truncates the coordinator WAL at every
+// possible byte offset and checks that recovery yields exactly the
+// operations whose records are complete at that offset, and that a
+// post-crash append lands on an intact file.
+func TestCoordStoreKillMidWrite(t *testing.T) {
+	dir, ops, raw, ends := buildCoordWAL(t)
+	walPath := filepath.Join(dir, coordWALFile)
+
+	for cut := 0; cut <= len(raw); cut++ {
+		writeFile(t, walPath, raw[:cut])
+		cs, err := OpenCoord(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut=%d: OpenCoord: %v", cut, err)
+		}
+		complete := 0
+		for _, end := range ends {
+			if int64(cut) >= end {
+				complete++
+			}
+		}
+		want := coordStateAfter(ops, complete)
+		got := cs.State()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut=%d (%d complete): recovered %+v, want %+v", cut, complete, got, want)
+		}
+		// Post-crash append extends an intact file and survives reopen.
+		sid := got.NextSID
+		if err := cs.AppendAdd(sid, "shard-9", "/post-crash"); err != nil {
+			t.Fatalf("cut=%d: post-crash add: %v", cut, err)
+		}
+		cs.Close()
+		cs2 := mustOpenCoord(t, dir)
+		got2 := cs2.State()
+		if got2.Subs[sid] != (CoordSub{Owner: "shard-9", Expr: "/post-crash"}) || got2.NextSID != sid+1 {
+			t.Fatalf("cut=%d: post-crash append lost: %+v", cut, got2)
+		}
+		if st := cs2.Stats(); st.TornBytes != 0 {
+			t.Fatalf("cut=%d: second recovery still found %d torn bytes", cut, st.TornBytes)
+		}
+		cs2.Close()
+	}
+}
+
+// TestCoordStoreFlippedByte corrupts each byte of a record in the middle
+// of the coordinator WAL and checks that recovery keeps everything
+// before the corrupt record and drops it and everything after.
+func TestCoordStoreFlippedByte(t *testing.T) {
+	dir, ops, raw, ends := buildCoordWAL(t)
+	walPath := filepath.Join(dir, coordWALFile)
+
+	// Corrupt record 3 (the second add, offsets ends[2]..ends[3]).
+	for off := ends[2]; off < ends[3]; off++ {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x40
+		writeFile(t, walPath, mut)
+		cs, err := OpenCoord(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("off=%d: OpenCoord: %v", off, err)
+		}
+		want := coordStateAfter(ops, 3)
+		if got := cs.State(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("off=%d: recovered %+v, want %+v", off, got, want)
+		}
+		cs.Close()
+	}
+}
+
+// TestCoordStoreForeignWAL rejects a subscription WAL (or any other
+// file) masquerading as a coordinator WAL instead of destroying it —
+// the two formats share framing but not magic.
+func TestCoordStoreForeignWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir) // subscription store writes walFile
+	mustAdd(t, s, "/a")
+	s.Close()
+	// Copy the subscription WAL over the coordinator WAL path.
+	writeFile(t, filepath.Join(dir, coordWALFile), readFile(t, filepath.Join(dir, walFile)))
+	if _, err := OpenCoord(dir, Options{NoSync: true}); err == nil {
+		t.Fatal("OpenCoord accepted a subscription WAL")
+	}
+}
+
+// TestCoordStoreSnapshotCompaction snapshots mid-sequence and checks
+// that replay of the remaining WAL on top of the snapshot converges to
+// the same state, including after a torn post-snapshot tail.
+func TestCoordStoreSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cs := mustOpenCoord(t, dir)
+	applyCoordOp(t, cs, coordOp{op: opCoordAdd, sid: 0, owner: "shard-0", expr: "/a"})
+	applyCoordOp(t, cs, coordOp{op: opCoordBurn, sid: 1, owner: "shard-1"})
+	if err := cs.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if n := cs.WALRecords(); n != 0 {
+		t.Fatalf("WALRecords after snapshot = %d, want 0", n)
+	}
+	applyCoordOp(t, cs, coordOp{op: opCoordAdd, sid: 2, owner: "shard-1", expr: "/b"})
+	applyCoordOp(t, cs, coordOp{op: opCoordReap, sid: 1})
+	cs.Close()
+
+	cs2 := mustOpenCoord(t, dir)
+	want := CoordState{
+		Subs:    map[uint32]CoordSub{0: {Owner: "shard-0", Expr: "/a"}, 2: {Owner: "shard-1", Expr: "/b"}},
+		Orphans: map[uint32]string{},
+		NextSID: 3,
+	}
+	if got := cs2.State(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %+v, want %+v", got, want)
+	}
+	if st := cs2.Stats(); st.SnapshotEntries != 2 || st.ReplayedRecords != 2 {
+		t.Fatalf("stats = %+v, want 2 snapshot entries + 2 replayed records", st)
+	}
+	cs2.Close()
+
+	// Tear the post-snapshot WAL tail: the snapshot still loads, the torn
+	// record drops.
+	walPath := filepath.Join(dir, coordWALFile)
+	raw := readFile(t, walPath)
+	writeFile(t, walPath, raw[:len(raw)-2])
+	cs3 := mustOpenCoord(t, dir)
+	defer cs3.Close()
+	want = CoordState{
+		Subs:    map[uint32]CoordSub{0: {Owner: "shard-0", Expr: "/a"}, 2: {Owner: "shard-1", Expr: "/b"}},
+		Orphans: map[uint32]string{1: "shard-1"},
+		NextSID: 3,
+	}
+	if got := cs3.State(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after torn tail: recovered %+v, want %+v", got, want)
+	}
+}
+
+// TestCoordStoreCorruptSnapshot: coordinator snapshots are atomic, so
+// damage is a hard error, never a partial routing table.
+func TestCoordStoreCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cs := mustOpenCoord(t, dir)
+	applyCoordOp(t, cs, coordOp{op: opCoordAdd, sid: 0, owner: "shard-0", expr: "/a"})
+	applyCoordOp(t, cs, coordOp{op: opCoordBurn, sid: 1, owner: "shard-1"})
+	if err := cs.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	cs.Close()
+
+	snapPath := filepath.Join(dir, coordSnapFile)
+	raw := readFile(t, snapPath)
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			m := append([]byte(nil), b...)
+			m[len(m)-1] ^= 0x01
+			return m
+		}},
+		{"truncated entry", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"bad magic", func(b []byte) []byte {
+			m := append([]byte(nil), b...)
+			m[0] = 'Z'
+			return m
+		}},
+	} {
+		writeFile(t, snapPath, tc.mut(raw))
+		if _, err := OpenCoord(dir, Options{NoSync: true}); err == nil {
+			t.Fatalf("%s: OpenCoord accepted a corrupt snapshot", tc.name)
+		}
+	}
+	writeFile(t, snapPath, raw)
+	cs2 := mustOpenCoord(t, dir)
+	defer cs2.Close()
+	want := CoordState{
+		Subs:    map[uint32]CoordSub{0: {Owner: "shard-0", Expr: "/a"}},
+		Orphans: map[uint32]string{1: "shard-1"},
+		NextSID: 2,
+	}
+	if got := cs2.State(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("baseline recovery: %+v, want %+v", got, want)
+	}
+}
+
+// TestCoordStoreAppendGuards: misuse is rejected before touching the
+// log — double adds, removes of unknown sids, empty owners.
+func TestCoordStoreAppendGuards(t *testing.T) {
+	cs := mustOpenCoord(t, t.TempDir())
+	defer cs.Close()
+	applyCoordOp(t, cs, coordOp{op: opCoordAdd, sid: 0, owner: "shard-0", expr: "/a"})
+	if err := cs.AppendAdd(0, "shard-1", "/b"); err == nil {
+		t.Fatal("AppendAdd accepted a duplicate sid")
+	}
+	if err := cs.AppendAdd(1, "", "/b"); err == nil {
+		t.Fatal("AppendAdd accepted an empty owner")
+	}
+	if err := cs.AppendRemove(7); err == nil {
+		t.Fatal("AppendRemove accepted an unknown sid")
+	}
+	if err := cs.AppendReap(7); err == nil {
+		t.Fatal("AppendReap accepted an unknown orphan")
+	}
+	if err := cs.AppendOwner(7, "shard-1"); err == nil {
+		t.Fatal("AppendOwner accepted an unrouted sid")
+	}
+	if err := cs.AppendBurn(1, ""); err == nil {
+		t.Fatal("AppendBurn accepted an empty shard")
+	}
+}

@@ -89,6 +89,29 @@ func decodePayload(p []byte) (rec, bool) {
 	return rec{}, false
 }
 
+// scanFrames walks the framed payloads in data (a WAL body, after the
+// magic header) and returns the byte offset of the first frame-level
+// tear — a short frame, an implausible length, or a checksum mismatch —
+// or len(data) when every frame is intact. Payload semantics are not
+// checked; that is per-format.
+func scanFrames(data []byte) (valid int) {
+	off := 0
+	for {
+		if len(data)-off < frameSize {
+			return off
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecord || len(data)-off-frameSize < n {
+			return off
+		}
+		if crc32.Checksum(data[off+frameSize:off+frameSize+n], castagnoli) != sum {
+			return off
+		}
+		off += frameSize + n
+	}
+}
+
 // scanRecords walks the framed records in data (the WAL body, after the
 // magic header) and returns the decoded records plus the byte offset of
 // the first tear — len(data) when the whole body is intact.
@@ -116,19 +139,25 @@ func scanRecords(data []byte) (recs []rec, valid int) {
 	}
 }
 
-// wal is the open write-ahead log file, positioned for appends.
+// wal is the open write-ahead log file, positioned for appends. magic
+// identifies the log's format — the subscription WAL and the coordinator
+// WAL share the framing but must never be confused for one another.
 type wal struct {
-	f    *os.File
-	size int64 // current file size; appends go here
-	sync bool
-	buf  []byte // reusable append buffer
+	f     *os.File
+	magic string
+	size  int64 // current file size; appends go here
+	sync  bool
+	buf   []byte // reusable append buffer
 }
 
-// openWAL opens (creating if necessary) the WAL at path, recovers its
-// records, and truncates any torn tail so subsequent appends extend an
-// intact file. It returns the open log, the recovered records, and the
-// number of torn-tail bytes discarded.
-func openWAL(path string, sync bool) (*wal, []rec, int64, error) {
+// openRawWAL opens (creating if necessary) the WAL at path, scans its
+// framed body, and truncates any torn tail so subsequent appends extend
+// an intact file. It returns the open log, the raw body prefix that
+// passed the frame checks, and the number of torn-tail bytes discarded.
+// Payload decoding is the caller's business (record vocabularies differ
+// per log format); every returned frame passed the length and CRC
+// checks.
+func openRawWAL(path, magic string, sync bool) (*wal, []byte, int64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, 0, err
@@ -138,7 +167,7 @@ func openWAL(path string, sync bool) (*wal, []rec, int64, error) {
 		f.Close()
 		return nil, nil, 0, err
 	}
-	w := &wal{f: f, sync: sync}
+	w := &wal{f: f, magic: magic, sync: sync}
 
 	switch {
 	case len(data) == 0:
@@ -148,7 +177,7 @@ func openWAL(path string, sync bool) (*wal, []rec, int64, error) {
 			return nil, nil, 0, err
 		}
 		return w, nil, 0, nil
-	case len(data) < len(walMagic):
+	case len(data) < len(magic):
 		// A tear inside the header itself (crash during the very first
 		// write): no record can have been acknowledged, start over.
 		if err := w.reset(); err != nil {
@@ -156,14 +185,15 @@ func openWAL(path string, sync bool) (*wal, []rec, int64, error) {
 			return nil, nil, 0, err
 		}
 		return w, nil, int64(len(data)), nil
-	case string(data[:len(walMagic)]) != walMagic:
+	case string(data[:len(magic)]) != magic:
 		f.Close()
-		return nil, nil, 0, fmt.Errorf("store: %s: not a subscription WAL (bad magic)", path)
+		return nil, nil, 0, fmt.Errorf("store: %s: not a %s WAL (bad magic)", path, magic)
 	}
 
-	recs, valid := scanRecords(data[len(walMagic):])
-	torn := int64(len(data)) - int64(len(walMagic)) - int64(valid)
-	w.size = int64(len(walMagic)) + int64(valid)
+	body := data[len(magic):]
+	valid := scanFrames(body)
+	torn := int64(len(body)) - int64(valid)
+	w.size = int64(len(magic)) + int64(valid)
 	if torn > 0 {
 		if err := f.Truncate(w.size); err != nil {
 			f.Close()
@@ -174,14 +204,38 @@ func openWAL(path string, sync bool) (*wal, []rec, int64, error) {
 			return nil, nil, 0, err
 		}
 	}
+	return w, body[:valid], torn, nil
+}
+
+// openWAL opens the subscription WAL at path and decodes its records.
+func openWAL(path string, sync bool) (*wal, []rec, int64, error) {
+	w, body, torn, err := openRawWAL(path, walMagic, sync)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	recs, valid := scanRecords(body)
+	if valid != len(body) {
+		// A frame whose payload does not decode as a subscription op is a
+		// tear for this format: truncate it like any other.
+		w.size = int64(len(walMagic)) + int64(valid)
+		torn += int64(len(body)) - int64(valid)
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.f.Close()
+			return nil, nil, 0, terr
+		}
+		if serr := w.fsync(); serr != nil {
+			w.f.Close()
+			return nil, nil, 0, serr
+		}
+	}
 	return w, recs, torn, nil
 }
 
 func (w *wal) writeHeader() error {
-	if _, err := w.f.WriteAt([]byte(walMagic), 0); err != nil {
+	if _, err := w.f.WriteAt([]byte(w.magic), 0); err != nil {
 		return err
 	}
-	w.size = int64(len(walMagic))
+	w.size = int64(len(w.magic))
 	return w.fsync()
 }
 
@@ -204,7 +258,7 @@ func (w *wal) append(payload []byte) error {
 }
 
 // bodySize returns the record-body size in bytes (header excluded).
-func (w *wal) bodySize() int64 { return w.size - int64(len(walMagic)) }
+func (w *wal) bodySize() int64 { return w.size - int64(len(w.magic)) }
 
 // readBody reads the record-body range [off, off+n) into a fresh buffer.
 // The range must lie within the current body; appends only extend the
@@ -212,7 +266,7 @@ func (w *wal) bodySize() int64 { return w.size - int64(len(walMagic)) }
 // next reset.
 func (w *wal) readBody(off, n int64) ([]byte, error) {
 	buf := make([]byte, n)
-	if _, err := w.f.ReadAt(buf, int64(len(walMagic))+off); err != nil {
+	if _, err := w.f.ReadAt(buf, int64(len(w.magic))+off); err != nil {
 		return nil, err
 	}
 	return buf, nil
